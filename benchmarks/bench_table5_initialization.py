@@ -1,0 +1,88 @@
+"""Table 5 — accuracy and efficiency of the four initialization methods.
+
+Paper claims: all combinations (RS/IMS × RT/FT) converge to similar
+spreads for large k (small-k runs from RT can stick in worse local
+optima); FT-based starts are the cheapest because the initial tag set
+is already good, while IMS is expensive without buying much. RS + FT
+is the recommended default.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import (
+    SKETCH,
+    TAGS_CFG,
+    dataset,
+    emit,
+    print_table,
+    spread_pct,
+)
+from repro import JointConfig, JointQuery, jointly_select
+from repro.datasets import bfs_targets
+
+K_SWEEP = (3, 10)
+R, TARGET_SIZE = 8, 50
+
+COMBOS = (
+    ("RS+RT", "random", "random"),
+    ("IMS+RT", "ims", "random"),
+    ("RS+FT", "random", "frequency"),
+    ("IMS+FT", "ims", "frequency"),
+)
+
+
+def test_table5_initialization_methods(benchmark):
+    data = dataset("yelp")
+    targets = bfs_targets(data.graph, TARGET_SIZE)
+
+    rows = []
+    spreads_at_max_k: dict[str, float] = {}
+    times: dict[str, float] = {}
+    for label, seed_init, tag_init in COMBOS:
+        row: list[object] = [label]
+        total_time = 0.0
+        for k in K_SWEEP:
+            cfg = JointConfig(
+                max_rounds=4, seed_init=seed_init, tag_init=tag_init,
+                sketch=SKETCH, tag_config=TAGS_CFG, eval_samples=150,
+            )
+            result = jointly_select(
+                data.graph, JointQuery(targets, k=k, r=R), cfg, rng=0
+            )
+            row.append(spread_pct(result.spread, TARGET_SIZE))
+            row.append(result.elapsed_seconds)
+            total_time += result.elapsed_seconds
+            if k == K_SWEEP[-1]:
+                spreads_at_max_k[label] = result.spread
+        times[label] = total_time
+        rows.append(row)
+
+    headers = ["init"]
+    for k in K_SWEEP:
+        headers += [f"k={k} %", f"k={k} s"]
+    print_table(
+        f"Table 5: initialization methods, Yelp analogue (r={R})",
+        headers,
+        rows,
+    )
+
+    best = max(spreads_at_max_k.values())
+    worst = min(spreads_at_max_k.values())
+    emit(
+        f"\nShape check: at k={K_SWEEP[-1]} all initializations land "
+        f"within {100 * (best - worst) / max(best, 1e-9):.0f}% of each "
+        "other (paper: similar final spreads for large enough k)."
+    )
+    assert worst >= 0.6 * best
+
+    benchmark.pedantic(
+        lambda: jointly_select(
+            data.graph, JointQuery(targets, k=K_SWEEP[0], r=R),
+            JointConfig(
+                max_rounds=2, sketch=SKETCH, tag_config=TAGS_CFG,
+                eval_samples=100,
+            ),
+            rng=0,
+        ),
+        rounds=1, iterations=1,
+    )

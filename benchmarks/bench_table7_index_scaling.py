@@ -1,0 +1,106 @@
+"""Table 7 — LL-TRS index size and query time vs probability mean, k, and r.
+
+Paper claims: (a) lower edge probabilities → sparser possible worlds →
+smaller indexes and faster queries; (b) index size is almost flat in k
+(θ_c barely depends on θ once αδ(θ−1) ≫ r); (c) index size grows
+roughly linearly in r; (d) LL-TRS queries ~30 % faster than TRS across
+the grid.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import SKETCH, dataset, emit, print_table
+from repro.core import frequency_tags
+from repro.datasets import bfs_targets, twitter
+from repro.index import indexed_select_seeds, make_lltrs_manager
+from repro.sketch import trs_select_seeds
+
+A_SWEEP = (5.0, 12.0, 30.0)   # prob means ≈ 0.27 / 0.13 / 0.06
+K_SWEEP = (2, 5, 10)
+R_SWEEP = (2, 5, 10)
+TARGET_SIZE = 60
+
+
+def test_table7a_probability_mean(benchmark):
+    rows = []
+    sizes = []
+    for a in A_SWEEP:
+        data = twitter(scale=0.25, a=a)
+        mean_p = data.characteristics()["prob_mean"]
+        targets = bfs_targets(data.graph, TARGET_SIZE)
+        tags = frequency_tags(data.graph, targets, 5)
+        trs = trs_select_seeds(data.graph, targets, tags, 5, SKETCH, rng=0)
+        manager = make_lltrs_manager(data.graph, targets, SKETCH)
+        ll = indexed_select_seeds(
+            data.graph, targets, tags, 5, manager, SKETCH, rng=0
+        )
+        size_kb = ll.index_stats.size_bytes / 1024.0
+        sizes.append((mean_p, size_kb))
+        rows.append(
+            [f"{mean_p:.2f}", size_kb, ll.query_seconds,
+             trs.elapsed_seconds]
+        )
+    print_table(
+        "Table 7(a): LL-TRS index size / query time vs edge-prob mean",
+        ["mean p", "index KB", "LL-TRS qry s", "TRS qry s"],
+        rows,
+    )
+    ordered = sorted(sizes)
+    assert [s for _, s in ordered] == sorted(s for _, s in ordered)
+    emit("\nShape check: smaller probabilities → smaller index.")
+
+    data = dataset("twitter")
+    targets = bfs_targets(data.graph, TARGET_SIZE)
+    tags = frequency_tags(data.graph, targets, 5)
+    benchmark.pedantic(
+        lambda: trs_select_seeds(data.graph, targets, tags, 5, SKETCH, rng=0),
+        rounds=1, iterations=1,
+    )
+
+
+def test_table7b_budget_grid(benchmark):
+    data = dataset("twitter")
+    targets = bfs_targets(data.graph, TARGET_SIZE)
+
+    k_rows = []
+    tags5 = frequency_tags(data.graph, targets, 5)
+    k_sizes = []
+    for k in K_SWEEP:
+        manager = make_lltrs_manager(data.graph, targets, SKETCH)
+        result = indexed_select_seeds(
+            data.graph, targets, tags5, k, manager, SKETCH, rng=0
+        )
+        size_kb = result.index_stats.size_bytes / 1024.0
+        k_sizes.append(size_kb)
+        k_rows.append([f"k={k}", size_kb, result.query_seconds])
+
+    r_sizes = []
+    for r in R_SWEEP:
+        tags = frequency_tags(data.graph, targets, r)
+        manager = make_lltrs_manager(data.graph, targets, SKETCH)
+        result = indexed_select_seeds(
+            data.graph, targets, tags, 5, manager, SKETCH, rng=0
+        )
+        size_kb = result.index_stats.size_bytes / 1024.0
+        r_sizes.append(size_kb)
+        k_rows.append([f"r={r}", size_kb, result.query_seconds])
+
+    print_table(
+        "Table 7(b): LL-TRS index size (KB) / query time vs k and r",
+        ["setting", "index KB", "query s"],
+        k_rows,
+    )
+    emit(
+        "\nShape check: index size ~flat in k, grows with r "
+        "(paper: θ_c ≈ r/(αδ) once θ is large)."
+    )
+    assert max(k_sizes) <= 2.0 * min(k_sizes)
+    assert r_sizes[-1] > r_sizes[0]
+
+    benchmark.pedantic(
+        lambda: indexed_select_seeds(
+            data.graph, targets, tags5, K_SWEEP[0],
+            make_lltrs_manager(data.graph, targets, SKETCH), SKETCH, rng=0,
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's case study (Table 1 / Figure 2): city-specific tags.
+
+For each city in the Yelp analogue, find the top tags for maximizing
+influence among that city's users, then show (a) that the chosen tags
+differ per city — entertainment for Vegas, food for Pittsburgh — and
+(b) that a city's optimal tag set underperforms when transplanted to
+another city.
+
+Run:  python examples/city_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import SketchConfig, TagSelectionConfig, estimate_spread, find_seeds, find_tags
+from repro.datasets import community_targets, yelp
+
+SKETCH = SketchConfig(pilot_samples=150, theta_min=400, theta_max=2000)
+TAGS_CFG = TagSelectionConfig(per_pair_paths=5, max_path_targets=40)
+K, R = 5, 5
+TARGET_SIZE = 50
+
+
+def optimize_city(data, city: str):
+    targets = community_targets(data, city, size=TARGET_SIZE, rng=0)
+    seeds = find_seeds(
+        data.graph, targets, data.graph.tags, K,
+        engine="lltrs", config=SKETCH, rng=0,
+    ).seeds
+    tags = find_tags(
+        data.graph, seeds, targets, R,
+        method="batch", config=TAGS_CFG, rng=0,
+    ).tags
+    return targets, seeds, tags
+
+
+def main() -> None:
+    data = yelp(scale=0.3, seed=13)
+    cities = data.community_names
+
+    print("Top tags per target city (paper Table 1 analogue)")
+    print("=" * 60)
+    plans = {}
+    for city in cities:
+        targets, seeds, tags = optimize_city(data, city)
+        plans[city] = (targets, seeds, tags)
+        print(f"\n{city.capitalize():<12}: {', '.join(tags)}")
+
+    print("\n\nCross-city tag transfer (paper Figure 2 analogue)")
+    print("=" * 60)
+    label = "targets / tags"
+    header = f"{label:<16}" + "".join(f"{c:>12}" for c in cities)
+    print(header)
+    for target_city in cities:
+        targets, seeds, _ = plans[target_city]
+        row = f"{target_city:<16}"
+        for tag_city in cities:
+            _, _, tags = plans[tag_city]
+            spread = estimate_spread(
+                data.graph, seeds, targets, tags,
+                num_samples=300, rng=1,
+            )
+            row += f"{100.0 * spread / len(targets):>11.1f}%"
+        print(row)
+    print(
+        "\nDiagonal entries (a city evaluated with its own tags) should "
+        "dominate their rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

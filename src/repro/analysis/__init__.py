@@ -1,0 +1,27 @@
+"""Analysis helpers: engine/method comparisons and report formatting.
+
+Everything the benchmark harness needs to build the paper's tables is
+ordinary library functionality — comparing seed engines under one
+independent estimator, comparing tag-selection methods over one path
+pool, and rendering fixed-width tables — so it lives here where
+downstream users can reach it too.
+"""
+
+from repro.analysis.comparison import (
+    EngineReport,
+    TagMethodReport,
+    compare_seed_engines,
+    compare_tag_methods,
+)
+from repro.analysis.plots import sparkline, trajectory_chart
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "EngineReport",
+    "TagMethodReport",
+    "compare_seed_engines",
+    "compare_tag_methods",
+    "format_table",
+    "sparkline",
+    "trajectory_chart",
+]

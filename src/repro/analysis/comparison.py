@@ -1,0 +1,139 @@
+"""Side-by-side comparisons of seed engines and tag-selection methods.
+
+Each engine/method reports its own internal spread estimate, which is
+not comparable across estimators (RR coverage vs MC vs strict-path
+sketches). These helpers therefore re-evaluate every candidate solution
+with one shared Monte-Carlo estimator — the pattern every fair
+comparison in the paper's evaluation (and this repo's benchmarks) uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.graphs.tag_graph import TagGraph
+from repro.seeds.api import ENGINES, find_seeds
+from repro.sketch.theta import SketchConfig
+from repro.tags.api import METHODS, find_tags
+from repro.tags.paths import TagPath, TagSelectionConfig, collect_paths
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """One seed engine's outcome under a shared evaluator.
+
+    Attributes
+    ----------
+    engine:
+        Engine name.
+    seeds:
+        Selected seed set.
+    internal_estimate:
+        The engine's own spread estimate.
+    verified_spread:
+        The shared Monte-Carlo estimate for the same seed set.
+    elapsed_seconds:
+        Selection wall-clock time.
+    """
+
+    engine: str
+    seeds: tuple[int, ...]
+    internal_estimate: float
+    verified_spread: float
+    elapsed_seconds: float
+
+
+def compare_seed_engines(
+    graph: TagGraph,
+    targets: Sequence[int],
+    tags: Sequence[str],
+    k: int,
+    engines: Sequence[str] = ("trs", "ltrs", "lltrs"),
+    config: SketchConfig = SketchConfig(),
+    eval_samples: int = 300,
+    rng: np.random.Generator | int | None = None,
+) -> list[EngineReport]:
+    """Run several engines on one query; verify all with one MC estimator."""
+    rng = ensure_rng(rng)
+    unknown = [e for e in engines if e not in ENGINES]
+    if unknown:
+        raise ValueError(f"unknown engines: {unknown}; expected {ENGINES}")
+    reports = []
+    for engine in engines:
+        selection = find_seeds(
+            graph, targets, tags, k, engine=engine, config=config, rng=rng
+        )
+        verified = estimate_spread(
+            graph, selection.seeds, targets, tags,
+            num_samples=eval_samples, rng=rng,
+        )
+        reports.append(
+            EngineReport(
+                engine=engine,
+                seeds=selection.seeds,
+                internal_estimate=selection.estimated_spread,
+                verified_spread=verified,
+                elapsed_seconds=selection.elapsed_seconds,
+            )
+        )
+    return reports
+
+
+@dataclass(frozen=True)
+class TagMethodReport:
+    """One tag-selection method's outcome under a shared evaluator."""
+
+    method: str
+    tags: tuple[str, ...]
+    internal_estimate: float
+    verified_spread: float
+    elapsed_seconds: float
+
+
+def compare_tag_methods(
+    graph: TagGraph,
+    seeds: Sequence[int],
+    targets: Sequence[int],
+    r: int,
+    methods: Sequence[str] = METHODS,
+    config: TagSelectionConfig = TagSelectionConfig(),
+    eval_samples: int = 300,
+    rng: np.random.Generator | int | None = None,
+    paths: Sequence[TagPath] | None = None,
+) -> list[TagMethodReport]:
+    """Run both tag-selection methods over one shared path pool."""
+    rng = ensure_rng(rng)
+    unknown = [m for m in methods if m not in METHODS]
+    if unknown:
+        raise ValueError(f"unknown methods: {unknown}; expected {METHODS}")
+    if paths is None:
+        paths = collect_paths(graph, seeds, targets, config, rng)
+    reports = []
+    for method in methods:
+        selection = find_tags(
+            graph, seeds, targets, r,
+            method=method, config=config, rng=rng, paths=paths,
+        )
+        verified = (
+            estimate_spread(
+                graph, seeds, targets, selection.tags,
+                num_samples=eval_samples, rng=rng,
+            )
+            if selection.tags
+            else 0.0
+        )
+        reports.append(
+            TagMethodReport(
+                method=method,
+                tags=selection.tags,
+                internal_estimate=selection.estimated_spread,
+                verified_spread=verified,
+                elapsed_seconds=selection.elapsed_seconds,
+            )
+        )
+    return reports

@@ -1,0 +1,68 @@
+"""Terminal-friendly plots: sparklines and trajectory charts.
+
+No plotting libraries are available offline, so the examples and
+benchmarks render optimization trajectories as unicode sparklines and
+labelled ASCII lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of ``values``.
+
+    Examples
+    --------
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    >>> sparkline([5, 5, 5])
+    '▁▁▁'
+    >>> sparkline([])
+    ''
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    lo, hi = min(data), max(data)
+    if hi <= lo:
+        return _BLOCKS[0] * len(data)
+    scale = (len(_BLOCKS) - 1) / (hi - lo)
+    return "".join(_BLOCKS[int(round((v - lo) * scale))] for v in data)
+
+
+def trajectory_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+) -> str:
+    """Multi-line chart: one labelled sparkline per series, shared scale.
+
+    All series are normalized against the global min/max so their
+    relative levels are comparable — exactly what Table 6-style
+    convergence comparisons need.
+    """
+    if not series:
+        return ""
+    all_values = [float(v) for vs in series.values() for v in vs]
+    if not all_values:
+        return ""
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo
+
+    label_width = max(len(name) for name in series) + 2
+    lines = []
+    for name, values in series.items():
+        data = [float(v) for v in values][:width]
+        if span <= 0:
+            bar = _BLOCKS[0] * len(data)
+        else:
+            scale = (len(_BLOCKS) - 1) / span
+            bar = "".join(
+                _BLOCKS[int(round((v - lo) * scale))] for v in data
+            )
+        last = f" {data[-1]:.1f}" if data else ""
+        lines.append(f"{name.ljust(label_width)}{bar}{last}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Fixed-width text tables for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[object],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    rule: str = "=",
+) -> str:
+    """Render a fixed-width table; floats are shown with two decimals.
+
+    Examples
+    --------
+    >>> print(format_table(["x", "y"], [[1, 2.5], [10, 0.125]]))
+    x   y
+    1   2.50
+    10  0.12
+    """
+    if rows and any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    formatted = [[_format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(_format_cell(h)), *(len(r[i]) for r in formatted)) + 2
+        if formatted
+        else len(_format_cell(h)) + 2
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title is not None:
+        bar = rule * max(len(title), 8)
+        lines += [bar, title, bar]
+    lines.append(
+        "".join(_format_cell(h).ljust(w) for h, w in zip(headers, widths))
+        .rstrip()
+    )
+    for row in formatted:
+        lines.append(
+            "".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

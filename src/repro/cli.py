@@ -1,0 +1,271 @@
+"""Command-line interface: run queries against TSV graphs from a shell.
+
+Subcommands
+-----------
+``dataset``
+    Generate a named synthetic analogue and write it as a TSV graph
+    (plus a ``.targets`` file with a BFS-built target set).
+``seeds``
+    Top-k seed selection for a fixed tag set.
+``tags``
+    Top-r tag selection for a fixed seed set.
+``joint``
+    The full iterative algorithm (Algorithm 2).
+``spread``
+    Monte-Carlo estimate of σ(S, T, C1) for a given plan.
+
+All subcommands accept ``--seed`` for deterministic replays. Node lists
+are comma-separated; target files contain one node id per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.baseline import BaselineConfig, baseline_greedy
+from repro.core.joint import JointConfig, jointly_select
+from repro.core.problem import JointQuery
+from repro.datasets import bfs_targets
+from repro.datasets.named import ALL_DATASETS
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.graphs.io import load_tag_graph, save_tag_graph
+from repro.seeds.api import ENGINES, find_seeds
+from repro.sketch.theta import SketchConfig
+from repro.tags.api import METHODS, find_tags
+
+
+def _parse_nodes(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _read_targets(path: str) -> list[int]:
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [int(line) for line in lines if line.strip()]
+
+
+def _parse_tags(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Joint seed & tag selection for targeted influence "
+            "maximization (Ke, Khan, Cong; SIGMOD 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ds = sub.add_parser("dataset", help="generate a synthetic dataset")
+    ds.add_argument("name", choices=sorted(ALL_DATASETS))
+    ds.add_argument("output", help="output TSV path")
+    ds.add_argument("--scale", type=float, default=0.25)
+    ds.add_argument("--targets", type=int, default=50,
+                    help="also write a BFS target set of this size")
+    ds.add_argument("--seed", type=int, default=0)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help="TSV graph file")
+        p.add_argument("--targets-file", required=True,
+                       help="file with one target node id per line")
+        p.add_argument("--seed", type=int, default=0)
+
+    seeds = sub.add_parser("seeds", help="top-k seeds for fixed tags")
+    add_common(seeds)
+    seeds.add_argument("-k", type=int, required=True)
+    seeds.add_argument("--tags", required=True,
+                       help="comma-separated tag set")
+    seeds.add_argument("--engine", choices=ENGINES, default="trs")
+
+    tags = sub.add_parser("tags", help="top-r tags for fixed seeds")
+    add_common(tags)
+    tags.add_argument("-r", type=int, required=True)
+    tags.add_argument("--seeds", required=True,
+                      help="comma-separated seed node ids")
+    tags.add_argument("--method", choices=METHODS, default="batch")
+
+    joint = sub.add_parser("joint", help="joint top-k seeds and top-r tags")
+    add_common(joint)
+    joint.add_argument("-k", type=int, required=True)
+    joint.add_argument("-r", type=int, required=True)
+    joint.add_argument("--baseline", action="store_true",
+                       help="use the interleaved greedy baseline instead")
+    joint.add_argument("--max-rounds", type=int, default=4)
+
+    spread = sub.add_parser("spread", help="estimate σ(S, T, C1) by MC")
+    add_common(spread)
+    spread.add_argument("--seeds", required=True)
+    spread.add_argument("--tags", required=True)
+    spread.add_argument("--samples", type=int, default=500)
+
+    compare = sub.add_parser(
+        "compare", help="compare seed engines on one query"
+    )
+    add_common(compare)
+    compare.add_argument("-k", type=int, required=True)
+    compare.add_argument("--tags", required=True)
+    compare.add_argument(
+        "--engines", default="trs,imm,lltrs",
+        help="comma-separated engine list",
+    )
+
+    learn = sub.add_parser(
+        "learn", help="learn a tag graph from an interaction log"
+    )
+    learn.add_argument("log", help="CSV log: timestamp,user,tag")
+    learn.add_argument(
+        "friendships",
+        help="TSV friendship graph (only its edges are used)",
+    )
+    learn.add_argument("output", help="output TSV graph path")
+    learn.add_argument("--window", type=float, default=50.0)
+    learn.add_argument("--a", type=float, default=5.0)
+    learn.add_argument(
+        "--method", choices=("frequency", "bernoulli"), default="frequency"
+    )
+
+    return parser
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    data = ALL_DATASETS[args.name](scale=args.scale, seed=args.seed)
+    save_tag_graph(data.graph, args.output)
+    targets = bfs_targets(
+        data.graph, min(args.targets, data.graph.num_nodes)
+    )
+    targets_path = Path(args.output).with_suffix(".targets")
+    targets_path.write_text(
+        "\n".join(str(t) for t in targets.tolist()) + "\n", encoding="utf-8"
+    )
+    print(
+        f"wrote {data.graph.num_nodes} nodes / {data.graph.num_edges} "
+        f"edges / {data.graph.num_tags} tags to {args.output}"
+    )
+    print(f"wrote {targets.size} targets to {targets_path}")
+    return 0
+
+
+def _cmd_seeds(args: argparse.Namespace) -> int:
+    graph = load_tag_graph(args.graph)
+    targets = _read_targets(args.targets_file)
+    selection = find_seeds(
+        graph, targets, _parse_tags(args.tags), args.k,
+        engine=args.engine, config=SketchConfig(), rng=args.seed,
+    )
+    print(f"seeds: {','.join(str(s) for s in selection.seeds)}")
+    print(f"estimated spread: {selection.estimated_spread:.3f}")
+    return 0
+
+
+def _cmd_tags(args: argparse.Namespace) -> int:
+    graph = load_tag_graph(args.graph)
+    targets = _read_targets(args.targets_file)
+    selection = find_tags(
+        graph, _parse_nodes(args.seeds), targets, args.r,
+        method=args.method, rng=args.seed,
+    )
+    print(f"tags: {','.join(selection.tags)}")
+    print(f"estimated spread: {selection.estimated_spread:.3f}")
+    return 0
+
+
+def _cmd_joint(args: argparse.Namespace) -> int:
+    graph = load_tag_graph(args.graph)
+    targets = _read_targets(args.targets_file)
+    query = JointQuery(targets, k=args.k, r=args.r)
+    if args.baseline:
+        result = baseline_greedy(
+            graph, query, BaselineConfig(), rng=args.seed
+        )
+    else:
+        result = jointly_select(
+            graph, query, JointConfig(max_rounds=args.max_rounds),
+            rng=args.seed,
+        )
+    print(f"seeds: {','.join(str(s) for s in result.seeds)}")
+    print(f"tags: {','.join(result.tags)}")
+    print(f"spread: {result.spread:.3f} / {query.num_targets}")
+    print(f"rounds: {result.rounds}  converged: {result.converged}")
+    return 0
+
+
+def _cmd_spread(args: argparse.Namespace) -> int:
+    graph = load_tag_graph(args.graph)
+    targets = _read_targets(args.targets_file)
+    value = estimate_spread(
+        graph, _parse_nodes(args.seeds), targets, _parse_tags(args.tags),
+        num_samples=args.samples, rng=args.seed,
+    )
+    print(f"spread: {value:.3f} / {len(set(targets))}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_seed_engines, format_table
+
+    graph = load_tag_graph(args.graph)
+    targets = _read_targets(args.targets_file)
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    reports = compare_seed_engines(
+        graph, targets, _parse_tags(args.tags), args.k,
+        engines=engines, rng=args.seed,
+    )
+    print(
+        format_table(
+            ["engine", "verified spread", "time s"],
+            [
+                [r.engine, r.verified_spread, r.elapsed_seconds]
+                for r in reports
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from repro.learning import InteractionLog, LearningConfig, learn_tag_graph
+
+    log = InteractionLog.load(args.log)
+    friend_graph = load_tag_graph(args.friendships)
+    friendships = [
+        (int(friend_graph.src[e]), int(friend_graph.dst[e]))
+        for e in range(friend_graph.num_edges)
+    ]
+    learned = learn_tag_graph(
+        log, friendships, num_nodes=friend_graph.num_nodes,
+        config=LearningConfig(
+            window=args.window, a=args.a, method=args.method
+        ),
+    )
+    save_tag_graph(learned, args.output)
+    print(
+        f"learned {learned.num_edges} edges / {learned.num_tags} tags "
+        f"from {len(log)} events; wrote {args.output}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "dataset": _cmd_dataset,
+    "seeds": _cmd_seeds,
+    "tags": _cmd_tags,
+    "joint": _cmd_joint,
+    "spread": _cmd_spread,
+    "compare": _cmd_compare,
+    "learn": _cmd_learn,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: joint top-k seed / top-r tag selection.
+
+:func:`jointly_select` is Algorithm 2 — alternate between the seed
+finder (Section 3) and the tag finder (Section 4) from a configurable
+initial condition until the targeted spread converges (Theorem 7
+guarantees monotone non-decrease under exact sub-solvers; with the
+heuristic sub-solvers the framework additionally tracks and returns the
+best round seen). :func:`baseline_greedy` is the Section 5.1 baseline
+that interleaves single seed and tag picks without re-optimization.
+"""
+
+from repro.core.baseline import BaselineConfig, baseline_greedy
+from repro.core.initialization import (
+    eliminate_low_frequency_tags,
+    frequency_tag_scores,
+    frequency_tags,
+    ims_seeds,
+    random_seeds,
+    random_tags,
+)
+from repro.core.joint import JointConfig, jointly_select
+from repro.core.problem import HistoryEntry, JointQuery, JointResult
+from repro.core.session import CampaignSession
+from repro.core.weighted import (
+    WeightedTRSResult,
+    estimate_weighted_spread,
+    weighted_trs_select_seeds,
+)
+
+__all__ = [
+    "BaselineConfig",
+    "CampaignSession",
+    "HistoryEntry",
+    "JointConfig",
+    "JointQuery",
+    "JointResult",
+    "WeightedTRSResult",
+    "baseline_greedy",
+    "estimate_weighted_spread",
+    "eliminate_low_frequency_tags",
+    "frequency_tag_scores",
+    "frequency_tags",
+    "ims_seeds",
+    "jointly_select",
+    "random_seeds",
+    "random_tags",
+    "weighted_trs_select_seeds",
+]

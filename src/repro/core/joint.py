@@ -1,0 +1,228 @@
+"""Algorithm 2 — the alternating iterative framework.
+
+Starting from an initial seed/tag pair, each round (i) re-optimizes the
+seeds for the current tags and (ii) re-optimizes the tags for the new
+seeds, stopping when the targeted spread of two successive rounds is
+within tolerance (a fixed point, in the sense of Theorem 7). With exact
+sub-solvers the spread is monotonically non-decreasing; the heuristic
+sub-solvers can jitter, so the framework also remembers the
+best-spread snapshot and returns it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.initialization import (
+    eliminate_low_frequency_tags,
+    frequency_tags,
+    ims_seeds,
+    random_seeds,
+    random_tags,
+)
+from repro.core.problem import HistoryEntry, JointQuery, JointResult
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.exceptions import ConfigurationError
+from repro.graphs.tag_graph import TagGraph
+from repro.index.itrs import make_lltrs_manager, make_ltrs_manager
+from repro.seeds.api import ENGINES, find_seeds
+from repro.sketch.theta import SketchConfig
+from repro.tags.api import METHODS, find_tags
+from repro.tags.paths import TagSelectionConfig
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+SEED_INITS = ("random", "ims")
+TAG_INITS = ("random", "frequency")
+
+
+@dataclass(frozen=True)
+class JointConfig:
+    """Knobs for the iterative framework.
+
+    Attributes
+    ----------
+    max_rounds:
+        Upper bound on full (seed + tag) rounds.
+    convergence_tol:
+        Relative spread improvement below which the run is converged
+        ("similar influence spread in two successive rounds").
+    seed_engine:
+        Engine for the seed step (see :data:`repro.seeds.api.ENGINES`);
+        the paper's full system uses ``"lltrs"``.
+    tag_method:
+        ``"batch"`` (paper) or ``"individual"`` (baseline).
+    seed_init, tag_init:
+        Initial-condition choices: RS/IMS and RT/FT respectively. The
+        paper's recommended combination is RS + FT — the default here.
+    sketch:
+        Reverse-sketching knobs shared by seed engines.
+    tag_config:
+        Path-enumeration / tag-selection knobs.
+    eval_samples:
+        MC samples for the per-half-iteration history spreads.
+    eliminate_fraction:
+        When below 1.0, the tag search space is first reduced to this
+        fraction by frequency (Section 5.3's elimination); 1.0 disables.
+    pad_tags:
+        When the tag step returns fewer than ``r`` useful tags, pad the
+        set with the highest-frequency unused tags so the budget is
+        always spent.
+    """
+
+    max_rounds: int = 6
+    convergence_tol: float = 0.01
+    seed_engine: str = "lltrs"
+    tag_method: str = "batch"
+    seed_init: str = "random"
+    tag_init: str = "frequency"
+    sketch: SketchConfig = field(default_factory=SketchConfig)
+    tag_config: TagSelectionConfig = field(default_factory=TagSelectionConfig)
+    eval_samples: int = 200
+    eliminate_fraction: float = 1.0
+    pad_tags: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rounds <= 0:
+            raise ConfigurationError("max_rounds must be positive")
+        if self.convergence_tol < 0.0:
+            raise ConfigurationError("convergence_tol must be >= 0")
+        if self.seed_engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown seed_engine {self.seed_engine!r}"
+            )
+        if self.tag_method not in METHODS:
+            raise ConfigurationError(f"unknown tag_method {self.tag_method!r}")
+        if self.seed_init not in SEED_INITS:
+            raise ConfigurationError(f"unknown seed_init {self.seed_init!r}")
+        if self.tag_init not in TAG_INITS:
+            raise ConfigurationError(f"unknown tag_init {self.tag_init!r}")
+        if self.eval_samples <= 0:
+            raise ConfigurationError("eval_samples must be positive")
+        if not (0.0 < self.eliminate_fraction <= 1.0):
+            raise ConfigurationError(
+                "eliminate_fraction must lie in (0, 1]"
+            )
+
+
+def _pad_tags(
+    tags: tuple[str, ...],
+    graph: TagGraph,
+    targets: tuple[int, ...],
+    r: int,
+    universe: tuple[str, ...],
+) -> tuple[str, ...]:
+    """Top up a short tag set with the best unused frequency-ranked tags."""
+    if len(tags) >= r:
+        return tuple(sorted(tags[:r]))
+    unused = [t for t in universe if t not in tags]
+    if not unused:
+        return tuple(sorted(tags))
+    extra = frequency_tags(
+        graph, targets, min(r - len(tags), len(unused)), universe=unused
+    )
+    return tuple(sorted(set(tags) | set(extra)))
+
+
+def jointly_select(
+    graph: TagGraph,
+    query: JointQuery,
+    config: JointConfig = JointConfig(),
+    rng: np.random.Generator | int | None = None,
+) -> JointResult:
+    """Jointly find the top-``k`` seeds and top-``r`` tags (Eq. 6).
+
+    Returns the best-spread snapshot over the run together with the
+    full half-iteration history (Table 6's trajectory).
+    """
+    rng = ensure_rng(rng)
+    query.validate(graph)
+    targets = query.targets
+
+    universe = graph.tags
+    if config.eliminate_fraction < 1.0:
+        universe = eliminate_low_frequency_tags(
+            graph, targets, keep_fraction=config.eliminate_fraction,
+            min_keep=query.r,
+        )
+
+    timer = Timer()
+    with timer:
+        # --- initial condition -------------------------------------------
+        if config.seed_init == "ims":
+            seeds = ims_seeds(graph, targets, query.k, config.sketch, rng)
+        else:
+            seeds = random_seeds(graph, query.k, rng)
+        if config.tag_init == "frequency":
+            tags = frequency_tags(graph, targets, query.r, universe=universe)
+        else:
+            tags = random_tags(graph, query.r, universe=universe, rng=rng)
+
+        def measure(s: tuple[int, ...], c: tuple[str, ...]) -> float:
+            if not c:
+                return 0.0
+            return estimate_spread(
+                graph, s, targets, c,
+                num_samples=config.eval_samples, rng=rng,
+            )
+
+        history: list[HistoryEntry] = []
+        spread = measure(seeds, tags)
+        history.append(HistoryEntry(0.0, seeds, tags, spread))
+        best = history[0]
+
+        # Index managers persist across rounds — this is where L-TRS's
+        # lazy reuse actually saves work.
+        manager = None
+        if config.seed_engine == "lltrs":
+            manager = make_lltrs_manager(graph, targets, config.sketch)
+        elif config.seed_engine in ("ltrs", "itrs"):
+            manager = make_ltrs_manager(graph)
+
+        converged = False
+        rounds = 0
+        prev_round_spread = spread
+        for round_no in range(1, config.max_rounds + 1):
+            rounds = round_no
+
+            selection = find_seeds(
+                graph, targets, tags, query.k,
+                engine=config.seed_engine, config=config.sketch,
+                manager=manager, rng=rng,
+            )
+            seeds = tuple(sorted(selection.seeds))
+            spread = measure(seeds, tags)
+            history.append(HistoryEntry(round_no - 0.5, seeds, tags, spread))
+            if spread > best.spread:
+                best = history[-1]
+
+            tag_sel = find_tags(
+                graph, seeds, targets, query.r,
+                method=config.tag_method, config=config.tag_config, rng=rng,
+            )
+            tags = tag_sel.tags
+            if config.pad_tags:
+                tags = _pad_tags(tags, graph, targets, query.r, universe)
+            spread = measure(seeds, tags)
+            history.append(HistoryEntry(float(round_no), seeds, tags, spread))
+            if spread > best.spread:
+                best = history[-1]
+
+            improvement = spread - prev_round_spread
+            threshold = config.convergence_tol * max(prev_round_spread, 1.0)
+            if improvement <= threshold:
+                converged = True
+                break
+            prev_round_spread = spread
+
+    return JointResult(
+        seeds=best.seeds,
+        tags=best.tags,
+        spread=best.spread,
+        history=tuple(history),
+        rounds=rounds,
+        converged=converged,
+        elapsed_seconds=timer.elapsed,
+    )

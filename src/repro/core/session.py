@@ -1,0 +1,138 @@
+"""CampaignSession — repeated campaigns over one graph with shared indexes.
+
+The lazy-index story (L-TRS, Lemma 3) pays off when *many* queries hit
+the same graph: tags indexed for one campaign are reused by the next.
+This session object packages that pattern: it owns one long-lived
+index manager per scope (a global one for ``ltrs``/``itrs``, one per
+target set for ``lltrs``), a single RNG stream, and the configuration,
+so callers just issue queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.joint import JointConfig, jointly_select
+from repro.core.problem import JointQuery, JointResult
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.graphs.tag_graph import TagGraph
+from repro.index.itrs import make_lltrs_manager, make_ltrs_manager
+from repro.index.lazy import IndexManager
+from repro.seeds.api import SeedSelection, find_seeds
+from repro.tags.api import TagSelection, find_tags
+from repro.utils.rng import ensure_rng
+
+
+class CampaignSession:
+    """A stateful façade over the library for one graph.
+
+    Parameters
+    ----------
+    graph:
+        The tagged uncertain graph all queries run against.
+    config:
+        Shared :class:`JointConfig`; its ``seed_engine`` decides how
+        index managers are scoped.
+    rng:
+        One seed/generator for the whole session — successive queries
+        consume one stream, so a session is replayable end to end.
+    """
+
+    def __init__(
+        self,
+        graph: TagGraph,
+        config: JointConfig = JointConfig(),
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config
+        self._rng = ensure_rng(rng)
+        self._shared_manager: IndexManager | None = None
+        self._local_managers: dict[tuple[int, ...], IndexManager] = {}
+        self.queries_run = 0
+
+    @property
+    def graph(self) -> TagGraph:
+        """The session's graph."""
+        return self._graph
+
+    def _manager_for(self, targets: Sequence[int]) -> IndexManager | None:
+        engine = self._config.seed_engine
+        if engine in ("ltrs", "itrs"):
+            if self._shared_manager is None:
+                self._shared_manager = make_ltrs_manager(self._graph)
+            return self._shared_manager
+        if engine == "lltrs":
+            key = tuple(sorted({int(t) for t in targets}))
+            manager = self._local_managers.get(key)
+            if manager is None:
+                manager = make_lltrs_manager(
+                    self._graph, key, self._config.sketch
+                )
+                self._local_managers[key] = manager
+            return manager
+        return None
+
+    def seeds(
+        self, targets: Sequence[int], tags: Sequence[str], k: int
+    ) -> SeedSelection:
+        """Top-``k`` seeds for fixed ``tags``, reusing session indexes."""
+        self.queries_run += 1
+        return find_seeds(
+            self._graph, targets, tags, k,
+            engine=self._config.seed_engine,
+            config=self._config.sketch,
+            manager=self._manager_for(targets),
+            rng=self._rng,
+        )
+
+    def tags(
+        self, seeds: Sequence[int], targets: Sequence[int], r: int
+    ) -> TagSelection:
+        """Top-``r`` tags for fixed ``seeds``."""
+        self.queries_run += 1
+        return find_tags(
+            self._graph, seeds, targets, r,
+            method=self._config.tag_method,
+            config=self._config.tag_config,
+            rng=self._rng,
+        )
+
+    def joint(self, targets: Sequence[int], k: int, r: int) -> JointResult:
+        """Full Algorithm 2 for one target set."""
+        self.queries_run += 1
+        return jointly_select(
+            self._graph,
+            JointQuery(targets, k=k, r=r),
+            self._config,
+            rng=self._rng,
+        )
+
+    def spread(
+        self,
+        seeds: Sequence[int],
+        targets: Sequence[int],
+        tags: Sequence[str],
+        num_samples: int | None = None,
+    ) -> float:
+        """Independent MC estimate of ``σ(S, T, C1)`` for any plan."""
+        return estimate_spread(
+            self._graph, seeds, targets, tags,
+            num_samples=num_samples or self._config.eval_samples,
+            rng=self._rng,
+        )
+
+    @property
+    def indexed_tags(self) -> tuple[str, ...]:
+        """Tags currently indexed by the session's shared manager."""
+        if self._shared_manager is None:
+            return ()
+        return self._shared_manager.indexed_tags
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CampaignSession(graph={self._graph!r}, "
+            f"queries_run={self.queries_run})"
+        )

@@ -1,0 +1,34 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on crawled lastFM, DBLP, Yelp, and Twitter graphs
+with learned tag-conditional probabilities; none are shippable, so this
+package generates parameterized synthetic analogues that preserve the
+structural properties the algorithms are sensitive to (see DESIGN.md):
+power-law degrees, locally clustered communities, Zipfian tag popularity
+with community-correlated affinity, and the paper's own probability
+transform ``p(e | c) = 1 - exp(-t / a)`` over tag frequencies.
+"""
+
+from repro.datasets.named import (
+    Dataset,
+    dblp,
+    lastfm,
+    twitter,
+    yelp,
+)
+from repro.datasets.synthetic import generate_community_graph
+from repro.datasets.tag_model import TagModelConfig, assign_tag_probabilities
+from repro.datasets.targets import bfs_targets, community_targets
+
+__all__ = [
+    "Dataset",
+    "TagModelConfig",
+    "assign_tag_probabilities",
+    "bfs_targets",
+    "community_targets",
+    "dblp",
+    "generate_community_graph",
+    "lastfm",
+    "twitter",
+    "yelp",
+]

@@ -1,0 +1,95 @@
+"""Target-set construction, following the paper's Section 6.1 recipe.
+
+The paper builds target sets by BFS from high in-degree nodes (so the
+targets are co-located in a small graph region) or, for Yelp, by taking
+the users of one city. Both recipes are provided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.datasets.named import Dataset
+from repro.exceptions import InvalidQueryError
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.rng import ensure_rng
+
+
+def bfs_targets(
+    graph: TagGraph,
+    size: int,
+    num_roots: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Collect ``size`` target nodes by BFS from high in-degree roots.
+
+    Traversal treats edges as undirected (the paper's goal is merely
+    co-location, not reachability direction). Roots are the top
+    ``num_roots`` in-degree nodes; if their combined component is too
+    small, additional high-in-degree roots are appended until ``size``
+    nodes are collected or the graph is exhausted.
+    """
+    if size <= 0:
+        raise InvalidQueryError(f"target size must be positive, got {size}")
+    if size > graph.num_nodes:
+        raise InvalidQueryError(
+            f"target size {size} exceeds node count {graph.num_nodes}"
+        )
+    ensure_rng(rng)  # reserved for future stochastic tie-breaking
+
+    order = np.argsort(-graph.in_degrees(), kind="stable")
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    collected: list[int] = []
+    queue: deque[int] = deque()
+    next_root = 0
+
+    def enqueue(node: int) -> None:
+        visited[node] = True
+        collected.append(node)
+        queue.append(node)
+
+    for _ in range(min(num_roots, graph.num_nodes)):
+        enqueue(int(order[next_root]))
+        next_root += 1
+
+    while len(collected) < size:
+        if not queue:
+            while next_root < graph.num_nodes and visited[order[next_root]]:
+                next_root += 1
+            if next_root >= graph.num_nodes:
+                break
+            enqueue(int(order[next_root]))
+            continue
+        node = queue.popleft()
+        neighbors = np.concatenate(
+            [graph.out_neighbors(node), graph.in_neighbors(node)]
+        )
+        for nb in neighbors.tolist():
+            if len(collected) >= size:
+                break
+            if not visited[nb]:
+                enqueue(int(nb))
+    return np.array(sorted(collected[:size]), dtype=np.int64)
+
+
+def community_targets(
+    dataset: Dataset,
+    community: str,
+    size: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Targets drawn from one named community (e.g. a Yelp city).
+
+    ``size=None`` returns the whole community; otherwise a uniform
+    sample without replacement.
+    """
+    members = dataset.community_members(community)
+    if size is None or size >= members.size:
+        return np.sort(members)
+    if size <= 0:
+        raise InvalidQueryError(f"target size must be positive, got {size}")
+    rng = ensure_rng(rng)
+    chosen = rng.choice(members, size=size, replace=False)
+    return np.sort(chosen)

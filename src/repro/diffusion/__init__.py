@@ -1,0 +1,46 @@
+"""Influence diffusion substrate: IC cascades, sampling, spread estimation.
+
+Implements the paper's diffusion model (Section 2.1): the Independent
+Cascade model over an uncertain graph whose edge probabilities are the
+independent tag aggregation of the selected campaign tags. Provides
+
+* forward cascade simulation (:func:`simulate_cascade`),
+* possible-world sampling and probability (Eq. 1 / Eq. 4),
+* Monte-Carlo estimation of the targeted spread ``σ(S, T, C1)``
+  (Eq. 5, :func:`estimate_spread`),
+* exact spread by exhaustive possible-world enumeration for tiny graphs
+  (:func:`exact_spread`) — the test oracle for every estimator in the
+  library.
+"""
+
+from repro.diffusion.cascade import reachable_targets, simulate_cascade
+from repro.diffusion.exact import exact_spread
+from repro.diffusion.linear_threshold import (
+    estimate_lt_spread,
+    lt_edge_weights,
+    lt_reverse_reachable_set,
+    sample_live_edges,
+    simulate_lt_cascade,
+)
+from repro.diffusion.mia import mia_spread
+from repro.diffusion.monte_carlo import estimate_spread, estimate_spread_fraction
+from repro.diffusion.possible_world import (
+    sample_possible_world,
+    world_probability,
+)
+
+__all__ = [
+    "estimate_lt_spread",
+    "estimate_spread",
+    "estimate_spread_fraction",
+    "exact_spread",
+    "lt_edge_weights",
+    "lt_reverse_reachable_set",
+    "mia_spread",
+    "reachable_targets",
+    "sample_live_edges",
+    "sample_possible_world",
+    "simulate_cascade",
+    "simulate_lt_cascade",
+    "world_probability",
+]

@@ -1,0 +1,109 @@
+"""Forward Independent Cascade simulation.
+
+Under the IC model, running one cascade from a seed set is equivalent to
+sampling a possible world (keep each edge ``e`` with probability
+``p(e)``) and taking all nodes reachable from the seeds. We exploit the
+*deferred decision principle*: coins are flipped lazily, only for edges
+whose source node actually becomes active, which is what makes cascades
+cheap on sparse activations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_node_ids
+
+
+def simulate_cascade(
+    graph: TagGraph,
+    seeds: Iterable[int],
+    edge_probs: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Run one IC cascade; return the boolean activation mask (length ``n``).
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    seeds:
+        Initially active nodes.
+    edge_probs:
+        Per-edge activation probabilities, e.g.
+        ``graph.edge_probabilities(tags)``.
+    rng:
+        Seed or generator for the coin flips.
+
+    Notes
+    -----
+    Each node activates at most once and each edge's coin is flipped at
+    most once — matching the IC model's "single chance" rule.
+    """
+    rng = ensure_rng(rng)
+    seed_list = [int(s) for s in seeds]
+    check_node_ids(seed_list, graph.num_nodes, context="simulate_cascade")
+
+    active = np.zeros(graph.num_nodes, dtype=bool)
+    queue: deque[int] = deque()
+    for s in seed_list:
+        if not active[s]:
+            active[s] = True
+            queue.append(s)
+
+    fwd_indptr, fwd_edges = graph.forward_csr()
+    dst = graph.dst
+    while queue:
+        node = queue.popleft()
+        edge_ids = fwd_edges[fwd_indptr[node]:fwd_indptr[node + 1]]
+        if edge_ids.size == 0:
+            continue
+        probs = edge_probs[edge_ids]
+        coins = rng.random(edge_ids.size) < probs
+        for eid in edge_ids[coins]:
+            child = int(dst[eid])
+            if not active[child]:
+                active[child] = True
+                queue.append(child)
+    return active
+
+
+def reachable_targets(
+    graph: TagGraph,
+    seeds: Iterable[int],
+    targets: Iterable[int],
+    edge_mask: np.ndarray,
+) -> int:
+    """Count targets reachable from ``seeds`` in a fixed possible world.
+
+    ``edge_mask`` is a boolean array of length ``m`` marking the edges
+    that exist in the world; this computes ``σ_G(S, T)`` of Eq. 2.
+    """
+    seed_list = [int(s) for s in seeds]
+    target_list = [int(t) for t in targets]
+    check_node_ids(seed_list, graph.num_nodes, context="reachable_targets")
+    check_node_ids(target_list, graph.num_nodes, context="reachable_targets")
+
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    queue: deque[int] = deque()
+    for s in seed_list:
+        if not visited[s]:
+            visited[s] = True
+            queue.append(s)
+
+    fwd_indptr, fwd_edges = graph.forward_csr()
+    dst = graph.dst
+    while queue:
+        node = queue.popleft()
+        for eid in fwd_edges[fwd_indptr[node]:fwd_indptr[node + 1]]:
+            if edge_mask[eid]:
+                child = int(dst[eid])
+                if not visited[child]:
+                    visited[child] = True
+                    queue.append(child)
+    return int(sum(1 for t in set(target_list) if visited[t]))

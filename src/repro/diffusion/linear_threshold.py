@@ -1,0 +1,210 @@
+"""Linear Threshold (LT) diffusion — the classical alternative to IC.
+
+The paper (and this library) works in the IC model; LT is provided as a
+documented extension because the two models share the triggering-set
+machinery: every result built on reverse-reachable sets transfers to LT
+by swapping the world sampler.
+
+Model
+-----
+Each node ``v`` has incoming edge weights ``b(u, v) ≥ 0`` with
+``Σ_u b(u, v) ≤ 1`` and draws a threshold ``θ_v ~ U[0, 1]``; it
+activates when the weight of its active in-neighbours reaches ``θ_v``.
+Kempe et al. showed LT is equivalent to the *live-edge* model where
+every node keeps at most one incoming edge, chosen with probability
+``b(u, v)`` (and none with ``1 − Σ b``). Both the forward cascade and
+the reverse (RR-set) sampler below use that equivalence.
+
+Weights are derived from the tag-conditional probabilities by
+normalizing each node's incoming aggregated probabilities to sum to at
+most one (:func:`lt_edge_weights`) — the standard "weighted cascade"
+construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_node_ids, check_tags_exist
+
+
+def lt_edge_weights(
+    graph: TagGraph, tags: Sequence[str], cap: float = 1.0
+) -> np.ndarray:
+    """Per-edge LT weights from the aggregated tag probabilities.
+
+    Each node's incoming probabilities are scaled so they sum to at most
+    ``cap`` (≤ 1); nodes whose incoming mass is already below the cap
+    keep their probabilities unchanged.
+    """
+    if not (0.0 < cap <= 1.0):
+        raise InvalidQueryError(f"cap must lie in (0, 1], got {cap}")
+    check_tags_exist(tags, graph.tags)
+    probs = graph.edge_probabilities(tags)
+    incoming_sum = np.zeros(graph.num_nodes, dtype=np.float64)
+    np.add.at(incoming_sum, graph.dst, probs)
+    scale = np.ones(graph.num_nodes, dtype=np.float64)
+    over = incoming_sum > cap
+    scale[over] = cap / incoming_sum[over]
+    return probs * scale[graph.dst]
+
+
+def sample_live_edges(
+    graph: TagGraph,
+    weights: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample one LT live-edge world: per node, at most one incoming edge.
+
+    Returns a boolean edge mask. Node ``v`` keeps edge ``e = (u, v)``
+    with probability ``weights[e]`` and keeps nothing with probability
+    ``1 − Σ_u weights``.
+    """
+    rng = ensure_rng(rng)
+    if weights.shape != (graph.num_edges,):
+        raise InvalidQueryError(
+            f"weights must have length m={graph.num_edges}"
+        )
+    mask = np.zeros(graph.num_edges, dtype=bool)
+    rev_indptr, rev_edges = graph.reverse_csr()
+    draws = rng.random(graph.num_nodes)
+    for node in range(graph.num_nodes):
+        edge_ids = rev_edges[rev_indptr[node]:rev_indptr[node + 1]]
+        if edge_ids.size == 0:
+            continue
+        cumulative = 0.0
+        draw = draws[node]
+        for eid in edge_ids.tolist():
+            cumulative += weights[eid]
+            if draw < cumulative:
+                mask[eid] = True
+                break
+    return mask
+
+
+def simulate_lt_cascade(
+    graph: TagGraph,
+    seeds: Iterable[int],
+    weights: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Run one LT cascade via threshold draws; returns the activation mask.
+
+    Direct simulation of the threshold process (not the live-edge
+    shortcut), so tests can check the two give identical distributions.
+    """
+    rng = ensure_rng(rng)
+    seed_list = [int(s) for s in seeds]
+    check_node_ids(seed_list, graph.num_nodes, context="simulate_lt_cascade")
+    if weights.shape != (graph.num_edges,):
+        raise InvalidQueryError(
+            f"weights must have length m={graph.num_edges}"
+        )
+
+    thresholds = rng.random(graph.num_nodes)
+    active = np.zeros(graph.num_nodes, dtype=bool)
+    pressure = np.zeros(graph.num_nodes, dtype=np.float64)
+    queue: deque[int] = deque()
+    for s in seed_list:
+        if not active[s]:
+            active[s] = True
+            queue.append(s)
+
+    fwd_indptr, fwd_edges = graph.forward_csr()
+    dst = graph.dst
+    while queue:
+        node = queue.popleft()
+        for eid in fwd_edges[fwd_indptr[node]:fwd_indptr[node + 1]].tolist():
+            child = int(dst[eid])
+            if active[child]:
+                continue
+            pressure[child] += weights[eid]
+            if pressure[child] >= thresholds[child]:
+                active[child] = True
+                queue.append(child)
+    return active
+
+
+def lt_reverse_reachable_set(
+    graph: TagGraph,
+    root: int,
+    weights: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """One LT RR set: walk live edges backwards from the root.
+
+    In the live-edge model every node has at most one incoming live
+    edge, so the reverse structure from the root is a path/tree and is
+    sampled lazily: each visited node picks its (single) live in-edge on
+    first visit.
+    """
+    rng = ensure_rng(rng)
+    check_node_ids([root], graph.num_nodes, context="lt_reverse_reachable_set")
+    if weights.shape != (graph.num_edges,):
+        raise InvalidQueryError(
+            f"weights must have length m={graph.num_edges}"
+        )
+
+    rev_indptr, rev_edges = graph.reverse_csr()
+    src = graph.src
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    visited[root] = True
+    members = [int(root)]
+    node = int(root)
+    while True:
+        edge_ids = rev_edges[rev_indptr[node]:rev_indptr[node + 1]]
+        if edge_ids.size == 0:
+            break
+        cumulative = 0.0
+        draw = float(rng.random())
+        chosen = -1
+        for eid in edge_ids.tolist():
+            cumulative += weights[eid]
+            if draw < cumulative:
+                chosen = eid
+                break
+        if chosen < 0:
+            break
+        parent = int(src[chosen])
+        if visited[parent]:
+            break  # live-edge cycle: stop, everything is collected
+        visited[parent] = True
+        members.append(parent)
+        node = parent
+    return np.array(members, dtype=np.int64)
+
+
+def estimate_lt_spread(
+    graph: TagGraph,
+    seeds: Iterable[int],
+    targets: Iterable[int],
+    tags: Sequence[str],
+    num_samples: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Monte-Carlo ``σ_LT(S, T, C1)`` under normalized LT weights."""
+    if num_samples <= 0:
+        raise InvalidQueryError("num_samples must be positive")
+    rng = ensure_rng(rng)
+    seed_list = [int(s) for s in seeds]
+    target_list = sorted({int(t) for t in targets})
+    if not target_list:
+        raise InvalidQueryError("target set must not be empty")
+    check_node_ids(seed_list, graph.num_nodes, context="estimate_lt_spread")
+    check_node_ids(target_list, graph.num_nodes, context="estimate_lt_spread")
+    if not seed_list:
+        return 0.0
+
+    weights = lt_edge_weights(graph, tags)
+    target_arr = np.array(target_list, dtype=np.int64)
+    total = 0
+    for _ in range(num_samples):
+        active = simulate_lt_cascade(graph, seed_list, weights, rng)
+        total += int(active[target_arr].sum())
+    return total / num_samples

@@ -1,0 +1,96 @@
+"""Monte-Carlo estimation of the targeted influence spread ``σ(S, T, C1)``.
+
+Each sample runs one lazy-coin IC cascade from the seed set and counts
+activated targets; the estimate is the sample mean (Eq. 5 by the
+law of large numbers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.diffusion.cascade import simulate_cascade
+from repro.exceptions import InvalidQueryError
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_node_ids, check_tags_exist
+
+
+def estimate_spread(
+    graph: TagGraph,
+    seeds: Iterable[int],
+    targets: Iterable[int],
+    tags: Sequence[str],
+    num_samples: int = 200,
+    rng: np.random.Generator | int | None = None,
+    edge_probs: np.ndarray | None = None,
+) -> float:
+    """Estimate ``σ(S, T, C1)`` — expected number of activated targets.
+
+    Parameters
+    ----------
+    graph, seeds, targets, tags:
+        The query; ``tags`` are aggregated with the independent model.
+    num_samples:
+        Number of IC cascades to average over.
+    rng:
+        Seed or generator.
+    edge_probs:
+        Optional precomputed ``graph.edge_probabilities(tags)`` — pass it
+        when estimating many seed sets under the same tag set to avoid
+        recomputing the aggregation.
+
+    Returns
+    -------
+    float
+        Estimated expected spread, in ``[0, |T|]``.
+    """
+    if num_samples <= 0:
+        raise InvalidQueryError(
+            f"num_samples must be positive, got {num_samples}"
+        )
+    rng = ensure_rng(rng)
+    seed_list = [int(s) for s in seeds]
+    target_list = sorted({int(t) for t in targets})
+    if not target_list:
+        raise InvalidQueryError("target set must not be empty")
+    check_node_ids(seed_list, graph.num_nodes, context="estimate_spread")
+    check_node_ids(target_list, graph.num_nodes, context="estimate_spread")
+    check_tags_exist(tags, graph.tags)
+
+    if edge_probs is None:
+        edge_probs = graph.edge_probabilities(tags)
+
+    if not seed_list:
+        return 0.0
+
+    target_arr = np.array(target_list, dtype=np.int64)
+    total = 0
+    for _ in range(num_samples):
+        active = simulate_cascade(graph, seed_list, edge_probs, rng)
+        total += int(active[target_arr].sum())
+    return total / num_samples
+
+
+def estimate_spread_fraction(
+    graph: TagGraph,
+    seeds: Iterable[int],
+    targets: Iterable[int],
+    tags: Sequence[str],
+    num_samples: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Spread as a fraction of the target-set size, in ``[0, 1]``.
+
+    The paper reports most accuracy results as "% influence spread in
+    targets"; this is that quantity (before the ×100).
+    """
+    target_list = sorted({int(t) for t in targets})
+    if not target_list:
+        raise InvalidQueryError("target set must not be empty")
+    spread = estimate_spread(
+        graph, seeds, target_list, tags, num_samples=num_samples, rng=rng
+    )
+    return spread / len(target_list)

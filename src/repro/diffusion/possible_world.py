@@ -1,0 +1,47 @@
+"""Possible-world semantics of the uncertain graph (Eq. 1 and Eq. 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.rng import ensure_rng
+
+
+def sample_possible_world(
+    graph: TagGraph,
+    edge_probs: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample one deterministic world ``G ⊑ G``; return its edge mask.
+
+    Each edge is retained independently with its (tag-conditional,
+    already aggregated) probability.
+    """
+    rng = ensure_rng(rng)
+    if edge_probs.shape != (graph.num_edges,):
+        raise ValueError(
+            f"edge_probs must have length m={graph.num_edges}, "
+            f"got shape {edge_probs.shape}"
+        )
+    return rng.random(graph.num_edges) < edge_probs
+
+
+def world_probability(edge_mask: np.ndarray, edge_probs: np.ndarray) -> float:
+    """``Pr(G | C1)`` of a world under Eq. 4.
+
+    The product of each present edge's probability and each absent
+    edge's complement. Worlds containing an impossible edge (probability
+    zero present, or probability one absent) have probability ``0.0``.
+    """
+    if edge_mask.shape != edge_probs.shape:
+        raise ValueError("edge_mask and edge_probs must have equal shape")
+    log_prob = 0.0
+    for present, p in zip(edge_mask.tolist(), edge_probs.tolist()):
+        factor = p if present else 1.0 - p
+        if factor <= 0.0:
+            return 0.0
+        log_prob += math.log(factor)
+    return math.exp(log_prob)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a :class:`~repro.graphs.TagGraph` cannot be built.
+
+    Typical causes: dangling node ids, probabilities outside ``(0, 1]``,
+    duplicate ``(edge, tag)`` assignments, or mismatched array lengths.
+    """
+
+
+class InvalidQueryError(ReproError):
+    """Raised when a query (seed/tag/joint) is malformed.
+
+    Examples: empty target set, budget larger than the universe it draws
+    from, unknown tag names, seeds outside the node range.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm configuration value is out of range."""
+
+
+class EstimationError(ReproError):
+    """Raised when a spread/θ estimation cannot be carried out.
+
+    For example, exact possible-world enumeration refuses graphs with too
+    many active edges, and the OPT estimator requires a non-empty target
+    set reachable by at least one edge.
+    """
+
+
+class IndexError_(ReproError):
+    """Raised on misuse of possible-world index structures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """

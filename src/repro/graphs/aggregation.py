@@ -1,0 +1,115 @@
+"""Tag aggregation functions ``F`` mapping per-tag to per-campaign probabilities.
+
+The paper (Section 2.1) defines two aggregation semantics for deriving
+``P(e | C1)`` from the individual ``P(e | c)``:
+
+* **Independent tag aggregation** — one independent coin per tag; the
+  edge exists if any coin succeeds. This is the model used throughout
+  the paper and throughout this library.
+* **Topic-based tag aggregation** — a latent-topic model following
+  Barbieri et al. [4] and Li et al. [20]; provided here as a documented
+  extension so downstream users can compare semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def independent_aggregation(probabilities: Iterable[float]) -> float:
+    """Combine per-tag probabilities assuming independent activation coins.
+
+    ``P(e | C1) = 1 - Π_{c ∈ C1} (1 - P(e | c))`` — the noisy-OR of the
+    individual tag probabilities. An empty input yields ``0.0``.
+
+    Examples
+    --------
+    >>> round(independent_aggregation([0.5, 0.5]), 3)
+    0.75
+    """
+    survival = 1.0
+    for p in probabilities:
+        if not (0.0 <= p <= 1.0):
+            raise ConfigurationError(f"probability {p!r} outside [0, 1]")
+        survival *= 1.0 - p
+    return 1.0 - survival
+
+
+@dataclass(frozen=True)
+class TopicModel:
+    """A latent-topic influence model (extension; paper Section 2.1).
+
+    Attributes
+    ----------
+    topics:
+        Names of the ``|Z|`` latent topics.
+    edge_topic_probs:
+        ``P(e | z)`` — row per edge, column per topic; shape ``(m, |Z|)``.
+    tag_topic_probs:
+        ``P(c | z)`` — probability of sampling tag ``c`` given topic
+        ``z``; mapping from tag name to a length-``|Z|`` array whose
+        entries lie in ``[0, 1]``.
+    topic_prior:
+        Prior ``P(z)``; uniform when omitted.
+    """
+
+    topics: tuple[str, ...]
+    edge_topic_probs: np.ndarray
+    tag_topic_probs: Mapping[str, np.ndarray]
+    topic_prior: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        num_topics = len(self.topics)
+        if self.edge_topic_probs.ndim != 2 or (
+            self.edge_topic_probs.shape[1] != num_topics
+        ):
+            raise ConfigurationError(
+                "edge_topic_probs must have one column per topic"
+            )
+        for tag, arr in self.tag_topic_probs.items():
+            if np.asarray(arr).shape != (num_topics,):
+                raise ConfigurationError(
+                    f"tag {tag!r}: tag_topic_probs must be length {num_topics}"
+                )
+        if self.topic_prior is not None and self.topic_prior.shape != (
+            num_topics,
+        ):
+            raise ConfigurationError("topic_prior must be length |Z|")
+
+    def topic_posterior(self, tags: Sequence[str]) -> np.ndarray:
+        """Posterior ``P(z | C1) ∝ P(z) · Σ_{c ∈ C1} P(c | z)``.
+
+        When no tag in ``C1`` has mass under any topic the posterior
+        falls back to the prior.
+        """
+        num_topics = len(self.topics)
+        prior = (
+            self.topic_prior
+            if self.topic_prior is not None
+            else np.full(num_topics, 1.0 / num_topics)
+        )
+        likelihood = np.zeros(num_topics, dtype=np.float64)
+        for tag in tags:
+            arr = self.tag_topic_probs.get(tag)
+            if arr is not None:
+                likelihood += np.asarray(arr, dtype=np.float64)
+        unnormalized = prior * likelihood
+        total = unnormalized.sum()
+        if total <= 0.0:
+            return np.asarray(prior, dtype=np.float64)
+        return unnormalized / total
+
+
+def topic_aggregation(model: TopicModel, tags: Sequence[str]) -> np.ndarray:
+    """Per-edge ``P(e | C1)`` under the topic model: ``Σ_z P(z|C1)·P(e|z)``.
+
+    Returns an array of length ``m`` (one probability per edge of the
+    graph the model was fitted to).
+    """
+    posterior = model.topic_posterior(tags)
+    return model.edge_topic_probs @ posterior

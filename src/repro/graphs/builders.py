@@ -1,0 +1,107 @@
+"""Incremental construction of :class:`~repro.graphs.TagGraph` objects."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.validation import check_probability
+
+
+class TagGraphBuilder:
+    """Accumulates ``(u, v, tag, prob)`` assignments, then builds a graph.
+
+    Repeating the same ``(u, v)`` pair reuses one edge id; repeating the
+    same ``(u, v, tag)`` triple is an error (the probability function is
+    single-valued).
+
+    Examples
+    --------
+    >>> b = TagGraphBuilder(num_nodes=3)
+    >>> b.add(0, 1, "coffee", 0.7).add(0, 1, "arts", 0.9).add(1, 2, "bars", 0.2)
+    TagGraphBuilder(nodes=3, edges=2, assignments=3)
+    >>> g = b.build()
+    >>> g.num_edges, g.num_tags
+    (2, 3)
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise GraphConstructionError(
+                f"num_nodes must be >= 0, got {num_nodes}"
+            )
+        self._n = num_nodes
+        self._edge_ids: dict[tuple[int, int], int] = {}
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._assignments: dict[str, dict[int, float]] = {}
+
+    def add(self, u: int, v: int, tag: str, prob: float) -> "TagGraphBuilder":
+        """Record ``P((u, v) | tag) = prob``; returns ``self`` for chaining."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphConstructionError(
+                f"edge ({u}, {v}) references nodes outside [0, {self._n})"
+            )
+        if u == v:
+            raise GraphConstructionError(f"self-loop ({u}, {u}) not allowed")
+        check_probability(prob, context=f"edge ({u}, {v}) tag {tag!r}")
+        edge_id = self._edge_ids.setdefault((u, v), len(self._src))
+        if edge_id == len(self._src):
+            self._src.append(u)
+            self._dst.append(v)
+        per_tag = self._assignments.setdefault(tag, {})
+        if edge_id in per_tag:
+            raise GraphConstructionError(
+                f"duplicate assignment for edge ({u}, {v}) tag {tag!r}"
+            )
+        per_tag[edge_id] = prob
+        return self
+
+    def add_undirected(
+        self, u: int, v: int, tag: str, prob: float
+    ) -> "TagGraphBuilder":
+        """Record the assignment in both directions (for undirected data)."""
+        self.add(u, v, tag, prob)
+        self.add(v, u, tag, prob)
+        return self
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges recorded so far."""
+        return len(self._src)
+
+    def build(self) -> TagGraph:
+        """Materialize the accumulated assignments into a :class:`TagGraph`."""
+        tag_probs = {}
+        for tag, per_edge in self._assignments.items():
+            ids = np.fromiter(per_edge.keys(), dtype=np.int64, count=len(per_edge))
+            probs = np.fromiter(
+                per_edge.values(), dtype=np.float64, count=len(per_edge)
+            )
+            tag_probs[tag] = (ids, probs)
+        return TagGraph(self._n, self._src, self._dst, tag_probs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        assignments = sum(len(v) for v in self._assignments.values())
+        return (
+            f"TagGraphBuilder(nodes={self._n}, edges={self.num_edges}, "
+            f"assignments={assignments})"
+        )
+
+
+def graph_from_quadruples(
+    num_nodes: int,
+    quadruples: Iterable[tuple[int, int, str, float]],
+) -> TagGraph:
+    """Build a graph from an iterable of ``(u, v, tag, prob)`` rows.
+
+    A convenience wrapper over :class:`TagGraphBuilder` for tests,
+    examples, and the TSV loader.
+    """
+    builder = TagGraphBuilder(num_nodes)
+    for u, v, tag, prob in quadruples:
+        builder.add(u, v, tag, prob)
+    return builder.build()

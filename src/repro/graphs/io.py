@@ -1,0 +1,75 @@
+"""Serialization of :class:`~repro.graphs.TagGraph` to a TSV interchange format.
+
+The format is one assignment per line::
+
+    u <TAB> v <TAB> tag <TAB> prob
+
+with a single header line ``# nodes=<n>`` carrying the node count (so
+isolated nodes survive a round trip). Lines starting with ``#`` after
+the header are comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs.builders import TagGraphBuilder
+from repro.graphs.tag_graph import TagGraph
+
+
+def save_tag_graph(graph: TagGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in the TSV interchange format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.num_nodes}\n")
+        src = graph.src
+        dst = graph.dst
+        # Rows are grouped by edge id so a load assigns the same ids.
+        for eid in range(graph.num_edges):
+            for tag, prob in sorted(graph.edge_tag_map(eid).items()):
+                handle.write(
+                    f"{src[eid]}\t{dst[eid]}\t{tag}\t{prob:.17g}\n"
+                )
+
+
+def load_tag_graph(path: str | Path) -> TagGraph:
+    """Read a graph previously written by :func:`save_tag_graph`.
+
+    Raises :class:`GraphConstructionError` on malformed files (missing
+    header, wrong column count, unparsable numbers).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().strip()
+        if not header.startswith("# nodes="):
+            raise GraphConstructionError(
+                f"{path}: missing '# nodes=<n>' header, got {header!r}"
+            )
+        try:
+            num_nodes = int(header.split("=", 1)[1])
+        except ValueError as exc:
+            raise GraphConstructionError(
+                f"{path}: unparsable node count in header {header!r}"
+            ) from exc
+
+        builder = TagGraphBuilder(num_nodes)
+        for lineno, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 4:
+                raise GraphConstructionError(
+                    f"{path}:{lineno}: expected 4 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                prob = float(parts[3])
+            except ValueError as exc:
+                raise GraphConstructionError(
+                    f"{path}:{lineno}: unparsable edge row {line!r}"
+                ) from exc
+            builder.add(u, v, parts[2], prob)
+    return builder.build()

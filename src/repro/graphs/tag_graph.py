@@ -1,0 +1,301 @@
+"""The tagged uncertain graph data structure.
+
+A :class:`TagGraph` is the paper's ``G = (V, E, P)``: ``n`` nodes
+(integers ``0..n-1``), ``m`` directed edges, and a conditional
+probability function ``P(e | c) ∈ (0, 1]`` defined for a sparse set of
+``(edge, tag)`` pairs. A pair that is absent means ``P(e | c) = 0`` —
+tag ``c`` never activates edge ``e``.
+
+Layout
+------
+Edges are integer ids ``0..m-1`` with dense ``src`` / ``dst`` arrays.
+Per tag ``c`` we store two parallel arrays ``(edge_ids, probs)``; the
+combined probability of an edge given a *set* of tags is computed
+vectorized over these (see :meth:`TagGraph.edge_probabilities`).
+Forward and reverse adjacency are CSR-style (``indptr`` + edge-id
+arrays) so BFS sweeps touch contiguous memory.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphConstructionError, InvalidQueryError
+
+
+def _build_csr(keys: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Group edge ids by node key; return ``(indptr, edge_ids)`` CSR arrays."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    counts = np.bincount(sorted_keys, minlength=n)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, order.astype(np.int64)
+
+
+class TagGraph:
+    """Directed uncertain graph with per-tag conditional edge probabilities.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; node ids are ``0..n-1``.
+    src, dst:
+        Integer arrays of length ``m`` giving each edge's endpoints.
+    tag_probs:
+        Mapping from tag name to ``(edge_ids, probs)`` arrays; each pair
+        states ``P(edge_ids[i] | tag) = probs[i]``. Probabilities must lie
+        in ``(0, 1]`` and an edge id may appear at most once per tag.
+
+    Notes
+    -----
+    The structure is immutable after construction; use
+    :class:`~repro.graphs.builders.TagGraphBuilder` for incremental
+    assembly.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        src: Sequence[int] | np.ndarray,
+        dst: Sequence[int] | np.ndarray,
+        tag_probs: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        if n < 0:
+            raise GraphConstructionError(f"node count must be >= 0, got {n}")
+        self._n = int(n)
+        self._src = np.asarray(src, dtype=np.int64)
+        self._dst = np.asarray(dst, dtype=np.int64)
+        if self._src.shape != self._dst.shape or self._src.ndim != 1:
+            raise GraphConstructionError(
+                "src and dst must be 1-D arrays of equal length"
+            )
+        m = self._src.shape[0]
+        for arr, name in ((self._src, "src"), (self._dst, "dst")):
+            if m and (arr.min() < 0 or arr.max() >= n):
+                raise GraphConstructionError(
+                    f"{name} contains node ids outside [0, {n})"
+                )
+
+        self._tag_probs: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for tag, (edge_ids, probs) in sorted(tag_probs.items()):
+            ids = np.asarray(edge_ids, dtype=np.int64)
+            ps = np.asarray(probs, dtype=np.float64)
+            if ids.shape != ps.shape or ids.ndim != 1:
+                raise GraphConstructionError(
+                    f"tag {tag!r}: edge_ids and probs must be 1-D and equal length"
+                )
+            if ids.size:
+                if ids.min() < 0 or ids.max() >= m:
+                    raise GraphConstructionError(
+                        f"tag {tag!r}: edge ids outside [0, {m})"
+                    )
+                if np.unique(ids).size != ids.size:
+                    raise GraphConstructionError(
+                        f"tag {tag!r}: duplicate edge ids in tag assignment"
+                    )
+                if (ps <= 0.0).any() or (ps > 1.0).any():
+                    raise GraphConstructionError(
+                        f"tag {tag!r}: probabilities must lie in (0, 1]"
+                    )
+            self._tag_probs[tag] = (ids, ps)
+
+        self._fwd_indptr, self._fwd_edges = _build_csr(self._src, self._n)
+        self._rev_indptr, self._rev_edges = _build_csr(self._dst, self._n)
+        self._edge_tag_maps: list[dict[str, float]] | None = None
+        self._edge_tag_neglogs: list[list[tuple[str, float]]] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m``."""
+        return int(self._src.shape[0])
+
+    @property
+    def src(self) -> np.ndarray:
+        """Read-only view of the edge source array (length ``m``)."""
+        view = self._src.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def dst(self) -> np.ndarray:
+        """Read-only view of the edge destination array (length ``m``)."""
+        view = self._dst.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        """Sorted tag vocabulary ``C``."""
+        return tuple(self._tag_probs)
+
+    @property
+    def num_tags(self) -> int:
+        """Size of the tag vocabulary ``|C|``."""
+        return len(self._tag_probs)
+
+    def has_tag(self, tag: str) -> bool:
+        """Whether ``tag`` belongs to the vocabulary."""
+        return tag in self._tag_probs
+
+    def tag_edges(self, tag: str) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(edge_ids, probs)`` arrays for ``tag``.
+
+        Raises :class:`InvalidQueryError` for an unknown tag.
+        """
+        try:
+            ids, probs = self._tag_probs[tag]
+        except KeyError:
+            raise InvalidQueryError(f"unknown tag {tag!r}") from None
+        ids_view = ids.view()
+        ids_view.flags.writeable = False
+        probs_view = probs.view()
+        probs_view.flags.writeable = False
+        return ids_view, probs_view
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+    def edge_probabilities(self, tags: Iterable[str]) -> np.ndarray:
+        """Combined probability ``P(e | C1)`` for every edge, vectorized.
+
+        Uses the paper's independent tag aggregation:
+        ``P(e | C1) = 1 - Π_{c ∈ C1} (1 - P(e | c))``. Unknown tags raise
+        :class:`InvalidQueryError`. Passing no tags yields all zeros.
+        """
+        survival = np.ones(self.num_edges, dtype=np.float64)
+        for tag in tags:
+            ids, probs = self.tag_edges(tag)
+            survival[ids] *= 1.0 - probs
+        return 1.0 - survival
+
+    def edge_tag_probability(self, edge_id: int, tag: str) -> float:
+        """Return ``P(edge_id | tag)``; zero when the pair is absent."""
+        return self.edge_tag_map(edge_id).get(tag, 0.0)
+
+    def edge_tag_map(self, edge_id: int) -> dict[str, float]:
+        """Return ``{tag: P(edge_id | tag)}`` for one edge (cached)."""
+        if not (0 <= edge_id < self.num_edges):
+            raise InvalidQueryError(
+                f"edge id {edge_id} outside [0, {self.num_edges})"
+            )
+        return self._edge_tag_maps_cache()[edge_id]
+
+    def _edge_tag_maps_cache(self) -> list[dict[str, float]]:
+        if self._edge_tag_maps is None:
+            maps: list[dict[str, float]] = [{} for _ in range(self.num_edges)]
+            for tag, (ids, probs) in self._tag_probs.items():
+                for eid, p in zip(ids.tolist(), probs.tolist()):
+                    maps[eid][tag] = p
+            self._edge_tag_maps = maps
+        return self._edge_tag_maps
+
+    def edge_tag_neglogs(self) -> list[list[tuple[str, float]]]:
+        """Per-edge ``[(tag, -ln P(e|c)), …]`` lists (cached).
+
+        The hot path-enumeration loop consumes costs rather than
+        probabilities; caching the logarithms here removes a ``math.log``
+        per heap push.
+        """
+        if self._edge_tag_neglogs is None:
+            self._edge_tag_neglogs = [
+                [(tag, -math.log(p)) for tag, p in sorted(mapping.items())]
+                for mapping in self._edge_tag_maps_cache()
+            ]
+        return self._edge_tag_neglogs
+
+    def all_edge_probabilities(self) -> np.ndarray:
+        """``P(e | C)`` for the full vocabulary — the tag-agnostic graph."""
+        return self.edge_probabilities(self.tags)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def out_edge_ids(self, node: int) -> np.ndarray:
+        """Edge ids leaving ``node``."""
+        self._check_node(node)
+        lo, hi = self._fwd_indptr[node], self._fwd_indptr[node + 1]
+        return self._fwd_edges[lo:hi]
+
+    def in_edge_ids(self, node: int) -> np.ndarray:
+        """Edge ids entering ``node``."""
+        self._check_node(node)
+        lo, hi = self._rev_indptr[node], self._rev_indptr[node + 1]
+        return self._rev_edges[lo:hi]
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Destination nodes of edges leaving ``node``."""
+        return self._dst[self.out_edge_ids(node)]
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Source nodes of edges entering ``node``."""
+        return self._src[self.in_edge_ids(node)]
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node (length ``n``)."""
+        return np.diff(self._rev_indptr)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node (length ``n``)."""
+        return np.diff(self._fwd_indptr)
+
+    def reverse_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(indptr, edge_ids)`` of the reverse adjacency.
+
+        The hot loops of reverse BFS use these directly instead of the
+        per-node accessor methods.
+        """
+        return self._rev_indptr, self._rev_edges
+
+    def forward_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(indptr, edge_ids)`` of the forward adjacency."""
+        return self._fwd_indptr, self._fwd_edges
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._n):
+            raise InvalidQueryError(f"node id {node} outside [0, {self._n})")
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TagGraph(n={self.num_nodes}, m={self.num_edges}, "
+            f"tags={self.num_tags})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TagGraph):
+            return NotImplemented
+        if self.num_nodes != other.num_nodes:
+            return False
+        if not (
+            np.array_equal(self._src, other._src)
+            and np.array_equal(self._dst, other._dst)
+        ):
+            return False
+        if self.tags != other.tags:
+            return False
+        for tag in self.tags:
+            a_ids, a_ps = self._tag_probs[tag]
+            b_ids, b_ps = other._tag_probs[tag]
+            a_order = np.argsort(a_ids)
+            b_order = np.argsort(b_ids)
+            if not np.array_equal(a_ids[a_order], b_ids[b_order]):
+                return False
+            if not np.allclose(a_ps[a_order], b_ps[b_order]):
+                return False
+        return True
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-array payload

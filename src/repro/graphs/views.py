@@ -1,0 +1,95 @@
+"""Derived views of a :class:`~repro.graphs.TagGraph`.
+
+Two operations matter to the paper's algorithms:
+
+* ``local_region_nodes`` — the ``h``-hop local region around a target
+  set (Section 3.3, local indexing): all nodes from which some target is
+  reachable within ``h`` hops, i.e. a breadth-first sweep along
+  *incoming* edges starting from the targets. Reverse BFS for RR-sets
+  only ever walks incoming edges, so this is exactly the region those
+  traversals predominantly visit.
+* ``induced_subgraph`` — materialize the subgraph on a node subset,
+  keeping only (edge, tag) assignments whose endpoints both survive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.validation import check_node_ids
+
+
+def local_region_nodes(
+    graph: TagGraph, targets: Iterable[int], h: int
+) -> np.ndarray:
+    """Nodes at most ``h`` reverse hops from some target, targets included.
+
+    Returns a sorted array of node ids. ``h = 0`` returns the targets
+    themselves.
+    """
+    if h < 0:
+        raise ConfigurationError(f"hop threshold h must be >= 0, got {h}")
+    target_list = [int(t) for t in targets]
+    check_node_ids(target_list, graph.num_nodes, context="local_region_nodes")
+
+    dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+    queue: deque[int] = deque()
+    for t in target_list:
+        if dist[t] == -1:
+            dist[t] = 0
+            queue.append(t)
+
+    rev_indptr, rev_edges = graph.reverse_csr()
+    src = graph.src
+    while queue:
+        node = queue.popleft()
+        if dist[node] >= h:
+            continue
+        for eid in rev_edges[rev_indptr[node]:rev_indptr[node + 1]]:
+            parent = int(src[eid])
+            if dist[parent] == -1:
+                dist[parent] = dist[node] + 1
+                queue.append(parent)
+    return np.flatnonzero(dist >= 0)
+
+
+def induced_subgraph(
+    graph: TagGraph, nodes: Iterable[int]
+) -> tuple[TagGraph, dict[int, int]]:
+    """Subgraph induced by ``nodes``; returns ``(subgraph, old→new map)``.
+
+    Only (edge, tag) assignments with both endpoints in ``nodes``
+    survive. The subgraph renumbers nodes ``0..len(nodes)-1`` in sorted
+    old-id order.
+    """
+    node_list = sorted({int(v) for v in nodes})
+    check_node_ids(node_list, graph.num_nodes, context="induced_subgraph")
+    old_to_new = {old: new for new, old in enumerate(node_list)}
+
+    keep = np.zeros(graph.num_nodes, dtype=bool)
+    keep[node_list] = True
+    edge_mask = keep[graph.src] & keep[graph.dst]
+    kept_edges = np.flatnonzero(edge_mask)
+    edge_renumber = np.full(graph.num_edges, -1, dtype=np.int64)
+    edge_renumber[kept_edges] = np.arange(kept_edges.size)
+
+    new_src = np.array(
+        [old_to_new[int(u)] for u in graph.src[kept_edges]], dtype=np.int64
+    )
+    new_dst = np.array(
+        [old_to_new[int(v)] for v in graph.dst[kept_edges]], dtype=np.int64
+    )
+
+    tag_probs = {}
+    for tag in graph.tags:
+        ids, probs = graph.tag_edges(tag)
+        surviving = edge_mask[ids]
+        if surviving.any():
+            tag_probs[tag] = (edge_renumber[ids[surviving]], probs[surviving])
+    sub = TagGraph(len(node_list), new_src, new_dst, tag_probs)
+    return sub, old_to_new

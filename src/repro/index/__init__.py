@@ -1,0 +1,47 @@
+"""Per-tag possible-world indexing for targeted reverse sketching.
+
+Implements the paper's three indexing schemes (Sections 3.2–3.3):
+
+* **I-TRS** — build ``θ_c`` possible-world indexes for *every* tag in
+  advance; at query time each RR set's working graph is the union of one
+  randomly chosen index per selected tag (Example 1 / Figure 6).
+* **L-TRS** — lazy: indexes are built per tag the first time that tag is
+  needed and reused across iterations (Lemma 3 shows no more are ever
+  required for a previously seen tag).
+* **LL-TRS** — lazy *and* local: indexes cover only the ``h``-hop local
+  region around the target set; edges outside the region fall back to
+  online coin flips during reverse BFS, so outside nodes can still enter
+  the (few) RR sets that reach them (Example 2 / Figure 8).
+
+``θ_c`` is sized by Theorem 6 so the expected number of common indexes
+between two working graphs stays below ``α`` with probability ``1 - δ``.
+"""
+
+from repro.index.itrs import (
+    IndexedTRSResult,
+    indexed_select_seeds,
+    make_itrs_manager,
+    make_lltrs_manager,
+    make_ltrs_manager,
+)
+from repro.index.lazy import IndexManager
+from repro.index.local import local_edge_universe
+from repro.index.persistence import load_index, save_index
+from repro.index.possible_world_index import TagIndex, theta_c
+from repro.index.stats import IndexStats, average_pairwise_common_indexes
+
+__all__ = [
+    "IndexManager",
+    "IndexStats",
+    "IndexedTRSResult",
+    "TagIndex",
+    "average_pairwise_common_indexes",
+    "indexed_select_seeds",
+    "load_index",
+    "local_edge_universe",
+    "save_index",
+    "make_itrs_manager",
+    "make_lltrs_manager",
+    "make_ltrs_manager",
+    "theta_c",
+]

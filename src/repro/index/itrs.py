@@ -1,0 +1,207 @@
+"""Index-based targeted reverse sketching: the I-TRS / L-TRS / LL-TRS engines.
+
+Query processing (Figure 6c): for each of the θ RR sets, draw one random
+possible-world index per selected tag, union them into a working graph,
+then run a *deterministic* reverse BFS from a random target — no coin
+flips for indexed edges. Edges outside the index universe (LL-TRS's
+outer region) fall back to online coins at the aggregated probability,
+letting the traversal cross the local-region boundary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.tag_graph import TagGraph
+from repro.index.lazy import IndexManager
+from repro.index.local import local_edge_universe
+from repro.index.possible_world_index import theta_c as compute_theta_c
+from repro.index.stats import IndexStats
+from repro.sketch.coverage import greedy_max_coverage
+from repro.sketch.theta import SketchConfig, compute_theta, estimate_opt_t
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import check_budget, check_tags_exist
+
+
+@dataclass(frozen=True)
+class IndexedTRSResult:
+    """Outcome of an index-based seed selection.
+
+    Attributes
+    ----------
+    seeds:
+        Selected seed nodes, in greedy order.
+    estimated_spread:
+        ``F_R(S) · |T|``.
+    theta:
+        Number of working graphs / RR sets used.
+    theta_c:
+        Per-tag index count requested from Theorem 6.
+    query_seconds:
+        Online query time (θ estimation, RR generation, coverage). Index
+        building time is reported separately in ``index_stats`` — the
+        benchmarks add it back for the fair comparison the paper makes
+        for L-TRS / LL-TRS.
+    index_stats:
+        Snapshot of the manager's cumulative build statistics.
+    world_choices:
+        Per-working-graph (tag → world) choices when recording was
+        requested (Figure 7's diagnostic); otherwise ``None``.
+    """
+
+    seeds: tuple[int, ...]
+    estimated_spread: float
+    theta: int
+    theta_c: int
+    query_seconds: float
+    index_stats: IndexStats
+    world_choices: tuple[dict[str, int], ...] | None = None
+
+    def spread_fraction(self, num_targets: int) -> float:
+        """Estimated spread as a fraction of the target-set size."""
+        if num_targets <= 0:
+            return 0.0
+        return self.estimated_spread / num_targets
+
+
+def _hybrid_rr_set(
+    graph: TagGraph,
+    root: int,
+    working_mask: np.ndarray,
+    covered: np.ndarray,
+    edge_probs: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Reverse BFS mixing indexed edges with online coins for the rest."""
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    visited[root] = True
+    members = [int(root)]
+    queue: deque[int] = deque([int(root)])
+
+    rev_indptr, rev_edges = graph.reverse_csr()
+    src = graph.src
+    fully_covered = bool(covered.all())
+    while queue:
+        node = queue.popleft()
+        for eid in rev_edges[rev_indptr[node]:rev_indptr[node + 1]]:
+            if fully_covered or covered[eid]:
+                exists = working_mask[eid]
+            else:
+                exists = rng.random() < edge_probs[eid]
+            if exists:
+                parent = int(src[eid])
+                if not visited[parent]:
+                    visited[parent] = True
+                    members.append(parent)
+                    queue.append(parent)
+    return np.array(members, dtype=np.int64)
+
+
+def indexed_select_seeds(
+    graph: TagGraph,
+    targets: Sequence[int],
+    tags: Sequence[str],
+    k: int,
+    manager: IndexManager,
+    config: SketchConfig = SketchConfig(),
+    rng: np.random.Generator | int | None = None,
+    record_choices: bool = False,
+) -> IndexedTRSResult:
+    """Select top-``k`` seeds using pre-sampled possible-world indexes.
+
+    Works with any :class:`IndexManager`: an eagerly filled one behaves
+    as I-TRS, an empty one as L-TRS (missing tags are built here, lazily),
+    and one with a local edge universe as LL-TRS.
+
+    Parameters
+    ----------
+    record_choices:
+        When true, the per-working-graph world choices are kept on the
+        result for correlation diagnostics (Figure 7); costs memory
+        proportional to ``θ · r``.
+    """
+    rng = ensure_rng(rng)
+    check_budget(k, graph.num_nodes, what="seeds")
+    check_tags_exist(tags, graph.tags)
+    tag_list = list(dict.fromkeys(tags))  # dedupe, preserve order
+    target_list = sorted({int(t) for t in targets})
+
+    timer = Timer()
+    with timer:
+        edge_probs = graph.edge_probabilities(tag_list)
+        opt_t = estimate_opt_t(
+            graph, target_list, edge_probs, k, config, rng
+        )
+        theta = compute_theta(
+            graph.num_nodes, k, len(target_list), opt_t, config
+        )
+        tc = compute_theta_c(theta, len(tag_list), config.alpha, config.delta)
+        manager.ensure_indexes(tag_list, tc, rng)
+
+        covered = manager.covered_mask
+        mask_buffer = np.zeros(graph.num_edges, dtype=bool)
+        target_arr = np.array(target_list, dtype=np.int64)
+        roots = rng.choice(target_arr, size=theta)
+
+        rr_sets: list[np.ndarray] = []
+        choices_log: list[dict[str, int]] = []
+        for root in roots:
+            choices = manager.sample_world_choices(tag_list, rng)
+            if record_choices:
+                choices_log.append(choices)
+            working = manager.working_mask(choices, out=mask_buffer)
+            rr_sets.append(
+                _hybrid_rr_set(
+                    graph, int(root), working, covered, edge_probs, rng
+                )
+            )
+        coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
+
+    return IndexedTRSResult(
+        seeds=coverage.seeds,
+        estimated_spread=coverage.spread_estimate(len(target_list)),
+        theta=theta,
+        theta_c=tc,
+        query_seconds=timer.elapsed,
+        index_stats=manager.stats.snapshot(),
+        world_choices=tuple(choices_log) if record_choices else None,
+    )
+
+
+def make_itrs_manager(
+    graph: TagGraph,
+    theta: int,
+    r: int,
+    config: SketchConfig = SketchConfig(),
+    rng: np.random.Generator | int | None = None,
+) -> IndexManager:
+    """I-TRS: eagerly index *every* tag in the vocabulary in advance.
+
+    ``theta`` and ``r`` size θ_c via Theorem 6; callers typically pass a
+    pessimistic θ (e.g. ``config.theta_max``) since the exact value is
+    only known at query time.
+    """
+    manager = IndexManager(graph)
+    tc = compute_theta_c(theta, r, config.alpha, config.delta)
+    manager.build_all_tags(tc, ensure_rng(rng))
+    return manager
+
+
+def make_ltrs_manager(graph: TagGraph) -> IndexManager:
+    """L-TRS: start empty; tags are indexed on first use and reused."""
+    return IndexManager(graph)
+
+
+def make_lltrs_manager(
+    graph: TagGraph,
+    targets: Sequence[int],
+    config: SketchConfig = SketchConfig(),
+) -> IndexManager:
+    """LL-TRS: lazy manager whose universe is the h-hop local region."""
+    universe = local_edge_universe(graph, targets, config.h)
+    return IndexManager(graph, edge_universe=universe)

@@ -1,0 +1,28 @@
+"""Local-region edge universes for LL-TRS (paper Section 3.3).
+
+The local region is the set of nodes at most ``h`` reverse hops from a
+target. Indexes are built only over edges *inside* the region (both
+endpoints local); during query processing, reverse BFS still crosses the
+boundary by flipping online coins for unindexed edges, so outside nodes
+can appear in a limited number of RR sets — exactly the behaviour
+described around Example 2 / Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graphs.tag_graph import TagGraph
+from repro.graphs.views import local_region_nodes
+
+
+def local_edge_universe(
+    graph: TagGraph, targets: Iterable[int], h: int
+) -> np.ndarray:
+    """Boolean mask of edges with both endpoints in the ``h``-hop region."""
+    region = local_region_nodes(graph, targets, h)
+    in_region = np.zeros(graph.num_nodes, dtype=bool)
+    in_region[region] = True
+    return in_region[graph.src] & in_region[graph.dst]

@@ -1,0 +1,118 @@
+"""Possible World Indexes — pre-sampled per-tag deterministic worlds.
+
+A possible world index ``(I, c)`` for tag ``c`` is a subgraph of ``G``
+obtained by keeping only edges with ``p(e | c) > 0`` and then dropping
+each remaining edge with probability ``1 - p(e | c)`` (paper
+Section 3.2). We store each world as the array of surviving edge ids —
+nodes are implicit since the paper retains all of them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, IndexError_
+from repro.graphs.tag_graph import TagGraph
+from repro.utils.rng import ensure_rng
+
+
+def theta_c(theta: int, r: int, alpha: float, delta: float) -> int:
+    """Per-tag index count from Theorem 6: ``θ_c = r·θ / (αδ(θ-1) + r)``.
+
+    Guarantees the average number of common indexes between any two
+    working graphs is at most ``α`` with probability at least ``1 - δ``.
+    Always returns at least 1 (a tag with zero indexes could never be
+    sampled).
+    """
+    if theta <= 0:
+        raise ConfigurationError(f"theta must be positive, got {theta}")
+    if r <= 0:
+        raise ConfigurationError(f"tag budget r must be positive, got {r}")
+    if alpha <= 0.0 or not (0.0 < delta < 1.0):
+        raise ConfigurationError(
+            f"require alpha > 0 and delta in (0, 1), got {alpha}, {delta}"
+        )
+    value = r * theta / (alpha * delta * (theta - 1) + r)
+    return max(1, int(math.ceil(value)))
+
+
+class TagIndex:
+    """The set of possible-world indexes sampled for a single tag.
+
+    Parameters
+    ----------
+    graph:
+        The underlying tagged graph.
+    tag:
+        The tag this index serves.
+    count:
+        Number of worlds to sample (``θ_c``).
+    edge_universe:
+        Optional boolean mask (length ``m``) restricting which edges may
+        appear — used by local (LL-TRS) indexing; ``None`` means all.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        graph: TagGraph,
+        tag: str,
+        count: int,
+        edge_universe: np.ndarray | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if count <= 0:
+            raise ConfigurationError(
+                f"index count must be positive, got {count}"
+            )
+        rng = ensure_rng(rng)
+        self.tag = tag
+        ids, probs = graph.tag_edges(tag)
+        if edge_universe is not None:
+            if edge_universe.shape != (graph.num_edges,):
+                raise IndexError_(
+                    "edge_universe must be a boolean mask of length m"
+                )
+            inside = edge_universe[ids]
+            ids, probs = ids[inside], probs[inside]
+        self._candidate_edges = ids
+        self._worlds: list[np.ndarray] = []
+        for _ in range(count):
+            keep = rng.random(ids.size) < probs
+            self._worlds.append(ids[keep].copy())
+
+    @property
+    def num_worlds(self) -> int:
+        """How many pre-sampled worlds this tag has (``θ_c``)."""
+        return len(self._worlds)
+
+    @property
+    def stored_edges(self) -> int:
+        """Total edge slots stored across all worlds (size accounting)."""
+        return int(sum(w.size for w in self._worlds))
+
+    @property
+    def candidate_edges(self) -> np.ndarray:
+        """Edges eligible for this tag within the index universe."""
+        return self._candidate_edges
+
+    def world(self, index: int) -> np.ndarray:
+        """Edge ids surviving in world ``index``."""
+        if not (0 <= index < len(self._worlds)):
+            raise IndexError_(
+                f"world index {index} outside [0, {len(self._worlds)})"
+            )
+        return self._worlds[index]
+
+    def sample_world_index(self, rng: np.random.Generator) -> int:
+        """Draw a uniform world index — one per working graph per tag."""
+        return int(rng.integers(0, len(self._worlds)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TagIndex(tag={self.tag!r}, worlds={self.num_worlds}, "
+            f"stored_edges={self.stored_edges})"
+        )

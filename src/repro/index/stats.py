@@ -1,0 +1,97 @@
+"""Index cost accounting and correlation diagnostics.
+
+The paper reports index *size* (GB on disk), *building time*, and
+*querying time* (Table 3, Table 7, Figure 15). On our substrate, size is
+counted in stored edge slots and converted to bytes (8 bytes per int64
+slot) — the quantity that actually scales with the paper's GB numbers.
+
+Figure 7's diagnostic — the average number of common indexes between
+pairs of working graphs, ``C(G)`` of Theorem 6 — is computed here from
+the recorded per-working-graph world choices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+BYTES_PER_EDGE_SLOT = 8
+
+
+@dataclass
+class IndexStats:
+    """Mutable accumulator for index build cost.
+
+    Attributes
+    ----------
+    worlds_built:
+        Total number of possible-world indexes sampled.
+    stored_edges:
+        Total edge slots held by those worlds.
+    build_seconds:
+        Wall-clock seconds spent building.
+    tags_indexed:
+        Names of tags with at least one world.
+    """
+
+    worlds_built: int = 0
+    stored_edges: int = 0
+    build_seconds: float = 0.0
+    tags_indexed: set[str] = field(default_factory=set)
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated index footprint in bytes (8 bytes per edge slot)."""
+        return self.stored_edges * BYTES_PER_EDGE_SLOT
+
+    def merge(self, other: "IndexStats") -> None:
+        """Fold another accumulator into this one."""
+        self.worlds_built += other.worlds_built
+        self.stored_edges += other.stored_edges
+        self.build_seconds += other.build_seconds
+        self.tags_indexed |= other.tags_indexed
+
+    def snapshot(self) -> "IndexStats":
+        """Immutable-ish copy for result records."""
+        return IndexStats(
+            worlds_built=self.worlds_built,
+            stored_edges=self.stored_edges,
+            build_seconds=self.build_seconds,
+            tags_indexed=set(self.tags_indexed),
+        )
+
+
+def average_pairwise_common_indexes(
+    choices: Sequence[Mapping[str, int]],
+) -> float:
+    """Empirical ``C(G)`` — Eq. 10 of the paper.
+
+    ``choices[i]`` maps tag → world index chosen by working graph ``i``.
+    Returns the average, over ordered pairs of distinct working graphs,
+    of the number of (tag, world) indexes they share. Fewer than two
+    working graphs trivially share nothing.
+    """
+    theta = len(choices)
+    if theta < 2:
+        return 0.0
+    # Count how many working graphs used each (tag, world) index; each
+    # group of x graphs sharing an index contributes x·(x-1) ordered
+    # pairs, matching the double sum in Eq. 10.
+    usage: dict[tuple[str, int], int] = {}
+    for choice in choices:
+        for tag, world in choice.items():
+            key = (tag, world)
+            usage[key] = usage.get(key, 0) + 1
+    shared_pairs = sum(x * (x - 1) for x in usage.values())
+    return shared_pairs / (theta * (theta - 1))
+
+
+def expected_pairwise_common_indexes(theta: int, theta_c: int, r: int) -> float:
+    """Analytical ``E[C(G)] = (θ - θ_c)·r / ((θ - 1)·θ_c)`` — Eq. 13.
+
+    Negative values (possible when ``θ_c > θ``) clamp to zero: with more
+    candidate indexes than working graphs, expected sharing vanishes.
+    """
+    if theta < 2 or theta_c <= 0:
+        return 0.0
+    return max(0.0, (theta - theta_c) * r / ((theta - 1) * theta_c))

@@ -1,0 +1,22 @@
+"""Seed-finding algorithms (paper Section 3).
+
+Given a fixed tag set the problem reduces to classical *targeted*
+influence maximization: monotone and submodular in the seed set
+(Lemma 2), so the greedy hill-climber carries the ``(1 - 1/e)``
+guarantee and reverse sketching the ``(1 - 1/e - ε)`` one. Engines:
+
+* ``greedy-mc`` — hill climbing with Monte-Carlo spread estimation and
+  CELF / CELF++ lazy evaluation;
+* ``trs`` — targeted reverse sketching (Section 3.1);
+* ``itrs`` / ``ltrs`` / ``lltrs`` — index-based variants (Sections 3.2–3.3).
+"""
+
+from repro.seeds.api import SeedSelection, find_seeds
+from repro.seeds.greedy_mc import GreedyMCResult, greedy_mc_select_seeds
+
+__all__ = [
+    "GreedyMCResult",
+    "SeedSelection",
+    "find_seeds",
+    "greedy_mc_select_seeds",
+]

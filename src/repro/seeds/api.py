@@ -1,0 +1,133 @@
+"""Unified entry point for seed selection across all engines."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.tag_graph import TagGraph
+from repro.index.itrs import (
+    indexed_select_seeds,
+    make_itrs_manager,
+    make_lltrs_manager,
+    make_ltrs_manager,
+)
+from repro.index.lazy import IndexManager
+from repro.seeds.greedy_mc import greedy_mc_select_seeds
+from repro.sketch.imm import imm_select_seeds
+from repro.sketch.theta import SketchConfig
+from repro.sketch.trs import trs_select_seeds
+
+ENGINES = ("trs", "imm", "itrs", "ltrs", "lltrs", "greedy-mc")
+
+
+@dataclass(frozen=True)
+class SeedSelection:
+    """Engine-agnostic seed-selection outcome.
+
+    Attributes
+    ----------
+    seeds:
+        Selected node ids, in pick order.
+    estimated_spread:
+        The engine's own estimate of ``σ(S, T, C1)``.
+    engine:
+        Which engine produced the result.
+    elapsed_seconds:
+        Wall-clock time of the selection (online part for index engines).
+    """
+
+    seeds: tuple[int, ...]
+    estimated_spread: float
+    engine: str
+    elapsed_seconds: float
+
+
+def find_seeds(
+    graph: TagGraph,
+    targets: Sequence[int],
+    tags: Sequence[str],
+    k: int,
+    engine: str = "trs",
+    config: SketchConfig = SketchConfig(),
+    manager: IndexManager | None = None,
+    num_samples: int = 100,
+    rng: np.random.Generator | int | None = None,
+) -> SeedSelection:
+    """Find the top-``k`` seeds for targeted spread under fixed ``tags``.
+
+    Parameters
+    ----------
+    engine:
+        One of ``"trs"`` (targeted reverse sketching, the guarantee-
+        bearing default), ``"imm"`` (martingale-sized sampling — same
+        guarantee, usually fewer RR sets), ``"itrs"`` / ``"ltrs"`` /
+        ``"lltrs"`` (index-based), or ``"greedy-mc"`` (CELF-accelerated
+        Monte-Carlo hill climbing — the most accurate and by far the
+        slowest).
+    manager:
+        Index manager for the index engines. When omitted, one is
+        created on the spot: eager all-tag for ``itrs``, empty lazy for
+        ``ltrs``, local lazy for ``lltrs``. Passing your own lets
+        indexes persist across calls (how the iterative framework uses
+        L-TRS).
+    num_samples:
+        MC samples per estimation (``greedy-mc`` only).
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+
+    if engine == "trs":
+        result = trs_select_seeds(graph, targets, tags, k, config, rng)
+        return SeedSelection(
+            seeds=result.seeds,
+            estimated_spread=result.estimated_spread,
+            engine=engine,
+            elapsed_seconds=result.elapsed_seconds,
+        )
+
+    if engine == "imm":
+        imm = imm_select_seeds(graph, targets, tags, k, config, rng=rng)
+        return SeedSelection(
+            seeds=imm.seeds,
+            estimated_spread=imm.estimated_spread,
+            engine=engine,
+            elapsed_seconds=imm.elapsed_seconds,
+        )
+
+    if engine == "greedy-mc":
+        greedy = greedy_mc_select_seeds(
+            graph, targets, tags, k, num_samples=num_samples, rng=rng
+        )
+        return SeedSelection(
+            seeds=greedy.seeds,
+            estimated_spread=greedy.estimated_spread,
+            engine=engine,
+            elapsed_seconds=greedy.elapsed_seconds,
+        )
+
+    if manager is None:
+        if engine == "itrs":
+            manager = make_itrs_manager(
+                graph, theta=config.theta_max, r=max(len(tags), 1),
+                config=config, rng=rng,
+            )
+        elif engine == "ltrs":
+            manager = make_ltrs_manager(graph)
+        else:  # lltrs
+            manager = make_lltrs_manager(graph, targets, config)
+
+    indexed = indexed_select_seeds(
+        graph, targets, tags, k, manager, config, rng
+    )
+    return SeedSelection(
+        seeds=indexed.seeds,
+        estimated_spread=indexed.estimated_spread,
+        engine=engine,
+        elapsed_seconds=indexed.query_seconds,
+    )

@@ -1,0 +1,169 @@
+"""IMM — martingale-based sample sizing (Tang, Shi, Xiao; SIGMOD 2015).
+
+The paper's TRS sizes θ with Theorem 5, which needs an OPT_T estimate
+from a fixed pilot batch. IMM (cited by the paper as the state of the
+art it builds on) replaces the pilot with a *geometric search*: try
+progressively smaller guesses ``x`` of OPT, each validated by a batch
+of RR sets large enough that greedy coverage exceeding ``(1 + ε')·x``
+certifies — via martingale concentration — that ``OPT ≥ x`` with high
+probability. The first certified guess yields a lower bound LB, and the
+final θ = λ* / LB is typically much smaller than a worst-case pilot
+bound.
+
+This is the targeted adaptation: RR roots are drawn uniformly from the
+target set ``T``, coverage fractions estimate spread within ``T``, and
+``|T|`` replaces ``n`` as the spread scale (the ``ln C(n, k)`` seed-
+choice term keeps the full node universe).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.tag_graph import TagGraph
+from repro.sketch.coverage import greedy_max_coverage
+from repro.sketch.rr_sets import sample_rr_sets
+from repro.sketch.theta import SketchConfig
+from repro.utils.mathx import log_binomial
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import check_budget, check_tags_exist
+
+
+@dataclass(frozen=True)
+class IMMResult:
+    """Outcome of IMM seed selection.
+
+    Attributes
+    ----------
+    seeds:
+        Selected seed nodes.
+    estimated_spread:
+        ``F_R(S) · |T|`` over the final RR collection.
+    theta:
+        Final RR-set count (phase-2 size).
+    lower_bound:
+        The certified OPT_T lower bound from phase 1.
+    sampling_rounds:
+        How many geometric guesses phase 1 examined.
+    elapsed_seconds:
+        Total selection time.
+    """
+
+    seeds: tuple[int, ...]
+    estimated_spread: float
+    theta: int
+    lower_bound: float
+    sampling_rounds: int
+    elapsed_seconds: float
+
+
+def imm_select_seeds(
+    graph: TagGraph,
+    targets: Sequence[int],
+    tags: Sequence[str],
+    k: int,
+    config: SketchConfig = SketchConfig(),
+    ell: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> IMMResult:
+    """Targeted IMM: top-``k`` seeds with martingale-sized sampling.
+
+    Parameters
+    ----------
+    config:
+        Shares ε and the θ clamps with TRS so the two are directly
+        comparable (``config.epsilon`` plays IMM's ε).
+    ell:
+        Failure-probability exponent: guarantees hold with probability
+        at least ``1 − |T|^(−ell)`` (IMM's ℓ parameter).
+    """
+    rng = ensure_rng(rng)
+    check_budget(k, graph.num_nodes, what="seeds")
+    check_tags_exist(tags, graph.tags)
+    target_list = sorted({int(t) for t in targets})
+    t_size = len(target_list)
+    n = graph.num_nodes
+    eps = config.epsilon
+
+    timer = Timer()
+    with timer:
+        edge_probs = graph.edge_probabilities(tags)
+
+        # Phase 1 — geometric search for a lower bound on OPT_T.
+        eps_prime = math.sqrt(2.0) * eps
+        log_choose = log_binomial(n, k)
+        log_t = max(math.log(max(t_size, 2)), 1.0)
+        lam_prime = (
+            (2.0 + 2.0 / 3.0 * eps_prime)
+            * (log_choose + ell * log_t + math.log(max(math.log2(max(t_size, 2)), 1.0)))
+            * t_size
+            / (eps_prime * eps_prime)
+        )
+
+        rr_sets: list[np.ndarray] = []
+        lower_bound = 1.0
+        rounds = 0
+        max_rounds = max(int(math.log2(max(t_size, 2))), 1)
+        for i in range(1, max_rounds + 1):
+            rounds = i
+            x = t_size / (2.0 ** i)
+            theta_i = min(
+                int(math.ceil(lam_prime / max(x, 1e-9))), config.theta_max
+            )
+            if len(rr_sets) < theta_i:
+                rr_sets.extend(
+                    sample_rr_sets(
+                        graph, target_list, edge_probs,
+                        theta_i - len(rr_sets), rng,
+                    )
+                )
+            coverage = greedy_max_coverage(rr_sets, k, n)
+            estimate = coverage.fraction * t_size
+            if estimate >= (1.0 + eps_prime) * x:
+                lower_bound = max(estimate / (1.0 + eps_prime), 1.0)
+                break
+            if theta_i >= config.theta_max:
+                lower_bound = max(estimate, 1.0)
+                break
+
+        # Phase 2 — final θ from the certified lower bound.
+        alpha = math.sqrt(ell * log_t + math.log(2.0))
+        beta = math.sqrt(
+            (1.0 - 1.0 / math.e) * (log_choose + ell * log_t + math.log(2.0))
+        )
+        lam_star = (
+            2.0
+            * t_size
+            * ((1.0 - 1.0 / math.e) * alpha + beta) ** 2
+            / (eps * eps)
+        )
+        theta = int(
+            min(
+                max(math.ceil(lam_star / lower_bound), config.theta_min),
+                config.theta_max,
+            )
+        )
+        if len(rr_sets) < theta:
+            rr_sets.extend(
+                sample_rr_sets(
+                    graph, target_list, edge_probs,
+                    theta - len(rr_sets), rng,
+                )
+            )
+        else:
+            rr_sets = rr_sets[:theta]
+        final = greedy_max_coverage(rr_sets, k, n)
+
+    return IMMResult(
+        seeds=final.seeds,
+        estimated_spread=final.fraction * t_size,
+        theta=theta,
+        lower_bound=lower_bound,
+        sampling_rounds=rounds,
+        elapsed_seconds=timer.elapsed,
+    )

@@ -1,0 +1,141 @@
+"""Sample-size (θ) computation for targeted reverse sketching.
+
+Theorem 5 of the paper: TRS returns a ``(1 - 1/e - ε)``-approximate seed
+set with probability at least ``1 - n⁻¹ C(n,k)⁻¹`` when
+
+    θ ≥ (8 + 2ε) · |T| · (ln n + ln C(n,k) + ln 2) / (OPT_T · ε²).
+
+``OPT_T`` (the best achievable spread in the target set with ``k``
+seeds) is unknown; as in TIM/IMM we estimate a lower bound from a pilot
+batch of RR sets — under-estimating OPT_T only *increases* θ, which is
+the safe direction for the guarantee. A ``theta_max`` knob keeps pure
+Python runs bounded (the paper's C++ ran millions of RR sets; see
+DESIGN.md on absolute-number substitutions).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.graphs.tag_graph import TagGraph
+from repro.sketch.coverage import greedy_max_coverage
+from repro.sketch.rr_sets import sample_rr_sets
+from repro.utils.mathx import log_binomial
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Knobs for reverse-sketching-based seed selection.
+
+    Attributes
+    ----------
+    epsilon:
+        Approximation slack ε of Theorem 5 (paper default 0.1).
+    pilot_samples:
+        RR sets drawn to estimate ``OPT_T`` before computing θ.
+    theta_min, theta_max:
+        Clamp on the final θ — ``theta_max`` trades guarantee for
+        tractability on a pure-Python substrate (documented substitution).
+    delta:
+        Probabilistic bound parameter of Theorem 6 (index correlation),
+        paper default 0.01.
+    alpha:
+        Upper bound on the average number of pairwise common indexes
+        (Theorem 6), paper default 1.0.
+    h:
+        Hop threshold of the local region for LL-TRS, paper default 3.
+    """
+
+    epsilon: float = 0.1
+    pilot_samples: int = 300
+    theta_min: int = 200
+    theta_max: int = 20_000
+    delta: float = 0.01
+    alpha: float = 1.0
+    h: int = 3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.epsilon < 1.0):
+            raise ConfigurationError(
+                f"epsilon must lie in (0, 1), got {self.epsilon}"
+            )
+        if self.pilot_samples <= 0:
+            raise ConfigurationError("pilot_samples must be positive")
+        if not (0 < self.theta_min <= self.theta_max):
+            raise ConfigurationError(
+                "require 0 < theta_min <= theta_max, got "
+                f"{self.theta_min}, {self.theta_max}"
+            )
+        if not (0.0 < self.delta < 1.0):
+            raise ConfigurationError(
+                f"delta must lie in (0, 1), got {self.delta}"
+            )
+        if self.alpha <= 0.0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.h < 0:
+            raise ConfigurationError(f"h must be >= 0, got {self.h}")
+
+    def with_epsilon(self, epsilon: float) -> "SketchConfig":
+        """Copy of this config with a different ε (for sensitivity sweeps)."""
+        return replace(self, epsilon=epsilon)
+
+
+def compute_theta(
+    num_nodes: int,
+    k: int,
+    num_targets: int,
+    opt_t: float,
+    config: SketchConfig = SketchConfig(),
+) -> int:
+    """θ of Theorem 5, clamped to ``[theta_min, theta_max]``.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``n`` — graph size (enters through ``ln n + ln C(n,k)``).
+    k:
+        Seed budget.
+    num_targets:
+        ``|T|``.
+    opt_t:
+        (A lower bound on) the optimum targeted spread ``OPT_T``.
+    """
+    if opt_t <= 0.0:
+        raise EstimationError(
+            "OPT_T must be positive to compute theta; the target set is "
+            "likely unreachable by any seed"
+        )
+    eps = config.epsilon
+    log_term = math.log(num_nodes) + log_binomial(num_nodes, k) + math.log(2.0)
+    theta = (8.0 + 2.0 * eps) * num_targets * log_term / (opt_t * eps * eps)
+    return int(min(max(math.ceil(theta), config.theta_min), config.theta_max))
+
+
+def estimate_opt_t(
+    graph: TagGraph,
+    targets: Sequence[int],
+    edge_probs: np.ndarray,
+    k: int,
+    config: SketchConfig = SketchConfig(),
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Lower-bound ``OPT_T`` from a pilot batch of targeted RR sets.
+
+    Greedy coverage of the pilot batch yields a feasible seed set; its
+    estimated spread ``F_R(S)·|T|`` is (in expectation, up to sampling
+    noise) a valid lower bound on the optimum. The bound is floored at
+    ``1.0``: any seed placed *at* a target influences at least itself.
+    """
+    rng = ensure_rng(rng)
+    target_list = sorted({int(t) for t in targets})
+    pilot = sample_rr_sets(
+        graph, target_list, edge_probs, config.pilot_samples, rng
+    )
+    result = greedy_max_coverage(pilot, k, graph.num_nodes)
+    return max(result.spread_estimate(len(target_list)), 1.0)

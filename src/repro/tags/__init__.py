@@ -1,0 +1,43 @@
+"""Tag-finding algorithms (paper Section 4).
+
+Given a fixed seed set, find the top-``r`` tags maximizing spread into
+the target set. The problem is NP-hard, non-submodular and
+PTAS-less (Theorems 3–4, Lemma 1), so both methods here are heuristics
+over the *highly probable paths* connecting seeds to targets:
+
+* ``individual`` — include one path at a time by marginal spread gain
+  (the Khan et al. conditional-reliability baseline, Section 4.1);
+* ``batch`` — group paths into *path-batches* sharing a tag set,
+  organize batches in a subset lattice, and include whole batches (plus
+  their descendants) by marginal-gain-per-new-tag (Algorithm 1 /
+  Section 4.3) — up to 30 % more spread at similar cost.
+"""
+
+from repro.tags.api import TagSelection, find_tags
+from repro.tags.batch import batch_paths_select_tags
+from repro.tags.individual import individual_paths_select_tags
+from repro.tags.lattice import BatchLattice, PathBatch, build_batches
+from repro.tags.paths import (
+    TagPath,
+    TagSelectionConfig,
+    collect_paths,
+    top_paths,
+    top_paths_from_seed,
+)
+from repro.tags.spread_eval import PathSpreadEvaluator
+
+__all__ = [
+    "BatchLattice",
+    "PathBatch",
+    "PathSpreadEvaluator",
+    "TagPath",
+    "TagSelection",
+    "TagSelectionConfig",
+    "batch_paths_select_tags",
+    "build_batches",
+    "collect_paths",
+    "find_tags",
+    "individual_paths_select_tags",
+    "top_paths",
+    "top_paths_from_seed",
+]

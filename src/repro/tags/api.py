@@ -1,0 +1,48 @@
+"""Unified entry point for tag selection."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.tag_graph import TagGraph
+from repro.tags.batch import batch_paths_select_tags
+from repro.tags.individual import TagSelection, individual_paths_select_tags
+from repro.tags.paths import TagPath, TagSelectionConfig
+
+METHODS = ("batch", "individual")
+
+
+def find_tags(
+    graph: TagGraph,
+    seeds: Sequence[int],
+    targets: Sequence[int],
+    r: int,
+    method: str = "batch",
+    config: TagSelectionConfig = TagSelectionConfig(),
+    rng: np.random.Generator | int | None = None,
+    paths: Sequence[TagPath] | None = None,
+) -> TagSelection:
+    """Find the top-``r`` tags maximizing spread from ``seeds`` to ``targets``.
+
+    Parameters
+    ----------
+    method:
+        ``"batch"`` (the paper's Algorithm 1, default) or
+        ``"individual"`` (the conditional-reliability baseline).
+    paths:
+        Optional pre-enumerated path pool shared across calls.
+    """
+    if method not in METHODS:
+        raise ConfigurationError(
+            f"unknown tag-selection method {method!r}; expected one of "
+            f"{METHODS}"
+        )
+    select = (
+        batch_paths_select_tags
+        if method == "batch"
+        else individual_paths_select_tags
+    )
+    return select(graph, seeds, targets, r, config=config, rng=rng, paths=paths)

@@ -1,0 +1,147 @@
+"""Path-batches and the batch lattice (paper Section 4.3, Figure 10).
+
+A *path-batch* ``P(C)`` groups every enumerated path whose tag set is
+exactly ``C``; activating the tags of one member activates all of them.
+Batches are organized into a lattice by tag-set size, with links from a
+batch to the batches in the next lower level whose tag set is a subset
+of its own. The *descendants* of a batch are all batches dominated by
+it (``Des P(C) = {P(C') : C' ⊆ C}``, Eq. 16) — selecting a batch
+activates its descendants for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidQueryError
+from repro.tags.paths import TagPath
+
+
+@dataclass(frozen=True)
+class PathBatch:
+    """All enumerated paths sharing one exact tag set.
+
+    Attributes
+    ----------
+    tag_set:
+        The shared tag set ``C``.
+    path_indices:
+        Indices into the caller's pooled path list.
+    """
+
+    tag_set: frozenset[str]
+    path_indices: tuple[int, ...]
+
+    @property
+    def cost(self) -> int:
+        """Number of tags this batch requires (``|C|``)."""
+        return len(self.tag_set)
+
+    def new_tags(self, selected: frozenset[str]) -> frozenset[str]:
+        """Tags this batch would add on top of an already-selected set."""
+        return self.tag_set - selected
+
+
+def build_batches(
+    paths: Sequence[TagPath], max_tags: int | None = None
+) -> list[PathBatch]:
+    """Group pooled paths into path-batches keyed by exact tag set.
+
+    Paths whose tag set exceeds ``max_tags`` (the budget ``r``) can
+    never be activated and are dropped up front, as in the paper's
+    lattice construction.
+    """
+    grouped: dict[frozenset[str], list[int]] = {}
+    for idx, path in enumerate(paths):
+        tag_set = path.tag_set
+        if max_tags is not None and len(tag_set) > max_tags:
+            continue
+        grouped.setdefault(tag_set, []).append(idx)
+    return [
+        PathBatch(tag_set=tags, path_indices=tuple(indices))
+        for tags, indices in sorted(
+            grouped.items(), key=lambda kv: (len(kv[0]), sorted(kv[0]))
+        )
+    ]
+
+
+@dataclass
+class BatchLattice:
+    """Subset lattice over path-batches.
+
+    ``levels[s]`` holds the batches with tag-set size ``s``; ``children``
+    maps each batch (by index into ``batches``) to the batches in the
+    next lower level whose tag set it contains — the links drawn in
+    Figure 10.
+    """
+
+    batches: list[PathBatch]
+    levels: dict[int, list[int]] = field(init=False)
+    children: dict[int, list[int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.levels = {}
+        for idx, batch in enumerate(self.batches):
+            self.levels.setdefault(batch.cost, []).append(idx)
+
+        # Integer bitmasks make the subset tests of activated_by /
+        # active_paths cheap (arbitrary-precision ints, so any number
+        # of distinct tags is fine).
+        self._tag_bits: dict[str, int] = {}
+        self._batch_masks: list[int] = []
+        for batch in self.batches:
+            mask = 0
+            for tag in batch.tag_set:
+                bit = self._tag_bits.setdefault(tag, len(self._tag_bits))
+                mask |= 1 << bit
+            self._batch_masks.append(mask)
+        sizes = sorted(self.levels)
+        self.children = {idx: [] for idx in range(len(self.batches))}
+        for pos, size in enumerate(sizes):
+            lower_sizes = [s for s in sizes[:pos]]
+            if not lower_sizes:
+                continue
+            next_lower = lower_sizes[-1]
+            for idx in self.levels[size]:
+                for lower_idx in self.levels[next_lower]:
+                    if self.batches[lower_idx].tag_set <= self.batches[
+                        idx
+                    ].tag_set:
+                        self.children[idx].append(lower_idx)
+
+    def descendants(self, batch_index: int) -> list[int]:
+        """Indices of all batches whose tag set ⊆ the given batch's set.
+
+        Includes the batch itself (``C ⊆ C``), matching Eq. 16.
+        """
+        if not (0 <= batch_index < len(self.batches)):
+            raise InvalidQueryError(
+                f"batch index {batch_index} outside [0, {len(self.batches)})"
+            )
+        own = self.batches[batch_index].tag_set
+        return [
+            idx
+            for idx, batch in enumerate(self.batches)
+            if batch.tag_set <= own
+        ]
+
+    def activated_by(self, selected_tags: Iterable[str]) -> list[int]:
+        """Batches fully covered by an arbitrary selected tag set."""
+        selected_mask = 0
+        for tag in selected_tags:
+            bit = self._tag_bits.get(tag)
+            if bit is not None:
+                selected_mask |= 1 << bit
+        return [
+            idx
+            for idx, mask in enumerate(self._batch_masks)
+            if mask & ~selected_mask == 0
+        ]
+
+    def active_paths(self, selected_tags: Iterable[str]) -> list[int]:
+        """Pooled-path indices activated by ``selected_tags``."""
+        indices: list[int] = []
+        for batch_idx in self.activated_by(selected_tags):
+            indices.extend(self.batches[batch_idx].path_indices)
+        return sorted(set(indices))

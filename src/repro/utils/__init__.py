@@ -1,0 +1,24 @@
+"""Shared utilities: RNG plumbing, timing, math helpers, validation."""
+
+from repro.utils.mathx import log_binomial, mean_std, quartiles
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_budget,
+    check_node_ids,
+    check_probability,
+    check_tags_exist,
+)
+
+__all__ = [
+    "Timer",
+    "check_budget",
+    "check_node_ids",
+    "check_probability",
+    "check_tags_exist",
+    "ensure_rng",
+    "log_binomial",
+    "mean_std",
+    "quartiles",
+    "spawn_rngs",
+]

@@ -1,0 +1,47 @@
+"""Lightweight wall-clock timing for benchmarks and instrumentation."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    A single ``Timer`` may be entered multiple times; ``elapsed`` is the
+    running total across all completed (and the current, if any) spans.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._started_at is not None:
+            self._total += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds measured so far, including a still-open span."""
+        running = 0.0
+        if self._started_at is not None:
+            running = time.perf_counter() - self._started_at
+        return self._total + running
+
+    def reset(self) -> None:
+        """Zero the accumulated time and close any open span."""
+        self._total = 0.0
+        self._started_at = None

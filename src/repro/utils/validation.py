@@ -1,0 +1,53 @@
+"""Input validation helpers shared by the public API surface.
+
+These raise :class:`~repro.exceptions.InvalidQueryError` (for caller
+mistakes about nodes/tags/budgets) or
+:class:`~repro.exceptions.GraphConstructionError` (for malformed graph
+inputs) with actionable messages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from repro.exceptions import GraphConstructionError, InvalidQueryError
+
+
+def check_probability(value: float, *, context: str) -> None:
+    """Ensure ``value`` is a valid edge probability in ``(0, 1]``.
+
+    The paper's ``P : E × C → (0, 1]`` excludes exact zero: a zero-probability
+    (edge, tag) pair is simply absent.
+    """
+    if not (0.0 < value <= 1.0):
+        raise GraphConstructionError(
+            f"{context}: probability must lie in (0, 1], got {value!r}"
+        )
+
+
+def check_node_ids(nodes: Iterable[int], n: int, *, context: str) -> None:
+    """Ensure every id in ``nodes`` addresses a node of an ``n``-node graph."""
+    for node in nodes:
+        if not (0 <= int(node) < n):
+            raise InvalidQueryError(
+                f"{context}: node id {node} outside valid range [0, {n})"
+            )
+
+
+def check_budget(budget: int, universe_size: int, *, what: str) -> None:
+    """Ensure a top-``budget`` request can be satisfied from the universe."""
+    if budget <= 0:
+        raise InvalidQueryError(f"budget on {what} must be positive, got {budget}")
+    if budget > universe_size:
+        raise InvalidQueryError(
+            f"budget on {what} is {budget} but only {universe_size} are available"
+        )
+
+
+def check_tags_exist(tags: Iterable[str], known: Collection[str]) -> None:
+    """Ensure every tag in ``tags`` is present in the graph's vocabulary."""
+    unknown = [t for t in tags if t not in known]
+    if unknown:
+        raise InvalidQueryError(
+            f"unknown tags: {sorted(unknown)!r}; graph knows {len(known)} tags"
+        )

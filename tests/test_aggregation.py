@@ -1,0 +1,108 @@
+"""Tests for tag aggregation functions (independent and topic-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs import TopicModel, independent_aggregation, topic_aggregation
+
+
+class TestIndependentAggregation:
+    def test_empty_is_zero(self):
+        assert independent_aggregation([]) == 0.0
+
+    def test_single(self):
+        assert independent_aggregation([0.3]) == pytest.approx(0.3)
+
+    def test_noisy_or(self):
+        assert independent_aggregation([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_one_dominates(self):
+        assert independent_aggregation([1.0, 0.2]) == pytest.approx(1.0)
+
+    def test_order_invariant(self):
+        a = independent_aggregation([0.1, 0.5, 0.9])
+        b = independent_aggregation([0.9, 0.1, 0.5])
+        assert a == pytest.approx(b)
+
+    def test_monotone_in_extra_tag(self):
+        base = independent_aggregation([0.3, 0.4])
+        more = independent_aggregation([0.3, 0.4, 0.2])
+        assert more >= base
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            independent_aggregation([1.2])
+
+
+def _model():
+    return TopicModel(
+        topics=("z1", "z2"),
+        edge_topic_probs=np.array([[0.8, 0.1], [0.2, 0.9]]),
+        tag_topic_probs={
+            "rock": np.array([0.9, 0.0]),
+            "jazz": np.array([0.0, 0.7]),
+        },
+    )
+
+
+class TestTopicModel:
+    def test_posterior_single_tag(self):
+        post = _model().topic_posterior(["rock"])
+        assert post == pytest.approx([1.0, 0.0])
+
+    def test_posterior_mixed(self):
+        post = _model().topic_posterior(["rock", "jazz"])
+        assert post.sum() == pytest.approx(1.0)
+        assert post[0] == pytest.approx(0.9 / 1.6)
+
+    def test_posterior_unknown_tag_falls_back_to_prior(self):
+        post = _model().topic_posterior(["unknown"])
+        assert post == pytest.approx([0.5, 0.5])
+
+    def test_aggregation_shapes(self):
+        probs = topic_aggregation(_model(), ["jazz"])
+        assert probs.shape == (2,)
+        assert probs[1] == pytest.approx(0.9)
+
+    def test_aggregation_mixture(self):
+        probs = topic_aggregation(_model(), ["rock", "jazz"])
+        post = _model().topic_posterior(["rock", "jazz"])
+        assert probs[0] == pytest.approx(0.8 * post[0] + 0.1 * post[1])
+
+    def test_bad_edge_matrix(self):
+        with pytest.raises(ConfigurationError):
+            TopicModel(
+                topics=("z1",),
+                edge_topic_probs=np.array([[0.8, 0.1]]),
+                tag_topic_probs={},
+            )
+
+    def test_bad_tag_vector(self):
+        with pytest.raises(ConfigurationError):
+            TopicModel(
+                topics=("z1", "z2"),
+                edge_topic_probs=np.array([[0.8, 0.1]]),
+                tag_topic_probs={"rock": np.array([0.9])},
+            )
+
+    def test_bad_prior(self):
+        with pytest.raises(ConfigurationError):
+            TopicModel(
+                topics=("z1", "z2"),
+                edge_topic_probs=np.array([[0.8, 0.1]]),
+                tag_topic_probs={},
+                topic_prior=np.array([1.0]),
+            )
+
+    def test_custom_prior_used(self):
+        model = TopicModel(
+            topics=("z1", "z2"),
+            edge_topic_probs=np.array([[0.8, 0.1]]),
+            tag_topic_probs={"rock": np.array([0.5, 0.5])},
+            topic_prior=np.array([0.9, 0.1]),
+        )
+        post = model.topic_posterior(["rock"])
+        assert post[0] == pytest.approx(0.9)

@@ -1,0 +1,83 @@
+"""Tests for TagGraphBuilder and graph_from_quadruples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs import TagGraphBuilder, graph_from_quadruples
+
+
+class TestBuilder:
+    def test_reuses_edge_id_for_same_pair(self):
+        b = TagGraphBuilder(2)
+        b.add(0, 1, "a", 0.3).add(0, 1, "b", 0.4)
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.edge_tag_map(0) == {"a": 0.3, "b": 0.4}
+
+    def test_distinct_pairs_get_distinct_edges(self):
+        b = TagGraphBuilder(3)
+        b.add(0, 1, "a", 0.3).add(1, 0, "a", 0.4).add(1, 2, "a", 0.5)
+        assert b.build().num_edges == 3
+
+    def test_duplicate_assignment_rejected(self):
+        b = TagGraphBuilder(2)
+        b.add(0, 1, "a", 0.3)
+        with pytest.raises(GraphConstructionError, match="duplicate"):
+            b.add(0, 1, "a", 0.5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphConstructionError, match="self-loop"):
+            TagGraphBuilder(2).add(1, 1, "a", 0.3)
+
+    def test_out_of_range_node(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraphBuilder(2).add(0, 2, "a", 0.3)
+
+    def test_bad_probability(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraphBuilder(2).add(0, 1, "a", 0.0)
+
+    def test_negative_node_count(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraphBuilder(-2)
+
+    def test_add_undirected(self):
+        b = TagGraphBuilder(2)
+        b.add_undirected(0, 1, "a", 0.3)
+        g = b.build()
+        assert g.num_edges == 2
+        assert g.edge_tag_probability(0, "a") == pytest.approx(0.3)
+        assert g.edge_tag_probability(1, "a") == pytest.approx(0.3)
+
+    def test_num_edges_property(self):
+        b = TagGraphBuilder(3)
+        assert b.num_edges == 0
+        b.add(0, 1, "a", 0.3)
+        assert b.num_edges == 1
+
+    def test_chaining_returns_self(self):
+        b = TagGraphBuilder(2)
+        assert b.add(0, 1, "a", 0.3) is b
+
+    def test_empty_build(self):
+        g = TagGraphBuilder(4).build()
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+
+
+class TestGraphFromQuadruples:
+    def test_round_trip(self):
+        rows = [(0, 1, "a", 0.2), (1, 2, "b", 0.7), (0, 1, "b", 0.1)]
+        g = graph_from_quadruples(3, rows)
+        assert g.num_edges == 2
+        assert g.edge_tag_map(0) == {"a": 0.2, "b": 0.1}
+
+    def test_empty(self):
+        g = graph_from_quadruples(2, [])
+        assert g.num_edges == 0
+
+    def test_propagates_errors(self):
+        with pytest.raises(GraphConstructionError):
+            graph_from_quadruples(2, [(0, 1, "a", 2.0)])

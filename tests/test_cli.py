@@ -1,0 +1,165 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import load_tag_graph
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A generated dataset TSV + targets file shared by CLI tests."""
+    root = tmp_path_factory.mktemp("cli")
+    graph_path = root / "g.tsv"
+    code = main(
+        ["dataset", "lastfm", str(graph_path), "--scale", "0.3",
+         "--targets", "20", "--seed", "0"]
+    )
+    assert code == 0
+    return graph_path, graph_path.with_suffix(".targets")
+
+
+class TestDatasetCommand:
+    def test_writes_loadable_graph(self, workspace, capsys):
+        graph_path, targets_path = workspace
+        graph = load_tag_graph(graph_path)
+        assert graph.num_nodes > 0
+        targets = [
+            int(x) for x in targets_path.read_text().split() if x.strip()
+        ]
+        assert len(targets) == 20
+        assert all(0 <= t < graph.num_nodes for t in targets)
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dataset", "nope", str(tmp_path / "x.tsv")])
+
+
+class TestSeedsCommand:
+    def test_outputs_seeds(self, workspace, capsys):
+        graph_path, targets_path = workspace
+        graph = load_tag_graph(graph_path)
+        tags = ",".join(graph.tags[:3])
+        code = main(
+            ["seeds", str(graph_path), "--targets-file", str(targets_path),
+             "-k", "2", "--tags", tags, "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("seeds: ")
+        seed_line = out.splitlines()[0].split(": ", 1)[1]
+        assert len(seed_line.split(",")) == 2
+
+    @pytest.mark.parametrize("engine", ["trs", "lltrs"])
+    def test_engines(self, workspace, capsys, engine):
+        graph_path, targets_path = workspace
+        graph = load_tag_graph(graph_path)
+        tags = ",".join(graph.tags[:3])
+        code = main(
+            ["seeds", str(graph_path), "--targets-file", str(targets_path),
+             "-k", "1", "--tags", tags, "--engine", engine]
+        )
+        assert code == 0
+
+
+class TestTagsCommand:
+    def test_outputs_tags(self, workspace, capsys):
+        graph_path, targets_path = workspace
+        code = main(
+            ["tags", str(graph_path), "--targets-file", str(targets_path),
+             "-r", "3", "--seeds", "0,1", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("tags: ")
+
+
+class TestJointCommand:
+    def test_iterative(self, workspace, capsys):
+        graph_path, targets_path = workspace
+        code = main(
+            ["joint", str(graph_path), "--targets-file", str(targets_path),
+             "-k", "2", "-r", "3", "--max-rounds", "1", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seeds: " in out and "tags: " in out and "spread: " in out
+
+    def test_baseline_flag(self, workspace, capsys):
+        graph_path, targets_path = workspace
+        code = main(
+            ["joint", str(graph_path), "--targets-file", str(targets_path),
+             "-k", "1", "-r", "2", "--baseline", "--seed", "0"]
+        )
+        assert code == 0
+
+
+class TestSpreadCommand:
+    def test_estimates(self, workspace, capsys):
+        graph_path, targets_path = workspace
+        graph = load_tag_graph(graph_path)
+        tags = ",".join(graph.tags[:2])
+        code = main(
+            ["spread", str(graph_path), "--targets-file", str(targets_path),
+             "--seeds", "0", "--tags", tags, "--samples", "100"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("spread: ")
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCompareCommand:
+    def test_compares_engines(self, workspace, capsys):
+        graph_path, targets_path = workspace
+        graph = load_tag_graph(graph_path)
+        tags = ",".join(graph.tags[:3])
+        code = main(
+            ["compare", str(graph_path), "--targets-file", str(targets_path),
+             "-k", "2", "--tags", tags, "--engines", "trs,lltrs",
+             "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trs" in out and "lltrs" in out
+        assert "verified spread" in out
+
+
+class TestLearnCommand:
+    def test_learn_round_trip(self, workspace, capsys, tmp_path):
+        from repro.learning import simulate_interaction_log
+
+        graph_path, _targets = workspace
+        graph = load_tag_graph(graph_path)
+        log = simulate_interaction_log(graph, 50, rng=0)
+        log_path = tmp_path / "log.csv"
+        log.save(log_path)
+        out_path = tmp_path / "learned.tsv"
+        code = main(
+            ["learn", str(log_path), str(graph_path), str(out_path),
+             "--window", "20", "--a", "3"]
+        )
+        assert code == 0
+        learned = load_tag_graph(out_path)
+        assert learned.num_nodes == graph.num_nodes
+        assert learned.num_edges > 0
+
+    def test_learn_bernoulli_method(self, workspace, capsys, tmp_path):
+        from repro.learning import simulate_interaction_log
+
+        graph_path, _targets = workspace
+        graph = load_tag_graph(graph_path)
+        log = simulate_interaction_log(graph, 30, rng=0)
+        log_path = tmp_path / "log.csv"
+        log.save(log_path)
+        out_path = tmp_path / "learned.tsv"
+        code = main(
+            ["learn", str(log_path), str(graph_path), str(out_path),
+             "--method", "bernoulli"]
+        )
+        assert code == 0

@@ -1,0 +1,79 @@
+"""Tests for greedy max coverage over RR sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.sketch import greedy_max_coverage
+
+
+def _rr(*nodes):
+    return np.array(nodes, dtype=np.int64)
+
+
+class TestGreedyMaxCoverage:
+    def test_picks_most_frequent(self):
+        rr_sets = [_rr(0, 1), _rr(1, 2), _rr(1)]
+        result = greedy_max_coverage(rr_sets, 1, 3)
+        assert result.seeds == (1,)
+        assert result.covered == 3
+        assert result.fraction == pytest.approx(1.0)
+
+    def test_marginal_accounting(self):
+        rr_sets = [_rr(0, 1), _rr(1, 2), _rr(2)]
+        result = greedy_max_coverage(rr_sets, 2, 3)
+        assert result.seeds[0] in (1, 2)
+        assert sum(result.marginal_covered) == result.covered
+
+    def test_covers_all_with_enough_budget(self):
+        rr_sets = [_rr(0), _rr(1), _rr(2)]
+        result = greedy_max_coverage(rr_sets, 3, 3)
+        assert result.covered == 3
+
+    def test_budget_fills_with_zero_gain_nodes(self):
+        rr_sets = [_rr(0)]
+        result = greedy_max_coverage(rr_sets, 3, 5)
+        assert len(result.seeds) == 3
+        assert result.seeds[0] == 0
+        assert result.marginal_covered[1:] == (0, 0)
+
+    def test_candidate_restriction(self):
+        rr_sets = [_rr(0, 1), _rr(0, 1), _rr(0)]
+        result = greedy_max_coverage(
+            rr_sets, 1, 2, candidate_nodes=np.array([1])
+        )
+        assert result.seeds == (1,)
+        assert result.covered == 2
+
+    def test_no_rr_sets(self):
+        result = greedy_max_coverage([], 2, 3)
+        assert result.total == 0
+        assert result.fraction == 0.0
+        assert len(result.seeds) == 2  # filler seeds still satisfy budget
+
+    def test_spread_estimate(self):
+        rr_sets = [_rr(0), _rr(0), _rr(1), _rr(2)]
+        result = greedy_max_coverage(rr_sets, 1, 3)
+        assert result.spread_estimate(100) == pytest.approx(50.0)
+
+    def test_empty_rr_set_never_covered(self):
+        rr_sets = [_rr(), _rr(0)]
+        result = greedy_max_coverage(rr_sets, 1, 2)
+        assert result.covered == 1
+
+    def test_bad_budget(self):
+        with pytest.raises(InvalidQueryError):
+            greedy_max_coverage([_rr(0)], 0, 1)
+
+    def test_bad_num_nodes(self):
+        with pytest.raises(InvalidQueryError):
+            greedy_max_coverage([_rr(0)], 1, 0)
+
+    def test_greedy_order_is_by_marginal(self):
+        # Node 0 covers 3 sets, node 1 covers 2 disjoint others.
+        rr_sets = [_rr(0), _rr(0), _rr(0), _rr(1), _rr(1)]
+        result = greedy_max_coverage(rr_sets, 2, 2)
+        assert result.seeds == (0, 1)
+        assert result.marginal_covered == (3, 2)

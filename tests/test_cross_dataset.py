@@ -1,0 +1,87 @@
+"""Cross-dataset invariants: the full pipeline on every analogue.
+
+Each named dataset must support the whole workflow (targets →
+frequency scores → seed engines → tag selection → joint) with sane
+outputs — regression protection for generator changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    JointConfig,
+    JointQuery,
+    SketchConfig,
+    TagSelectionConfig,
+    estimate_spread,
+    find_seeds,
+    find_tags,
+    jointly_select,
+)
+from repro.core import frequency_tags
+from repro.datasets import bfs_targets, dblp, lastfm, twitter, yelp
+from repro.graphs import graph_stats
+
+FAST = SketchConfig(pilot_samples=60, theta_min=150, theta_max=500)
+TAGS_FAST = TagSelectionConfig(
+    per_pair_paths=3, rr_theta=300, max_path_targets=12, max_queue=10_000
+)
+FACTORIES = {
+    "lastfm": lastfm,
+    "dblp": dblp,
+    "yelp": yelp,
+    "twitter": twitter,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FACTORIES))
+def scenario(request):
+    data = FACTORIES[request.param](scale=0.12)
+    targets = bfs_targets(data.graph, min(15, data.graph.num_nodes // 2))
+    return request.param, data, targets
+
+
+class TestPipelinePerDataset:
+    def test_structure_sane(self, scenario):
+        name, data, _targets = scenario
+        stats = graph_stats(data.graph)
+        assert stats.num_edges > stats.num_nodes / 2
+        assert 0.05 < stats.prob_mean < 0.6
+        assert stats.tags_per_edge_mean >= 1.0
+        assert stats.max_in_degree >= 3  # hubs exist
+
+    def test_frequency_tags_nonzero(self, scenario):
+        _name, data, targets = scenario
+        tags = frequency_tags(data.graph, targets, 3)
+        assert len(tags) == 3
+
+    def test_seed_selection_reaches_targets(self, scenario):
+        _name, data, targets = scenario
+        tags = frequency_tags(data.graph, targets, 3)
+        sel = find_seeds(
+            data.graph, targets, tags, 2, engine="trs", config=FAST, rng=0
+        )
+        verified = estimate_spread(
+            data.graph, sel.seeds, targets, tags, num_samples=150, rng=1
+        )
+        assert verified > 0.5  # at least some targets reachable
+
+    def test_tag_selection_returns_tags(self, scenario):
+        _name, data, targets = scenario
+        seeds = [int(t) for t in targets[:2]]
+        sel = find_tags(
+            data.graph, seeds, targets, 3, config=TAGS_FAST, rng=0
+        )
+        assert len(sel.tags) >= 1
+
+    def test_joint_runs_and_improves_on_nothing(self, scenario):
+        _name, data, targets = scenario
+        cfg = JointConfig(
+            max_rounds=1, sketch=FAST, tag_config=TAGS_FAST, eval_samples=60
+        )
+        result = jointly_select(
+            data.graph, JointQuery(targets, k=2, r=3), cfg, rng=0
+        )
+        assert result.spread > 0.0
+        assert len(result.seeds) == 2

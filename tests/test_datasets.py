@@ -1,0 +1,262 @@
+"""Tests for the synthetic dataset substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    bfs_targets,
+    community_targets,
+    dblp,
+    generate_community_graph,
+    lastfm,
+    twitter,
+    yelp,
+)
+from repro.datasets.named import YELP_CITIES, YELP_ENTERTAINMENT, YELP_FOOD
+from repro.datasets.tag_model import (
+    TagModelConfig,
+    assign_tag_probabilities,
+    frequency_to_probability,
+)
+from repro.exceptions import ConfigurationError, InvalidQueryError
+
+
+class TestGenerator:
+    def test_shapes(self):
+        src, dst, comm = generate_community_graph(100, rng=0)
+        assert src.shape == dst.shape
+        assert comm.shape == (100,)
+
+    def test_no_self_loops(self):
+        src, dst, _ = generate_community_graph(100, rng=0)
+        assert (src != dst).all()
+
+    def test_no_duplicate_edges(self):
+        src, dst, _ = generate_community_graph(100, rng=0)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert len(pairs) == src.size
+
+    def test_community_locality(self):
+        src, dst, comm = generate_community_graph(
+            200, num_communities=4, intra_community_fraction=0.9, rng=0
+        )
+        intra = (comm[src] == comm[dst]).mean()
+        assert intra > 0.7
+
+    def test_hub_structure(self):
+        src, dst, _ = generate_community_graph(
+            300, attractiveness_exponent=1.2, rng=0
+        )
+        in_deg = np.bincount(dst, minlength=300)
+        # A heavy-tailed in-degree: the max hub well above the mean.
+        assert in_deg.max() >= 4 * max(in_deg.mean(), 1.0)
+
+    def test_deterministic(self):
+        a = generate_community_graph(80, rng=3)
+        b = generate_community_graph(80, rng=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_nodes": 10, "num_communities": 0},
+            {"num_nodes": 10, "num_communities": 99},
+            {"num_nodes": 10, "avg_out_degree": 0.5},
+            {"num_nodes": 10, "intra_community_fraction": 1.5},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            generate_community_graph(**kwargs, rng=0)
+
+
+class TestTagModel:
+    def test_probability_transform(self):
+        assert frequency_to_probability(0, 5) == 0.0
+        assert frequency_to_probability(5, 5) == pytest.approx(
+            1 - np.exp(-1.0)
+        )
+
+    def test_transform_monotone(self):
+        assert frequency_to_probability(10, 5) > frequency_to_probability(2, 5)
+
+    def test_transform_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            frequency_to_probability(1, 0)
+        with pytest.raises(ConfigurationError):
+            frequency_to_probability(-1, 5)
+
+    def test_assign_rows_valid(self):
+        src, dst, comm = generate_community_graph(50, rng=0)
+        rows = assign_tag_probabilities(
+            src, dst, comm, ["t1", "t2", "t3"], rng=0
+        )
+        assert rows
+        for u, v, tag, prob in rows:
+            assert tag in ("t1", "t2", "t3")
+            assert 0.0 < prob <= 1.0
+
+    def test_a_controls_mean_probability(self):
+        src, dst, comm = generate_community_graph(60, rng=0)
+        lo = assign_tag_probabilities(
+            src, dst, comm, ["t"], TagModelConfig(a=80.0), rng=0
+        )
+        hi = assign_tag_probabilities(
+            src, dst, comm, ["t"], TagModelConfig(a=5.0), rng=0
+        )
+        assert np.mean([r[3] for r in lo]) < np.mean([r[3] for r in hi])
+
+    def test_preferred_tags_respected(self):
+        src, dst, comm = generate_community_graph(
+            60, num_communities=2, rng=0
+        )
+        rows = assign_tag_probabilities(
+            src, dst, comm, ["a", "b", "c", "d"],
+            TagModelConfig(community_affinity=1.0),
+            preferred_tags=[[0], [1]], rng=0,
+        )
+        for u, _v, tag, _p in rows:
+            expected = "a" if comm[u] == 0 else "b"
+            assert tag == expected
+
+    def test_preferred_tags_must_cover_communities(self):
+        src, dst, comm = generate_community_graph(
+            30, num_communities=3, rng=0
+        )
+        with pytest.raises(ConfigurationError):
+            assign_tag_probabilities(
+                src, dst, comm, ["a"], preferred_tags=[[0]], rng=0
+            )
+
+    def test_empty_vocab_rejected(self):
+        src, dst, comm = generate_community_graph(20, rng=0)
+        with pytest.raises(ConfigurationError):
+            assign_tag_probabilities(src, dst, comm, [], rng=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"a": 0.0},
+            {"tags_per_edge_mean": 0.5},
+            {"community_affinity": 2.0},
+            {"preferred_pool_size": 0},
+            {"freq_mean": 0.0},
+        ],
+    )
+    def test_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TagModelConfig(**kwargs)
+
+
+class TestNamedDatasets:
+    @pytest.mark.parametrize("factory", [lastfm, dblp, yelp, twitter])
+    def test_small_scale_builds(self, factory):
+        data = factory(scale=0.1)
+        assert data.graph.num_nodes > 0
+        assert data.graph.num_edges > 0
+        assert data.graph.num_tags > 0
+
+    def test_characteristics_table4_shape(self):
+        data = yelp(scale=0.1)
+        chars = data.characteristics()
+        assert set(chars) == {
+            "name", "nodes", "edges", "tags",
+            "prob_mean", "prob_std", "prob_quartiles",
+        }
+        assert 0.1 < chars["prob_mean"] < 0.6
+
+    def test_yelp_has_three_cities(self):
+        data = yelp(scale=0.1)
+        assert data.community_names == YELP_CITIES
+        for city in YELP_CITIES:
+            assert data.community_members(city).size > 0
+
+    def test_yelp_city_tag_affinity(self):
+        # The case-study precondition: Vegas in-edges are dominated by
+        # entertainment tags, Pittsburgh's by food tags.
+        from repro.core import frequency_tag_scores
+
+        data = yelp(scale=0.25)
+        for city, pool in (
+            ("vegas", YELP_ENTERTAINMENT),
+            ("pittsburgh", YELP_FOOD),
+        ):
+            members = data.community_members(city)
+            scores = frequency_tag_scores(data.graph, members)
+            ranked = sorted(scores, key=lambda t: -scores[t])[:6]
+            overlap = len(set(ranked) & set(pool))
+            assert overlap >= 3, (city, ranked)
+
+    def test_lastfm_high_a_keeps_probs_reasonable(self):
+        chars = lastfm(scale=0.3).characteristics()
+        assert 0.1 < chars["prob_mean"] < 0.45
+
+    def test_a_parameter_shifts_probabilities(self):
+        low = yelp(scale=0.1, a=80.0).characteristics()["prob_mean"]
+        high = yelp(scale=0.1, a=3.0).characteristics()["prob_mean"]
+        assert low < 0.15 < high
+
+    def test_unknown_community(self):
+        with pytest.raises(InvalidQueryError):
+            yelp(scale=0.1).community_members("atlantis")
+
+    def test_scale_too_small(self):
+        with pytest.raises(ConfigurationError):
+            lastfm(scale=0.001)
+
+    def test_deterministic_by_seed(self):
+        assert yelp(scale=0.1, seed=1).graph == yelp(scale=0.1, seed=1).graph
+
+
+class TestTargets:
+    def test_bfs_targets_size(self, small_yelp):
+        targets = bfs_targets(small_yelp.graph, 25)
+        assert targets.size == 25
+        assert np.unique(targets).size == 25
+
+    def test_bfs_targets_include_hubs(self, small_yelp):
+        targets = bfs_targets(small_yelp.graph, 20, num_roots=2)
+        in_deg = small_yelp.graph.in_degrees()
+        top = int(np.argmax(in_deg))
+        assert top in targets
+
+    def test_bfs_targets_colocated(self, small_yelp):
+        # Targets should be concentrated in few communities.
+        targets = bfs_targets(small_yelp.graph, 30)
+        labels = small_yelp.communities[targets]
+        dominant = np.bincount(labels).max()
+        assert dominant >= 0.5 * targets.size
+
+    def test_bfs_targets_whole_graph(self, small_yelp):
+        n = small_yelp.graph.num_nodes
+        targets = bfs_targets(small_yelp.graph, n)
+        assert targets.size == n
+
+    def test_bfs_targets_bad_size(self, small_yelp):
+        with pytest.raises(InvalidQueryError):
+            bfs_targets(small_yelp.graph, 0)
+        with pytest.raises(InvalidQueryError):
+            bfs_targets(small_yelp.graph, 10**6)
+
+    def test_community_targets_all(self, small_yelp):
+        members = small_yelp.community_members("vegas")
+        targets = community_targets(small_yelp, "vegas")
+        assert np.array_equal(targets, np.sort(members))
+
+    def test_community_targets_sampled(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=10, rng=0)
+        assert targets.size == 10
+        members = set(small_yelp.community_members("vegas").tolist())
+        assert set(targets.tolist()) <= members
+
+    def test_community_targets_deterministic(self, small_yelp):
+        a = community_targets(small_yelp, "vegas", size=10, rng=4)
+        b = community_targets(small_yelp, "vegas", size=10, rng=4)
+        assert np.array_equal(a, b)
+
+    def test_community_targets_bad_size(self, small_yelp):
+        with pytest.raises(InvalidQueryError):
+            community_targets(small_yelp, "vegas", size=0, rng=0)

@@ -1,0 +1,240 @@
+"""Tests for cascades, possible worlds, MC estimation, and the exact oracle.
+
+The exact oracle is validated against hand-computed closed forms, and
+the MC estimator against the oracle — this chain is what lets the rest
+of the suite trust the estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    estimate_spread,
+    estimate_spread_fraction,
+    exact_spread,
+    reachable_targets,
+    sample_possible_world,
+    simulate_cascade,
+    world_probability,
+)
+from repro.exceptions import EstimationError, InvalidQueryError
+from repro.graphs import TagGraphBuilder
+
+
+class TestSimulateCascade:
+    def test_certain_chain_activates_all(self, line_graph):
+        g = line_graph
+        probs = np.ones(g.num_edges)
+        active = simulate_cascade(g, [0], probs, rng=0)
+        assert active.all()
+
+    def test_zero_probs_activate_only_seeds(self, line_graph):
+        g = line_graph
+        probs = np.zeros(g.num_edges)
+        active = simulate_cascade(g, [0, 2], probs, rng=0)
+        assert active.tolist() == [True, False, True, False]
+
+    def test_seeds_always_active(self, line_graph):
+        active = simulate_cascade(
+            line_graph, [3], np.zeros(line_graph.num_edges), rng=0
+        )
+        assert active[3]
+
+    def test_empty_seed_set(self, line_graph):
+        active = simulate_cascade(
+            line_graph, [], np.ones(line_graph.num_edges), rng=0
+        )
+        assert not active.any()
+
+    def test_bad_seed_raises(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            simulate_cascade(
+                line_graph, [99], np.ones(line_graph.num_edges), rng=0
+            )
+
+    def test_deterministic_with_seed(self, diamond_graph):
+        probs = diamond_graph.edge_probabilities(["a", "b", "c"])
+        a = simulate_cascade(diamond_graph, [0], probs, rng=5)
+        b = simulate_cascade(diamond_graph, [0], probs, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_activation_rate_matches_probability(self, line_graph):
+        # P(node 1 active | seed 0) = p(edge 0) = 0.7.
+        probs = np.array([0.7, 0.0, 0.0])
+        rng = np.random.default_rng(0)
+        hits = sum(
+            simulate_cascade(line_graph, [0], probs, rng)[1]
+            for _ in range(3000)
+        )
+        assert hits / 3000 == pytest.approx(0.7, abs=0.03)
+
+
+class TestReachableTargets:
+    def test_counts_reachable(self, line_graph):
+        mask = np.array([True, True, False])
+        assert reachable_targets(line_graph, [0], [1, 2, 3], mask) == 2
+
+    def test_seed_is_its_own_target(self, line_graph):
+        mask = np.zeros(3, dtype=bool)
+        assert reachable_targets(line_graph, [2], [2], mask) == 1
+
+    def test_duplicates_in_targets_counted_once(self, line_graph):
+        mask = np.ones(3, dtype=bool)
+        assert reachable_targets(line_graph, [0], [3, 3, 3], mask) == 1
+
+    def test_no_edges(self, line_graph):
+        mask = np.zeros(3, dtype=bool)
+        assert reachable_targets(line_graph, [0], [3], mask) == 0
+
+
+class TestPossibleWorld:
+    def test_mask_shape(self, diamond_graph):
+        probs = diamond_graph.all_edge_probabilities()
+        mask = sample_possible_world(diamond_graph, probs, rng=0)
+        assert mask.shape == (diamond_graph.num_edges,)
+
+    def test_extreme_probs(self, line_graph):
+        mask = sample_possible_world(line_graph, np.ones(3), rng=0)
+        assert mask.all()
+
+    def test_wrong_shape_raises(self, line_graph):
+        with pytest.raises(ValueError):
+            sample_possible_world(line_graph, np.ones(99), rng=0)
+
+    def test_world_probability_product(self):
+        mask = np.array([True, False])
+        probs = np.array([0.3, 0.4])
+        assert world_probability(mask, probs) == pytest.approx(0.3 * 0.6)
+
+    def test_world_probability_impossible(self):
+        mask = np.array([False])
+        probs = np.array([1.0])
+        assert world_probability(mask, probs) == 0.0
+
+    def test_world_probabilities_sum_to_one(self):
+        probs = np.array([0.3, 0.8])
+        total = 0.0
+        for bits in range(4):
+            mask = np.array([bool(bits & 1), bool(bits & 2)])
+            total += world_probability(mask, probs)
+        assert total == pytest.approx(1.0)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            world_probability(np.array([True]), np.array([0.5, 0.5]))
+
+
+class TestExactSpread:
+    def test_line_graph_closed_form(self, line_graph):
+        # σ({0}, {3}) = 0.5^3.
+        value = exact_spread(line_graph, [0], [3], ["a", "b", "c"])
+        assert value == pytest.approx(0.125)
+
+    def test_multiple_targets_sum(self, line_graph):
+        value = exact_spread(line_graph, [0], [1, 2, 3], ["a", "b", "c"])
+        assert value == pytest.approx(0.5 + 0.25 + 0.125)
+
+    def test_fig4_non_submodularity(self, fig4_graph):
+        seeds, targets = [0, 3], [2, 5]
+        s_c1 = exact_spread(fig4_graph, seeds, targets, ["c1"])
+        s_c1c3 = exact_spread(fig4_graph, seeds, targets, ["c1", "c3"])
+        s_c1c2 = exact_spread(fig4_graph, seeds, targets, ["c1", "c2"])
+        s_all = exact_spread(fig4_graph, seeds, targets, ["c1", "c2", "c3"])
+        assert s_c1 == pytest.approx(0.3)
+        assert s_c1c3 == pytest.approx(0.3)
+        assert s_c1c2 == pytest.approx(0.3)
+        assert s_all == pytest.approx(1.02)
+        # Lemma 1: the marginal of c3 grows with the larger base set.
+        assert (s_all - s_c1c2) > (s_c1c3 - s_c1)
+
+    def test_target_is_seed(self, line_graph):
+        assert exact_spread(line_graph, [1], [1], ["a"]) == pytest.approx(1.0)
+
+    def test_empty_seeds(self, line_graph):
+        assert exact_spread(line_graph, [], [3], ["a"]) == 0.0
+
+    def test_too_many_edges_raises(self):
+        builder = TagGraphBuilder(30)
+        for u in range(25):
+            builder.add(u, u + 1, "t", 0.5)
+        with pytest.raises(EstimationError, match="enumeration"):
+            exact_spread(builder.build(), [0], [25], ["t"])
+
+    def test_certain_edges_not_enumerated(self):
+        # 20 probability-1 edges would exceed the limit if branched on.
+        builder = TagGraphBuilder(21)
+        for u in range(20):
+            builder.add(u, u + 1, "t", 1.0)
+        value = exact_spread(builder.build(), [0], [20], ["t"])
+        assert value == pytest.approx(1.0)
+
+    def test_subset_of_tags(self, diamond_graph):
+        # Only tag "a": edges (0,1)=0.8 and (0,2)=0.5 active; target 3
+        # unreachable (its in-edges need b or c).
+        value = exact_spread(diamond_graph, [0], [3], ["a"])
+        assert value == 0.0
+
+
+class TestEstimateSpread:
+    def test_matches_exact_on_line(self, line_graph):
+        exact = exact_spread(line_graph, [0], [2, 3], ["a", "b", "c"])
+        mc = estimate_spread(
+            line_graph, [0], [2, 3], ["a", "b", "c"],
+            num_samples=6000, rng=1,
+        )
+        assert mc == pytest.approx(exact, abs=0.05)
+
+    def test_matches_exact_on_fig9(self, fig9_graph):
+        tags = ["c4", "c5", "c6"]
+        exact = exact_spread(fig9_graph, [0, 1, 2], [6, 7, 8], tags)
+        mc = estimate_spread(
+            fig9_graph, [0, 1, 2], [6, 7, 8], tags,
+            num_samples=8000, rng=2,
+        )
+        assert mc == pytest.approx(exact, abs=0.07)
+
+    def test_empty_seeds_zero(self, line_graph):
+        assert estimate_spread(line_graph, [], [3], ["a"], rng=0) == 0.0
+
+    def test_empty_targets_raises(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            estimate_spread(line_graph, [0], [], ["a"], rng=0)
+
+    def test_bad_samples_raises(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            estimate_spread(line_graph, [0], [3], ["a"], num_samples=0)
+
+    def test_unknown_tag_raises(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            estimate_spread(line_graph, [0], [3], ["zzz"], rng=0)
+
+    def test_precomputed_edge_probs(self, line_graph):
+        probs = line_graph.edge_probabilities(["a", "b", "c"])
+        a = estimate_spread(
+            line_graph, [0], [3], ["a", "b", "c"],
+            num_samples=500, rng=3, edge_probs=probs,
+        )
+        b = estimate_spread(
+            line_graph, [0], [3], ["a", "b", "c"], num_samples=500, rng=3
+        )
+        assert a == pytest.approx(b)
+
+    def test_fraction(self, line_graph):
+        frac = estimate_spread_fraction(
+            line_graph, [0], [0, 1], ["a"], num_samples=2000, rng=0
+        )
+        # Target 0 always active; target 1 with prob 0.5.
+        assert frac == pytest.approx(0.75, abs=0.03)
+
+    def test_monotone_in_tags(self, fig9_graph):
+        few = estimate_spread(
+            fig9_graph, [0, 1, 2], [6, 7, 8], ["c4"],
+            num_samples=4000, rng=4,
+        )
+        more = estimate_spread(
+            fig9_graph, [0, 1, 2], [6, 7, 8], ["c4", "c5"],
+            num_samples=4000, rng=4,
+        )
+        assert more >= few - 0.05

@@ -1,0 +1,31 @@
+"""Doctest runner for modules whose docstrings carry examples."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.datasets.tag_model
+import repro.graphs.aggregation
+import repro.graphs.builders
+import repro.utils.mathx
+import repro.utils.timing
+
+MODULES = [
+    repro.datasets.tag_model,
+    repro.graphs.aggregation,
+    repro.graphs.builders,
+    repro.utils.mathx,
+    repro.utils.timing,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    # Every listed module is here *because* it has runnable examples.
+    assert result.attempted > 0

@@ -1,0 +1,54 @@
+"""Smoke tests for the example scripts.
+
+Full runs take tens of seconds each, so the unit suite only verifies
+that every example parses, imports, and exposes a ``main`` callable —
+the full executions are exercised manually / by CI jobs with more time.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + ≥3 scenario examples
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_parses(path):
+    ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_importable_with_main(path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_has_docstring_and_run_line(path):
+    source = path.read_text(encoding="utf-8")
+    module = ast.parse(source)
+    doc = ast.get_docstring(module)
+    assert doc, f"{path.name} lacks a module docstring"
+    assert "Run:" in doc, f"{path.name} docstring lacks a Run: line"
+    assert '__main__' in source

@@ -1,0 +1,96 @@
+"""Tests for the targeted IMM engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import find_seeds
+from repro.datasets import community_targets
+from repro.graphs import TagGraphBuilder
+from repro.sketch import SketchConfig, imm_select_seeds, trs_select_seeds
+
+FAST = SketchConfig(pilot_samples=100, theta_min=200, theta_max=4000)
+
+
+def _star_graph():
+    builder = TagGraphBuilder(7)
+    for v in range(1, 6):
+        builder.add(0, v, "t", 1.0)
+    return builder.build()
+
+
+class TestIMM:
+    def test_finds_obvious_hub(self):
+        g = _star_graph()
+        result = imm_select_seeds(g, [1, 2, 3, 4, 5], ["t"], 1, FAST, rng=0)
+        assert result.seeds == (0,)
+        assert result.estimated_spread == pytest.approx(5.0, abs=0.05)
+
+    def test_lower_bound_is_valid(self):
+        # True OPT for k=1 on the star is 5; LB must not exceed it much.
+        g = _star_graph()
+        result = imm_select_seeds(g, [1, 2, 3, 4, 5], ["t"], 1, FAST, rng=0)
+        assert 1.0 <= result.lower_bound <= 5.5
+
+    def test_theta_within_clamps(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=25, rng=0)
+        result = imm_select_seeds(
+            small_yelp.graph, targets, small_yelp.graph.tags[:5], 3,
+            FAST, rng=0,
+        )
+        assert FAST.theta_min <= result.theta <= FAST.theta_max
+        assert result.sampling_rounds >= 1
+
+    def test_quality_matches_trs(self, small_yelp):
+        from repro.diffusion import estimate_spread
+
+        targets = community_targets(small_yelp, "vegas", size=25, rng=0)
+        tags = small_yelp.graph.tags[:5]
+        imm = imm_select_seeds(small_yelp.graph, targets, tags, 3, FAST, rng=0)
+        trs = trs_select_seeds(small_yelp.graph, targets, tags, 3, FAST, rng=0)
+        imm_v = estimate_spread(
+            small_yelp.graph, imm.seeds, targets, tags,
+            num_samples=400, rng=9,
+        )
+        trs_v = estimate_spread(
+            small_yelp.graph, trs.seeds, targets, tags,
+            num_samples=400, rng=9,
+        )
+        assert imm_v >= 0.8 * trs_v
+
+    def test_respects_budget(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        result = imm_select_seeds(
+            small_yelp.graph, targets, small_yelp.graph.tags[:4], 5,
+            FAST, rng=0,
+        )
+        assert len(result.seeds) == 5
+        assert len(set(result.seeds)) == 5
+
+    def test_deterministic(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        tags = small_yelp.graph.tags[:4]
+        a = imm_select_seeds(small_yelp.graph, targets, tags, 2, FAST, rng=4)
+        b = imm_select_seeds(small_yelp.graph, targets, tags, 2, FAST, rng=4)
+        assert a.seeds == b.seeds
+        assert a.theta == b.theta
+
+    def test_engine_dispatch(self):
+        g = _star_graph()
+        sel = find_seeds(
+            g, [1, 2, 3], ["t"], 1, engine="imm", config=FAST, rng=0
+        )
+        assert sel.engine == "imm"
+        assert sel.seeds == (0,)
+
+    def test_ell_tightens_sampling(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        tags = small_yelp.graph.tags[:4]
+        cfg = SketchConfig(pilot_samples=100, theta_min=10, theta_max=10**6)
+        loose = imm_select_seeds(
+            small_yelp.graph, targets, tags, 2, cfg, ell=0.5, rng=0
+        )
+        tight = imm_select_seeds(
+            small_yelp.graph, targets, tags, 2, cfg, ell=2.0, rng=0
+        )
+        assert tight.theta >= loose.theta

@@ -1,0 +1,263 @@
+"""Tests for possible-world indexing: TagIndex, θ_c, manager, local universe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, IndexError_, InvalidQueryError
+from repro.graphs import TagGraphBuilder
+from repro.index import (
+    IndexManager,
+    TagIndex,
+    average_pairwise_common_indexes,
+    local_edge_universe,
+    theta_c,
+)
+from repro.index.stats import IndexStats, expected_pairwise_common_indexes
+
+
+def _graph():
+    builder = TagGraphBuilder(4)
+    builder.add(0, 1, "a", 0.5)
+    builder.add(1, 2, "a", 0.9)
+    builder.add(1, 2, "b", 0.3)
+    builder.add(2, 3, "b", 0.7)
+    return builder.build()
+
+
+class TestThetaC:
+    def test_paper_formula(self):
+        # θ_c = rθ / (αδ(θ-1) + r)
+        value = theta_c(theta=10000, r=10, alpha=1.0, delta=0.01)
+        expected = 10 * 10000 / (0.01 * 9999 + 10)
+        assert value == int(np.ceil(expected))
+
+    def test_much_smaller_than_theta(self):
+        # The paper's Figure 7(b): θ_c is orders of magnitude below θ.
+        tc = theta_c(theta=100_000, r=10, alpha=1.0, delta=0.01)
+        assert tc < 100_000 / 50
+
+    def test_at_least_one(self):
+        assert theta_c(theta=2, r=1, alpha=10.0, delta=0.5) >= 1
+
+    def test_grows_with_r(self):
+        assert theta_c(5000, 20, 1.0, 0.01) > theta_c(5000, 5, 1.0, 0.01)
+
+    def test_shrinks_with_alpha(self):
+        assert theta_c(5000, 10, 2.0, 0.01) < theta_c(5000, 10, 0.5, 0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"theta": 0, "r": 1, "alpha": 1.0, "delta": 0.01},
+            {"theta": 10, "r": 0, "alpha": 1.0, "delta": 0.01},
+            {"theta": 10, "r": 1, "alpha": 0.0, "delta": 0.01},
+            {"theta": 10, "r": 1, "alpha": 1.0, "delta": 1.5},
+        ],
+    )
+    def test_bad_inputs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            theta_c(**kwargs)
+
+
+class TestTagIndex:
+    def test_world_count(self):
+        index = TagIndex(_graph(), "a", 5, rng=0)
+        assert index.num_worlds == 5
+
+    def test_worlds_only_contain_tag_edges(self):
+        g = _graph()
+        index = TagIndex(g, "b", 50, rng=0)
+        b_edges = set(g.tag_edges("b")[0].tolist())
+        for i in range(index.num_worlds):
+            assert set(index.world(i).tolist()) <= b_edges
+
+    def test_edge_survival_rate(self):
+        g = _graph()
+        index = TagIndex(g, "a", 4000, rng=0)
+        # Edge 1 has p(e|a) = 0.9.
+        hits = sum(
+            1 in index.world(i).tolist() for i in range(index.num_worlds)
+        )
+        assert hits / 4000 == pytest.approx(0.9, abs=0.02)
+
+    def test_universe_restriction(self):
+        # _graph has 3 edges: 0:(0→1), 1:(1→2), 2:(2→3). Exclude edge 1.
+        g = _graph()
+        universe = np.array([True, False, True])
+        index = TagIndex(g, "a", 30, edge_universe=universe, rng=0)
+        for i in range(30):
+            assert 1 not in index.world(i).tolist()
+
+    def test_stored_edges_accounting(self):
+        index = TagIndex(_graph(), "a", 10, rng=0)
+        assert index.stored_edges == sum(
+            index.world(i).size for i in range(10)
+        )
+
+    def test_world_out_of_range(self):
+        index = TagIndex(_graph(), "a", 3, rng=0)
+        with pytest.raises(IndexError_):
+            index.world(3)
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            TagIndex(_graph(), "a", 0, rng=0)
+
+    def test_unknown_tag(self):
+        with pytest.raises(InvalidQueryError):
+            TagIndex(_graph(), "zz", 3, rng=0)
+
+
+class TestIndexManager:
+    def test_lazy_build_once(self):
+        mgr = IndexManager(_graph())
+        built_first = mgr.ensure_indexes(["a"], 5, rng=0)
+        built_second = mgr.ensure_indexes(["a"], 99, rng=0)
+        assert built_first == ["a"]
+        assert built_second == []  # Lemma 3: never rebuilt or extended
+        assert mgr.index_for("a").num_worlds == 5
+
+    def test_build_all_tags(self):
+        mgr = IndexManager(_graph())
+        built = mgr.build_all_tags(3, rng=0)
+        assert sorted(built) == ["a", "b"]
+        assert mgr.indexed_tags == ("a", "b")
+
+    def test_stats_accumulate(self):
+        mgr = IndexManager(_graph())
+        mgr.ensure_indexes(["a", "b"], 4, rng=0)
+        assert mgr.stats.worlds_built == 8
+        assert mgr.stats.tags_indexed == {"a", "b"}
+        assert mgr.stats.size_bytes == mgr.stats.stored_edges * 8
+
+    def test_missing_index_raises(self):
+        mgr = IndexManager(_graph())
+        with pytest.raises(IndexError_):
+            mgr.index_for("a")
+
+    def test_working_mask_union(self):
+        mgr = IndexManager(_graph())
+        mgr.ensure_indexes(["a", "b"], 1, rng=0)
+        choices = {"a": 0, "b": 0}
+        mask = mgr.working_mask(choices)
+        union = set(mgr.index_for("a").world(0).tolist()) | set(
+            mgr.index_for("b").world(0).tolist()
+        )
+        assert set(np.flatnonzero(mask).tolist()) == union
+
+    def test_working_mask_buffer_reuse(self):
+        mgr = IndexManager(_graph())
+        mgr.ensure_indexes(["a"], 2, rng=0)
+        buf = np.ones(_graph().num_edges, dtype=bool)
+        mask = mgr.working_mask({"a": 0}, out=buf)
+        assert mask is buf
+        a_world = set(mgr.index_for("a").world(0).tolist())
+        assert set(np.flatnonzero(mask).tolist()) == a_world
+
+    def test_working_mask_bad_buffer(self):
+        mgr = IndexManager(_graph())
+        mgr.ensure_indexes(["a"], 1, rng=0)
+        with pytest.raises(IndexError_):
+            mgr.working_mask({"a": 0}, out=np.ones(2, dtype=bool))
+
+    def test_covered_mask_full_by_default(self):
+        mgr = IndexManager(_graph())
+        assert mgr.covered_mask.all()
+        assert not mgr.is_local
+
+    def test_local_universe(self):
+        universe = np.array([True, False, True])
+        mgr = IndexManager(_graph(), edge_universe=universe)
+        assert mgr.is_local
+        assert np.array_equal(mgr.covered_mask, universe)
+
+    def test_bad_universe_shape(self):
+        with pytest.raises(IndexError_):
+            IndexManager(_graph(), edge_universe=np.ones(9, dtype=bool))
+
+    def test_sample_world_choices_in_range(self):
+        mgr = IndexManager(_graph())
+        mgr.ensure_indexes(["a", "b"], 3, rng=0)
+        choices = mgr.sample_world_choices(["a", "b"], rng=0)
+        assert set(choices) == {"a", "b"}
+        assert all(0 <= v < 3 for v in choices.values())
+
+    def test_unknown_tag_in_ensure(self):
+        mgr = IndexManager(_graph())
+        with pytest.raises(InvalidQueryError):
+            mgr.ensure_indexes(["zzz"], 3, rng=0)
+
+
+class TestLocalEdgeUniverse:
+    def test_chain_region(self):
+        builder = TagGraphBuilder(5)
+        for u in range(4):
+            builder.add(u, u + 1, "t", 0.5)
+        g = builder.build()
+        universe = local_edge_universe(g, [4], h=2)
+        # Region nodes {2,3,4}; internal edges are 2→3 and 3→4.
+        assert universe.tolist() == [False, False, True, True]
+
+    def test_h_zero_no_edges(self):
+        builder = TagGraphBuilder(3)
+        builder.add(0, 1, "t", 0.5)
+        builder.add(1, 2, "t", 0.5)
+        g = builder.build()
+        assert not local_edge_universe(g, [2], h=0).any()
+
+
+class TestStats:
+    def test_merge(self):
+        a = IndexStats(worlds_built=2, stored_edges=10, build_seconds=1.0,
+                       tags_indexed={"x"})
+        b = IndexStats(worlds_built=3, stored_edges=5, build_seconds=0.5,
+                       tags_indexed={"y"})
+        a.merge(b)
+        assert a.worlds_built == 5
+        assert a.stored_edges == 15
+        assert a.tags_indexed == {"x", "y"}
+
+    def test_snapshot_is_independent(self):
+        a = IndexStats(worlds_built=1, stored_edges=2, build_seconds=0.1,
+                       tags_indexed={"x"})
+        snap = a.snapshot()
+        a.worlds_built = 99
+        a.tags_indexed.add("z")
+        assert snap.worlds_built == 1
+        assert snap.tags_indexed == {"x"}
+
+    def test_average_pairwise_common_empty(self):
+        assert average_pairwise_common_indexes([]) == 0.0
+        assert average_pairwise_common_indexes([{"a": 0}]) == 0.0
+
+    def test_average_pairwise_common_identical(self):
+        # Two working graphs using the exact same 2 indexes share 2.
+        choices = [{"a": 0, "b": 1}, {"a": 0, "b": 1}]
+        assert average_pairwise_common_indexes(choices) == pytest.approx(2.0)
+
+    def test_average_pairwise_common_disjoint(self):
+        choices = [{"a": 0}, {"a": 1}]
+        assert average_pairwise_common_indexes(choices) == 0.0
+
+    def test_average_matches_expectation_in_simulation(self):
+        # Empirical C(G) should track Eq. 13 (Figure 7a's comparison).
+        rng = np.random.default_rng(0)
+        theta, tc, r = 400, 50, 4
+        tags = [f"t{i}" for i in range(r)]
+        choices = [
+            {t: int(rng.integers(0, tc)) for t in tags} for _ in range(theta)
+        ]
+        empirical = average_pairwise_common_indexes(choices)
+        expected = expected_pairwise_common_indexes(theta, tc, r)
+        assert empirical == pytest.approx(expected, rel=0.25)
+
+    def test_expected_formula(self):
+        # E[C(G)] = (θ-θc)r / ((θ-1)θc)
+        value = expected_pairwise_common_indexes(100, 10, 5)
+        assert value == pytest.approx((100 - 10) * 5 / (99 * 10))
+
+    def test_expected_clamps_to_zero(self):
+        assert expected_pairwise_common_indexes(10, 50, 5) == 0.0
+        assert expected_pairwise_common_indexes(1, 5, 5) == 0.0

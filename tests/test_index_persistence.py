@@ -1,0 +1,120 @@
+"""Tests for on-disk index persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import community_targets
+from repro.exceptions import IndexError_
+from repro.graphs import TagGraphBuilder
+from repro.index import (
+    indexed_select_seeds,
+    load_index,
+    make_lltrs_manager,
+    make_ltrs_manager,
+    save_index,
+)
+from repro.sketch import SketchConfig
+
+FAST = SketchConfig(pilot_samples=60, theta_min=150, theta_max=600)
+
+
+def _graph():
+    builder = TagGraphBuilder(5)
+    builder.add(0, 1, "a", 0.6)
+    builder.add(1, 2, "a", 0.7)
+    builder.add(1, 2, "b", 0.3)
+    builder.add(2, 3, "b", 0.8)
+    builder.add(3, 4, "a", 0.9)
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_worlds_identical(self, tmp_path):
+        g = _graph()
+        mgr = make_ltrs_manager(g)
+        mgr.ensure_indexes(["a", "b"], 6, rng=0)
+        save_index(mgr, tmp_path)
+        loaded = load_index(g, tmp_path)
+        assert loaded.indexed_tags == mgr.indexed_tags
+        for tag in mgr.indexed_tags:
+            original = mgr.index_for(tag)
+            restored = loaded.index_for(tag)
+            assert restored.num_worlds == original.num_worlds
+            for i in range(original.num_worlds):
+                assert np.array_equal(restored.world(i), original.world(i))
+
+    def test_stats_restored(self, tmp_path):
+        g = _graph()
+        mgr = make_ltrs_manager(g)
+        mgr.ensure_indexes(["a"], 4, rng=0)
+        save_index(mgr, tmp_path)
+        loaded = load_index(g, tmp_path)
+        assert loaded.stats.worlds_built == mgr.stats.worlds_built
+        assert loaded.stats.stored_edges == mgr.stats.stored_edges
+
+    def test_bytes_written_positive(self, tmp_path):
+        g = _graph()
+        mgr = make_ltrs_manager(g)
+        mgr.ensure_indexes(["a"], 4, rng=0)
+        assert save_index(mgr, tmp_path) > 0
+
+    def test_local_universe_survives(self, small_yelp, tmp_path):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        mgr = make_lltrs_manager(small_yelp.graph, targets, FAST)
+        mgr.ensure_indexes(small_yelp.graph.tags[:3], 5, rng=0)
+        save_index(mgr, tmp_path)
+        loaded = load_index(small_yelp.graph, tmp_path)
+        assert loaded.is_local
+        assert np.array_equal(loaded.covered_mask, mgr.covered_mask)
+
+    def test_identical_query_answers(self, small_yelp, tmp_path):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        tags = small_yelp.graph.tags[:4]
+        mgr = make_ltrs_manager(small_yelp.graph)
+        mgr.ensure_indexes(tags, 8, rng=0)
+        save_index(mgr, tmp_path)
+        loaded = load_index(small_yelp.graph, tmp_path)
+        before = indexed_select_seeds(
+            small_yelp.graph, targets, tags, 2, mgr, FAST, rng=42
+        )
+        after = indexed_select_seeds(
+            small_yelp.graph, targets, tags, 2, loaded, FAST, rng=42
+        )
+        assert before.seeds == after.seeds
+        assert before.estimated_spread == pytest.approx(
+            after.estimated_spread
+        )
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(IndexError_, match="manifest"):
+            load_index(_graph(), tmp_path)
+
+    def test_wrong_graph_rejected(self, tmp_path):
+        g = _graph()
+        mgr = make_ltrs_manager(g)
+        mgr.ensure_indexes(["a"], 3, rng=0)
+        save_index(mgr, tmp_path)
+        other = TagGraphBuilder(2)
+        other.add(0, 1, "a", 0.5)
+        with pytest.raises(IndexError_, match="edges"):
+            load_index(other.build(), tmp_path)
+
+    def test_missing_tag_file(self, tmp_path):
+        g = _graph()
+        mgr = make_ltrs_manager(g)
+        mgr.ensure_indexes(["a", "b"], 3, rng=0)
+        save_index(mgr, tmp_path)
+        (tmp_path / "tag_00000.npz").unlink()
+        with pytest.raises(IndexError_, match="missing index file"):
+            load_index(g, tmp_path)
+
+    def test_empty_manager_round_trips(self, tmp_path):
+        g = _graph()
+        mgr = make_ltrs_manager(g)
+        save_index(mgr, tmp_path)
+        loaded = load_index(g, tmp_path)
+        assert loaded.indexed_tags == ()

@@ -1,0 +1,120 @@
+"""Tests for RS/RT/IMS/FT initializers and tag search-space elimination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    eliminate_low_frequency_tags,
+    frequency_tag_scores,
+    frequency_tags,
+    ims_seeds,
+    random_seeds,
+    random_tags,
+)
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.graphs import TagGraphBuilder
+from repro.sketch import SketchConfig
+
+
+def _graph():
+    """Targets {3, 4}; tag 'hot' dominates their in-edges, 'cold' is elsewhere."""
+    builder = TagGraphBuilder(6)
+    builder.add(0, 3, "hot", 0.9)
+    builder.add(1, 3, "hot", 0.8)
+    builder.add(1, 4, "hot", 0.7)
+    builder.add(2, 4, "warm", 0.5)
+    builder.add(0, 5, "cold", 0.9)
+    builder.add(2, 5, "cold", 0.9)
+    return builder.build()
+
+
+class TestRandomInits:
+    def test_random_seeds_size_and_range(self):
+        seeds = random_seeds(_graph(), 3, rng=0)
+        assert len(seeds) == 3
+        assert len(set(seeds)) == 3
+        assert all(0 <= s < 6 for s in seeds)
+
+    def test_random_seeds_deterministic(self):
+        assert random_seeds(_graph(), 3, rng=5) == random_seeds(
+            _graph(), 3, rng=5
+        )
+
+    def test_random_seeds_budget_check(self):
+        with pytest.raises(InvalidQueryError):
+            random_seeds(_graph(), 99, rng=0)
+
+    def test_random_tags_from_vocab(self):
+        tags = random_tags(_graph(), 2, rng=0)
+        assert len(tags) == 2
+        assert set(tags) <= {"hot", "warm", "cold"}
+
+    def test_random_tags_universe_restriction(self):
+        tags = random_tags(_graph(), 1, universe=["warm"], rng=0)
+        assert tags == ("warm",)
+
+    def test_random_tags_budget_check(self):
+        with pytest.raises(InvalidQueryError):
+            random_tags(_graph(), 9, rng=0)
+
+
+class TestFrequencyTags:
+    def test_scores_count_only_target_incident(self):
+        scores = frequency_tag_scores(_graph(), [3, 4])
+        assert scores["hot"] == pytest.approx(0.9 + 0.8 + 0.7)
+        assert scores["warm"] == pytest.approx(0.5)
+        assert scores["cold"] == 0.0
+
+    def test_top_r(self):
+        assert frequency_tags(_graph(), [3, 4], 1) == ("hot",)
+        assert frequency_tags(_graph(), [3, 4], 2) == ("hot", "warm")
+
+    def test_ties_broken_by_name(self):
+        builder = TagGraphBuilder(3)
+        builder.add(0, 2, "b", 0.5)
+        builder.add(1, 2, "a", 0.5)
+        g = builder.build()
+        assert frequency_tags(g, [2], 1) == ("a",)
+
+    def test_universe_restriction(self):
+        tags = frequency_tags(_graph(), [3, 4], 1, universe=["warm", "cold"])
+        assert tags == ("warm",)
+
+    def test_bad_budget(self):
+        with pytest.raises(InvalidQueryError):
+            frequency_tags(_graph(), [3], 0)
+
+
+class TestElimination:
+    def test_keeps_top_fraction(self):
+        kept = eliminate_low_frequency_tags(
+            _graph(), [3, 4], keep_fraction=0.34
+        )
+        assert kept == ("hot",)
+
+    def test_keep_all(self):
+        kept = eliminate_low_frequency_tags(_graph(), [3, 4], 1.0)
+        assert set(kept) == {"hot", "warm", "cold"}
+
+    def test_min_keep_floor(self):
+        kept = eliminate_low_frequency_tags(
+            _graph(), [3, 4], keep_fraction=0.01, min_keep=2
+        )
+        assert len(kept) == 2
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            eliminate_low_frequency_tags(_graph(), [3], keep_fraction=0.0)
+
+
+class TestIMSSeeds:
+    def test_finds_influencer_of_targets(self):
+        cfg = SketchConfig(pilot_samples=100, theta_min=300, theta_max=1000)
+        seeds = ims_seeds(_graph(), [3, 4], 1, cfg, rng=0)
+        # Node 1 reaches both targets with high probability under 'hot'.
+        assert seeds == (1,)
+
+    def test_size(self):
+        cfg = SketchConfig(pilot_samples=50, theta_min=200, theta_max=500)
+        assert len(ims_seeds(_graph(), [3, 4], 3, cfg, rng=0)) == 3

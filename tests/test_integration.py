@@ -1,0 +1,178 @@
+"""End-to-end integration tests across modules.
+
+These run the whole pipeline — dataset → targets → joint optimization →
+independent verification — plus cross-estimator agreement checks that
+tie the sketch/index layers back to the exact oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    JointConfig,
+    JointQuery,
+    SketchConfig,
+    TagSelectionConfig,
+    baseline_greedy,
+    estimate_spread,
+    find_seeds,
+    find_tags,
+    jointly_select,
+)
+from repro.core import BaselineConfig, frequency_tags, random_tags
+from repro.datasets import bfs_targets, community_targets, yelp
+from repro.diffusion import exact_spread
+from repro.index import make_lltrs_manager, make_ltrs_manager
+from repro.index.itrs import indexed_select_seeds
+
+FAST_SKETCH = SketchConfig(pilot_samples=100, theta_min=300, theta_max=1200)
+FAST_TAGS = TagSelectionConfig(
+    per_pair_paths=5, rr_theta=600, max_path_targets=25
+)
+
+
+class TestEstimatorAgreement:
+    """TRS, indexed TRS, MC, and exact must tell the same story."""
+
+    def test_all_estimators_agree_on_fig9(self, fig9_graph):
+        tags = ["c4", "c5", "c6"]
+        seeds = [0, 1, 2]
+        targets = [6, 7, 8]
+        truth = exact_spread(fig9_graph, seeds, targets, tags)
+        mc = estimate_spread(
+            fig9_graph, seeds, targets, tags, num_samples=8000, rng=0
+        )
+        assert mc == pytest.approx(truth, abs=0.08)
+
+    def test_index_engines_match_trs_spread(self, small_yelp):
+        targets = community_targets(small_yelp, "toronto", size=25, rng=0)
+        tags = frequency_tags(small_yelp.graph, targets, 5)
+        results = {}
+        for engine in ("trs", "ltrs", "lltrs"):
+            sel = find_seeds(
+                small_yelp.graph, targets, tags, 3,
+                engine=engine, config=FAST_SKETCH, rng=0,
+            )
+            # Evaluate all seed sets by one independent MC estimator.
+            results[engine] = estimate_spread(
+                small_yelp.graph, sel.seeds, targets, tags,
+                num_samples=500, rng=42,
+            )
+        top = max(results.values())
+        for engine, value in results.items():
+            assert value >= 0.7 * top, (engine, results)
+
+
+class TestFullPipeline:
+    def test_yelp_city_campaign(self, small_yelp):
+        targets = community_targets(small_yelp, "pittsburgh", size=25, rng=0)
+        query = JointQuery(targets, k=3, r=5)
+        cfg = JointConfig(
+            max_rounds=2, sketch=FAST_SKETCH, tag_config=FAST_TAGS,
+            eval_samples=100,
+        )
+        result = jointly_select(small_yelp.graph, query, cfg, rng=0)
+        assert len(result.seeds) == 3
+        assert 0 < len(result.tags) <= 5
+        assert result.spread > 0
+
+    def test_bfs_targets_pipeline(self, small_lastfm):
+        targets = bfs_targets(small_lastfm.graph, 30)
+        query = JointQuery(targets, k=3, r=4)
+        cfg = JointConfig(
+            max_rounds=2, sketch=FAST_SKETCH, tag_config=FAST_TAGS,
+            eval_samples=100,
+        )
+        result = jointly_select(small_lastfm.graph, query, cfg, rng=0)
+        assert result.spread > 0
+
+    def test_selected_tags_beat_random_tags(self, small_yelp):
+        # The case-study claim in miniature: optimized tags out-spread
+        # random ones for the same seeds.
+        targets = community_targets(small_yelp, "vegas", size=25, rng=0)
+        seeds = find_seeds(
+            small_yelp.graph, targets, small_yelp.graph.tags, 3,
+            engine="trs", config=FAST_SKETCH, rng=0,
+        ).seeds
+        chosen = find_tags(
+            small_yelp.graph, seeds, targets, 5,
+            method="batch", config=FAST_TAGS, rng=0,
+        ).tags
+        rng = np.random.default_rng(0)
+        random_spreads = []
+        for _ in range(5):
+            rtags = random_tags(small_yelp.graph, 5, rng=rng)
+            random_spreads.append(
+                estimate_spread(
+                    small_yelp.graph, seeds, targets, rtags,
+                    num_samples=300, rng=1,
+                )
+            )
+        chosen_spread = estimate_spread(
+            small_yelp.graph, seeds, targets, chosen,
+            num_samples=300, rng=1,
+        )
+        assert chosen_spread > np.mean(random_spreads)
+
+    def test_ltrs_manager_shared_between_calls_and_framework(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        tags = frequency_tags(small_yelp.graph, targets, 4)
+        mgr = make_ltrs_manager(small_yelp.graph)
+        first = indexed_select_seeds(
+            small_yelp.graph, targets, tags, 2, mgr, FAST_SKETCH, rng=0
+        )
+        built_after_first = mgr.stats.worlds_built
+        second = indexed_select_seeds(
+            small_yelp.graph, targets, list(tags[:2]) + [
+                t for t in small_yelp.graph.tags if t not in tags
+            ][:2],
+            2, mgr, FAST_SKETCH, rng=1,
+        )
+        # Only the two genuinely new tags triggered builds.
+        assert mgr.stats.worlds_built > built_after_first
+        assert first.seeds and second.seeds
+
+    def test_lltrs_local_region_respected(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        mgr = make_lltrs_manager(small_yelp.graph, targets, FAST_SKETCH)
+        tags = frequency_tags(small_yelp.graph, targets, 4)
+        indexed_select_seeds(
+            small_yelp.graph, targets, tags, 2, mgr, FAST_SKETCH, rng=0
+        )
+        covered = mgr.covered_mask
+        for tag in mgr.indexed_tags:
+            index = mgr.index_for(tag)
+            for w in range(index.num_worlds):
+                assert covered[index.world(w)].all()
+
+    def test_baseline_and_iterative_same_interface(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        query = JointQuery(targets, k=2, r=3)
+        iterative = jointly_select(
+            small_yelp.graph, query,
+            JointConfig(
+                max_rounds=1, sketch=FAST_SKETCH, tag_config=FAST_TAGS,
+                eval_samples=60,
+            ),
+            rng=0,
+        )
+        base = baseline_greedy(
+            small_yelp.graph, query,
+            BaselineConfig(rr_samples=150, eval_samples=40), rng=0,
+        )
+        for result in (iterative, base):
+            assert len(result.seeds) == 2
+            assert result.history
+            assert result.elapsed_seconds > 0
+
+
+class TestScaleKnob:
+    def test_datasets_scale_linearly(self):
+        small = yelp(scale=0.1)
+        large = yelp(scale=0.3)
+        ratio = large.graph.num_nodes / small.graph.num_nodes
+        assert ratio == pytest.approx(3.0, rel=0.1)
+        edge_ratio = large.graph.num_edges / small.graph.num_edges
+        assert 2.0 < edge_ratio < 4.5

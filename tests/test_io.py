@@ -1,0 +1,76 @@
+"""Tests for TagGraph TSV serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs import TagGraphBuilder, load_tag_graph, save_tag_graph
+
+
+def _graph():
+    builder = TagGraphBuilder(4)
+    builder.add(0, 1, "coffee & tea", 0.25)
+    builder.add(0, 1, "arts", 0.9)
+    builder.add(2, 3, "arts", 0.123456789)
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_round_trip_equal(self, tmp_path):
+        g = _graph()
+        path = tmp_path / "g.tsv"
+        save_tag_graph(g, path)
+        assert load_tag_graph(path) == g
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = TagGraphBuilder(10).build()
+        path = tmp_path / "empty.tsv"
+        save_tag_graph(g, path)
+        assert load_tag_graph(path).num_nodes == 10
+
+    def test_probabilities_exact(self, tmp_path):
+        g = _graph()
+        path = tmp_path / "g.tsv"
+        save_tag_graph(g, path)
+        loaded = load_tag_graph(path)
+        assert loaded.edge_tag_probability(1, "arts") == pytest.approx(
+            0.123456789, abs=0
+        )
+
+    def test_tags_with_spaces_survive(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        save_tag_graph(_graph(), path)
+        assert "coffee & tea" in load_tag_graph(path).tags
+
+
+class TestMalformedFiles:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\t1\ta\t0.5\n")
+        with pytest.raises(GraphConstructionError, match="header"):
+            load_tag_graph(path)
+
+    def test_unparsable_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# nodes=abc\n")
+        with pytest.raises(GraphConstructionError, match="unparsable"):
+            load_tag_graph(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# nodes=3\n0\t1\ta\n")
+        with pytest.raises(GraphConstructionError, match="4 tab-separated"):
+            load_tag_graph(path)
+
+    def test_unparsable_number(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# nodes=3\n0\t1\ta\tNaNope\n")
+        with pytest.raises(GraphConstructionError, match="unparsable"):
+            load_tag_graph(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("# nodes=2\n\n# a comment\n0\t1\ta\t0.5\n")
+        g = load_tag_graph(path)
+        assert g.num_edges == 1

@@ -1,0 +1,149 @@
+"""Tests for the index-based seed-selection engines (I-TRS / L-TRS / LL-TRS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import community_targets
+from repro.graphs import TagGraphBuilder
+from repro.index import (
+    average_pairwise_common_indexes,
+    indexed_select_seeds,
+    make_itrs_manager,
+    make_lltrs_manager,
+    make_ltrs_manager,
+)
+from repro.sketch import SketchConfig, trs_select_seeds
+
+FAST = SketchConfig(pilot_samples=100, theta_min=200, theta_max=1500)
+
+
+def _star_graph():
+    builder = TagGraphBuilder(7)
+    for v in range(1, 6):
+        builder.add(0, v, "t", 1.0)
+    builder.add(6, 1, "u", 0.2)
+    return builder.build()
+
+
+class TestIndexedSelection:
+    def test_finds_obvious_hub(self):
+        g = _star_graph()
+        mgr = make_ltrs_manager(g)
+        result = indexed_select_seeds(
+            g, [1, 2, 3, 4, 5], ["t"], 1, mgr, FAST, rng=0
+        )
+        assert result.seeds == (0,)
+        assert result.estimated_spread == pytest.approx(5.0, abs=0.05)
+
+    def test_itrs_manager_prebuilds_all_tags(self):
+        g = _star_graph()
+        mgr = make_itrs_manager(g, theta=1000, r=2, config=FAST, rng=0)
+        assert mgr.indexed_tags == ("t", "u")
+
+    def test_ltrs_builds_lazily(self):
+        g = _star_graph()
+        mgr = make_ltrs_manager(g)
+        assert mgr.indexed_tags == ()
+        indexed_select_seeds(g, [1, 2], ["t"], 1, mgr, FAST, rng=0)
+        assert mgr.indexed_tags == ("t",)  # only the queried tag
+
+    def test_ltrs_reuses_across_queries(self):
+        g = _star_graph()
+        mgr = make_ltrs_manager(g)
+        indexed_select_seeds(g, [1, 2], ["t"], 1, mgr, FAST, rng=0)
+        worlds_before = mgr.stats.worlds_built
+        indexed_select_seeds(g, [1, 2], ["t"], 1, mgr, FAST, rng=1)
+        assert mgr.stats.worlds_built == worlds_before  # Lemma 3 reuse
+
+    def test_lltrs_universe_is_local(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        mgr = make_lltrs_manager(small_yelp.graph, targets, FAST)
+        assert mgr.is_local
+        assert mgr.covered_mask.sum() < small_yelp.graph.num_edges
+
+    def test_lltrs_smaller_index_than_ltrs(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        tags = small_yelp.graph.tags[:5]
+        full = make_ltrs_manager(small_yelp.graph)
+        local = make_lltrs_manager(small_yelp.graph, targets, FAST)
+        indexed_select_seeds(
+            small_yelp.graph, targets, tags, 3, full, FAST, rng=0
+        )
+        indexed_select_seeds(
+            small_yelp.graph, targets, tags, 3, local, FAST, rng=0
+        )
+        assert local.stats.stored_edges < full.stats.stored_edges
+
+    def test_accuracy_close_to_trs(self, small_yelp):
+        # Table 2's claim: I-TRS deviates from TRS by a small margin.
+        targets = community_targets(small_yelp, "vegas", size=30, rng=0)
+        tags = small_yelp.graph.tags[:6]
+        cfg = SketchConfig(pilot_samples=200, theta_min=1500, theta_max=4000)
+        trs = trs_select_seeds(small_yelp.graph, targets, tags, 5, cfg, rng=0)
+        mgr = make_ltrs_manager(small_yelp.graph)
+        itrs = indexed_select_seeds(
+            small_yelp.graph, targets, tags, 5, mgr, cfg, rng=0
+        )
+        assert itrs.estimated_spread == pytest.approx(
+            trs.estimated_spread, rel=0.2
+        )
+
+    def test_theta_c_recorded_and_small(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        mgr = make_ltrs_manager(small_yelp.graph)
+        result = indexed_select_seeds(
+            small_yelp.graph, targets, small_yelp.graph.tags[:5], 2,
+            mgr, FAST, rng=0,
+        )
+        assert 0 < result.theta_c < result.theta
+
+    def test_world_choices_recorded_on_request(self):
+        g = _star_graph()
+        mgr = make_ltrs_manager(g)
+        result = indexed_select_seeds(
+            g, [1, 2], ["t", "u"], 1, mgr, FAST, rng=0, record_choices=True
+        )
+        assert result.world_choices is not None
+        assert len(result.world_choices) == result.theta
+        assert set(result.world_choices[0]) == {"t", "u"}
+        # The diagnostic of Figure 7 is computable from the record.
+        c_of_g = average_pairwise_common_indexes(result.world_choices)
+        assert c_of_g >= 0.0
+
+    def test_choices_not_recorded_by_default(self):
+        g = _star_graph()
+        mgr = make_ltrs_manager(g)
+        result = indexed_select_seeds(g, [1, 2], ["t"], 1, mgr, FAST, rng=0)
+        assert result.world_choices is None
+
+    def test_duplicate_tags_deduped(self):
+        g = _star_graph()
+        mgr = make_ltrs_manager(g)
+        result = indexed_select_seeds(
+            g, [1, 2], ["t", "t"], 1, mgr, FAST, rng=0
+        )
+        assert result.seeds == (0,)
+
+    def test_hybrid_traversal_crosses_boundary(self):
+        # Local region of target 2 with h=1 covers only edge 1→2; the
+        # chain 0→1→2 has probability-1 edges, so RR sets must still
+        # reach node 0 through the online-coin fallback.
+        builder = TagGraphBuilder(3)
+        builder.add(0, 1, "t", 1.0)
+        builder.add(1, 2, "t", 1.0)
+        g = builder.build()
+        cfg = SketchConfig(
+            pilot_samples=50, theta_min=100, theta_max=200, h=1
+        )
+        mgr = make_lltrs_manager(g, [2], cfg)
+        result = indexed_select_seeds(g, [2], ["t"], 1, mgr, cfg, rng=0)
+        assert result.seeds == (0,) or result.estimated_spread >= 1.0
+
+    def test_spread_fraction_helper(self):
+        g = _star_graph()
+        mgr = make_ltrs_manager(g)
+        result = indexed_select_seeds(g, [1, 2], ["t"], 1, mgr, FAST, rng=0)
+        assert result.spread_fraction(2) == pytest.approx(1.0, abs=0.05)
+        assert result.spread_fraction(0) == 0.0

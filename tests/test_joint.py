@@ -1,0 +1,227 @@
+"""Tests for the joint iterative framework (Algorithm 2) and the baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BaselineConfig,
+    JointConfig,
+    JointQuery,
+    baseline_greedy,
+    jointly_select,
+)
+from repro.datasets import community_targets
+from repro.diffusion import estimate_spread
+from repro.exceptions import ConfigurationError
+from repro.sketch import SketchConfig
+from repro.tags import TagSelectionConfig
+
+FAST_JOINT = JointConfig(
+    max_rounds=3,
+    sketch=SketchConfig(pilot_samples=80, theta_min=200, theta_max=800),
+    tag_config=TagSelectionConfig(
+        per_pair_paths=5, rr_theta=500, max_path_targets=30
+    ),
+    eval_samples=100,
+)
+
+
+class TestJointConfig:
+    def test_defaults_valid(self):
+        JointConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_rounds": 0},
+            {"convergence_tol": -1.0},
+            {"seed_engine": "bogus"},
+            {"tag_method": "bogus"},
+            {"seed_init": "bogus"},
+            {"tag_init": "bogus"},
+            {"eval_samples": 0},
+            {"eliminate_fraction": 0.0},
+        ],
+    )
+    def test_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            JointConfig(**kwargs)
+
+
+class TestJointlySelect:
+    @pytest.fixture(scope="class")
+    def yelp_run(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=25, rng=0)
+        query = JointQuery(targets, k=4, r=5)
+        result = jointly_select(small_yelp.graph, query, FAST_JOINT, rng=0)
+        return small_yelp, query, result
+
+    def test_budgets_respected(self, yelp_run):
+        _, query, result = yelp_run
+        assert len(result.seeds) == query.k
+        assert len(result.tags) <= query.r
+        assert len(set(result.seeds)) == query.k
+
+    def test_history_steps_are_half_iterations(self, yelp_run):
+        _, _, result = yelp_run
+        steps = [h.step for h in result.history]
+        assert steps[0] == 0.0
+        assert steps[1] == 0.5
+        assert steps == sorted(steps)
+
+    def test_returned_spread_is_best_history(self, yelp_run):
+        _, _, result = yelp_run
+        assert result.spread == pytest.approx(
+            max(h.spread for h in result.history)
+        )
+
+    def test_solution_beats_initialization(self, yelp_run):
+        _, _, result = yelp_run
+        assert result.spread >= result.history[0].spread - 1e-9
+
+    def test_reported_spread_verifiable(self, yelp_run):
+        dataset, query, result = yelp_run
+        independent = estimate_spread(
+            dataset.graph, result.seeds, query.targets, result.tags,
+            num_samples=400, rng=99,
+        )
+        assert independent == pytest.approx(result.spread, rel=0.25, abs=2.0)
+
+    def test_rounds_bounded(self, yelp_run):
+        _, _, result = yelp_run
+        assert 1 <= result.rounds <= FAST_JOINT.max_rounds
+
+    def test_converges_quickly_like_paper(self, small_yelp):
+        # Table 6: RS+FT converges within ~3-4 rounds (MC noise can add
+        # one confirmation round on this small instance).
+        targets = community_targets(small_yelp, "vegas", size=25, rng=1)
+        cfg = JointConfig(
+            max_rounds=6,
+            sketch=FAST_JOINT.sketch,
+            tag_config=FAST_JOINT.tag_config,
+            eval_samples=FAST_JOINT.eval_samples,
+        )
+        result = jointly_select(
+            small_yelp.graph, JointQuery(targets, k=3, r=4), cfg, rng=1
+        )
+        assert result.converged
+        assert result.rounds <= 5
+
+    def test_deterministic(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=2)
+        query = JointQuery(targets, k=2, r=3)
+        a = jointly_select(small_yelp.graph, query, FAST_JOINT, rng=3)
+        b = jointly_select(small_yelp.graph, query, FAST_JOINT, rng=3)
+        assert a.seeds == b.seeds
+        assert a.tags == b.tags
+
+    @pytest.mark.parametrize("seed_init,tag_init", [
+        ("random", "random"),
+        ("random", "frequency"),
+        ("ims", "random"),
+        ("ims", "frequency"),
+    ])
+    def test_all_init_combinations_run(self, small_yelp, seed_init, tag_init):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        cfg = JointConfig(
+            max_rounds=2,
+            seed_init=seed_init,
+            tag_init=tag_init,
+            sketch=FAST_JOINT.sketch,
+            tag_config=FAST_JOINT.tag_config,
+            eval_samples=60,
+        )
+        result = jointly_select(
+            small_yelp.graph, JointQuery(targets, k=2, r=3), cfg, rng=0
+        )
+        assert len(result.seeds) == 2
+
+    def test_elimination_restricts_universe(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        cfg = JointConfig(
+            max_rounds=1,
+            eliminate_fraction=0.3,
+            sketch=FAST_JOINT.sketch,
+            tag_config=FAST_JOINT.tag_config,
+            eval_samples=60,
+        )
+        result = jointly_select(
+            small_yelp.graph, JointQuery(targets, k=2, r=3), cfg, rng=0
+        )
+        assert len(result.tags) <= 3
+
+    def test_pad_tags_fills_budget(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        cfg = JointConfig(
+            max_rounds=1,
+            pad_tags=True,
+            sketch=FAST_JOINT.sketch,
+            tag_config=FAST_JOINT.tag_config,
+            eval_samples=60,
+        )
+        result = jointly_select(
+            small_yelp.graph, JointQuery(targets, k=2, r=6), cfg, rng=0
+        )
+        assert len(result.tags) == 6
+
+    @pytest.mark.parametrize("engine", ["trs", "ltrs", "lltrs"])
+    def test_seed_engines(self, small_yelp, engine):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        cfg = JointConfig(
+            max_rounds=1,
+            seed_engine=engine,
+            sketch=FAST_JOINT.sketch,
+            tag_config=FAST_JOINT.tag_config,
+            eval_samples=60,
+        )
+        result = jointly_select(
+            small_yelp.graph, JointQuery(targets, k=2, r=3), cfg, rng=0
+        )
+        assert len(result.seeds) == 2
+
+
+class TestBaselineGreedy:
+    def test_budgets(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        result = baseline_greedy(
+            small_yelp.graph, JointQuery(targets, k=3, r=4),
+            BaselineConfig(rr_samples=200, eval_samples=50), rng=0,
+        )
+        assert len(result.seeds) == 3
+        assert len(result.tags) == 4
+
+    def test_asymmetric_budgets(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        result = baseline_greedy(
+            small_yelp.graph, JointQuery(targets, k=1, r=4),
+            BaselineConfig(rr_samples=200, eval_samples=50), rng=0,
+        )
+        assert len(result.seeds) == 1
+        assert len(result.tags) == 4
+
+    def test_positive_spread(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        result = baseline_greedy(
+            small_yelp.graph, JointQuery(targets, k=3, r=4),
+            BaselineConfig(rr_samples=200, eval_samples=50), rng=0,
+        )
+        assert result.spread > 0.0
+
+    def test_iterative_not_worse_than_baseline(self, small_yelp):
+        # The paper's headline comparison (Figures 13–14), allowing MC
+        # slack on this small instance.
+        targets = community_targets(small_yelp, "vegas", size=25, rng=0)
+        query = JointQuery(targets, k=4, r=5)
+        iterative = jointly_select(small_yelp.graph, query, FAST_JOINT, rng=0)
+        base = baseline_greedy(
+            small_yelp.graph, query,
+            BaselineConfig(rr_samples=200, eval_samples=50), rng=0,
+        )
+        assert iterative.spread >= base.spread * 0.85
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            BaselineConfig(rr_samples=0)
+        with pytest.raises(ConfigurationError):
+            BaselineConfig(tag_candidates=0)

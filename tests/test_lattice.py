@@ -1,0 +1,139 @@
+"""Tests for path-batches and the batch lattice (Figure 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.tags import (
+    BatchLattice,
+    PathBatch,
+    TagSelectionConfig,
+    build_batches,
+    collect_paths,
+)
+from tests.conftest import FIG9_SEEDS, FIG9_TARGETS
+
+
+def _path(edges, tags, prob=0.5, nodes=None):
+    from repro.tags import TagPath
+
+    if nodes is None:
+        nodes = tuple(range(len(edges) + 1))
+    return TagPath(
+        nodes=tuple(nodes), edge_ids=tuple(edges),
+        tag_choices=tuple(tags), probability=prob,
+    )
+
+
+class TestBuildBatches:
+    def test_groups_by_exact_tag_set(self):
+        paths = [
+            _path([0], ["a"]),
+            _path([1], ["a"]),
+            _path([2, 3], ["a", "b"]),
+        ]
+        batches = build_batches(paths)
+        by_tags = {b.tag_set: b for b in batches}
+        assert by_tags[frozenset({"a"})].path_indices == (0, 1)
+        assert by_tags[frozenset({"a", "b"})].path_indices == (2,)
+
+    def test_budget_filter(self):
+        paths = [_path([0, 1, 2], ["a", "b", "c"]), _path([3], ["a"])]
+        batches = build_batches(paths, max_tags=2)
+        assert len(batches) == 1
+        assert batches[0].tag_set == frozenset({"a"})
+
+    def test_sorted_by_level(self):
+        paths = [_path([0, 1], ["a", "b"]), _path([2], ["c"])]
+        batches = build_batches(paths)
+        assert [b.cost for b in batches] == [1, 2]
+
+    def test_empty(self):
+        assert build_batches([]) == []
+
+    def test_new_tags(self):
+        batch = PathBatch(frozenset({"a", "b"}), (0,))
+        assert batch.new_tags(frozenset({"a"})) == frozenset({"b"})
+        assert batch.cost == 2
+
+
+class TestLatticeFig9:
+    @pytest.fixture
+    def fig9_lattice(self, fig9_graph):
+        cfg = TagSelectionConfig(per_pair_paths=10, prob_floor=0.0)
+        paths = collect_paths(fig9_graph, FIG9_SEEDS, FIG9_TARGETS, cfg, rng=0)
+        return paths, BatchLattice(build_batches(paths, max_tags=3))
+
+    def test_expected_batches(self, fig9_lattice):
+        _, lattice = fig9_lattice
+        tag_sets = {b.tag_set for b in lattice.batches}
+        assert tag_sets == {
+            frozenset({"c2", "c3"}),
+            frozenset({"c4"}),
+            frozenset({"c5"}),
+            frozenset({"c6"}),
+            frozenset({"c4", "c5"}),
+            frozenset({"c5", "c6"}),
+        }
+
+    def test_levels(self, fig9_lattice):
+        _, lattice = fig9_lattice
+        assert len(lattice.levels[1]) == 3
+        assert len(lattice.levels[2]) == 3
+
+    def test_batch_c4c5_has_two_paths(self, fig9_lattice):
+        paths, lattice = fig9_lattice
+        batch = next(
+            b for b in lattice.batches
+            if b.tag_set == frozenset({"c4", "c5"})
+        )
+        edge_sets = {paths[i].edge_ids for i in batch.path_indices}
+        assert edge_sets == {(3, 9), (4, 9)}  # e4e10 and e5e10
+
+    def test_descendants_of_c4c5(self, fig9_lattice):
+        # Des P(c4,c5) = {P(c4,c5), P(c4), P(c5)} — Example 4.
+        paths, lattice = fig9_lattice
+        idx = next(
+            i for i, b in enumerate(lattice.batches)
+            if b.tag_set == frozenset({"c4", "c5"})
+        )
+        descendant_tags = {
+            lattice.batches[d].tag_set for d in lattice.descendants(idx)
+        }
+        assert descendant_tags == {
+            frozenset({"c4", "c5"}), frozenset({"c4"}), frozenset({"c5"}),
+        }
+
+    def test_descendant_paths_match_example4(self, fig9_lattice):
+        # Activating {c4, c5} activates e4e10, e5e10, e7, e6e12.
+        paths, lattice = fig9_lattice
+        active = lattice.active_paths({"c4", "c5"})
+        edge_sets = {paths[i].edge_ids for i in active}
+        assert edge_sets == {(3, 9), (4, 9), (6,), (5, 11)}
+
+    def test_children_links_are_subsets(self, fig9_lattice):
+        _, lattice = fig9_lattice
+        for parent, kids in lattice.children.items():
+            for kid in kids:
+                assert (
+                    lattice.batches[kid].tag_set
+                    < lattice.batches[parent].tag_set
+                    or lattice.batches[kid].tag_set
+                    <= lattice.batches[parent].tag_set
+                )
+
+    def test_activated_by_everything(self, fig9_lattice):
+        paths, lattice = fig9_lattice
+        all_tags = {"c2", "c3", "c4", "c5", "c6"}
+        assert len(lattice.activated_by(all_tags)) == len(lattice.batches)
+        assert len(lattice.active_paths(all_tags)) == len(paths)
+
+    def test_activated_by_nothing(self, fig9_lattice):
+        _, lattice = fig9_lattice
+        assert lattice.activated_by(set()) == []
+
+    def test_descendants_bad_index(self, fig9_lattice):
+        _, lattice = fig9_lattice
+        with pytest.raises(InvalidQueryError):
+            lattice.descendants(999)

@@ -1,0 +1,335 @@
+"""Tests for the interaction-log substrate and the probability estimator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.graphs import TagGraphBuilder
+from repro.learning import (
+    Interaction,
+    InteractionLog,
+    LearningConfig,
+    learn_tag_graph,
+    simulate_interaction_log,
+)
+
+
+class TestInteractionLog:
+    def test_sorted_iteration(self):
+        log = InteractionLog(
+            [
+                Interaction(5.0, 1, "a"),
+                Interaction(1.0, 0, "a"),
+                Interaction(3.0, 2, "b"),
+            ]
+        )
+        times = [e.timestamp for e in log]
+        assert times == sorted(times)
+
+    def test_add_keeps_sorted(self):
+        log = InteractionLog()
+        log.add(1, "a", 10.0)
+        log.add(0, "a", 5.0)
+        assert [e.user for e in log] == [0, 1]
+
+    def test_tags_and_users(self):
+        log = InteractionLog(
+            [Interaction(1.0, 3, "z"), Interaction(2.0, 1, "a")]
+        )
+        assert log.tags == ("a", "z")
+        assert log.users == (1, 3)
+
+    def test_first_adoptions(self):
+        log = InteractionLog(
+            [
+                Interaction(1.0, 0, "a"),
+                Interaction(2.0, 0, "a"),
+                Interaction(3.0, 1, "a"),
+                Interaction(4.0, 0, "b"),
+            ]
+        )
+        assert log.first_adoptions("a") == {0: 1.0, 1: 3.0}
+
+    def test_adoptions_all_events(self):
+        log = InteractionLog(
+            [
+                Interaction(1.0, 0, "a"),
+                Interaction(2.0, 0, "a"),
+                Interaction(3.0, 1, "a"),
+            ]
+        )
+        assert log.adoptions("a") == {0: [1.0, 2.0], 1: [3.0]}
+
+    def test_len(self):
+        assert len(InteractionLog([Interaction(1.0, 0, "a")])) == 1
+
+
+class TestSimulateLog:
+    @pytest.fixture
+    def truth(self):
+        builder = TagGraphBuilder(4)
+        builder.add(0, 1, "hot", 0.9)
+        builder.add(1, 2, "hot", 0.9)
+        builder.add(0, 3, "cold", 0.1)
+        return builder.build()
+
+    def test_produces_events(self, truth):
+        log = simulate_interaction_log(truth, 20, rng=0)
+        assert len(log) >= 20  # at least the sources
+
+    def test_temporal_order_along_cascade(self, truth):
+        log = simulate_interaction_log(truth, 50, rng=0)
+        # Within any episode (time bucket), child adoptions come after
+        # parent adoptions — check via first_adoptions per episode gap.
+        events = list(log)
+        for a, b in zip(events, events[1:]):
+            assert a.timestamp <= b.timestamp
+
+    def test_episode_spacing_separates_cascades(self, truth):
+        log = simulate_interaction_log(
+            truth, 5, episode_spacing=1000.0, delay_scale=1.0, rng=0
+        )
+        buckets = {int(e.timestamp // 1000) for e in log}
+        assert len(buckets) <= 5
+
+    def test_bad_inputs(self, truth):
+        with pytest.raises(InvalidQueryError):
+            simulate_interaction_log(truth, 0, rng=0)
+        with pytest.raises(InvalidQueryError):
+            simulate_interaction_log(TagGraphBuilder(3).build(), 5, rng=0)
+
+    def test_deterministic(self, truth):
+        a = list(simulate_interaction_log(truth, 10, rng=7))
+        b = list(simulate_interaction_log(truth, 10, rng=7))
+        assert a == b
+
+
+class TestLearningConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"window": 0.0}, {"a": 0.0}, {"min_frequency": 0}],
+    )
+    def test_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(**kwargs)
+
+
+class TestLearnTagGraph:
+    def test_hand_built_log_exact_counts(self):
+        # u=0 adopts "a" at t=0 and t=100; v=1 follows at t=5 and t=105.
+        log = InteractionLog(
+            [
+                Interaction(0.0, 0, "a"),
+                Interaction(5.0, 1, "a"),
+                Interaction(100.0, 0, "a"),
+                Interaction(105.0, 1, "a"),
+            ]
+        )
+        cfg = LearningConfig(window=10.0, a=5.0)
+        graph = learn_tag_graph(log, [(0, 1)], num_nodes=2, config=cfg)
+        # Two credited events → t=2 → p = 1 - e^{-2/5}.
+        assert graph.num_edges == 1
+        assert graph.edge_tag_probability(0, "a") == pytest.approx(
+            1 - math.exp(-2 / 5)
+        )
+        assert graph.src[0] == 0 and graph.dst[0] == 1  # direction u → v
+
+    def test_direction_from_timestamps(self):
+        log = InteractionLog(
+            [Interaction(0.0, 1, "a"), Interaction(3.0, 0, "a")]
+        )
+        graph = learn_tag_graph(
+            log, [(0, 1)], num_nodes=2, config=LearningConfig(window=10.0)
+        )
+        assert graph.src[0] == 1 and graph.dst[0] == 0
+
+    def test_window_excludes_distant_events(self):
+        log = InteractionLog(
+            [Interaction(0.0, 0, "a"), Interaction(500.0, 1, "a")]
+        )
+        graph = learn_tag_graph(
+            log, [(0, 1)], num_nodes=2, config=LearningConfig(window=10.0)
+        )
+        assert graph.num_edges == 0
+
+    def test_non_friends_never_linked(self):
+        log = InteractionLog(
+            [Interaction(0.0, 0, "a"), Interaction(1.0, 2, "a")]
+        )
+        graph = learn_tag_graph(
+            log, [(0, 1)], num_nodes=3, config=LearningConfig(window=10.0)
+        )
+        assert graph.num_edges == 0
+
+    def test_min_frequency_cut(self):
+        log = InteractionLog(
+            [Interaction(0.0, 0, "a"), Interaction(1.0, 1, "a")]
+        )
+        cfg = LearningConfig(window=10.0, min_frequency=2)
+        graph = learn_tag_graph(log, [(0, 1)], num_nodes=2, config=cfg)
+        assert graph.num_edges == 0
+
+    def test_both_directions_learnable(self):
+        # u leads on "a"; v leads on "b": two directed edges emerge.
+        log = InteractionLog(
+            [
+                Interaction(0.0, 0, "a"),
+                Interaction(1.0, 1, "a"),
+                Interaction(10.0, 1, "b"),
+                Interaction(11.0, 0, "b"),
+            ]
+        )
+        graph = learn_tag_graph(
+            log, [(0, 1)], num_nodes=2, config=LearningConfig(window=5.0)
+        )
+        assert graph.num_edges == 2
+        assert graph.edge_tag_probability(
+            int(np.flatnonzero((graph.src == 0) & (graph.dst == 1))[0]), "a"
+        ) > 0.0
+
+    def test_round_trip_recovers_strong_edges(self):
+        # Ground truth with one strong and one weak tag-edge; after many
+        # episodes the learned probability for the strong edge should
+        # clearly dominate the weak one.
+        builder = TagGraphBuilder(3)
+        builder.add(0, 1, "hot", 0.95)
+        builder.add(0, 2, "mild", 0.15)
+        truth = builder.build()
+        log = simulate_interaction_log(
+            truth, 150, delay_scale=1.0, rng=0
+        )
+        learned = learn_tag_graph(
+            log, [(0, 1), (0, 2)], num_nodes=3,
+            config=LearningConfig(window=20.0, a=20.0),
+        )
+        p_hot = _learned_prob(learned, 0, 1, "hot")
+        p_mild = _learned_prob(learned, 0, 2, "mild")
+        assert p_hot > p_mild
+        assert p_hot > 0.5
+
+    def test_learned_graph_drives_the_pipeline(self):
+        # A learned graph is a first-class TagGraph: run seed selection.
+        from repro.sketch import SketchConfig, trs_select_seeds
+
+        builder = TagGraphBuilder(5)
+        builder.add(0, 1, "t", 0.9)
+        builder.add(1, 2, "t", 0.9)
+        builder.add(3, 4, "t", 0.9)
+        truth = builder.build()
+        log = simulate_interaction_log(truth, 120, rng=0)
+        learned = learn_tag_graph(
+            log, [(0, 1), (1, 2), (3, 4)], num_nodes=5,
+            config=LearningConfig(window=20.0, a=5.0),
+        )
+        assert learned.num_edges >= 2
+        result = trs_select_seeds(
+            learned, [1, 2], list(learned.tags), 1,
+            SketchConfig(pilot_samples=50, theta_min=100, theta_max=300),
+            rng=0,
+        )
+        assert result.seeds[0] in (0, 1)
+
+
+def _learned_prob(graph, u, v, tag):
+    for eid in range(graph.num_edges):
+        if int(graph.src[eid]) == u and int(graph.dst[eid]) == v:
+            return graph.edge_tag_probability(eid, tag)
+    return 0.0
+
+
+def truth_friendships(graph):
+    return [
+        (int(graph.src[e]), int(graph.dst[e]))
+        for e in range(graph.num_edges)
+    ]
+
+
+class TestBernoulliMethod:
+    def test_mle_probability(self):
+        # u adopts "a" 4 times; v follows twice within the window:
+        # p = 2/4 = 0.5.
+        log = InteractionLog(
+            [
+                Interaction(0.0, 0, "a"),
+                Interaction(1.0, 1, "a"),
+                Interaction(100.0, 0, "a"),
+                Interaction(101.0, 1, "a"),
+                Interaction(200.0, 0, "a"),
+                Interaction(300.0, 0, "a"),
+            ]
+        )
+        cfg = LearningConfig(window=10.0, method="bernoulli")
+        graph = learn_tag_graph(log, [(0, 1)], num_nodes=2, config=cfg)
+        assert graph.num_edges == 1
+        assert graph.edge_tag_probability(0, "a") == pytest.approx(0.5)
+
+    def test_probability_never_exceeds_one(self):
+        log = InteractionLog(
+            [Interaction(0.0, 0, "a"), Interaction(1.0, 1, "a")]
+        )
+        cfg = LearningConfig(window=10.0, method="bernoulli")
+        graph = learn_tag_graph(log, [(0, 1)], num_nodes=2, config=cfg)
+        assert graph.edge_tag_probability(0, "a") == pytest.approx(1.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(method="magic")
+
+    def test_bernoulli_calibration_on_simulated_logs(self):
+        # Ground-truth p = 0.6 on a single edge; the Bernoulli MLE over
+        # many episodes should recover it closely.
+        builder = TagGraphBuilder(2)
+        builder.add(0, 1, "t", 0.6)
+        truth = builder.build()
+        log = simulate_interaction_log(truth, 400, rng=0)
+        cfg = LearningConfig(window=50.0, method="bernoulli")
+        learned = learn_tag_graph(log, [(0, 1)], num_nodes=2, config=cfg)
+        # Only episodes whose random source was node 0 give trials;
+        # among those, v follows with probability 0.6.
+        assert learned.num_edges >= 1
+        assert learned.edge_tag_probability(0, "t") == pytest.approx(
+            0.6, abs=0.1
+        )
+
+
+class TestLogPersistence:
+    def test_round_trip(self, tmp_path):
+        log = InteractionLog(
+            [
+                Interaction(1.5, 0, "coffee & tea"),
+                Interaction(2.25, 1, "arts"),
+            ]
+        )
+        path = tmp_path / "log.csv"
+        log.save(path)
+        loaded = InteractionLog.load(path)
+        assert list(loaded) == list(log)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,who,what\n")
+        with pytest.raises(InvalidQueryError, match="header"):
+            InteractionLog.load(path)
+
+    def test_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,user,tag\nnot-a-number,0,a\n")
+        with pytest.raises(InvalidQueryError, match="unparsable"):
+            InteractionLog.load(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,user,tag\n1.0,0\n")
+        with pytest.raises(InvalidQueryError, match="3 comma-separated"):
+            InteractionLog.load(path)
+
+    def test_tag_with_comma_preserved(self, tmp_path):
+        # Tags may contain commas beyond the first two fields.
+        log = InteractionLog([Interaction(1.0, 0, "a,b")])
+        path = tmp_path / "log.csv"
+        log.save(path)
+        assert list(InteractionLog.load(path))[0].tag == "a,b"

@@ -1,0 +1,221 @@
+"""Tests for the LT diffusion extension and the MIA estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    estimate_lt_spread,
+    exact_spread,
+    lt_edge_weights,
+    lt_reverse_reachable_set,
+    mia_spread,
+    sample_live_edges,
+    simulate_lt_cascade,
+)
+from repro.exceptions import InvalidQueryError
+from repro.graphs import TagGraphBuilder
+
+
+def _fan_in_graph():
+    """Three sources 0,1,2 → 3 with probabilities summing above 1."""
+    builder = TagGraphBuilder(4)
+    builder.add(0, 3, "t", 0.6)
+    builder.add(1, 3, "t", 0.5)
+    builder.add(2, 3, "t", 0.4)
+    return builder.build()
+
+
+class TestLTWeights:
+    def test_normalizes_over_capacity(self):
+        g = _fan_in_graph()
+        weights = lt_edge_weights(g, ["t"])
+        incoming = weights.sum()  # all edges enter node 3
+        assert incoming == pytest.approx(1.0)
+        # Relative proportions preserved.
+        assert weights[0] / weights[1] == pytest.approx(0.6 / 0.5)
+
+    def test_under_capacity_unchanged(self, line_graph):
+        weights = lt_edge_weights(line_graph, ["a", "b", "c"])
+        assert np.allclose(
+            weights, line_graph.edge_probabilities(["a", "b", "c"])
+        )
+
+    def test_cap_parameter(self):
+        g = _fan_in_graph()
+        weights = lt_edge_weights(g, ["t"], cap=0.5)
+        assert weights.sum() == pytest.approx(0.5)
+
+    def test_bad_cap(self):
+        with pytest.raises(InvalidQueryError):
+            lt_edge_weights(_fan_in_graph(), ["t"], cap=0.0)
+
+
+class TestLTCascade:
+    def test_seeds_always_active(self, line_graph):
+        weights = np.zeros(line_graph.num_edges)
+        active = simulate_lt_cascade(line_graph, [2], weights, rng=0)
+        assert active.tolist() == [False, False, True, False]
+
+    def test_weight_one_chain_fully_activates(self):
+        builder = TagGraphBuilder(3)
+        builder.add(0, 1, "t", 1.0)
+        builder.add(1, 2, "t", 1.0)
+        g = builder.build()
+        weights = lt_edge_weights(g, ["t"])
+        active = simulate_lt_cascade(g, [0], weights, rng=0)
+        assert active.all()
+
+    def test_activation_rate_matches_weight(self, line_graph):
+        # Single in-edge with weight w: P(activate) = P(θ ≤ w) = w.
+        weights = np.array([0.3, 0.0, 0.0])
+        rng = np.random.default_rng(0)
+        hits = sum(
+            simulate_lt_cascade(line_graph, [0], weights, rng)[1]
+            for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_live_edge_equivalence(self):
+        # Forward LT simulation and the live-edge world must produce the
+        # same activation distribution (Kempe et al.'s equivalence).
+        g = _fan_in_graph()
+        weights = lt_edge_weights(g, ["t"])
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        n = 6000
+        threshold_rate = sum(
+            simulate_lt_cascade(g, [0], weights, rng_a)[3] for _ in range(n)
+        ) / n
+        live_rate = 0
+        for _ in range(n):
+            mask = sample_live_edges(g, weights, rng_b)
+            live_rate += bool(mask[0])  # node 3 picked edge from node 0
+        live_rate /= n
+        assert threshold_rate == pytest.approx(live_rate, abs=0.03)
+
+    def test_bad_weights_shape(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            simulate_lt_cascade(line_graph, [0], np.ones(99), rng=0)
+
+
+class TestLiveEdges:
+    def test_at_most_one_incoming_per_node(self):
+        g = _fan_in_graph()
+        weights = lt_edge_weights(g, ["t"])
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            mask = sample_live_edges(g, weights, rng)
+            per_node = np.bincount(
+                g.dst[np.flatnonzero(mask)], minlength=g.num_nodes
+            )
+            assert per_node.max() <= 1
+
+    def test_selection_distribution(self):
+        g = _fan_in_graph()
+        weights = lt_edge_weights(g, ["t"])
+        rng = np.random.default_rng(3)
+        counts = np.zeros(g.num_edges)
+        n = 6000
+        for _ in range(n):
+            counts += sample_live_edges(g, weights, rng)
+        assert counts[0] / n == pytest.approx(weights[0], abs=0.03)
+        assert counts[2] / n == pytest.approx(weights[2], abs=0.03)
+
+
+class TestLTRRSets:
+    def test_contains_root(self, line_graph):
+        weights = np.zeros(line_graph.num_edges)
+        rr = lt_reverse_reachable_set(line_graph, 2, weights, rng=0)
+        assert rr.tolist() == [2]
+
+    def test_chain_membership_rate(self, line_graph):
+        # P(node 2 ∈ RR(3)) = weight of edge 2→3 = 0.5.
+        weights = np.array([0.5, 0.5, 0.5])
+        rng = np.random.default_rng(0)
+        hits = sum(
+            2 in lt_reverse_reachable_set(line_graph, 3, weights, rng).tolist()
+            for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.5, abs=0.03)
+
+    def test_is_a_path(self, small_yelp):
+        weights = lt_edge_weights(small_yelp.graph, small_yelp.graph.tags[:5])
+        rng = np.random.default_rng(0)
+        rr = lt_reverse_reachable_set(small_yelp.graph, 0, weights, rng)
+        # Live-edge reverse walks are simple paths: all members distinct.
+        assert len(set(rr.tolist())) == rr.size
+
+
+class TestEstimateLTSpread:
+    def test_chain_closed_form(self, line_graph):
+        # LT weights equal the probabilities here (single in-edges), and
+        # on a chain the activation of node 3 from seed 0 is 0.5^3.
+        value = estimate_lt_spread(
+            line_graph, [0], [3], ["a", "b", "c"],
+            num_samples=8000, rng=0,
+        )
+        assert value == pytest.approx(0.125, abs=0.02)
+
+    def test_empty_seeds(self, line_graph):
+        assert estimate_lt_spread(line_graph, [], [3], ["a"], rng=0) == 0.0
+
+    def test_monotone_in_seeds(self):
+        g = _fan_in_graph()
+        one = estimate_lt_spread(g, [0], [3], ["t"], num_samples=3000, rng=0)
+        three = estimate_lt_spread(
+            g, [0, 1, 2], [3], ["t"], num_samples=3000, rng=0
+        )
+        assert three >= one
+
+
+class TestMIA:
+    def test_exact_on_chain(self, line_graph):
+        mia = mia_spread(line_graph, [0], [3], ["a", "b", "c"], theta=1e-6)
+        exact = exact_spread(line_graph, [0], [3], ["a", "b", "c"])
+        assert mia == pytest.approx(exact)
+
+    def test_exact_on_in_tree(self):
+        # In-tree into node 4: MIA is exact on trees.
+        builder = TagGraphBuilder(5)
+        builder.add(0, 2, "t", 0.5)
+        builder.add(1, 2, "t", 0.6)
+        builder.add(2, 4, "t", 0.7)
+        builder.add(3, 4, "t", 0.8)
+        g = builder.build()
+        mia = mia_spread(g, [0, 1, 3], [4], ["t"], theta=1e-9)
+        exact = exact_spread(g, [0, 1, 3], [4], ["t"])
+        assert mia == pytest.approx(exact)
+
+    def test_seed_target_is_one(self, line_graph):
+        assert mia_spread(line_graph, [2], [2], ["a"]) == 1.0
+
+    def test_theta_prunes_long_paths(self, line_graph):
+        # Path prob 0.125 < θ=0.2: pruned to zero.
+        value = mia_spread(line_graph, [0], [3], ["a", "b", "c"], theta=0.2)
+        assert value == 0.0
+
+    def test_bad_theta(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            mia_spread(line_graph, [0], [3], ["a"], theta=0.0)
+
+    def test_close_to_mc_on_sparse_graph(self, small_lastfm):
+        from repro.diffusion import estimate_spread
+
+        g = small_lastfm.graph
+        tags = g.tags[:4]
+        seeds = [0, 1]
+        targets = list(range(10, 40))
+        mia = mia_spread(g, seeds, targets, tags, theta=0.001)
+        mc = estimate_spread(
+            g, seeds, targets, tags, num_samples=2000, rng=0
+        )
+        # MIA is a heuristic: demand agreement within a factor of ~2.
+        assert mia == pytest.approx(mc, rel=1.0, abs=1.0)
+
+    def test_ignores_unreachable_targets(self):
+        builder = TagGraphBuilder(3)
+        builder.add(0, 1, "t", 0.9)
+        g = builder.build()
+        assert mia_spread(g, [0], [2], ["t"]) == 0.0

@@ -1,0 +1,142 @@
+"""Tests for most-probable path enumeration, pinned to the Figure 9 example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tags import TagPath, TagSelectionConfig, collect_paths, top_paths
+from tests.conftest import FIG9_SEEDS, FIG9_TARGETS
+
+
+class TestTagPath:
+    def test_properties(self):
+        path = TagPath(
+            nodes=(0, 1, 2), edge_ids=(0, 1),
+            tag_choices=("a", "b"), probability=0.35,
+        )
+        assert path.source == 0
+        assert path.target == 2
+        assert path.tag_set == frozenset({"a", "b"})
+        assert path.pairs == ((0, "a"), (1, "b"))
+        assert len(path) == 2
+
+    def test_repeated_tag_set(self):
+        path = TagPath(
+            nodes=(0, 1, 2), edge_ids=(0, 1),
+            tag_choices=("a", "a"), probability=0.25,
+        )
+        assert path.tag_set == frozenset({"a"})
+
+
+class TestTopPaths:
+    def test_single_hop(self, line_graph):
+        paths = top_paths(line_graph, 0, 1, 5)
+        assert len(paths) == 1
+        assert paths[0].probability == pytest.approx(0.5)
+        assert paths[0].tag_choices == ("a",)
+
+    def test_multi_hop_probability_product(self, line_graph):
+        paths = top_paths(line_graph, 0, 3, 5)
+        assert len(paths) == 1
+        assert paths[0].probability == pytest.approx(0.125)
+
+    def test_source_equals_target(self, line_graph):
+        assert top_paths(line_graph, 1, 1, 5) == []
+
+    def test_unreachable(self, line_graph):
+        assert top_paths(line_graph, 3, 0, 5) == []
+
+    def test_multi_tag_edge_gives_parallel_paths(self, diamond_graph):
+        # Edge (0,1) carries tags a=0.8 and b=0.4: two distinct 1-hop paths.
+        paths = top_paths(diamond_graph, 0, 1, 5)
+        assert len(paths) == 2
+        assert paths[0].probability == pytest.approx(0.8)
+        assert paths[0].tag_choices == ("a",)
+        assert paths[1].probability == pytest.approx(0.4)
+
+    def test_descending_order(self, fig9_graph):
+        paths = top_paths(fig9_graph, 0, 7, 10)
+        probs = [p.probability for p in paths]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_limit_respected(self, fig9_graph):
+        assert len(top_paths(fig9_graph, 0, 7, 1)) == 1
+
+    def test_forbidden_nodes_blocked(self, fig9_graph):
+        # A → H paths: direct e9 and through seed B (e1 e4 e10). With B,C
+        # forbidden only the direct one survives.
+        paths = top_paths(
+            fig9_graph, 0, 7, 10, forbidden=frozenset(FIG9_SEEDS)
+        )
+        assert len(paths) == 1
+        assert paths[0].edge_ids == (8,)  # e9 is edge index 8
+
+    def test_unforbidden_finds_both(self, fig9_graph):
+        paths = top_paths(fig9_graph, 0, 7, 10)
+        assert len(paths) == 2
+
+    def test_hop_cap(self, fig9_graph):
+        cfg = TagSelectionConfig(max_hops=1)
+        paths = top_paths(fig9_graph, 0, 7, 10, config=cfg)
+        assert all(len(p) <= 1 for p in paths)
+
+    def test_prob_floor_prunes(self, line_graph):
+        cfg = TagSelectionConfig(prob_floor=0.2)
+        assert top_paths(line_graph, 0, 3, 5, config=cfg) == []  # 0.125 < 0.2
+
+
+class TestCollectPathsFig9:
+    """The Section 4.2 worked example: 8 of 14 paths survive pruning."""
+
+    @pytest.fixture
+    def fig9_paths(self, fig9_graph):
+        cfg = TagSelectionConfig(per_pair_paths=10, prob_floor=0.0)
+        return collect_paths(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, cfg, rng=0
+        )
+
+    def test_eight_paths_survive(self, fig9_paths):
+        assert len(fig9_paths) == 8
+
+    def test_expected_path_set(self, fig9_paths):
+        # e3e8, e7, e9, e4e10, e5e10, e4e11, e5e11, e6e12 (edge indices
+        # are FIG9_EDGES positions: e1..e12 → 0..11).
+        expected = {
+            (2, 7), (6,), (8,), (3, 9), (4, 9), (3, 10), (4, 10), (5, 11),
+        }
+        assert {p.edge_ids for p in fig9_paths} == expected
+
+    def test_probabilities_match_paper(self, fig9_paths):
+        by_edges = {p.edge_ids: p for p in fig9_paths}
+        assert by_edges[(2, 7)].probability == pytest.approx(0.81)  # e3e8
+        assert by_edges[(6,)].probability == pytest.approx(0.8)  # e7
+        assert by_edges[(3, 9)].probability == pytest.approx(0.56)  # e4e10
+        assert by_edges[(5, 11)].probability == pytest.approx(0.63)  # e6e12
+
+    def test_tag_sets_match_paper(self, fig9_paths):
+        by_edges = {p.edge_ids: p for p in fig9_paths}
+        assert by_edges[(2, 7)].tag_set == frozenset({"c2", "c3"})
+        assert by_edges[(3, 9)].tag_set == frozenset({"c4", "c5"})
+        assert by_edges[(4, 9)].tag_set == frozenset({"c4", "c5"})
+        assert by_edges[(5, 11)].tag_set == frozenset({"c5"})
+        assert by_edges[(6,)].tag_set == frozenset({"c4"})
+        assert by_edges[(8,)].tag_set == frozenset({"c6"})
+        assert by_edges[(3, 10)].tag_set == frozenset({"c5", "c6"})
+        assert by_edges[(4, 10)].tag_set == frozenset({"c5", "c6"})
+
+    def test_dedup_across_pairs(self, fig9_graph):
+        cfg = TagSelectionConfig(per_pair_paths=10, prob_floor=0.0)
+        paths = collect_paths(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, cfg, rng=0
+        )
+        keys = [(p.edge_ids, p.tag_choices) for p in paths]
+        assert len(keys) == len(set(keys))
+
+    def test_target_sampling_cap(self, small_yelp):
+        from repro.datasets import community_targets
+
+        targets = community_targets(small_yelp, "vegas", size=40, rng=0)
+        cfg = TagSelectionConfig(max_path_targets=5, per_pair_paths=3)
+        paths = collect_paths(small_yelp.graph, [0, 1], targets, cfg, rng=0)
+        anchored = {p.target for p in paths}
+        assert len(anchored) <= 5

@@ -1,0 +1,91 @@
+"""Tests for the performance caches backing the hot loops."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import TagGraphBuilder
+from repro.tags import BatchLattice, build_batches
+from repro.tags.paths import TagPath
+
+
+def _graph():
+    builder = TagGraphBuilder(3)
+    builder.add(0, 1, "a", 0.5)
+    builder.add(0, 1, "b", 0.25)
+    builder.add(1, 2, "a", 0.8)
+    return builder.build()
+
+
+class TestEdgeTagNeglogs:
+    def test_values_match_log(self):
+        g = _graph()
+        neglogs = g.edge_tag_neglogs()
+        assert dict(neglogs[0]) == pytest.approx(
+            {"a": -math.log(0.5), "b": -math.log(0.25)}
+        )
+        assert dict(neglogs[1]) == pytest.approx({"a": -math.log(0.8)})
+
+    def test_cached_identity(self):
+        g = _graph()
+        assert g.edge_tag_neglogs() is g.edge_tag_neglogs()
+
+    def test_consistent_with_tag_map(self):
+        g = _graph()
+        for eid in range(g.num_edges):
+            mapping = g.edge_tag_map(eid)
+            for tag, neglog in g.edge_tag_neglogs()[eid]:
+                assert math.exp(-neglog) == pytest.approx(mapping[tag])
+
+    def test_sorted_by_tag(self):
+        g = _graph()
+        tags = [t for t, _ in g.edge_tag_neglogs()[0]]
+        assert tags == sorted(tags)
+
+
+def _path(edges, tags):
+    return TagPath(
+        nodes=tuple(range(len(edges) + 1)),
+        edge_ids=tuple(edges),
+        tag_choices=tuple(tags),
+        probability=0.5,
+    )
+
+
+class TestLatticeBitmasks:
+    def test_activated_by_matches_frozenset_semantics(self):
+        paths = [
+            _path([0], ["a"]),
+            _path([1, 2], ["a", "b"]),
+            _path([3], ["c"]),
+            _path([4, 5], ["b", "c"]),
+        ]
+        lattice = BatchLattice(build_batches(paths))
+        for selected in (
+            set(), {"a"}, {"a", "b"}, {"b", "c"}, {"a", "b", "c"}, {"zzz"},
+        ):
+            expected = [
+                idx
+                for idx, batch in enumerate(lattice.batches)
+                if batch.tag_set <= frozenset(selected)
+            ]
+            assert lattice.activated_by(selected) == expected, selected
+
+    def test_unknown_tags_ignored(self):
+        paths = [_path([0], ["a"])]
+        lattice = BatchLattice(build_batches(paths))
+        assert lattice.activated_by({"a", "unknown"}) == [0]
+
+    def test_many_tags_beyond_64_bits(self):
+        # Arbitrary-precision masks must survive > 64 distinct tags.
+        paths = [_path([i], [f"tag-{i}"]) for i in range(70)]
+        lattice = BatchLattice(build_batches(paths))
+        all_tags = {f"tag-{i}" for i in range(70)}
+        assert len(lattice.activated_by(all_tags)) == 70
+        assert lattice.activated_by({"tag-69"}) == [
+            idx
+            for idx, b in enumerate(lattice.batches)
+            if b.tag_set == frozenset({"tag-69"})
+        ]

@@ -1,0 +1,58 @@
+"""Tests for JointQuery / JointResult / HistoryEntry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HistoryEntry, JointQuery, JointResult
+from repro.exceptions import InvalidQueryError
+from repro.graphs import TagGraphBuilder
+
+
+def _graph():
+    builder = TagGraphBuilder(5)
+    builder.add(0, 1, "a", 0.5)
+    builder.add(1, 2, "b", 0.5)
+    return builder.build()
+
+
+class TestJointQuery:
+    def test_normalizes_targets(self):
+        q = JointQuery([3, 1, 3, 2], k=2, r=1)
+        assert q.targets == (1, 2, 3)
+        assert q.num_targets == 3
+
+    def test_validate_ok(self):
+        JointQuery([1, 2], k=2, r=2).validate(_graph())
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            JointQuery([], k=1, r=1).validate(_graph())
+
+    def test_target_out_of_range(self):
+        with pytest.raises(InvalidQueryError):
+            JointQuery([99], k=1, r=1).validate(_graph())
+
+    def test_seed_budget_too_large(self):
+        with pytest.raises(InvalidQueryError):
+            JointQuery([1], k=99, r=1).validate(_graph())
+
+    def test_tag_budget_too_large(self):
+        with pytest.raises(InvalidQueryError):
+            JointQuery([1], k=1, r=99).validate(_graph())
+
+    def test_frozen(self):
+        q = JointQuery([1], k=1, r=1)
+        with pytest.raises(AttributeError):
+            q.k = 5
+
+
+class TestJointResult:
+    def test_spread_fraction(self):
+        result = JointResult(
+            seeds=(0,), tags=("a",), spread=2.0,
+            history=(HistoryEntry(0.0, (0,), ("a",), 2.0),),
+            rounds=1, converged=True, elapsed_seconds=0.1,
+        )
+        assert result.spread_fraction(4) == pytest.approx(0.5)
+        assert result.spread_fraction(0) == 0.0

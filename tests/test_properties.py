@@ -1,0 +1,284 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategy: generate small random tagged graphs and check structural and
+probabilistic invariants that must hold for *every* input — aggregation
+bounds and monotonicity, exact-spread bounds, RR-set closure, coverage
+feasibility, lattice dominance, and serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import exact_spread, simulate_cascade
+from repro.graphs import (
+    TagGraphBuilder,
+    independent_aggregation,
+    load_tag_graph,
+    save_tag_graph,
+)
+from repro.index import theta_c
+from repro.sketch import greedy_max_coverage, rr_set_from_edge_mask
+from repro.tags import build_batches
+from repro.tags.paths import TagPath
+
+# ---------------------------------------------------------------------------
+# Graph strategy
+# ---------------------------------------------------------------------------
+
+TAGS = ("t0", "t1", "t2")
+
+
+@st.composite
+def tagged_graphs(draw, max_nodes=7, max_assignments=10):
+    """A small random TagGraph plus its assignment list."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_assignments))
+    builder = TagGraphBuilder(n)
+    used = set()
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        tag = draw(st.sampled_from(TAGS))
+        if u == v or (u, v, tag) in used:
+            continue
+        used.add((u, v, tag))
+        prob = draw(
+            st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+        )
+        builder.add(u, v, tag, prob)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=6))
+def test_independent_aggregation_bounded(probs):
+    value = independent_aggregation(probs)
+    assert 0.0 <= value <= 1.0
+    if probs:
+        assert value >= max(probs) - 1e-12
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=5),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_independent_aggregation_monotone(probs, extra):
+    assert independent_aggregation(probs + [extra]) >= (
+        independent_aggregation(probs) - 1e-12
+    )
+
+
+@given(tagged_graphs())
+@settings(max_examples=40, deadline=None)
+def test_edge_probabilities_bounds_and_monotonicity(graph):
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    subset = graph.edge_probabilities(tags[:1])
+    full = graph.edge_probabilities(tags)
+    assert ((0.0 <= subset) & (subset <= 1.0)).all()
+    assert (full >= subset - 1e-12).all()
+
+
+# ---------------------------------------------------------------------------
+# Spread
+# ---------------------------------------------------------------------------
+
+
+@given(tagged_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_exact_spread_bounds(graph, data):
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    seeds = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1, max_size=2, unique=True,
+        )
+    )
+    targets = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1, max_size=3, unique=True,
+        )
+    )
+    value = exact_spread(graph, seeds, targets, tags)
+    assert -1e-9 <= value <= len(targets) + 1e-9
+    seeded_targets = set(seeds) & set(targets)
+    assert value >= len(seeded_targets) - 1e-9
+
+
+@given(tagged_graphs(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_exact_spread_monotone_in_seeds(graph, data):
+    targets = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1, max_size=3, unique=True,
+        )
+    )
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    s1 = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    s2 = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    small = exact_spread(graph, [s1], targets, tags)
+    big = exact_spread(graph, [s1, s2], targets, tags)
+    assert big >= small - 1e-9
+
+
+@given(tagged_graphs(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_exact_spread_monotone_in_tags(graph, data):
+    """Lemma-consistent: more tags never reduce spread (independent agg)."""
+    targets = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1, max_size=2, unique=True,
+        )
+    )
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    seed = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    one = exact_spread(graph, [seed], targets, tags[:1])
+    all_ = exact_spread(graph, [seed], targets, tags)
+    assert all_ >= one - 1e-9
+
+
+@given(tagged_graphs(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_cascade_contains_seeds_and_only_reachable(graph, seed_int):
+    rng = np.random.default_rng(seed_int)
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    probs = graph.edge_probabilities(tags)
+    seeds = [0]
+    active = simulate_cascade(graph, seeds, probs, rng)
+    assert active[0]
+    # Activated nodes must be reachable from the seed in the full graph.
+    reachable = {0}
+    frontier = [0]
+    while frontier:
+        u = frontier.pop()
+        for v in graph.out_neighbors(u).tolist():
+            if v not in reachable:
+                reachable.add(v)
+                frontier.append(v)
+    assert set(np.flatnonzero(active).tolist()) <= reachable
+
+
+# ---------------------------------------------------------------------------
+# RR sets and coverage
+# ---------------------------------------------------------------------------
+
+
+@given(tagged_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_rr_set_members_reach_root(graph, data):
+    root = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    mask = data.draw(
+        st.lists(
+            st.booleans(),
+            min_size=graph.num_edges, max_size=graph.num_edges,
+        )
+    )
+    mask = np.array(mask, dtype=bool)
+    rr = rr_set_from_edge_mask(graph, root, mask)
+    assert root in rr.tolist()
+    # Every member must reach the root through present edges.
+    present = {
+        (int(graph.src[e]), int(graph.dst[e]))
+        for e in np.flatnonzero(mask)
+    }
+    for member in rr.tolist():
+        frontier, seen = [member], {member}
+        reached = member == root
+        while frontier and not reached:
+            u = frontier.pop()
+            for (a, b) in present:
+                if a == u and b not in seen:
+                    if b == root:
+                        reached = True
+                        break
+                    seen.add(b)
+                    frontier.append(b)
+        assert reached
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+        max_size=12,
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+def test_coverage_invariants(rr_lists, k):
+    rr_sets = [np.array(sorted(set(rr)), dtype=np.int64) for rr in rr_lists]
+    result = greedy_max_coverage(rr_sets, k, 10)
+    assert 0 <= result.covered <= len(rr_sets)
+    assert len(result.seeds) == min(k, 10)
+    assert len(set(result.seeds)) == len(result.seeds)
+    assert sum(result.marginal_covered) == result.covered
+    # Seeds actually cover what is claimed.
+    covered = sum(
+        1 for rr in rr_sets if set(rr.tolist()) & set(result.seeds)
+    )
+    assert covered == result.covered
+
+
+# ---------------------------------------------------------------------------
+# θ_c and lattice
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=2, max_value=10**6),
+    st.integers(min_value=1, max_value=100),
+)
+def test_theta_c_bounds(theta, r):
+    tc = theta_c(theta, r, alpha=1.0, delta=0.01)
+    assert 1 <= tc <= theta + 1
+    # Monotone in r.
+    assert theta_c(theta, r + 1, 1.0, 0.01) >= tc
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_batches_partition_paths(data):
+    num_paths = data.draw(st.integers(min_value=0, max_value=15))
+    paths = []
+    for i in range(num_paths):
+        tags = data.draw(
+            st.lists(st.sampled_from(TAGS), min_size=1, max_size=3)
+        )
+        paths.append(
+            TagPath(
+                nodes=tuple(range(len(tags) + 1)),
+                edge_ids=tuple(range(len(tags))),
+                tag_choices=tuple(tags),
+                probability=0.5,
+            )
+        )
+    batches = build_batches(paths)
+    seen = [i for b in batches for i in b.path_indices]
+    assert sorted(seen) == list(range(num_paths))
+    for batch in batches:
+        for idx in batch.path_indices:
+            assert paths[idx].tag_set == batch.tag_set
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+@given(tagged_graphs())
+@settings(max_examples=25, deadline=None)
+def test_io_round_trip(graph):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.tsv"
+        save_tag_graph(graph, path)
+        assert load_tag_graph(path) == graph

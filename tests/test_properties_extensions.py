@@ -1,0 +1,174 @@
+"""Property-based tests for the LT / MIA / weighted extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import (
+    lt_edge_weights,
+    mia_spread,
+    sample_live_edges,
+    simulate_lt_cascade,
+)
+from repro.graphs import TagGraphBuilder
+from repro.tags.paths import TagSelectionConfig, top_paths
+
+TAGS = ("t0", "t1", "t2")
+
+
+@st.composite
+def tagged_graphs(draw, max_nodes=7, max_assignments=10):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_assignments))
+    builder = TagGraphBuilder(n)
+    used = set()
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        tag = draw(st.sampled_from(TAGS))
+        if u == v or (u, v, tag) in used:
+            continue
+        used.add((u, v, tag))
+        prob = draw(st.floats(min_value=0.05, max_value=1.0))
+        builder.add(u, v, tag, prob)
+    return builder.build()
+
+
+@given(tagged_graphs())
+@settings(max_examples=40, deadline=None)
+def test_lt_weights_per_node_capacity(graph):
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    weights = lt_edge_weights(graph, tags)
+    incoming = np.zeros(graph.num_nodes)
+    np.add.at(incoming, graph.dst, weights)
+    assert (incoming <= 1.0 + 1e-9).all()
+    assert (weights >= 0.0).all()
+
+
+@given(tagged_graphs(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_live_edge_world_is_functional(graph, seed):
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    weights = lt_edge_weights(graph, tags)
+    mask = sample_live_edges(graph, weights, rng=np.random.default_rng(seed))
+    per_node = np.zeros(graph.num_nodes, dtype=np.int64)
+    np.add.at(per_node, graph.dst[np.flatnonzero(mask)], 1)
+    assert per_node.max(initial=0) <= 1
+
+
+@given(tagged_graphs(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_lt_cascade_contains_seeds_and_reachable_only(graph, seed):
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    weights = lt_edge_weights(graph, tags)
+    active = simulate_lt_cascade(
+        graph, [0], weights, rng=np.random.default_rng(seed)
+    )
+    assert active[0]
+    reachable = {0}
+    frontier = [0]
+    while frontier:
+        u = frontier.pop()
+        for v in graph.out_neighbors(u).tolist():
+            if v not in reachable:
+                reachable.add(v)
+                frontier.append(v)
+    assert set(np.flatnonzero(active).tolist()) <= reachable
+
+
+@given(tagged_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_mia_spread_bounds(graph, data):
+    tags = [t for t in TAGS if graph.has_tag(t)]
+    seeds = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1, max_size=2, unique=True,
+        )
+    )
+    targets = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1, max_size=3, unique=True,
+        )
+    )
+    value = mia_spread(graph, seeds, targets, tags, theta=1e-9)
+    assert -1e-9 <= value <= len(targets) + 1e-9
+    assert value >= len(set(seeds) & set(targets)) - 1e-9
+
+
+@given(tagged_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_top_paths_order_and_simplicity(graph, data):
+    source = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    target = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    cfg = TagSelectionConfig(per_pair_paths=5, prob_floor=0.0)
+    paths = top_paths(graph, source, target, 5, config=cfg)
+    probs = [p.probability for p in paths]
+    assert probs == sorted(probs, reverse=True)
+    for path in paths:
+        assert path.source == source
+        assert path.target == target
+        assert len(set(path.nodes)) == len(path.nodes)  # simple
+        # Each hop is a real edge with the claimed tag.
+        for (eid, tag), u, v in zip(
+            path.pairs, path.nodes[:-1], path.nodes[1:]
+        ):
+            assert int(graph.src[eid]) == u
+            assert int(graph.dst[eid]) == v
+            assert graph.edge_tag_probability(eid, tag) > 0.0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=10.0),
+        min_size=1, max_size=6,
+    ),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=25, deadline=None)
+def test_weighted_spread_bounded_by_total_benefit(benefits_list, seed):
+    from repro.core import estimate_weighted_spread
+
+    builder = TagGraphBuilder(len(benefits_list) + 1)
+    for i in range(len(benefits_list)):
+        builder.add(0, i + 1, "t", 0.5)
+    graph = builder.build()
+    benefits = {i + 1: b for i, b in enumerate(benefits_list)}
+    value = estimate_weighted_spread(
+        graph, [0], benefits, ["t"], num_samples=50,
+        rng=np.random.default_rng(seed),
+    )
+    assert -1e-9 <= value <= sum(benefits_list) + 1e-9
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=99),
+                st.floats(min_value=0, max_value=10),
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_categories=("Cs", "Cc"),
+                    ),
+                    max_size=6,
+                ),
+            ),
+            min_size=2, max_size=2,
+        ),
+        max_size=8,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_format_table_structure(rows):
+    from repro.analysis import format_table
+
+    text = format_table(["col-a", "col-b"], rows)
+    # split("\n") keeps trailing empty lines (an all-empty row renders
+    # as a blank line), unlike splitlines().
+    lines = text.split("\n")
+    assert len(lines) == len(rows) + 1
+    assert lines[0].startswith("col-a")

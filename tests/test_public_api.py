@@ -1,0 +1,131 @@
+"""Contract tests for the top-level public API surface.
+
+A downstream user sees ``repro`` through its ``__init__`` re-exports;
+these tests pin that surface: everything in ``__all__`` resolves, key
+call signatures accept the documented argument styles, and results are
+plain, picklable data.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_exceptions_form_hierarchy(self):
+        for exc in (
+            repro.ConfigurationError,
+            repro.EstimationError,
+            repro.GraphConstructionError,
+            repro.InvalidQueryError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+
+    def test_datasets_submodule_reachable(self):
+        assert hasattr(repro.datasets, "yelp")
+        assert hasattr(repro.datasets, "community_targets")
+
+
+class TestArgumentStyles:
+    """Entry points accept lists, tuples, numpy arrays, and generators."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = repro.datasets.lastfm(scale=0.3)
+        targets = repro.datasets.bfs_targets(data.graph, 15)
+        return data.graph, targets
+
+    def test_targets_as_numpy_array(self, setup):
+        graph, targets = setup
+        assert isinstance(targets, np.ndarray)
+        value = repro.estimate_spread(
+            graph, [0], targets, graph.tags[:2], num_samples=20, rng=0
+        )
+        assert value >= 0.0
+
+    def test_targets_as_list_and_tuple(self, setup):
+        graph, targets = setup
+        as_list = repro.estimate_spread(
+            graph, [0], list(targets), graph.tags[:2],
+            num_samples=50, rng=3,
+        )
+        as_tuple = repro.estimate_spread(
+            graph, [0], tuple(targets), graph.tags[:2],
+            num_samples=50, rng=3,
+        )
+        assert as_list == pytest.approx(as_tuple)
+
+    def test_rng_as_generator(self, setup):
+        graph, targets = setup
+        gen = np.random.default_rng(0)
+        value = repro.estimate_spread(
+            graph, [0], targets, graph.tags[:2], num_samples=20, rng=gen
+        )
+        assert value >= 0.0
+
+    def test_numpy_integer_node_ids(self, setup):
+        graph, targets = setup
+        seeds = [np.int64(0), np.int64(1)]
+        value = repro.estimate_spread(
+            graph, seeds, targets, graph.tags[:2], num_samples=20, rng=0
+        )
+        assert value >= 0.0
+
+
+class TestResultObjects:
+    @pytest.fixture(scope="class")
+    def joint_result(self):
+        data = repro.datasets.lastfm(scale=0.3)
+        targets = repro.datasets.bfs_targets(data.graph, 15)
+        cfg = repro.JointConfig(
+            max_rounds=1,
+            sketch=repro.SketchConfig(
+                pilot_samples=50, theta_min=100, theta_max=300
+            ),
+            tag_config=repro.TagSelectionConfig(
+                per_pair_paths=3, max_path_targets=15
+            ),
+            eval_samples=40,
+        )
+        return repro.jointly_select(
+            data.graph, repro.JointQuery(targets, k=2, r=3), cfg, rng=0
+        )
+
+    def test_result_is_picklable(self, joint_result):
+        clone = pickle.loads(pickle.dumps(joint_result))
+        assert clone.seeds == joint_result.seeds
+        assert clone.tags == joint_result.tags
+
+    def test_result_fields_are_plain_types(self, joint_result):
+        assert isinstance(joint_result.seeds, tuple)
+        assert all(isinstance(s, int) for s in joint_result.seeds)
+        assert isinstance(joint_result.tags, tuple)
+        assert all(isinstance(t, str) for t in joint_result.tags)
+        assert isinstance(joint_result.spread, float)
+
+    def test_configs_are_frozen(self):
+        cfg = repro.SketchConfig()
+        with pytest.raises(AttributeError):
+            cfg.epsilon = 0.5
+        jcfg = repro.JointConfig()
+        with pytest.raises(AttributeError):
+            jcfg.max_rounds = 1
+
+    def test_query_is_picklable(self):
+        query = repro.JointQuery([3, 1, 2], k=2, r=1)
+        clone = pickle.loads(pickle.dumps(query))
+        assert clone == query

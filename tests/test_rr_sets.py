@@ -1,0 +1,99 @@
+"""Tests for RR-set sampling (online coins and fixed-world variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.sketch import reverse_reachable_set, rr_set_from_edge_mask, sample_rr_sets
+
+
+class TestReverseReachableSet:
+    def test_contains_root(self, line_graph):
+        rr = reverse_reachable_set(
+            line_graph, 0, np.zeros(line_graph.num_edges), rng=0
+        )
+        assert rr.tolist() == [0]
+
+    def test_certain_chain_collects_ancestors(self, line_graph):
+        rr = reverse_reachable_set(
+            line_graph, 3, np.ones(line_graph.num_edges), rng=0
+        )
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+    def test_source_has_no_ancestors(self, line_graph):
+        rr = reverse_reachable_set(
+            line_graph, 0, np.ones(line_graph.num_edges), rng=0
+        )
+        assert rr.tolist() == [0]
+
+    def test_membership_rate_matches_reachability(self, line_graph):
+        # P(node 2 ∈ RR(3)) = p(edge 2→3) = 0.5.
+        probs = np.array([0.5, 0.5, 0.5])
+        rng = np.random.default_rng(0)
+        hits = sum(
+            2 in reverse_reachable_set(line_graph, 3, probs, rng).tolist()
+            for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.5, abs=0.03)
+
+    def test_bad_root_raises(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            reverse_reachable_set(line_graph, 42, np.ones(3), rng=0)
+
+
+class TestRRSetFromEdgeMask:
+    def test_fixed_world(self, line_graph):
+        mask = np.array([True, False, True])
+        rr = rr_set_from_edge_mask(line_graph, 3, mask)
+        assert sorted(rr.tolist()) == [2, 3]
+
+    def test_full_world(self, diamond_graph):
+        mask = np.ones(diamond_graph.num_edges, dtype=bool)
+        rr = rr_set_from_edge_mask(diamond_graph, 3, mask)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+    def test_empty_world(self, diamond_graph):
+        mask = np.zeros(diamond_graph.num_edges, dtype=bool)
+        rr = rr_set_from_edge_mask(diamond_graph, 3, mask)
+        assert rr.tolist() == [3]
+
+    def test_deterministic(self, diamond_graph):
+        mask = np.array([True, True, False, True])
+        a = rr_set_from_edge_mask(diamond_graph, 3, mask)
+        b = rr_set_from_edge_mask(diamond_graph, 3, mask)
+        assert np.array_equal(np.sort(a), np.sort(b))
+
+    def test_wrong_mask_shape(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            rr_set_from_edge_mask(line_graph, 0, np.ones(99, dtype=bool))
+
+
+class TestSampleRRSets:
+    def test_count(self, line_graph):
+        rr_sets = sample_rr_sets(
+            line_graph, [2, 3], np.ones(3), theta=25, rng=0
+        )
+        assert len(rr_sets) == 25
+
+    def test_roots_only_from_targets(self, line_graph):
+        rr_sets = sample_rr_sets(
+            line_graph, [3], np.zeros(3), theta=10, rng=0
+        )
+        for rr in rr_sets:
+            assert rr.tolist() == [3]
+
+    def test_empty_targets_raises(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            sample_rr_sets(line_graph, [], np.ones(3), theta=5, rng=0)
+
+    def test_nonpositive_theta_raises(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            sample_rr_sets(line_graph, [3], np.ones(3), theta=0, rng=0)
+
+    def test_deterministic_with_seed(self, diamond_graph):
+        probs = diamond_graph.all_edge_probabilities()
+        a = sample_rr_sets(diamond_graph, [3], probs, theta=20, rng=9)
+        b = sample_rr_sets(diamond_graph, [3], probs, theta=20, rng=9)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))

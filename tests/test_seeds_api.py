@@ -1,0 +1,74 @@
+"""Tests for the unified find_seeds entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import find_seeds
+from repro.datasets import community_targets
+from repro.exceptions import ConfigurationError
+from repro.graphs import TagGraphBuilder
+from repro.index import make_ltrs_manager
+from repro.sketch import SketchConfig
+
+FAST = SketchConfig(pilot_samples=100, theta_min=200, theta_max=1200)
+
+
+def _star():
+    builder = TagGraphBuilder(6)
+    for v in range(1, 6):
+        builder.add(0, v, "t", 1.0)
+    return builder.build()
+
+
+class TestFindSeeds:
+    @pytest.mark.parametrize("engine", ["trs", "itrs", "ltrs", "lltrs"])
+    def test_all_sketch_engines_find_hub(self, engine):
+        g = _star()
+        sel = find_seeds(
+            g, [1, 2, 3], ["t"], 1, engine=engine, config=FAST, rng=0
+        )
+        assert sel.seeds == (0,)
+        assert sel.engine == engine
+        assert sel.elapsed_seconds >= 0.0
+
+    def test_greedy_mc_engine(self):
+        g = _star()
+        sel = find_seeds(
+            g, [1, 2, 3], ["t"], 1, engine="greedy-mc",
+            num_samples=30, rng=0,
+        )
+        assert sel.seeds == (0,)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            find_seeds(_star(), [1], ["t"], 1, engine="magic", rng=0)
+
+    def test_external_manager_reused(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        tags = small_yelp.graph.tags[:4]
+        mgr = make_ltrs_manager(small_yelp.graph)
+        find_seeds(
+            small_yelp.graph, targets, tags, 2,
+            engine="ltrs", config=FAST, manager=mgr, rng=0,
+        )
+        built = mgr.stats.worlds_built
+        assert built > 0
+        find_seeds(
+            small_yelp.graph, targets, tags, 2,
+            engine="ltrs", config=FAST, manager=mgr, rng=1,
+        )
+        assert mgr.stats.worlds_built == built
+
+    def test_engines_agree_on_easy_instance(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        tags = small_yelp.graph.tags[:5]
+        spreads = {}
+        for engine in ("trs", "ltrs", "lltrs"):
+            sel = find_seeds(
+                small_yelp.graph, targets, tags, 3,
+                engine=engine, config=FAST, rng=0,
+            )
+            spreads[engine] = sel.estimated_spread
+        top = max(spreads.values())
+        assert all(v >= 0.6 * top for v in spreads.values())

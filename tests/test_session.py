@@ -1,0 +1,87 @@
+"""Tests for CampaignSession — shared-index multi-query workflows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JointConfig, SketchConfig, TagSelectionConfig
+from repro.core import CampaignSession
+from repro.datasets import community_targets
+
+FAST_CFG = JointConfig(
+    max_rounds=1,
+    seed_engine="ltrs",
+    sketch=SketchConfig(pilot_samples=60, theta_min=150, theta_max=500),
+    tag_config=TagSelectionConfig(
+        per_pair_paths=3, rr_theta=300, max_path_targets=15
+    ),
+    eval_samples=60,
+)
+
+
+@pytest.fixture
+def session(small_yelp):
+    return CampaignSession(small_yelp.graph, FAST_CFG, rng=0)
+
+
+class TestSeedsQueries:
+    def test_basic(self, session, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        sel = session.seeds(targets, small_yelp.graph.tags[:4], 2)
+        assert len(sel.seeds) == 2
+        assert session.queries_run == 1
+
+    def test_index_reuse_across_queries(self, session, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        tags = small_yelp.graph.tags[:4]
+        session.seeds(targets, tags, 2)
+        built = len(session.indexed_tags)
+        assert built == 4
+        session.seeds(targets, tags, 3)  # same tags: nothing new
+        assert len(session.indexed_tags) == built
+        more = list(tags[:2]) + [small_yelp.graph.tags[5]]
+        session.seeds(targets, more, 2)  # one new tag
+        assert len(session.indexed_tags) == built + 1
+
+    def test_lltrs_manager_per_target_set(self, small_yelp):
+        import dataclasses
+
+        cfg = dataclasses.replace(FAST_CFG, seed_engine="lltrs")
+        session = CampaignSession(small_yelp.graph, cfg, rng=0)
+        vegas = community_targets(small_yelp, "vegas", size=15, rng=0)
+        toronto = community_targets(small_yelp, "toronto", size=15, rng=0)
+        session.seeds(vegas, small_yelp.graph.tags[:3], 2)
+        session.seeds(toronto, small_yelp.graph.tags[:3], 2)
+        assert len(session._local_managers) == 2
+
+
+class TestOtherQueries:
+    def test_tags_query(self, session, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        sel = session.tags([0, 1], targets, 3)
+        assert len(sel.tags) <= 3
+
+    def test_joint_query(self, session, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        result = session.joint(targets, k=2, r=3)
+        assert len(result.seeds) == 2
+
+    def test_spread_query(self, session, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        value = session.spread([0, 1], targets, small_yelp.graph.tags[:3])
+        assert 0.0 <= value <= 15.0
+
+    def test_session_replayable(self, small_yelp):
+        targets = community_targets(small_yelp, "vegas", size=15, rng=0)
+        tags = small_yelp.graph.tags[:4]
+
+        def run():
+            session = CampaignSession(small_yelp.graph, FAST_CFG, rng=9)
+            first = session.seeds(targets, tags, 2)
+            second = session.joint(targets, k=2, r=3)
+            return first.seeds, second.seeds, second.tags
+
+        assert run() == run()
+
+    def test_graph_property(self, session, small_yelp):
+        assert session.graph is small_yelp.graph

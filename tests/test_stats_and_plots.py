@@ -1,0 +1,114 @@
+"""Tests for graph statistics and terminal plots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sparkline, trajectory_chart
+from repro.graphs import TagGraphBuilder, graph_stats
+from repro.graphs.stats import _gini
+
+
+class TestGraphStats:
+    def test_basic_counts(self, diamond_graph):
+        stats = graph_stats(diamond_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.num_tags == 3
+        assert stats.mean_out_degree == pytest.approx(1.0)
+
+    def test_probability_moments(self, line_graph):
+        stats = graph_stats(line_graph)
+        assert stats.prob_mean == pytest.approx(0.5)
+        assert stats.prob_std == pytest.approx(0.0)
+        assert stats.prob_quartiles == (0.5, 0.5, 0.5)
+
+    def test_tags_per_edge(self, diamond_graph):
+        # 4 edges, 5 (edge, tag) assignments.
+        stats = graph_stats(diamond_graph)
+        assert stats.tags_per_edge_mean == pytest.approx(1.25)
+
+    def test_hub_detection(self):
+        builder = TagGraphBuilder(10)
+        for u in range(1, 10):
+            builder.add(u, 0, "t", 0.5)  # node 0 is a pure hub
+        stats = graph_stats(builder.build())
+        assert stats.max_in_degree == 9
+        assert stats.degree_gini > 0.8
+
+    def test_uniform_degrees_low_gini(self):
+        builder = TagGraphBuilder(6)
+        for u in range(6):
+            builder.add(u, (u + 1) % 6, "t", 0.5)  # directed cycle
+        stats = graph_stats(builder.build())
+        assert stats.degree_gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_graph(self):
+        stats = graph_stats(TagGraphBuilder(3).build())
+        assert stats.num_edges == 0
+        assert stats.prob_mean == 0.0
+        assert stats.tag_mass_top_share == 0.0
+
+    def test_tag_skew_detected(self):
+        builder = TagGraphBuilder(30)
+        # Tag 'big' carries 20 strong assignments; 9 tags carry 1 weak each.
+        for u in range(20):
+            builder.add(u, u + 1, "big", 0.9)
+        for i in range(9):
+            builder.add(20 + i, 21 + i, f"small-{i}", 0.1)
+        stats = graph_stats(builder.build())
+        assert stats.tag_mass_top_share > 0.9
+
+    def test_synthetic_datasets_have_hubs_and_skew(self, small_yelp):
+        stats = graph_stats(small_yelp.graph)
+        assert stats.degree_gini > 0.3
+        assert stats.tag_mass_top_share > 0.1
+
+
+class TestGini:
+    def test_empty(self):
+        assert _gini(np.array([])) == 0.0
+
+    def test_uniform(self):
+        assert _gini(np.full(10, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_extreme(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert _gini(values) > 0.95
+
+
+class TestSparkline:
+    def test_shape(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_input_monotone_output(self):
+        bars = sparkline([1, 2, 4, 8, 16])
+        assert list(bars) == sorted(bars, key="▁▂▃▄▅▆▇█".index)
+
+
+class TestTrajectoryChart:
+    def test_shared_scale(self):
+        chart = trajectory_chart({"a": [0, 10], "b": [5, 5]})
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a")
+        assert "10.0" in lines[0]
+        # b's values sit mid-scale: not the lowest block.
+        assert "▁" not in lines[1].split()[1]
+
+    def test_empty(self):
+        assert trajectory_chart({}) == ""
+        assert trajectory_chart({"a": []}) == ""
+
+    def test_width_truncation(self):
+        chart = trajectory_chart({"a": list(range(100))}, width=10)
+        bar = chart.split()[1]
+        assert len(bar) == 10

@@ -1,0 +1,171 @@
+"""Tests for the TagGraph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphConstructionError, InvalidQueryError
+from repro.graphs import TagGraph, TagGraphBuilder
+
+
+def _simple_graph():
+    builder = TagGraphBuilder(3)
+    builder.add(0, 1, "x", 0.4)
+    builder.add(0, 1, "y", 0.5)
+    builder.add(1, 2, "x", 0.9)
+    return builder.build()
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = _simple_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.num_tags == 2
+        assert g.tags == ("x", "y")
+
+    def test_empty_graph(self):
+        g = TagGraph(0, [], [], {})
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.tags == ()
+
+    def test_isolated_nodes_preserved(self):
+        g = TagGraph(5, [0], [1], {"t": (np.array([0]), np.array([0.5]))})
+        assert g.num_nodes == 5
+        assert g.out_edge_ids(4).size == 0
+
+    def test_negative_node_count(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraph(-1, [], [], {})
+
+    def test_mismatched_src_dst(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraph(3, [0, 1], [1], {})
+
+    def test_node_out_of_range(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraph(2, [0], [5], {})
+
+    def test_bad_edge_id_in_tag(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraph(2, [0], [1], {"t": (np.array([3]), np.array([0.5]))})
+
+    def test_duplicate_edge_in_tag(self):
+        with pytest.raises(GraphConstructionError):
+            TagGraph(
+                2, [0], [1],
+                {"t": (np.array([0, 0]), np.array([0.5, 0.6]))},
+            )
+
+    @pytest.mark.parametrize("prob", [0.0, -0.5, 1.5])
+    def test_bad_probability(self, prob):
+        with pytest.raises(GraphConstructionError):
+            TagGraph(2, [0], [1], {"t": (np.array([0]), np.array([prob]))})
+
+    def test_tags_sorted(self):
+        builder = TagGraphBuilder(2)
+        builder.add(0, 1, "zeta", 0.1)
+        builder.add(0, 1, "alpha", 0.2)
+        assert builder.build().tags == ("alpha", "zeta")
+
+
+class TestProbabilities:
+    def test_single_tag(self):
+        g = _simple_graph()
+        probs = g.edge_probabilities(["x"])
+        assert probs[0] == pytest.approx(0.4)
+        assert probs[1] == pytest.approx(0.9)
+
+    def test_independent_aggregation(self):
+        g = _simple_graph()
+        probs = g.edge_probabilities(["x", "y"])
+        assert probs[0] == pytest.approx(1 - 0.6 * 0.5)
+        assert probs[1] == pytest.approx(0.9)
+
+    def test_no_tags_gives_zero(self):
+        g = _simple_graph()
+        assert np.all(g.edge_probabilities([]) == 0.0)
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(InvalidQueryError):
+            _simple_graph().edge_probabilities(["nope"])
+
+    def test_all_edge_probabilities(self):
+        g = _simple_graph()
+        assert np.allclose(
+            g.all_edge_probabilities(), g.edge_probabilities(["x", "y"])
+        )
+
+    def test_edge_tag_probability(self):
+        g = _simple_graph()
+        assert g.edge_tag_probability(0, "y") == pytest.approx(0.5)
+        assert g.edge_tag_probability(1, "y") == 0.0
+
+    def test_edge_tag_map(self):
+        g = _simple_graph()
+        assert g.edge_tag_map(0) == {"x": 0.4, "y": 0.5}
+
+    def test_edge_tag_map_out_of_range(self):
+        with pytest.raises(InvalidQueryError):
+            _simple_graph().edge_tag_map(9)
+
+    def test_tag_edges_views_readonly(self):
+        g = _simple_graph()
+        ids, probs = g.tag_edges("x")
+        with pytest.raises(ValueError):
+            ids[0] = 7
+        with pytest.raises(ValueError):
+            probs[0] = 0.1
+
+
+class TestAdjacency:
+    def test_out_edges(self):
+        g = _simple_graph()
+        assert set(g.dst[g.out_edge_ids(0)].tolist()) == {1}
+        assert set(g.dst[g.out_edge_ids(1)].tolist()) == {2}
+
+    def test_in_edges(self):
+        g = _simple_graph()
+        assert set(g.src[g.in_edge_ids(2)].tolist()) == {1}
+        assert g.in_edge_ids(0).size == 0
+
+    def test_neighbors(self):
+        g = _simple_graph()
+        assert g.out_neighbors(0).tolist() == [1]
+        assert g.in_neighbors(1).tolist() == [0]
+
+    def test_degrees(self):
+        g = _simple_graph()
+        assert g.out_degrees().tolist() == [1, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 1]
+
+    def test_bad_node_raises(self):
+        with pytest.raises(InvalidQueryError):
+            _simple_graph().out_edge_ids(7)
+
+    def test_csr_consistency(self):
+        g = _simple_graph()
+        indptr, edges = g.reverse_csr()
+        assert indptr[-1] == g.num_edges
+        # Every edge appears exactly once, grouped by destination.
+        assert sorted(edges.tolist()) == list(range(g.num_edges))
+        for node in range(g.num_nodes):
+            for eid in edges[indptr[node]:indptr[node + 1]]:
+                assert g.dst[eid] == node
+
+
+class TestEquality:
+    def test_equal_to_itself_rebuilt(self):
+        assert _simple_graph() == _simple_graph()
+
+    def test_not_equal_different_prob(self):
+        builder = TagGraphBuilder(3)
+        builder.add(0, 1, "x", 0.4)
+        builder.add(0, 1, "y", 0.5)
+        builder.add(1, 2, "x", 0.8)
+        assert _simple_graph() != builder.build()
+
+    def test_not_equal_other_type(self):
+        assert _simple_graph() != 42

@@ -1,0 +1,175 @@
+"""Tests for individual-paths and batch-paths tag selection.
+
+The headline assertions re-enact the paper's Example 3 and Example 4 on
+the Figure 9 graph: individual selection gets trapped at spread 1.44
+with tags {c2, c3, c5}, batch selection reaches {c4, c5, c6} with
+spread ≈ 2.61.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.tags import (
+    TagSelectionConfig,
+    batch_paths_select_tags,
+    collect_paths,
+    find_tags,
+    individual_paths_select_tags,
+)
+from tests.conftest import FIG9_SEEDS, FIG9_TARGETS
+
+EXACT_CFG = TagSelectionConfig(
+    per_pair_paths=10, prob_floor=0.0, evaluator_mode="exact"
+)
+
+
+@pytest.fixture
+def fig9_paths(fig9_graph):
+    return collect_paths(
+        fig9_graph, FIG9_SEEDS, FIG9_TARGETS, EXACT_CFG, rng=0
+    )
+
+
+class TestIndividualExample3:
+    def test_selects_c2_c3_c5(self, fig9_graph, fig9_paths):
+        sel = individual_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert set(sel.tags) == {"c2", "c3", "c5"}
+        assert sel.method == "individual"
+
+    def test_spread_is_paper_value(self, fig9_graph, fig9_paths):
+        sel = individual_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert sel.estimated_spread == pytest.approx(1.44, abs=0.01)
+
+    def test_first_pick_is_e3e8(self, fig9_graph, fig9_paths):
+        sel = individual_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert sel.selected_paths[0].edge_ids == (2, 7)
+
+
+class TestBatchExample4:
+    def test_selects_c4_c5_c6(self, fig9_graph, fig9_paths):
+        sel = batch_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert set(sel.tags) == {"c4", "c5", "c6"}
+        assert sel.method == "batch"
+
+    def test_spread_beats_individual(self, fig9_graph, fig9_paths):
+        batch = batch_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        indiv = individual_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert batch.estimated_spread == pytest.approx(2.61, abs=0.03)
+        assert batch.estimated_spread > indiv.estimated_spread + 1.0
+
+    def test_first_round_picks_c4_c5(self, fig9_graph, fig9_paths):
+        sel = batch_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 2,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert set(sel.tags) == {"c4", "c5"}
+        assert sel.estimated_spread == pytest.approx(2.206, abs=0.01)
+
+    def test_selected_paths_are_activated_set(self, fig9_graph, fig9_paths):
+        sel = batch_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 2,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        edge_sets = {p.edge_ids for p in sel.selected_paths}
+        assert edge_sets == {(3, 9), (4, 9), (6,), (5, 11)}
+
+
+class TestBudgets:
+    def test_r1_picks_best_single_tag(self, fig9_graph, fig9_paths):
+        sel = batch_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 1,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        # Single-tag candidates: c4 (e7, 0.8), c5 (e6e12, 0.63), c6 (e9, 0.6).
+        assert sel.tags == ("c4",)
+
+    def test_budget_never_exceeded(self, fig9_graph, fig9_paths):
+        for r in (1, 2, 3, 4):
+            sel = batch_paths_select_tags(
+                fig9_graph, FIG9_SEEDS, FIG9_TARGETS, r,
+                EXACT_CFG, rng=0, paths=fig9_paths,
+            )
+            assert len(sel.tags) <= r
+
+    def test_large_budget_takes_everything_useful(self, fig9_graph, fig9_paths):
+        sel = batch_paths_select_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 6,
+            EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert set(sel.tags) == {"c2", "c3", "c4", "c5", "c6"}
+
+    def test_bad_budget(self, fig9_graph):
+        with pytest.raises(InvalidQueryError):
+            batch_paths_select_tags(
+                fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 0, EXACT_CFG, rng=0
+            )
+
+    def test_budget_larger_than_vocab(self, fig9_graph):
+        with pytest.raises(InvalidQueryError):
+            batch_paths_select_tags(
+                fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 99, EXACT_CFG, rng=0
+            )
+
+
+class TestFindTagsAPI:
+    def test_dispatch_batch(self, fig9_graph, fig9_paths):
+        sel = find_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            method="batch", config=EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert sel.method == "batch"
+
+    def test_dispatch_individual(self, fig9_graph, fig9_paths):
+        sel = find_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            method="individual", config=EXACT_CFG, rng=0, paths=fig9_paths,
+        )
+        assert sel.method == "individual"
+
+    def test_unknown_method(self, fig9_graph):
+        with pytest.raises(ConfigurationError):
+            find_tags(fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3, method="x")
+
+    def test_collects_paths_when_missing(self, fig9_graph):
+        sel = find_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 3,
+            method="batch", config=EXACT_CFG, rng=0,
+        )
+        assert set(sel.tags) == {"c4", "c5", "c6"}
+
+    def test_batch_beats_individual_on_yelp(self, small_yelp):
+        from repro.datasets import community_targets
+
+        targets = community_targets(small_yelp, "vegas", size=25, rng=0)
+        seeds = [int(v) for v in targets[:3]]
+        cfg = TagSelectionConfig(per_pair_paths=5, rr_theta=800)
+        paths = collect_paths(small_yelp.graph, seeds, targets, cfg, rng=0)
+        batch = find_tags(
+            small_yelp.graph, seeds, targets, 5,
+            method="batch", config=cfg, rng=0, paths=paths,
+        )
+        indiv = find_tags(
+            small_yelp.graph, seeds, targets, 5,
+            method="individual", config=cfg, rng=0, paths=paths,
+        )
+        assert batch.estimated_spread >= indiv.estimated_spread * 0.9

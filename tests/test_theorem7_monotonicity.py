@@ -1,0 +1,75 @@
+"""Statistical check of Theorem 7 — monotone spread across iterations.
+
+Theorem 7 guarantees monotone non-decrease when both sub-solvers are
+exact; ours are heuristics evaluated by Monte-Carlo, so the check is
+statistical: across several runs, (a) the *best* snapshot never falls
+below the initial condition, (b) full-round spreads are approximately
+non-decreasing up to an MC-noise tolerance, and (c) the returned
+solution equals the best measured snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JointConfig, JointQuery, SketchConfig, TagSelectionConfig, jointly_select
+from repro.datasets import bfs_targets, community_targets
+
+CFG = JointConfig(
+    max_rounds=4,
+    sketch=SketchConfig(pilot_samples=80, theta_min=200, theta_max=800),
+    tag_config=TagSelectionConfig(
+        per_pair_paths=4, rr_theta=400, max_path_targets=20
+    ),
+    eval_samples=200,
+)
+
+
+@pytest.mark.parametrize("run_seed", [0, 1, 2])
+def test_best_never_below_initialization(small_yelp, run_seed):
+    targets = community_targets(small_yelp, "vegas", size=20, rng=run_seed)
+    result = jointly_select(
+        small_yelp.graph, JointQuery(targets, k=3, r=4), CFG, rng=run_seed
+    )
+    assert result.spread >= result.history[0].spread - 1e-9
+
+
+@pytest.mark.parametrize("run_seed", [0, 1])
+def test_round_spreads_approximately_monotone(small_yelp, run_seed):
+    targets = community_targets(small_yelp, "vegas", size=20, rng=run_seed)
+    result = jointly_select(
+        small_yelp.graph, JointQuery(targets, k=3, r=4), CFG, rng=run_seed
+    )
+    # Full-round (integer-step) spreads; allow MC noise of 15% of |T|.
+    rounds = [h.spread for h in result.history if h.step == int(h.step)]
+    tolerance = 0.15 * len(targets)
+    for earlier, later in zip(rounds, rounds[1:]):
+        assert later >= earlier - tolerance
+
+
+def test_returned_equals_best_snapshot(small_lastfm):
+    targets = bfs_targets(small_lastfm.graph, 20)
+    result = jointly_select(
+        small_lastfm.graph, JointQuery(targets, k=3, r=4), CFG, rng=5
+    )
+    best = max(result.history, key=lambda h: h.spread)
+    assert result.spread == pytest.approx(best.spread)
+    assert result.seeds == best.seeds
+    assert result.tags == best.tags
+
+
+def test_seed_step_never_hurts_given_fixed_tags(small_yelp):
+    # The seed half-step re-optimizes with tags unchanged: its measured
+    # spread should not fall below the preceding snapshot by more than
+    # MC noise (this is the Eq. 18 inequality, statistically).
+    targets = community_targets(small_yelp, "vegas", size=20, rng=3)
+    result = jointly_select(
+        small_yelp.graph, JointQuery(targets, k=3, r=4), CFG, rng=3
+    )
+    by_step = {h.step: h.spread for h in result.history}
+    tolerance = 0.15 * len(targets)
+    for step, spread in by_step.items():
+        if step != int(step):  # a seed half-step (x.5)
+            previous = by_step.get(step - 0.5)
+            if previous is not None:
+                assert spread >= previous - tolerance

@@ -1,0 +1,130 @@
+"""Tests for SketchConfig, θ computation (Theorem 5), and OPT_T estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.sketch import SketchConfig, compute_theta, estimate_opt_t
+from repro.utils.mathx import log_binomial
+
+
+class TestSketchConfig:
+    def test_defaults_match_paper(self):
+        cfg = SketchConfig()
+        assert cfg.epsilon == 0.1
+        assert cfg.delta == 0.01
+        assert cfg.alpha == 1.0
+        assert cfg.h == 3
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.1])
+    def test_bad_epsilon(self, eps):
+        with pytest.raises(ConfigurationError):
+            SketchConfig(epsilon=eps)
+
+    def test_bad_theta_order(self):
+        with pytest.raises(ConfigurationError):
+            SketchConfig(theta_min=100, theta_max=10)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0])
+    def test_bad_delta(self, delta):
+        with pytest.raises(ConfigurationError):
+            SketchConfig(delta=delta)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            SketchConfig(alpha=0.0)
+
+    def test_bad_h(self):
+        with pytest.raises(ConfigurationError):
+            SketchConfig(h=-1)
+
+    def test_with_epsilon(self):
+        cfg = SketchConfig().with_epsilon(0.3)
+        assert cfg.epsilon == 0.3
+        assert cfg.delta == SketchConfig().delta
+
+
+class TestComputeTheta:
+    def test_formula_unclamped(self):
+        cfg = SketchConfig(theta_min=1, theta_max=10**12)
+        n, k, t, opt, eps = 100, 3, 20, 5.0, 0.1
+        expected = math.ceil(
+            (8 + 2 * eps)
+            * t
+            * (math.log(n) + log_binomial(n, k) + math.log(2))
+            / (opt * eps * eps)
+        )
+        assert compute_theta(n, k, t, opt, cfg) == expected
+
+    def test_clamped_to_max(self):
+        cfg = SketchConfig(theta_min=10, theta_max=500)
+        assert compute_theta(10**6, 10, 10**4, 1.0, cfg) == 500
+
+    def test_clamped_to_min(self):
+        cfg = SketchConfig(theta_min=1000, theta_max=10**9)
+        assert compute_theta(10, 1, 1, 1000.0, cfg) == 1000
+
+    def test_decreases_with_opt(self):
+        cfg = SketchConfig(theta_min=1, theta_max=10**12)
+        small_opt = compute_theta(1000, 5, 100, 1.0, cfg)
+        big_opt = compute_theta(1000, 5, 100, 50.0, cfg)
+        assert big_opt < small_opt
+
+    def test_grows_with_targets(self):
+        cfg = SketchConfig(theta_min=1, theta_max=10**12)
+        few = compute_theta(1000, 5, 10, 5.0, cfg)
+        many = compute_theta(1000, 5, 1000, 5.0, cfg)
+        assert many > few
+
+    def test_shrinks_with_epsilon(self):
+        lo = compute_theta(
+            1000, 5, 100, 5.0, SketchConfig(epsilon=0.1, theta_max=10**12)
+        )
+        hi = compute_theta(
+            1000, 5, 100, 5.0, SketchConfig(epsilon=0.5, theta_max=10**12)
+        )
+        assert hi < lo
+
+    def test_nonpositive_opt_raises(self):
+        with pytest.raises(EstimationError):
+            compute_theta(100, 3, 10, 0.0)
+
+
+class TestEstimateOptT:
+    def test_at_least_one(self, line_graph):
+        import numpy as np
+
+        opt = estimate_opt_t(
+            line_graph, [3], np.zeros(line_graph.num_edges), 1, rng=0
+        )
+        assert opt >= 1.0
+
+    def test_grows_with_connectivity(self, line_graph):
+        import numpy as np
+
+        weak = estimate_opt_t(
+            line_graph, [1, 2, 3],
+            np.full(line_graph.num_edges, 0.05), 1,
+            rng=0,
+        )
+        strong = estimate_opt_t(
+            line_graph, [1, 2, 3],
+            np.ones(line_graph.num_edges), 1,
+            rng=0,
+        )
+        assert strong >= weak
+        assert strong == pytest.approx(3.0, abs=0.2)
+
+    def test_lower_bounds_true_optimum(self, diamond_graph):
+        import numpy as np
+
+        probs = diamond_graph.all_edge_probabilities()
+        opt = estimate_opt_t(
+            diamond_graph, [1, 2, 3], probs, 1,
+            SketchConfig(pilot_samples=2000), rng=0,
+        )
+        # True optimum for k=1 is seeding node 0; spread ≤ 3.
+        assert opt <= 3.0 + 0.1

@@ -1,0 +1,91 @@
+"""Tests for TRS — targeted reverse sketching seed selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion import exact_spread
+from repro.exceptions import InvalidQueryError
+from repro.graphs import TagGraphBuilder
+from repro.sketch import SketchConfig, trs_select_seeds
+
+
+def _star_graph():
+    """Node 0 → {1..5} with probability 1; node 6 isolated."""
+    builder = TagGraphBuilder(7)
+    for v in range(1, 6):
+        builder.add(0, v, "t", 1.0)
+    return builder.build()
+
+
+FAST = SketchConfig(pilot_samples=100, theta_min=100, theta_max=2000)
+
+
+class TestTRS:
+    def test_finds_obvious_hub(self):
+        g = _star_graph()
+        result = trs_select_seeds(g, [1, 2, 3, 4, 5], ["t"], 1, FAST, rng=0)
+        assert result.seeds == (0,)
+        assert result.estimated_spread == pytest.approx(5.0, abs=0.01)
+
+    def test_respects_budget(self, small_yelp):
+        from repro.datasets import community_targets
+
+        targets = community_targets(small_yelp, "vegas", size=30, rng=0)
+        result = trs_select_seeds(
+            small_yelp.graph, targets, small_yelp.graph.tags[:5], 4,
+            FAST, rng=0,
+        )
+        assert len(result.seeds) == 4
+        assert len(set(result.seeds)) == 4
+
+    def test_estimate_close_to_exact(self, fig9_graph):
+        # Fix tags c4+c5; the best single seed and its exact spread are
+        # computable by enumeration.
+        tags = ["c4", "c5"]
+        result = trs_select_seeds(
+            fig9_graph, [6, 7, 8], tags, 1,
+            SketchConfig(pilot_samples=500, theta_min=4000, theta_max=8000),
+            rng=0,
+        )
+        exact = exact_spread(fig9_graph, result.seeds, [6, 7, 8], tags)
+        assert result.estimated_spread == pytest.approx(exact, abs=0.15)
+
+    def test_spread_fraction(self):
+        g = _star_graph()
+        result = trs_select_seeds(g, [1, 2, 3, 4, 5], ["t"], 1, FAST, rng=0)
+        assert result.spread_fraction(5) == pytest.approx(1.0, abs=0.01)
+        assert result.spread_fraction(0) == 0.0
+
+    def test_theta_recorded(self):
+        g = _star_graph()
+        result = trs_select_seeds(g, [1, 2], ["t"], 1, FAST, rng=0)
+        assert FAST.theta_min <= result.theta <= FAST.theta_max
+
+    def test_deterministic_with_seed(self, small_yelp):
+        from repro.datasets import community_targets
+
+        targets = community_targets(small_yelp, "vegas", size=20, rng=0)
+        tags = small_yelp.graph.tags[:4]
+        a = trs_select_seeds(small_yelp.graph, targets, tags, 3, FAST, rng=7)
+        b = trs_select_seeds(small_yelp.graph, targets, tags, 3, FAST, rng=7)
+        assert a.seeds == b.seeds
+
+    def test_bad_budget_raises(self):
+        g = _star_graph()
+        with pytest.raises(InvalidQueryError):
+            trs_select_seeds(g, [1], ["t"], 0, FAST, rng=0)
+
+    def test_unknown_tag_raises(self):
+        g = _star_graph()
+        with pytest.raises(InvalidQueryError):
+            trs_select_seeds(g, [1], ["nope"], 1, FAST, rng=0)
+
+    def test_more_seeds_never_hurt(self, small_yelp):
+        from repro.datasets import community_targets
+
+        targets = community_targets(small_yelp, "vegas", size=30, rng=0)
+        tags = small_yelp.graph.tags[:5]
+        one = trs_select_seeds(small_yelp.graph, targets, tags, 1, FAST, rng=3)
+        five = trs_select_seeds(small_yelp.graph, targets, tags, 5, FAST, rng=3)
+        assert five.estimated_spread >= one.estimated_spread - 0.5

@@ -1,0 +1,190 @@
+"""Tests for repro.utils: rng, timing, math helpers, validation."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphConstructionError, InvalidQueryError
+from repro.utils import (
+    Timer,
+    check_budget,
+    check_node_ids,
+    check_probability,
+    check_tags_exist,
+    ensure_rng,
+    log_binomial,
+    mean_std,
+    quartiles,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(ensure_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_independent(self):
+        children = spawn_rngs(ensure_rng(0), 2)
+        assert not np.array_equal(children[0].random(8), children[1].random(8))
+
+    def test_zero_children(self):
+        assert spawn_rngs(ensure_rng(0), 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(ensure_rng(0), -1)
+
+    def test_deterministic_given_parent_seed(self):
+        a = [g.random() for g in spawn_rngs(ensure_rng(5), 3)]
+        b = [g.random() for g in spawn_rngs(ensure_rng(5), 3)]
+        assert a == b
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_accumulates_across_spans(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.005)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed > first
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_open_span_counts(self):
+        timer = Timer()
+        timer.__enter__()
+        time.sleep(0.002)
+        assert timer.elapsed > 0.0
+        timer.__exit__(None, None, None)
+
+
+class TestLogBinomial:
+    def test_small_exact(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+
+    def test_edges(self):
+        assert log_binomial(7, 0) == pytest.approx(0.0)
+        assert log_binomial(7, 7) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        assert log_binomial(30, 7) == pytest.approx(log_binomial(30, 23))
+
+    def test_large_no_overflow(self):
+        value = log_binomial(10**6, 100)
+        assert math.isfinite(value) and value > 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            log_binomial(3, 5)
+        with pytest.raises(ValueError):
+            log_binomial(3, -1)
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_empty(self):
+        assert mean_std([]) == (0.0, 0.0)
+
+    def test_constant(self):
+        mean, std = mean_std([4.0] * 10)
+        assert (mean, std) == (4.0, 0.0)
+
+
+class TestQuartiles:
+    def test_five_points(self):
+        q1, q2, q3 = quartiles([1, 2, 3, 4, 5])
+        assert (q1, q2, q3) == (2.0, 3.0, 4.0)
+
+    def test_interpolation(self):
+        q1, q2, q3 = quartiles([1, 2, 3, 4])
+        assert q2 == pytest.approx(2.5)
+        assert q1 == pytest.approx(1.75)
+        assert q3 == pytest.approx(3.25)
+
+    def test_single_value(self):
+        assert quartiles([7.0]) == (7.0, 7.0, 7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quartiles([])
+
+    def test_unsorted_input(self):
+        assert quartiles([5, 1, 3, 2, 4]) == quartiles([1, 2, 3, 4, 5])
+
+
+class TestValidation:
+    def test_check_probability_accepts_valid(self):
+        check_probability(0.5, context="x")
+        check_probability(1.0, context="x")
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.01])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(GraphConstructionError):
+            check_probability(value, context="x")
+
+    def test_check_node_ids_ok(self):
+        check_node_ids([0, 4], 5, context="x")
+
+    @pytest.mark.parametrize("node", [-1, 5])
+    def test_check_node_ids_bad(self, node):
+        with pytest.raises(InvalidQueryError):
+            check_node_ids([node], 5, context="x")
+
+    def test_check_budget_ok(self):
+        check_budget(3, 5, what="seeds")
+
+    def test_check_budget_nonpositive(self):
+        with pytest.raises(InvalidQueryError):
+            check_budget(0, 5, what="seeds")
+
+    def test_check_budget_too_large(self):
+        with pytest.raises(InvalidQueryError):
+            check_budget(6, 5, what="seeds")
+
+    def test_check_tags_exist_ok(self):
+        check_tags_exist(["a"], {"a", "b"})
+
+    def test_check_tags_exist_unknown(self):
+        with pytest.raises(InvalidQueryError, match="unknown tags"):
+            check_tags_exist(["z"], {"a", "b"})

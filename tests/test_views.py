@@ -1,0 +1,88 @@
+"""Tests for local regions and induced subgraphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidQueryError
+from repro.graphs import TagGraphBuilder, induced_subgraph, local_region_nodes
+
+
+def _chain_graph():
+    # 0 → 1 → 2 → 3 → 4 plus a detached 5 → 6.
+    builder = TagGraphBuilder(7)
+    for u in range(4):
+        builder.add(u, u + 1, "t", 0.5)
+    builder.add(5, 6, "t", 0.5)
+    return builder.build()
+
+
+class TestLocalRegion:
+    def test_h_zero_is_targets(self):
+        g = _chain_graph()
+        assert local_region_nodes(g, [3], 0).tolist() == [3]
+
+    def test_one_hop_reverse(self):
+        g = _chain_graph()
+        assert local_region_nodes(g, [3], 1).tolist() == [2, 3]
+
+    def test_multi_hop(self):
+        g = _chain_graph()
+        assert local_region_nodes(g, [4], 3).tolist() == [1, 2, 3, 4]
+
+    def test_multiple_targets_union(self):
+        g = _chain_graph()
+        region = local_region_nodes(g, [2, 6], 1)
+        assert region.tolist() == [1, 2, 5, 6]
+
+    def test_detached_nodes_excluded(self):
+        g = _chain_graph()
+        region = local_region_nodes(g, [4], 10)
+        assert 5 not in region and 6 not in region
+
+    def test_negative_h_raises(self):
+        with pytest.raises(ConfigurationError):
+            local_region_nodes(_chain_graph(), [0], -1)
+
+    def test_bad_target_raises(self):
+        with pytest.raises(InvalidQueryError):
+            local_region_nodes(_chain_graph(), [99], 1)
+
+    def test_follows_reverse_direction_only(self):
+        # Node 4 is downstream of target 3; it must not be in the region.
+        g = _chain_graph()
+        assert 4 not in local_region_nodes(g, [3], 5)
+
+
+class TestInducedSubgraph:
+    def test_basic(self):
+        g = _chain_graph()
+        sub, mapping = induced_subgraph(g, [1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2  # 1→2 and 2→3 survive
+        assert mapping == {1: 0, 2: 1, 3: 2}
+
+    def test_boundary_edges_dropped(self):
+        g = _chain_graph()
+        sub, _ = induced_subgraph(g, [0, 1])
+        assert sub.num_edges == 1  # only 0→1; 1→2 crosses out
+
+    def test_tag_probabilities_preserved(self):
+        g = _chain_graph()
+        sub, mapping = induced_subgraph(g, [0, 1])
+        assert sub.edge_tag_probability(0, "t") == pytest.approx(0.5)
+
+    def test_empty_tag_pruned(self):
+        g = _chain_graph()
+        sub, _ = induced_subgraph(g, [5])  # no internal edges
+        assert sub.num_edges == 0
+        assert sub.tags == ()
+
+    def test_duplicate_nodes_deduped(self):
+        g = _chain_graph()
+        sub, _ = induced_subgraph(g, [1, 1, 2])
+        assert sub.num_nodes == 2
+
+    def test_bad_node_raises(self):
+        with pytest.raises(InvalidQueryError):
+            induced_subgraph(_chain_graph(), [42])

@@ -1,0 +1,111 @@
+"""Tests for benefit-weighted targeted influence maximization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import estimate_weighted_spread, weighted_trs_select_seeds
+from repro.exceptions import InvalidQueryError
+from repro.graphs import TagGraphBuilder
+from repro.sketch import SketchConfig
+
+FAST = SketchConfig(pilot_samples=100, theta_min=300, theta_max=1500)
+
+
+def _two_hub_graph():
+    """Hub 0 → {2, 3}; hub 1 → {4}; all probability 1."""
+    builder = TagGraphBuilder(5)
+    builder.add(0, 2, "t", 1.0)
+    builder.add(0, 3, "t", 1.0)
+    builder.add(1, 4, "t", 1.0)
+    return builder.build()
+
+
+class TestEstimateWeightedSpread:
+    def test_matches_unweighted_with_unit_benefits(self, line_graph):
+        from repro.diffusion import estimate_spread
+
+        weighted = estimate_weighted_spread(
+            line_graph, [0], {2: 1.0, 3: 1.0}, ["a", "b", "c"],
+            num_samples=3000, rng=0,
+        )
+        plain = estimate_spread(
+            line_graph, [0], [2, 3], ["a", "b", "c"],
+            num_samples=3000, rng=0,
+        )
+        assert weighted == pytest.approx(plain, abs=0.05)
+
+    def test_scales_with_benefit(self, line_graph):
+        low = estimate_weighted_spread(
+            line_graph, [0], {1: 1.0}, ["a"], num_samples=3000, rng=0
+        )
+        high = estimate_weighted_spread(
+            line_graph, [0], {1: 10.0}, ["a"], num_samples=3000, rng=0
+        )
+        assert high == pytest.approx(10 * low, rel=0.1)
+
+    def test_empty_seeds(self, line_graph):
+        assert estimate_weighted_spread(
+            line_graph, [], {1: 2.0}, ["a"], rng=0
+        ) == 0.0
+
+    def test_empty_benefits_rejected(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            estimate_weighted_spread(line_graph, [0], {}, ["a"], rng=0)
+
+    def test_nonpositive_benefit_rejected(self, line_graph):
+        with pytest.raises(InvalidQueryError):
+            estimate_weighted_spread(
+                line_graph, [0], {1: 0.0}, ["a"], rng=0
+            )
+
+
+class TestWeightedTRS:
+    def test_unit_benefits_pick_bigger_hub(self):
+        g = _two_hub_graph()
+        result = weighted_trs_select_seeds(
+            g, {2: 1.0, 3: 1.0, 4: 1.0}, ["t"], 1, FAST, rng=0
+        )
+        assert result.seeds == (0,)  # hub 0 covers benefit 2 of 3
+
+    def test_heavy_benefit_flips_choice(self):
+        # Target 4 is worth more than 2 and 3 combined: hub 1 wins.
+        g = _two_hub_graph()
+        result = weighted_trs_select_seeds(
+            g, {2: 1.0, 3: 1.0, 4: 5.0}, ["t"], 1, FAST, rng=0
+        )
+        assert result.seeds == (1,)
+
+    def test_benefit_estimate_close_to_truth(self):
+        g = _two_hub_graph()
+        result = weighted_trs_select_seeds(
+            g, {2: 1.0, 3: 1.0, 4: 5.0}, ["t"], 1, FAST, rng=0
+        )
+        # Hub 1 captures benefit 5 of total 7.
+        assert result.estimated_benefit == pytest.approx(5.0, abs=0.4)
+
+    def test_budget_two_takes_both_hubs(self):
+        g = _two_hub_graph()
+        result = weighted_trs_select_seeds(
+            g, {2: 1.0, 3: 1.0, 4: 5.0}, ["t"], 2, FAST, rng=0
+        )
+        assert set(result.seeds) == {0, 1}
+        assert result.estimated_benefit == pytest.approx(7.0, abs=0.4)
+
+    def test_deterministic(self, small_yelp):
+        members = small_yelp.community_members("vegas")[:20]
+        benefits = {int(v): 1.0 + (i % 3) for i, v in enumerate(members)}
+        tags = small_yelp.graph.tags[:4]
+        a = weighted_trs_select_seeds(
+            small_yelp.graph, benefits, tags, 3, FAST, rng=5
+        )
+        b = weighted_trs_select_seeds(
+            small_yelp.graph, benefits, tags, 3, FAST, rng=5
+        )
+        assert a.seeds == b.seeds
+
+    def test_bad_budget(self):
+        with pytest.raises(InvalidQueryError):
+            weighted_trs_select_seeds(
+                _two_hub_graph(), {2: 1.0}, ["t"], 0, FAST, rng=0
+            )
