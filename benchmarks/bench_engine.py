@@ -1,0 +1,225 @@
+"""Standalone scalar-vs-vectorized-vs-parallel engine benchmark.
+
+Runs the two hot sampling loops (targeted RR-set generation and IC
+cascade simulation) on a ladder of synthetic configs, three ways each:
+
+* ``scalar`` — the per-sample reference traversals (the correctness
+  oracle in :mod:`repro.sketch` / :mod:`repro.diffusion`);
+* ``vectorized`` — the frontier-batched kernels via a serial
+  :class:`~repro.engine.SamplingEngine`;
+* ``parallel`` — the same engine with a process pool (pool startup is
+  excluded; on single-core boxes this mostly measures IPC overhead).
+
+Writes ``BENCH_engine.json`` next to the repo root with per-case median
+wall times and speedups, and prints a table. Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_engine.py --quick
+    PYTHONPATH=src:. python benchmarks/bench_engine.py --quick \
+        --min-speedup 3.0     # CI gate: exit 1 if the largest config's
+                              # vectorized speedup falls below this
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import bfs_targets, twitter, yelp
+from repro.diffusion import simulate_cascade
+from repro.engine import SamplingEngine
+from repro.sketch import reverse_reachable_set
+
+#: (label, factory, scale) — ordered smallest to largest; the *last*
+#: entry is the one the --min-speedup gate checks.
+QUICK_CONFIGS = [
+    ("yelp-0.5", yelp, 0.5),
+    ("twitter-1.0", twitter, 1.0),
+]
+FULL_CONFIGS = QUICK_CONFIGS + [
+    ("twitter-2.0", twitter, 2.0),
+]
+
+
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def bench_config(
+    label: str,
+    factory,
+    scale: float,
+    theta: int,
+    num_cascades: int,
+    repeats: int,
+    workers: int,
+) -> dict:
+    data = factory(scale=scale)
+    graph = data.graph
+    targets = np.asarray(bfs_targets(graph, 60), dtype=np.int64)
+    tags = list(graph.tags[:5])
+    probs = graph.edge_probabilities(tags)
+    seeds = np.asarray(targets[:3], dtype=np.int64)
+    tmask = np.zeros(graph.num_nodes, dtype=bool)
+    tmask[targets] = True
+
+    def rr_scalar():
+        rng = np.random.default_rng(0)
+        roots = rng.choice(targets, size=theta)
+        return [
+            reverse_reachable_set(graph, int(r), probs, rng) for r in roots
+        ]
+
+    def cascade_scalar():
+        rng = np.random.default_rng(0)
+        return [
+            int(tmask[simulate_cascade(graph, seeds, probs, rng)].sum())
+            for _ in range(num_cascades)
+        ]
+
+    serial = SamplingEngine(mode="vectorized", workers=1)
+    # Size shards so the pooled engine genuinely fans out (the default
+    # shard of 512 would fit a quick-mode θ in a single in-process task).
+    shard = max(1, min(theta, num_cascades) // (2 * workers))
+    pooled = SamplingEngine(
+        mode="vectorized", workers=workers, shard_size=shard
+    )
+
+    def rr_engine(engine: SamplingEngine):
+        return lambda: engine.sample_rr_sets(
+            graph, targets, probs, theta, rng=0
+        )
+
+    def cascade_engine(engine: SamplingEngine):
+        return lambda: engine.cascade_target_counts(
+            graph, seeds, probs, num_cascades, targets, rng=0
+        )
+
+    # Warm both engines (CSR caches, process pool) outside the timing.
+    rr_engine(serial)()
+    rr_engine(pooled)()
+
+    result = {
+        "config": label,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "theta": theta,
+        "num_cascades": num_cascades,
+        "workers": workers,
+        "rr": {
+            "scalar_s": _median_time(rr_scalar, repeats),
+            "vectorized_s": _median_time(rr_engine(serial), repeats),
+            "parallel_s": _median_time(rr_engine(pooled), repeats),
+        },
+        "cascade": {
+            "scalar_s": _median_time(cascade_scalar, repeats),
+            "vectorized_s": _median_time(cascade_engine(serial), repeats),
+            "parallel_s": _median_time(cascade_engine(pooled), repeats),
+        },
+    }
+    for section in ("rr", "cascade"):
+        timings = result[section]
+        timings["vectorized_speedup"] = round(
+            timings["scalar_s"] / timings["vectorized_s"], 2
+        )
+        timings["parallel_speedup"] = round(
+            timings["scalar_s"] / timings["parallel_s"], 2
+        )
+    serial.close()
+    pooled.close()
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small ladder and fewer repeats")
+    parser.add_argument("--theta", type=int, default=None,
+                        help="RR samples per measurement")
+    parser.add_argument("--cascades", type=int, default=None,
+                        help="cascade samples per measurement")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repeats per case (median reported)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero unless the largest config's vectorized "
+             "speedup meets this for both RR and cascade",
+    )
+    args = parser.parse_args(argv)
+
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    theta = args.theta or (400 if args.quick else 1500)
+    cascades = args.cascades or (200 if args.quick else 600)
+    repeats = args.repeats or (3 if args.quick else 5)
+
+    results = []
+    for label, factory, scale in configs:
+        print(f"benchmarking {label} ...", flush=True)
+        results.append(
+            bench_config(
+                label, factory, scale, theta, cascades, repeats,
+                args.workers,
+            )
+        )
+
+    report = {
+        "quick": args.quick,
+        "theta": theta,
+        "num_cascades": cascades,
+        "repeats": repeats,
+        "results": results,
+    }
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    header = (
+        f"{'config':<14}{'case':<10}{'scalar s':>10}{'vector s':>10}"
+        f"{'par s':>10}{'vec x':>8}{'par x':>8}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for row in results:
+        for section in ("rr", "cascade"):
+            t = row[section]
+            print(
+                f"{row['config']:<14}{section:<10}"
+                f"{t['scalar_s']:>10.4f}{t['vectorized_s']:>10.4f}"
+                f"{t['parallel_s']:>10.4f}"
+                f"{t['vectorized_speedup']:>8.2f}"
+                f"{t['parallel_speedup']:>8.2f}"
+            )
+    print(f"\nwrote {out_path}")
+
+    if args.min_speedup is not None:
+        largest = results[-1]
+        worst = min(
+            largest["rr"]["vectorized_speedup"],
+            largest["cascade"]["vectorized_speedup"],
+        )
+        if worst < args.min_speedup:
+            print(
+                f"FAIL: vectorized speedup {worst:.2f}x on "
+                f"{largest['config']} below required "
+                f"{args.min_speedup:.2f}x"
+            )
+            return 1
+        print(
+            f"OK: vectorized speedup {worst:.2f}x on {largest['config']} "
+            f"meets {args.min_speedup:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,9 @@ Package map
     Targeted reverse sketching (TRS) with the Theorem 5 guarantee.
 ``repro.index``
     Per-tag possible-world indexing: I-TRS, L-TRS, LL-TRS.
+``repro.engine``
+    Vectorized frontier-batched sampling substrate with optional
+    multi-process fan-out (``SamplingEngine``, ``RRCollection``).
 ``repro.seeds`` / ``repro.tags``
     Seed finding and tag finding (batch-paths vs individual-paths).
 ``repro.core``
@@ -37,6 +40,8 @@ from repro.core.baseline import BaselineConfig, baseline_greedy
 from repro.core.joint import JointConfig, jointly_select
 from repro.core.problem import HistoryEntry, JointQuery, JointResult
 from repro.diffusion.monte_carlo import estimate_spread, estimate_spread_fraction
+from repro.engine.parallel import SamplingEngine
+from repro.engine.rr_storage import RRCollection
 from repro.exceptions import (
     ConfigurationError,
     EstimationError,
@@ -64,7 +69,9 @@ __all__ = [
     "JointConfig",
     "JointQuery",
     "JointResult",
+    "RRCollection",
     "ReproError",
+    "SamplingEngine",
     "SeedSelection",
     "SketchConfig",
     "TagGraph",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.sketch.theta import SketchConfig
 from repro.tags.api import METHODS, find_tags
 from repro.tags.paths import TagPath, TagSelectionConfig, collect_paths
 from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,7 @@ def compare_seed_engines(
     config: SketchConfig = SketchConfig(),
     eval_samples: int = 300,
     rng: np.random.Generator | int | None = None,
+    sampler: "SamplingEngine | None" = None,
 ) -> list[EngineReport]:
     """Run several engines on one query; verify all with one MC estimator."""
     rng = ensure_rng(rng)
@@ -66,11 +71,12 @@ def compare_seed_engines(
     reports = []
     for engine in engines:
         selection = find_seeds(
-            graph, targets, tags, k, engine=engine, config=config, rng=rng
+            graph, targets, tags, k, engine=engine, config=config, rng=rng,
+            sampler=sampler,
         )
         verified = estimate_spread(
             graph, selection.seeds, targets, tags,
-            num_samples=eval_samples, rng=rng,
+            num_samples=eval_samples, rng=rng, engine=sampler,
         )
         reports.append(
             EngineReport(

@@ -50,6 +50,15 @@ def _parse_tags(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _make_sampler(args: argparse.Namespace):
+    """Build a ``SamplingEngine`` from ``--sampler``/``--workers``, or None."""
+    if getattr(args, "sampler", None) is None:
+        return None
+    from repro.engine.parallel import SamplingEngine
+
+    return SamplingEngine(mode=args.sampler, workers=args.workers)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -75,12 +84,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="file with one target node id per line")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_sampler(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--sampler", choices=("scalar", "vectorized"), default=None,
+            help=(
+                "sampling substrate: 'vectorized' runs frontier-batched "
+                "numpy kernels; default keeps the scalar reference path"
+            ),
+        )
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes for the vectorized sampler (default 1)",
+        )
+
     seeds = sub.add_parser("seeds", help="top-k seeds for fixed tags")
     add_common(seeds)
     seeds.add_argument("-k", type=int, required=True)
     seeds.add_argument("--tags", required=True,
                        help="comma-separated tag set")
     seeds.add_argument("--engine", choices=ENGINES, default="trs")
+    add_sampler(seeds)
 
     tags = sub.add_parser("tags", help="top-r tags for fixed seeds")
     add_common(tags)
@@ -102,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     spread.add_argument("--seeds", required=True)
     spread.add_argument("--tags", required=True)
     spread.add_argument("--samples", type=int, default=500)
+    add_sampler(spread)
 
     compare = sub.add_parser(
         "compare", help="compare seed engines on one query"
@@ -113,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engines", default="trs,imm,lltrs",
         help="comma-separated engine list",
     )
+    add_sampler(compare)
 
     learn = sub.add_parser(
         "learn", help="learn a tag graph from an interaction log"
@@ -156,6 +181,7 @@ def _cmd_seeds(args: argparse.Namespace) -> int:
     selection = find_seeds(
         graph, targets, _parse_tags(args.tags), args.k,
         engine=args.engine, config=SketchConfig(), rng=args.seed,
+        sampler=_make_sampler(args),
     )
     print(f"seeds: {','.join(str(s) for s in selection.seeds)}")
     print(f"estimated spread: {selection.estimated_spread:.3f}")
@@ -200,6 +226,7 @@ def _cmd_spread(args: argparse.Namespace) -> int:
     value = estimate_spread(
         graph, _parse_nodes(args.seeds), targets, _parse_tags(args.tags),
         num_samples=args.samples, rng=args.seed,
+        engine=_make_sampler(args),
     )
     print(f"spread: {value:.3f} / {len(set(targets))}")
     return 0
@@ -213,7 +240,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     engines = [e.strip() for e in args.engines.split(",") if e.strip()]
     reports = compare_seed_engines(
         graph, targets, _parse_tags(args.tags), args.k,
-        engines=engines, rng=args.seed,
+        engines=engines, rng=args.seed, sampler=_make_sampler(args),
     )
     print(
         format_table(

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.joint import JointConfig, jointly_select
 from repro.core.problem import JointQuery, JointResult
 from repro.diffusion.monte_carlo import estimate_spread
+from repro.engine.parallel import SamplingEngine
 from repro.graphs.tag_graph import TagGraph
 from repro.index.itrs import make_lltrs_manager, make_ltrs_manager
 from repro.index.lazy import IndexManager
@@ -38,6 +39,13 @@ class CampaignSession:
     rng:
         One seed/generator for the whole session — successive queries
         consume one stream, so a session is replayable end to end.
+    sampler:
+        Optional :class:`~repro.engine.SamplingEngine` shared by every
+        query of the session: seed selections sample RR sets and spread
+        checks run cascades through it (frontier-batched, and sharded
+        across its worker pool when ``workers > 1``). The determinism
+        contract carries over — a session with a fixed seed replays
+        identically for any worker count.
     """
 
     def __init__(
@@ -45,10 +53,12 @@ class CampaignSession:
         graph: TagGraph,
         config: JointConfig = JointConfig(),
         rng: np.random.Generator | int | None = None,
+        sampler: "SamplingEngine | None" = None,
     ) -> None:
         self._graph = graph
         self._config = config
         self._rng = ensure_rng(rng)
+        self._sampler = sampler
         self._shared_manager: IndexManager | None = None
         self._local_managers: dict[tuple[int, ...], IndexManager] = {}
         self.queries_run = 0
@@ -86,6 +96,7 @@ class CampaignSession:
             config=self._config.sketch,
             manager=self._manager_for(targets),
             rng=self._rng,
+            sampler=self._sampler,
         )
 
     def tags(
@@ -122,6 +133,7 @@ class CampaignSession:
             self._graph, seeds, targets, tags,
             num_samples=num_samples or self._config.eval_samples,
             rng=self._rng,
+            engine=self._sampler,
         )
 
     @property

@@ -8,6 +8,7 @@ law of large numbers).
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -15,17 +16,37 @@ from repro.diffusion.cascade import simulate_cascade
 from repro.exceptions import InvalidQueryError
 from repro.graphs.tag_graph import TagGraph
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_node_ids, check_tags_exist
+from repro.utils.validation import as_target_array, check_node_ids, check_tags_exist
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
+
+
+def target_mask(graph: TagGraph, targets: Iterable[int]) -> np.ndarray:
+    """Validated boolean target mask (length ``n``) for reuse across calls.
+
+    Callers estimating many seed sets against one target set (CELF hill
+    climbing, the iterative framework) compute this once and pass it to
+    :func:`estimate_spread` — mirroring the existing ``edge_probs``
+    precomputation — instead of having the target list re-sorted and
+    re-validated per invocation.
+    """
+    arr = as_target_array(targets, graph.num_nodes, context="target_mask")
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    mask[arr] = True
+    return mask
 
 
 def estimate_spread(
     graph: TagGraph,
     seeds: Iterable[int],
-    targets: Iterable[int],
+    targets: Iterable[int] | None,
     tags: Sequence[str],
     num_samples: int = 200,
     rng: np.random.Generator | int | None = None,
     edge_probs: np.ndarray | None = None,
+    targets_mask: np.ndarray | None = None,
+    engine: "SamplingEngine | None" = None,
 ) -> float:
     """Estimate ``σ(S, T, C1)`` — expected number of activated targets.
 
@@ -41,6 +62,14 @@ def estimate_spread(
         Optional precomputed ``graph.edge_probabilities(tags)`` — pass it
         when estimating many seed sets under the same tag set to avoid
         recomputing the aggregation.
+    targets_mask:
+        Optional precomputed :func:`target_mask` — the target-set
+        analogue of ``edge_probs``. When given, ``targets`` may be
+        ``None`` and no per-call target validation or sorting happens.
+    engine:
+        Optional :class:`~repro.engine.SamplingEngine`: cascades are
+        then simulated frontier-batched (and sharded across processes
+        for ``workers > 1``) instead of one scalar BFS per sample.
 
     Returns
     -------
@@ -53,12 +82,26 @@ def estimate_spread(
         )
     rng = ensure_rng(rng)
     seed_list = [int(s) for s in seeds]
-    target_list = sorted({int(t) for t in targets})
-    if not target_list:
-        raise InvalidQueryError("target set must not be empty")
     check_node_ids(seed_list, graph.num_nodes, context="estimate_spread")
-    check_node_ids(target_list, graph.num_nodes, context="estimate_spread")
     check_tags_exist(tags, graph.tags)
+
+    if targets_mask is not None:
+        if targets_mask.shape != (graph.num_nodes,):
+            raise InvalidQueryError(
+                f"targets_mask must have length n={graph.num_nodes}, "
+                f"got shape {targets_mask.shape}"
+            )
+        if not targets_mask.any():
+            raise InvalidQueryError("target set must not be empty")
+        target_arr = np.flatnonzero(targets_mask)
+    else:
+        if targets is None:
+            raise InvalidQueryError(
+                "estimate_spread needs targets or a precomputed targets_mask"
+            )
+        target_arr = as_target_array(
+            targets, graph.num_nodes, context="estimate_spread"
+        )
 
     if edge_probs is None:
         edge_probs = graph.edge_probabilities(tags)
@@ -66,7 +109,16 @@ def estimate_spread(
     if not seed_list:
         return 0.0
 
-    target_arr = np.array(target_list, dtype=np.int64)
+    if engine is not None:
+        return engine.estimate_spread(
+            graph,
+            np.array(sorted(set(seed_list)), dtype=np.int64),
+            edge_probs,
+            num_samples,
+            target_arr,
+            rng,
+        )
+
     total = 0
     for _ in range(num_samples):
         active = simulate_cascade(graph, seed_list, edge_probs, rng)
@@ -81,16 +133,18 @@ def estimate_spread_fraction(
     tags: Sequence[str],
     num_samples: int = 200,
     rng: np.random.Generator | int | None = None,
+    engine: "SamplingEngine | None" = None,
 ) -> float:
     """Spread as a fraction of the target-set size, in ``[0, 1]``.
 
     The paper reports most accuracy results as "% influence spread in
     targets"; this is that quantity (before the ×100).
     """
-    target_list = sorted({int(t) for t in targets})
-    if not target_list:
-        raise InvalidQueryError("target set must not be empty")
-    spread = estimate_spread(
-        graph, seeds, target_list, tags, num_samples=num_samples, rng=rng
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="estimate_spread_fraction"
     )
-    return spread / len(target_list)
+    spread = estimate_spread(
+        graph, seeds, target_arr, tags, num_samples=num_samples, rng=rng,
+        engine=engine,
+    )
+    return spread / int(target_arr.size)

@@ -1,0 +1,44 @@
+"""Vectorized frontier-batched sampling engine with parallel fan-out.
+
+This package is the performance layer of the reproduction:
+
+* :mod:`repro.engine.frontier` — level-synchronous BFS kernels that
+  expand whole frontiers with numpy CSR gathers and flip all frontier
+  coins in one call (no per-edge Python loop);
+* :mod:`repro.engine.rr_storage` — :class:`RRCollection`, a CSR-style
+  flat store for RR sets with a lazy inverted node→set index, enabling
+  an O(total membership) greedy max-coverage pass;
+* :mod:`repro.engine.parallel` — :class:`SamplingEngine`, the
+  ``ProcessPoolExecutor``-backed driver with deterministic per-shard
+  RNG streams (same master seed ⇒ identical results for any worker
+  count).
+
+The scalar implementations in :mod:`repro.sketch` and
+:mod:`repro.diffusion` remain the correctness oracle; pass a
+``SamplingEngine`` through the ``engine=`` knobs of the high-level APIs
+to opt into this layer.
+"""
+
+from repro.engine.frontier import (
+    batched_cascade_counts,
+    batched_rr_members,
+    cascade_frontier,
+    hybrid_rr_frontier,
+    rr_fixed_frontier,
+    rr_frontier,
+)
+from repro.engine.parallel import DEFAULT_SHARD_SIZE, MODES, SamplingEngine
+from repro.engine.rr_storage import RRCollection
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "MODES",
+    "RRCollection",
+    "SamplingEngine",
+    "batched_cascade_counts",
+    "batched_rr_members",
+    "cascade_frontier",
+    "hybrid_rr_frontier",
+    "rr_fixed_frontier",
+    "rr_frontier",
+]

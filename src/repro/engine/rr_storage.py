@@ -1,0 +1,187 @@
+"""Flat CSR-style storage for RR-set collections.
+
+The scalar pipeline stores θ RR sets as ``list[np.ndarray]`` — θ small
+heap objects whose membership the greedy max-coverage pass rescans per
+pick. :class:`RRCollection` concatenates all members into one array with
+an ``indptr`` (exactly the CSR layout the graph already uses for
+adjacency) and derives the inverted node→set index lazily; greedy
+coverage over it is an ``np.bincount``-based O(total membership) pass
+(see :func:`repro.sketch.coverage.greedy_max_coverage`, which
+dispatches here automatically).
+
+An ``RRCollection`` behaves as a read-only sequence of int64 arrays, so
+every existing consumer of ``list[np.ndarray]`` RR sets accepts one
+unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+
+
+class RRCollection(Sequence):
+    """θ RR sets stored flat: concatenated members + ``indptr``.
+
+    Parameters
+    ----------
+    members:
+        All member node ids, set after set
+        (``members[indptr[i]:indptr[i+1]]`` is set ``i``).
+    indptr:
+        Monotone offsets, length ``num_sets + 1``.
+    num_nodes:
+        Size of the node universe (needed for the inverted index).
+    """
+
+    __slots__ = ("_members", "_indptr", "_num_nodes", "_inverted")
+
+    def __init__(
+        self, members: np.ndarray, indptr: np.ndarray, num_nodes: int
+    ) -> None:
+        members = np.asarray(members, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise InvalidQueryError("indptr must be a non-empty 1-D array")
+        if indptr[0] != 0 or indptr[-1] != members.size:
+            raise InvalidQueryError(
+                "indptr must start at 0 and end at len(members), got "
+                f"[{indptr[0]}, {indptr[-1]}] for {members.size} members"
+            )
+        if num_nodes <= 0:
+            raise InvalidQueryError("num_nodes must be positive")
+        self._members = members
+        self._indptr = indptr
+        self._num_nodes = int(num_nodes)
+        self._inverted: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sets(
+        cls, sets: Iterable[np.ndarray], num_nodes: int
+    ) -> "RRCollection":
+        """Build from an iterable of per-set member arrays."""
+        arrays = [np.asarray(s, dtype=np.int64) for s in sets]
+        counts = np.array([a.size for a in arrays], dtype=np.int64)
+        indptr = np.zeros(len(arrays) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        members = (
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+        )
+        return cls(members, indptr, num_nodes)
+
+    @classmethod
+    def concat(cls, collections: Sequence["RRCollection"]) -> "RRCollection":
+        """Concatenate collections (same node universe), preserving order."""
+        if not collections:
+            raise InvalidQueryError("cannot concat zero collections")
+        num_nodes = collections[0]._num_nodes
+        for other in collections[1:]:
+            if other._num_nodes != num_nodes:
+                raise InvalidQueryError(
+                    "cannot concat collections over different node universes"
+                )
+        members = np.concatenate([c._members for c in collections])
+        counts = np.concatenate([np.diff(c._indptr) for c in collections])
+        indptr = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(members, indptr, num_nodes)
+
+    def truncated(self, count: int) -> "RRCollection":
+        """First ``count`` sets as a new collection (views, no copy)."""
+        count = max(0, min(int(count), self.num_sets))
+        indptr = self._indptr[: count + 1]
+        return RRCollection(
+            self._members[: indptr[-1]], indptr, self._num_nodes
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> np.ndarray:
+        """The concatenated member array (flat view)."""
+        return self._members
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Set offsets into :attr:`members`."""
+        return self._indptr
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the node universe."""
+        return self._num_nodes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of RR sets stored."""
+        return self._indptr.size - 1
+
+    @property
+    def total_members(self) -> int:
+        """Total membership across all sets (storage cost)."""
+        return int(self._members.size)
+
+    def set_ids_per_member(self) -> np.ndarray:
+        """Owning set id of every entry of :attr:`members`."""
+        return np.repeat(
+            np.arange(self.num_sets, dtype=np.int64), np.diff(self._indptr)
+        )
+
+    def inverted(self) -> tuple[np.ndarray, np.ndarray]:
+        """Inverted node→set index as ``(indptr, set_ids)`` CSR arrays.
+
+        ``set_ids[indptr[v]:indptr[v+1]]`` lists the RR sets containing
+        node ``v`` (ascending). Built once, cached.
+        """
+        if self._inverted is None:
+            order = np.argsort(self._members, kind="stable")
+            set_ids = self.set_ids_per_member()[order]
+            counts = np.bincount(self._members, minlength=self._num_nodes)
+            indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._inverted = (indptr, set_ids)
+        return self._inverted
+
+    def member_counts(self) -> np.ndarray:
+        """Per-node membership counts (length ``num_nodes``)."""
+        return np.bincount(self._members, minlength=self._num_nodes)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol — list[np.ndarray] compatibility
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_sets
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.num_sets)
+            if step != 1:
+                return [self[i] for i in range(start, stop, step)]
+            if start == 0:
+                return self.truncated(stop)
+            counts = np.diff(self._indptr[start:stop + 1])
+            indptr = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            members = self._members[self._indptr[start]:self._indptr[stop]]
+            return RRCollection(members.copy(), indptr, self._num_nodes)
+        idx = int(index)
+        if idx < 0:
+            idx += self.num_sets
+        if not (0 <= idx < self.num_sets):
+            raise IndexError(
+                f"set index {index} outside [0, {self.num_sets})"
+            )
+        return self._members[self._indptr[idx]:self._indptr[idx + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RRCollection(sets={self.num_sets}, "
+            f"members={self.total_members}, n={self._num_nodes})"
+        )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,7 +26,14 @@ from repro.sketch.coverage import greedy_max_coverage
 from repro.sketch.theta import SketchConfig, compute_theta, estimate_opt_t
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
-from repro.utils.validation import check_budget, check_tags_exist
+from repro.utils.validation import (
+    as_target_array,
+    check_budget,
+    check_tags_exist,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
 
 
 @dataclass(frozen=True)
@@ -111,6 +119,7 @@ def indexed_select_seeds(
     config: SketchConfig = SketchConfig(),
     rng: np.random.Generator | int | None = None,
     record_choices: bool = False,
+    engine: "SamplingEngine | None" = None,
 ) -> IndexedTRSResult:
     """Select top-``k`` seeds using pre-sampled possible-world indexes.
 
@@ -124,47 +133,68 @@ def indexed_select_seeds(
         When true, the per-working-graph world choices are kept on the
         result for correlation diagnostics (Figure 7); costs memory
         proportional to ``θ · r``.
+    engine:
+        Optional :class:`~repro.engine.SamplingEngine`. Vectorized mode
+        runs the hybrid traversal frontier-batched and stores RR sets
+        flat; the traversal stays in-process regardless of ``workers``
+        because each working graph is drawn from shared manager state.
     """
     rng = ensure_rng(rng)
     check_budget(k, graph.num_nodes, what="seeds")
     check_tags_exist(tags, graph.tags)
     tag_list = list(dict.fromkeys(tags))  # dedupe, preserve order
-    target_list = sorted({int(t) for t in targets})
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="indexed_select_seeds"
+    )
+    num_targets = int(target_arr.size)
+    vectorized = engine is not None and engine.mode == "vectorized"
 
     timer = Timer()
     with timer:
         edge_probs = graph.edge_probabilities(tag_list)
         opt_t = estimate_opt_t(
-            graph, target_list, edge_probs, k, config, rng
+            graph, target_arr, edge_probs, k, config, rng, engine=engine
         )
         theta = compute_theta(
-            graph.num_nodes, k, len(target_list), opt_t, config
+            graph.num_nodes, k, num_targets, opt_t, config
         )
         tc = compute_theta_c(theta, len(tag_list), config.alpha, config.delta)
         manager.ensure_indexes(tag_list, tc, rng)
 
         covered = manager.covered_mask
         mask_buffer = np.zeros(graph.num_edges, dtype=bool)
-        target_arr = np.array(target_list, dtype=np.int64)
         roots = rng.choice(target_arr, size=theta)
 
-        rr_sets: list[np.ndarray] = []
+        if vectorized:
+            from repro.engine.frontier import hybrid_rr_frontier
+
+            traverse = hybrid_rr_frontier
+        else:
+            traverse = _hybrid_rr_set
+
+        rr_list: list[np.ndarray] = []
         choices_log: list[dict[str, int]] = []
         for root in roots:
             choices = manager.sample_world_choices(tag_list, rng)
             if record_choices:
                 choices_log.append(choices)
             working = manager.working_mask(choices, out=mask_buffer)
-            rr_sets.append(
-                _hybrid_rr_set(
-                    graph, int(root), working, covered, edge_probs, rng
-                )
+            rr_list.append(
+                traverse(graph, int(root), working, covered, edge_probs, rng)
             )
+        if vectorized:
+            from repro.engine.rr_storage import RRCollection
+
+            rr_sets: "list[np.ndarray] | RRCollection" = (
+                RRCollection.from_sets(rr_list, graph.num_nodes)
+            )
+        else:
+            rr_sets = rr_list
         coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
 
     return IndexedTRSResult(
         seeds=coverage.seeds,
-        estimated_spread=coverage.spread_estimate(len(target_list)),
+        estimated_spread=coverage.spread_estimate(num_targets),
         theta=theta,
         theta_c=tc,
         query_seconds=timer.elapsed,

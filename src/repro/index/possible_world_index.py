@@ -79,10 +79,13 @@ class TagIndex:
             inside = edge_universe[ids]
             ids, probs = ids[inside], probs[inside]
         self._candidate_edges = ids
-        self._worlds: list[np.ndarray] = []
-        for _ in range(count):
-            keep = rng.random(ids.size) < probs
-            self._worlds.append(ids[keep].copy())
+        # One batched draw for all worlds. Generator.random fills the
+        # matrix row-major, i.e. the exact stream of ``count`` sequential
+        # per-world draws — bit-identical worlds, one numpy call.
+        coins = rng.random((count, ids.size))
+        self._worlds: list[np.ndarray] = [
+            ids[coins[i] < probs] for i in range(count)
+        ]
 
     @property
     def num_worlds(self) -> int:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,9 @@ from repro.seeds.greedy_mc import greedy_mc_select_seeds
 from repro.sketch.imm import imm_select_seeds
 from repro.sketch.theta import SketchConfig
 from repro.sketch.trs import trs_select_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
 
 ENGINES = ("trs", "imm", "itrs", "ltrs", "lltrs", "greedy-mc")
 
@@ -56,6 +60,7 @@ def find_seeds(
     manager: IndexManager | None = None,
     num_samples: int = 100,
     rng: np.random.Generator | int | None = None,
+    sampler: "SamplingEngine | None" = None,
 ) -> SeedSelection:
     """Find the top-``k`` seeds for targeted spread under fixed ``tags``.
 
@@ -76,6 +81,11 @@ def find_seeds(
         L-TRS).
     num_samples:
         MC samples per estimation (``greedy-mc`` only).
+    sampler:
+        Optional :class:`~repro.engine.SamplingEngine` — the
+        frontier-batched / multi-process sampling substrate every
+        algorithmic engine above can run on. ``None`` keeps the scalar
+        oracle path.
     """
     if engine not in ENGINES:
         raise ConfigurationError(
@@ -83,7 +93,9 @@ def find_seeds(
         )
 
     if engine == "trs":
-        result = trs_select_seeds(graph, targets, tags, k, config, rng)
+        result = trs_select_seeds(
+            graph, targets, tags, k, config, rng, engine=sampler
+        )
         return SeedSelection(
             seeds=result.seeds,
             estimated_spread=result.estimated_spread,
@@ -92,7 +104,9 @@ def find_seeds(
         )
 
     if engine == "imm":
-        imm = imm_select_seeds(graph, targets, tags, k, config, rng=rng)
+        imm = imm_select_seeds(
+            graph, targets, tags, k, config, rng=rng, engine=sampler
+        )
         return SeedSelection(
             seeds=imm.seeds,
             estimated_spread=imm.estimated_spread,
@@ -102,7 +116,8 @@ def find_seeds(
 
     if engine == "greedy-mc":
         greedy = greedy_mc_select_seeds(
-            graph, targets, tags, k, num_samples=num_samples, rng=rng
+            graph, targets, tags, k, num_samples=num_samples, rng=rng,
+            engine=sampler,
         )
         return SeedSelection(
             seeds=greedy.seeds,
@@ -123,7 +138,7 @@ def find_seeds(
             manager = make_lltrs_manager(graph, targets, config)
 
     indexed = indexed_select_seeds(
-        graph, targets, tags, k, manager, config, rng
+        graph, targets, tags, k, manager, config, rng, engine=sampler
     )
     return SeedSelection(
         seeds=indexed.seeds,

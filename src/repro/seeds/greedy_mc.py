@@ -15,14 +15,18 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.diffusion.monte_carlo import estimate_spread
+from repro.diffusion.monte_carlo import estimate_spread, target_mask
 from repro.graphs.tag_graph import TagGraph
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 from repro.utils.validation import check_budget, check_tags_exist
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,7 @@ def greedy_mc_select_seeds(
     candidates: Sequence[int] | None = None,
     use_celf_plus_plus: bool = True,
     rng: np.random.Generator | int | None = None,
+    engine: "SamplingEngine | None" = None,
 ) -> GreedyMCResult:
     """Pick ``k`` seeds by lazy greedy hill climbing (Eq. 7).
 
@@ -68,6 +73,9 @@ def greedy_mc_select_seeds(
         Optional restriction of the seed universe; defaults to all nodes.
     use_celf_plus_plus:
         Enable the CELF++ look-ahead cache on top of plain CELF.
+    engine:
+        Optional :class:`~repro.engine.SamplingEngine` for
+        frontier-batched (and multi-process) cascade simulation.
 
     Notes
     -----
@@ -77,7 +85,6 @@ def greedy_mc_select_seeds(
     """
     rng = ensure_rng(rng)
     check_tags_exist(tags, graph.tags)
-    target_list = sorted({int(t) for t in targets})
     pool = (
         list(range(graph.num_nodes))
         if candidates is None
@@ -86,6 +93,9 @@ def greedy_mc_select_seeds(
     check_budget(k, len(pool), what="seeds")
 
     edge_probs = graph.edge_probabilities(tags)
+    # Like edge_probs, the target mask is hoisted out of the estimation
+    # loop — thousands of CELF evaluations share one validation.
+    targets_mask = target_mask(graph, targets)
     evaluations = 0
 
     def spread_of(seed_set: Sequence[int]) -> float:
@@ -96,11 +106,13 @@ def greedy_mc_select_seeds(
         return estimate_spread(
             graph,
             seed_set,
-            target_list,
+            None,
             tags,
             num_samples=num_samples,
             rng=rng,
             edge_probs=edge_probs,
+            targets_mask=targets_mask,
+            engine=engine,
         )
 
     timer = Timer()

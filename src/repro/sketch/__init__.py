@@ -12,6 +12,7 @@ from repro.sketch.rr_sets import (
     rr_set_from_edge_mask,
     reverse_reachable_set,
     sample_rr_sets,
+    sample_rr_sets_validated,
 )
 from repro.sketch.theta import SketchConfig, compute_theta, estimate_opt_t
 from repro.sketch.trs import TRSResult, trs_select_seeds
@@ -28,5 +29,6 @@ __all__ = [
     "reverse_reachable_set",
     "rr_set_from_edge_mask",
     "sample_rr_sets",
+    "sample_rr_sets_validated",
     "trs_select_seeds",
 ]

@@ -84,6 +84,11 @@ def greedy_max_coverage(
     if num_nodes <= 0:
         raise InvalidQueryError("num_nodes must be positive")
 
+    # Flat collections (repro.engine.RRCollection) take the bincount
+    # path: same greedy, same tie-breaking, O(total membership) updates.
+    if hasattr(rr_sets, "members") and hasattr(rr_sets, "inverted"):
+        return _greedy_max_coverage_flat(rr_sets, k, num_nodes, candidate_nodes)
+
     allowed = np.zeros(num_nodes, dtype=bool)
     if candidate_nodes is None:
         allowed[:] = True
@@ -132,5 +137,76 @@ def greedy_max_coverage(
         seeds=tuple(seeds),
         covered=int(covered_sets.sum()),
         total=len(rr_sets),
+        marginal_covered=tuple(marginals),
+    )
+
+
+def _greedy_max_coverage_flat(
+    rr, k: int, num_nodes: int, candidate_nodes: np.ndarray | None
+) -> CoverageResult:
+    """Greedy max coverage over a flat :class:`~repro.engine.RRCollection`.
+
+    Identical selection semantics to the list path (same argmax
+    tie-breaking, same filler rule), but membership is never rescanned:
+    residual per-node counts start as one ``np.bincount`` over the flat
+    member array and are decremented with one bincount per pick,
+    restricted to the members of the *newly* covered sets — an
+    O(total membership) pass overall.
+    """
+    num_sets = rr.num_sets
+    members = rr.members
+    set_indptr = rr.indptr
+    inv_indptr, inv_sets = rr.inverted()
+
+    allowed = np.zeros(num_nodes, dtype=bool)
+    if candidate_nodes is None:
+        allowed[:] = True
+    else:
+        allowed[np.asarray(candidate_nodes, dtype=np.int64)] = True
+
+    allowed_members = allowed[members]
+    counts = np.bincount(members[allowed_members], minlength=num_nodes)
+
+    covered_sets = np.zeros(num_sets, dtype=bool)
+    seeds: list[int] = []
+    marginals: list[int] = []
+    used = np.zeros(num_nodes, dtype=bool)
+
+    budget = min(k, int(allowed.sum()))
+    for _ in range(budget):
+        masked = np.where(allowed & ~used, counts, -1)
+        best = int(masked.argmax())
+        gain = int(masked[best])
+        if gain <= 0:
+            break
+        seeds.append(best)
+        marginals.append(gain)
+        used[best] = True
+        newly = inv_sets[inv_indptr[best]:inv_indptr[best + 1]]
+        newly = newly[~covered_sets[newly]]
+        covered_sets[newly] = True
+        # Gather the members of every newly covered set in one pass.
+        starts = set_indptr[newly]
+        lengths = set_indptr[newly + 1] - starts
+        total = int(lengths.sum())
+        if total:
+            cumulative = np.cumsum(lengths)
+            positions = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - (cumulative - lengths), lengths
+            )
+            touched = members[positions]
+            touched = touched[allowed[touched]]
+            counts -= np.bincount(touched, minlength=num_nodes)
+
+    if len(seeds) < budget:
+        fillers = np.flatnonzero(allowed & ~used)
+        for node in fillers[: budget - len(seeds)].tolist():
+            seeds.append(int(node))
+            marginals.append(0)
+
+    return CoverageResult(
+        seeds=tuple(seeds),
+        covered=int(covered_sets.sum()),
+        total=num_sets,
         marginal_covered=tuple(marginals),
     )

@@ -21,17 +21,25 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
-from repro.sketch.rr_sets import sample_rr_sets
+from repro.sketch.rr_sets import sample_rr_sets_validated
 from repro.sketch.theta import SketchConfig
 from repro.utils.mathx import log_binomial
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
-from repro.utils.validation import check_budget, check_tags_exist
+from repro.utils.validation import (
+    as_target_array,
+    check_budget,
+    check_tags_exist,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,7 @@ def imm_select_seeds(
     config: SketchConfig = SketchConfig(),
     ell: float = 1.0,
     rng: np.random.Generator | int | None = None,
+    engine: "SamplingEngine | None" = None,
 ) -> IMMResult:
     """Targeted IMM: top-``k`` seeds with martingale-sized sampling.
 
@@ -81,12 +90,21 @@ def imm_select_seeds(
     ell:
         Failure-probability exponent: guarantees hold with probability
         at least ``1 − |T|^(−ell)`` (IMM's ℓ parameter).
+    engine:
+        Optional :class:`~repro.engine.SamplingEngine`; the geometric
+        rounds then accumulate flat
+        :class:`~repro.engine.RRCollection` batches instead of lists.
+
+    Targets are validated once at this boundary; every sampling round
+    reuses the pre-validated array.
     """
     rng = ensure_rng(rng)
     check_budget(k, graph.num_nodes, what="seeds")
     check_tags_exist(tags, graph.tags)
-    target_list = sorted({int(t) for t in targets})
-    t_size = len(target_list)
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="imm_select_seeds"
+    )
+    t_size = int(target_arr.size)
     n = graph.num_nodes
     eps = config.epsilon
 
@@ -105,7 +123,24 @@ def imm_select_seeds(
             / (eps_prime * eps_prime)
         )
 
-        rr_sets: list[np.ndarray] = []
+        if engine is None:
+            rr_sets: "list[np.ndarray] | RRCollection" = []
+        else:
+            from repro.engine.rr_storage import RRCollection
+
+            rr_sets = RRCollection(
+                np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), n
+            )
+
+        def extended(current, count: int):
+            extra = sample_rr_sets_validated(
+                graph, target_arr, edge_probs, count, rng, engine=engine
+            )
+            if engine is None:
+                current.extend(extra)
+                return current
+            return type(current).concat((current, extra))
+
         lower_bound = 1.0
         rounds = 0
         max_rounds = max(int(math.log2(max(t_size, 2))), 1)
@@ -116,12 +151,7 @@ def imm_select_seeds(
                 int(math.ceil(lam_prime / max(x, 1e-9))), config.theta_max
             )
             if len(rr_sets) < theta_i:
-                rr_sets.extend(
-                    sample_rr_sets(
-                        graph, target_list, edge_probs,
-                        theta_i - len(rr_sets), rng,
-                    )
-                )
+                rr_sets = extended(rr_sets, theta_i - len(rr_sets))
             coverage = greedy_max_coverage(rr_sets, k, n)
             estimate = coverage.fraction * t_size
             if estimate >= (1.0 + eps_prime) * x:
@@ -149,12 +179,7 @@ def imm_select_seeds(
             )
         )
         if len(rr_sets) < theta:
-            rr_sets.extend(
-                sample_rr_sets(
-                    graph, target_list, edge_probs,
-                    theta - len(rr_sets), rng,
-                )
-            )
+            rr_sets = extended(rr_sets, theta - len(rr_sets))
         else:
             rr_sets = rr_sets[:theta]
         final = greedy_max_coverage(rr_sets, k, n)

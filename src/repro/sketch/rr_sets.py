@@ -11,13 +11,18 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import InvalidQueryError
 from repro.graphs.tag_graph import TagGraph
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_node_ids
+from repro.utils.validation import as_target_array, check_node_ids
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
+    from repro.engine.rr_storage import RRCollection
 
 
 def reverse_reachable_set(
@@ -32,8 +37,24 @@ def reverse_reachable_set(
     """
     rng = ensure_rng(rng)
     check_node_ids([root], graph.num_nodes, context="reverse_reachable_set")
-
     visited = np.zeros(graph.num_nodes, dtype=bool)
+    return _reverse_reachable_set_into(graph, root, edge_probs, rng, visited)
+
+
+def _reverse_reachable_set_into(
+    graph: TagGraph,
+    root: int,
+    edge_probs: np.ndarray,
+    rng: np.random.Generator,
+    visited: np.ndarray,
+) -> np.ndarray:
+    """Scalar reverse BFS core; ``visited`` is a reusable scratch buffer.
+
+    The buffer must arrive all-``False`` and is restored before
+    returning, so batch callers avoid a length-``n`` allocation per
+    sample. RNG consumption is identical to the original loop, keeping
+    the scalar path bit-compatible for fixed seeds.
+    """
     visited[root] = True
     members = [int(root)]
     queue: deque[int] = deque([int(root)])
@@ -52,7 +73,9 @@ def reverse_reachable_set(
                 visited[parent] = True
                 members.append(parent)
                 queue.append(parent)
-    return np.array(members, dtype=np.int64)
+    result = np.array(members, dtype=np.int64)
+    visited[result] = False
+    return result
 
 
 def rr_set_from_edge_mask(
@@ -96,23 +119,56 @@ def sample_rr_sets(
     edge_probs: np.ndarray,
     theta: int,
     rng: np.random.Generator | int | None = None,
-) -> list[np.ndarray]:
+    engine: "SamplingEngine | None" = None,
+) -> "list[np.ndarray] | RRCollection":
     """Sample ``theta`` targeted RR sets (roots uniform over ``targets``).
 
     This is the *targeted* refinement: in classical reverse sketching the
     root is uniform over all of ``V``; here it is uniform over ``T``
     only, so coverage fractions estimate spread *within the target set*.
+
+    This is the validating API boundary: ``targets`` are deduplicated,
+    sorted, and range-checked exactly once here. Hot call paths that
+    already hold a validated array (TRS/IMM iterations) should call
+    :func:`sample_rr_sets_validated` directly.
+
+    With ``engine`` set, sampling is delegated to the frontier-batched
+    (and optionally multi-process) :class:`~repro.engine.SamplingEngine`
+    and the result is a flat :class:`~repro.engine.RRCollection` — a
+    drop-in sequence of member arrays. Without it, the scalar path
+    returns a ``list`` and stays bit-compatible with earlier releases.
+    """
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="sample_rr_sets"
+    )
+    return sample_rr_sets_validated(
+        graph, target_arr, edge_probs, theta, rng, engine=engine
+    )
+
+
+def sample_rr_sets_validated(
+    graph: TagGraph,
+    target_arr: np.ndarray,
+    edge_probs: np.ndarray,
+    theta: int,
+    rng: np.random.Generator | int | None = None,
+    engine: "SamplingEngine | None" = None,
+) -> "list[np.ndarray] | RRCollection":
+    """:func:`sample_rr_sets` minus validation: the hot-path entry.
+
+    ``target_arr`` must be the sorted-unique int64 array produced by
+    :func:`repro.utils.validation.as_target_array`; no per-call
+    re-validation or re-sorting happens here.
     """
     if theta <= 0:
         raise InvalidQueryError(f"theta must be positive, got {theta}")
-    target_list = sorted({int(t) for t in targets})
-    if not target_list:
-        raise InvalidQueryError("target set must not be empty")
-    check_node_ids(target_list, graph.num_nodes, context="sample_rr_sets")
     rng = ensure_rng(rng)
+    if engine is not None:
+        return engine.sample_rr_sets(graph, target_arr, edge_probs, theta, rng)
 
-    roots = rng.choice(np.array(target_list, dtype=np.int64), size=theta)
+    roots = rng.choice(target_arr, size=theta)
+    visited = np.zeros(graph.num_nodes, dtype=bool)
     return [
-        reverse_reachable_set(graph, int(root), edge_probs, rng)
+        _reverse_reachable_set_into(graph, int(root), edge_probs, rng, visited)
         for root in roots
     ]

@@ -18,15 +18,20 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, EstimationError
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
-from repro.sketch.rr_sets import sample_rr_sets
+from repro.sketch.rr_sets import sample_rr_sets_validated
 from repro.utils.mathx import log_binomial
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_target_array
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
 
 
 @dataclass(frozen=True)
@@ -119,11 +124,12 @@ def compute_theta(
 
 def estimate_opt_t(
     graph: TagGraph,
-    targets: Sequence[int],
+    targets: Sequence[int] | np.ndarray,
     edge_probs: np.ndarray,
     k: int,
     config: SketchConfig = SketchConfig(),
     rng: np.random.Generator | int | None = None,
+    engine: "SamplingEngine | None" = None,
 ) -> float:
     """Lower-bound ``OPT_T`` from a pilot batch of targeted RR sets.
 
@@ -131,11 +137,22 @@ def estimate_opt_t(
     estimated spread ``F_R(S)·|T|`` is (in expectation, up to sampling
     noise) a valid lower bound on the optimum. The bound is floored at
     ``1.0``: any seed placed *at* a target influences at least itself.
+
+    An int64 ndarray ``targets`` is treated as pre-validated (the
+    contract of :func:`repro.utils.validation.as_target_array`) and used
+    as-is — TRS/I-TRS call this once per iteration and validate at their
+    own boundary.
     """
     rng = ensure_rng(rng)
-    target_list = sorted({int(t) for t in targets})
-    pilot = sample_rr_sets(
-        graph, target_list, edge_probs, config.pilot_samples, rng
+    if isinstance(targets, np.ndarray) and targets.dtype == np.int64:
+        target_arr = targets
+    else:
+        target_arr = as_target_array(
+            targets, graph.num_nodes, context="estimate_opt_t"
+        )
+    pilot = sample_rr_sets_validated(
+        graph, target_arr, edge_probs, config.pilot_samples, rng,
+        engine=engine,
     )
     result = greedy_max_coverage(pilot, k, graph.num_nodes)
-    return max(result.spread_estimate(len(target_list)), 1.0)
+    return max(result.spread_estimate(int(target_arr.size)), 1.0)

@@ -16,16 +16,24 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
-from repro.sketch.rr_sets import sample_rr_sets
+from repro.sketch.rr_sets import sample_rr_sets_validated
 from repro.sketch.theta import SketchConfig, compute_theta, estimate_opt_t
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
-from repro.utils.validation import check_budget, check_tags_exist
+from repro.utils.validation import (
+    as_target_array,
+    check_budget,
+    check_tags_exist,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
 
 
 @dataclass(frozen=True)
@@ -67,6 +75,7 @@ def trs_select_seeds(
     k: int,
     config: SketchConfig = SketchConfig(),
     rng: np.random.Generator | int | None = None,
+    engine: "SamplingEngine | None" = None,
 ) -> TRSResult:
     """Select the top-``k`` seeds for spread within ``targets`` given ``tags``.
 
@@ -85,25 +94,37 @@ def trs_select_seeds(
         Sketching knobs (ε, pilot size, θ clamps).
     rng:
         Seed or generator.
+    engine:
+        Optional :class:`~repro.engine.SamplingEngine` for
+        frontier-batched / multi-process RR sampling. ``None`` keeps the
+        scalar oracle path (bit-compatible for fixed seeds).
+
+    Targets are validated once here; the pilot and main sampling passes
+    receive the pre-validated array.
     """
     rng = ensure_rng(rng)
     check_budget(k, graph.num_nodes, what="seeds")
     check_tags_exist(tags, graph.tags)
-    target_list = sorted({int(t) for t in targets})
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="trs_select_seeds"
+    )
+    num_targets = int(target_arr.size)
 
     timer = Timer()
     with timer:
         edge_probs = graph.edge_probabilities(tags)
-        opt_t = estimate_opt_t(graph, target_list, edge_probs, k, config, rng)
-        theta = compute_theta(
-            graph.num_nodes, k, len(target_list), opt_t, config
+        opt_t = estimate_opt_t(
+            graph, target_arr, edge_probs, k, config, rng, engine=engine
         )
-        rr_sets = sample_rr_sets(graph, target_list, edge_probs, theta, rng)
+        theta = compute_theta(graph.num_nodes, k, num_targets, opt_t, config)
+        rr_sets = sample_rr_sets_validated(
+            graph, target_arr, edge_probs, theta, rng, engine=engine
+        )
         coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
 
     return TRSResult(
         seeds=coverage.seeds,
-        estimated_spread=coverage.spread_estimate(len(target_list)),
+        estimated_spread=coverage.spread_estimate(num_targets),
         theta=theta,
         opt_t_estimate=opt_t,
         elapsed_seconds=timer.elapsed,

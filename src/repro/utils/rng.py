@@ -27,6 +27,29 @@ def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Gener
     return np.random.default_rng(seed)
 
 
+def spawn_generators(
+    rng: np.random.Generator, count: int
+) -> list[np.random.Generator]:
+    """Spawn ``count`` child generators via the SeedSequence spawn tree.
+
+    Unlike :func:`spawn_rngs` (which draws child seeds from the parent's
+    *stream*), this uses ``SeedSequence`` spawning: children depend only
+    on the parent's seed material and its spawn counter, not on how much
+    of the parent stream has been consumed. The parallel sampling driver
+    relies on this for its determinism contract — shard streams are
+    identical no matter which process consumes them.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    try:
+        return rng.spawn(count)
+    except AttributeError:  # numpy < 1.25
+        children = rng.bit_generator.seed_seq.spawn(count)
+        return [np.random.default_rng(child) for child in children]
+
+
 def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators.
 

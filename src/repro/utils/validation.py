@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from collections.abc import Collection, Iterable
 
+import numpy as np
+
 from repro.exceptions import GraphConstructionError, InvalidQueryError
 
 
@@ -32,6 +34,46 @@ def check_node_ids(nodes: Iterable[int], n: int, *, context: str) -> None:
             raise InvalidQueryError(
                 f"{context}: node id {node} outside valid range [0, {n})"
             )
+
+
+def as_target_array(
+    targets: Iterable[int], n: int, *, context: str
+) -> np.ndarray:
+    """Validate once; return targets as a sorted-unique int64 array.
+
+    This is the single validation point for target sets: hot paths
+    (:func:`repro.sketch.rr_sets.sample_rr_sets_validated`, the TRS/IMM
+    iterations, the sampling engine) accept the returned array as-is and
+    skip re-validating and re-sorting per call.
+    """
+    if isinstance(targets, np.ndarray):
+        arr = np.unique(targets.astype(np.int64, copy=False))
+    else:
+        arr = np.unique(np.asarray(list(targets), dtype=np.int64))
+    if arr.size == 0:
+        raise InvalidQueryError(f"{context}: target set must not be empty")
+    if arr[0] < 0 or arr[-1] >= n:
+        bad = int(arr[0]) if arr[0] < 0 else int(arr[-1])
+        raise InvalidQueryError(
+            f"{context}: node id {bad} outside valid range [0, {n})"
+        )
+    return arr
+
+
+def check_node_array(nodes: np.ndarray, n: int, *, context: str) -> None:
+    """Vectorized :func:`check_node_ids` for (possibly large) id arrays."""
+    if nodes.size and (int(nodes.min()) < 0 or int(nodes.max()) >= n):
+        bad = int(nodes.min()) if int(nodes.min()) < 0 else int(nodes.max())
+        raise InvalidQueryError(
+            f"{context}: node id {bad} outside valid range [0, {n})"
+        )
+
+
+def node_mask(node_arr: np.ndarray, n: int) -> np.ndarray:
+    """Boolean membership mask (length ``n``) for a validated id array."""
+    mask = np.zeros(n, dtype=bool)
+    mask[node_arr] = True
+    return mask
 
 
 def check_budget(budget: int, universe_size: int, *, what: str) -> None:
