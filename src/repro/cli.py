@@ -16,11 +16,21 @@ Subcommands
 
 All subcommands accept ``--seed`` for deterministic replays. Node lists
 are comma-separated; target files contain one node id per line.
+
+Sampler-enabled subcommands additionally expose the fault-tolerant
+runtime: ``--retries`` (per-shard retry count), ``--deadline`` /
+``--max-samples`` (run budget — a tripped limit prints the partial
+result), and ``--checkpoint-dir`` / ``--resume`` (shard-granular
+checkpointing; an interrupted run re-issued with ``--resume`` splices
+the checkpointed prefixes back in and yields identical output).
+``SIGTERM``/``Ctrl-C`` exit cleanly after flushing checkpoints.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -31,6 +41,7 @@ from repro.core.problem import JointQuery
 from repro.datasets import bfs_targets
 from repro.datasets.named import ALL_DATASETS
 from repro.diffusion.monte_carlo import estimate_spread
+from repro.exceptions import BudgetExceededError
 from repro.graphs.io import load_tag_graph, save_tag_graph
 from repro.seeds.api import ENGINES, find_seeds
 from repro.sketch.theta import SketchConfig
@@ -51,12 +62,61 @@ def _parse_tags(text: str) -> list[str]:
 
 
 def _make_sampler(args: argparse.Namespace):
-    """Build a ``SamplingEngine`` from ``--sampler``/``--workers``, or None."""
-    if getattr(args, "sampler", None) is None:
-        return None
+    """Build a ``SamplingEngine`` from the sampler/runtime flags, or None.
+
+    ``--retries`` or ``--checkpoint-dir`` without an explicit
+    ``--sampler`` implies the vectorized engine — the runtime layer
+    lives on the engine, so asking for it opts in.
+    """
+    mode = getattr(args, "sampler", None)
+    retries = getattr(args, "retries", None)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if mode is None:
+        if retries is None and checkpoint_dir is None:
+            return None
+        mode = "vectorized"
     from repro.engine.parallel import SamplingEngine
 
-    return SamplingEngine(mode=args.sampler, workers=args.workers)
+    retry_policy = None
+    if retries is not None:
+        from repro.engine.runtime import RetryPolicy
+
+        retry_policy = RetryPolicy(max_attempts=max(int(retries), 0) + 1)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from repro.engine.checkpoint import CheckpointManager
+
+        checkpoint = CheckpointManager(
+            checkpoint_dir, resume=bool(getattr(args, "resume", False))
+        )
+    return SamplingEngine(
+        mode=mode,
+        workers=getattr(args, "workers", 1),
+        retry_policy=retry_policy,
+        checkpoint=checkpoint,
+    )
+
+
+def _make_budget(args: argparse.Namespace):
+    """Build a ``RunBudget`` from ``--deadline``/``--max-samples``, or None."""
+    deadline = getattr(args, "deadline", None)
+    max_samples = getattr(args, "max_samples", None)
+    if deadline is None and max_samples is None:
+        return None
+    from repro.engine.runtime import RunBudget
+
+    return RunBudget(wall_seconds=deadline, max_samples=max_samples)
+
+
+def _sampler_scope(sampler):
+    """Context manager guaranteeing pool shutdown even on errors."""
+    return sampler if sampler is not None else contextlib.nullcontext()
+
+
+def _print_runtime_summary(sampler) -> None:
+    summary = None if sampler is None else sampler.telemetry.summary()
+    if summary and summary != "clean":
+        print(f"runtime: {summary}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +156,38 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=1,
             help="worker processes for the vectorized sampler (default 1)",
         )
+        p.add_argument(
+            "--retries", type=int, default=None,
+            help=(
+                "retries per shard for transient failures (implies "
+                "--sampler vectorized; engine default is 2)"
+            ),
+        )
+        p.add_argument(
+            "--deadline", type=float, default=None,
+            help=(
+                "wall-clock budget in seconds; when it trips, the "
+                "partial result computed so far is printed"
+            ),
+        )
+        p.add_argument(
+            "--max-samples", type=int, default=None,
+            help="cap on total RR sets / cascades drawn (run budget)",
+        )
+        p.add_argument(
+            "--checkpoint-dir", default=None,
+            help=(
+                "directory for shard-granular checkpoints (implies "
+                "--sampler vectorized)"
+            ),
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help=(
+                "resume from matching checkpoints in --checkpoint-dir; "
+                "the spliced run is bit-identical to an uninterrupted one"
+            ),
+        )
 
     seeds = sub.add_parser("seeds", help="top-k seeds for fixed tags")
     add_common(seeds)
@@ -119,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     joint.add_argument("--baseline", action="store_true",
                        help="use the interleaved greedy baseline instead")
     joint.add_argument("--max-rounds", type=int, default=4)
+    add_sampler(joint)
 
     spread = sub.add_parser("spread", help="estimate σ(S, T, C1) by MC")
     add_common(spread)
@@ -178,13 +271,16 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_seeds(args: argparse.Namespace) -> int:
     graph = load_tag_graph(args.graph)
     targets = _read_targets(args.targets_file)
-    selection = find_seeds(
-        graph, targets, _parse_tags(args.tags), args.k,
-        engine=args.engine, config=SketchConfig(), rng=args.seed,
-        sampler=_make_sampler(args),
-    )
+    sampler = _make_sampler(args)
+    with _sampler_scope(sampler):
+        selection = find_seeds(
+            graph, targets, _parse_tags(args.tags), args.k,
+            engine=args.engine, config=SketchConfig(), rng=args.seed,
+            sampler=sampler, budget=_make_budget(args),
+        )
     print(f"seeds: {','.join(str(s) for s in selection.seeds)}")
     print(f"estimated spread: {selection.estimated_spread:.3f}")
+    _print_runtime_summary(sampler)
     return 0
 
 
@@ -204,31 +300,37 @@ def _cmd_joint(args: argparse.Namespace) -> int:
     graph = load_tag_graph(args.graph)
     targets = _read_targets(args.targets_file)
     query = JointQuery(targets, k=args.k, r=args.r)
-    if args.baseline:
-        result = baseline_greedy(
-            graph, query, BaselineConfig(), rng=args.seed
-        )
-    else:
-        result = jointly_select(
-            graph, query, JointConfig(max_rounds=args.max_rounds),
-            rng=args.seed,
-        )
+    sampler = _make_sampler(args)
+    with _sampler_scope(sampler):
+        if args.baseline:
+            result = baseline_greedy(
+                graph, query, BaselineConfig(), rng=args.seed
+            )
+        else:
+            result = jointly_select(
+                graph, query, JointConfig(max_rounds=args.max_rounds),
+                rng=args.seed, sampler=sampler, budget=_make_budget(args),
+            )
     print(f"seeds: {','.join(str(s) for s in result.seeds)}")
     print(f"tags: {','.join(result.tags)}")
     print(f"spread: {result.spread:.3f} / {query.num_targets}")
     print(f"rounds: {result.rounds}  converged: {result.converged}")
+    _print_runtime_summary(sampler)
     return 0
 
 
 def _cmd_spread(args: argparse.Namespace) -> int:
     graph = load_tag_graph(args.graph)
     targets = _read_targets(args.targets_file)
-    value = estimate_spread(
-        graph, _parse_nodes(args.seeds), targets, _parse_tags(args.tags),
-        num_samples=args.samples, rng=args.seed,
-        engine=_make_sampler(args),
-    )
+    sampler = _make_sampler(args)
+    with _sampler_scope(sampler):
+        value = estimate_spread(
+            graph, _parse_nodes(args.seeds), targets, _parse_tags(args.tags),
+            num_samples=args.samples, rng=args.seed,
+            engine=sampler, budget=_make_budget(args),
+        )
     print(f"spread: {value:.3f} / {len(set(targets))}")
+    _print_runtime_summary(sampler)
     return 0
 
 
@@ -238,10 +340,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     graph = load_tag_graph(args.graph)
     targets = _read_targets(args.targets_file)
     engines = [e.strip() for e in args.engines.split(",") if e.strip()]
-    reports = compare_seed_engines(
-        graph, targets, _parse_tags(args.tags), args.k,
-        engines=engines, rng=args.seed, sampler=_make_sampler(args),
-    )
+    sampler = _make_sampler(args)
+    with _sampler_scope(sampler):
+        reports = compare_seed_engines(
+            graph, targets, _parse_tags(args.tags), args.k,
+            engines=engines, rng=args.seed, sampler=sampler,
+        )
     print(
         format_table(
             ["engine", "verified spread", "time s"],
@@ -251,6 +355,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ],
         )
     )
+    _print_runtime_summary(sampler)
     return 0
 
 
@@ -288,10 +393,63 @@ _COMMANDS = {
 }
 
 
+def _raise_keyboard_interrupt(signum, frame):  # pragma: no cover - signal
+    raise KeyboardInterrupt
+
+
+def _install_sigterm_handler() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path (flush + exit)."""
+    try:
+        signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+
+
+def _describe_partial(partial: object) -> str:
+    if partial is None:
+        return ""
+    seeds = getattr(partial, "seeds", None)
+    if seeds is not None:
+        spread = getattr(partial, "estimated_spread", None)
+        if spread is None:
+            spread = getattr(partial, "spread", 0.0)
+        return (
+            f"partial seeds: {','.join(str(s) for s in seeds)} "
+            f"(spread {spread:.3f})"
+        )
+    if isinstance(partial, float):
+        return f"partial spread: {partial:.3f}"
+    return f"partial: {partial!r}"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: ``0`` success, ``75`` run budget exceeded (the partial
+    result is printed first), ``130`` interrupted by Ctrl-C/SIGTERM
+    (checkpoints, if configured, are flushed before exiting).
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _install_sigterm_handler()
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        if checkpoint_dir:
+            message = (
+                "interrupted — checkpoints flushed; re-run with --resume "
+                f"to continue from {checkpoint_dir}"
+            )
+        else:
+            message = "interrupted"
+        print(message, file=sys.stderr)
+        return 130
+    except BudgetExceededError as exc:
+        print(f"run budget exceeded ({exc.reason})", file=sys.stderr)
+        described = _describe_partial(exc.partial)
+        if described:
+            print(described)
+        return 75
 
 
 if __name__ == "__main__":  # pragma: no cover

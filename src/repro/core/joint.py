@@ -12,6 +12,7 @@ best-spread snapshot and returns it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,7 +25,7 @@ from repro.core.initialization import (
 )
 from repro.core.problem import HistoryEntry, JointQuery, JointResult
 from repro.diffusion.monte_carlo import estimate_spread
-from repro.exceptions import ConfigurationError
+from repro.exceptions import BudgetExceededError, ConfigurationError
 from repro.graphs.tag_graph import TagGraph
 from repro.index.itrs import make_lltrs_manager, make_ltrs_manager
 from repro.seeds.api import ENGINES, find_seeds
@@ -33,6 +34,10 @@ from repro.tags.api import METHODS, find_tags
 from repro.tags.paths import TagSelectionConfig
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 SEED_INITS = ("random", "ims")
 TAG_INITS = ("random", "frequency")
@@ -131,11 +136,26 @@ def jointly_select(
     query: JointQuery,
     config: JointConfig = JointConfig(),
     rng: np.random.Generator | int | None = None,
+    sampler: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> JointResult:
     """Jointly find the top-``k`` seeds and top-``r`` tags (Eq. 6).
 
     Returns the best-spread snapshot over the run together with the
     full half-iteration history (Table 6's trajectory).
+
+    Parameters
+    ----------
+    sampler:
+        Optional :class:`~repro.engine.SamplingEngine`; the seed steps
+        and the per-half-iteration spread measurements then run on the
+        fault-tolerant sampling substrate (with whatever retry policy,
+        fault plan, and checkpointing the engine was built with).
+    budget:
+        Optional :class:`~repro.engine.RunBudget` spanning the whole
+        run. A tripped limit raises
+        :class:`~repro.exceptions.BudgetExceededError` whose ``partial``
+        is a :class:`JointResult` with the best snapshot reached so far.
     """
     rng = ensure_rng(rng)
     query.validate(graph)
@@ -149,73 +169,91 @@ def jointly_select(
         )
 
     timer = Timer()
-    with timer:
-        # --- initial condition -------------------------------------------
-        if config.seed_init == "ims":
-            seeds = ims_seeds(graph, targets, query.k, config.sketch, rng)
-        else:
-            seeds = random_seeds(graph, query.k, rng)
-        if config.tag_init == "frequency":
-            tags = frequency_tags(graph, targets, query.r, universe=universe)
-        else:
-            tags = random_tags(graph, query.r, universe=universe, rng=rng)
+    history: list[HistoryEntry] = []
+    best: HistoryEntry | None = None
+    rounds = 0
+    converged = False
+    try:
+        with timer:
+            # --- initial condition ---------------------------------------
+            if config.seed_init == "ims":
+                seeds = ims_seeds(graph, targets, query.k, config.sketch, rng)
+            else:
+                seeds = random_seeds(graph, query.k, rng)
+            if config.tag_init == "frequency":
+                tags = frequency_tags(
+                    graph, targets, query.r, universe=universe
+                )
+            else:
+                tags = random_tags(graph, query.r, universe=universe, rng=rng)
 
-        def measure(s: tuple[int, ...], c: tuple[str, ...]) -> float:
-            if not c:
-                return 0.0
-            return estimate_spread(
-                graph, s, targets, c,
-                num_samples=config.eval_samples, rng=rng,
-            )
+            def measure(s: tuple[int, ...], c: tuple[str, ...]) -> float:
+                if not c:
+                    return 0.0
+                return estimate_spread(
+                    graph, s, targets, c,
+                    num_samples=config.eval_samples, rng=rng,
+                    engine=sampler, budget=budget,
+                )
 
-        history: list[HistoryEntry] = []
-        spread = measure(seeds, tags)
-        history.append(HistoryEntry(0.0, seeds, tags, spread))
-        best = history[0]
-
-        # Index managers persist across rounds — this is where L-TRS's
-        # lazy reuse actually saves work.
-        manager = None
-        if config.seed_engine == "lltrs":
-            manager = make_lltrs_manager(graph, targets, config.sketch)
-        elif config.seed_engine in ("ltrs", "itrs"):
-            manager = make_ltrs_manager(graph)
-
-        converged = False
-        rounds = 0
-        prev_round_spread = spread
-        for round_no in range(1, config.max_rounds + 1):
-            rounds = round_no
-
-            selection = find_seeds(
-                graph, targets, tags, query.k,
-                engine=config.seed_engine, config=config.sketch,
-                manager=manager, rng=rng,
-            )
-            seeds = tuple(sorted(selection.seeds))
             spread = measure(seeds, tags)
-            history.append(HistoryEntry(round_no - 0.5, seeds, tags, spread))
-            if spread > best.spread:
-                best = history[-1]
+            history.append(HistoryEntry(0.0, seeds, tags, spread))
+            best = history[0]
 
-            tag_sel = find_tags(
-                graph, seeds, targets, query.r,
-                method=config.tag_method, config=config.tag_config, rng=rng,
-            )
-            tags = tag_sel.tags
-            if config.pad_tags:
-                tags = _pad_tags(tags, graph, targets, query.r, universe)
-            spread = measure(seeds, tags)
-            history.append(HistoryEntry(float(round_no), seeds, tags, spread))
-            if spread > best.spread:
-                best = history[-1]
+            # Index managers persist across rounds — this is where
+            # L-TRS's lazy reuse actually saves work.
+            manager = None
+            if config.seed_engine == "lltrs":
+                manager = make_lltrs_manager(graph, targets, config.sketch)
+            elif config.seed_engine in ("ltrs", "itrs"):
+                manager = make_ltrs_manager(graph)
 
-            improvement = spread - prev_round_spread
-            threshold = config.convergence_tol * max(prev_round_spread, 1.0)
-            if improvement <= threshold:
-                converged = True
-                break
             prev_round_spread = spread
+            for round_no in range(1, config.max_rounds + 1):
+                rounds = round_no
+
+                selection = find_seeds(
+                    graph, targets, tags, query.k,
+                    engine=config.seed_engine, config=config.sketch,
+                    manager=manager, rng=rng, sampler=sampler,
+                    budget=budget,
+                )
+                seeds = tuple(sorted(selection.seeds))
+                spread = measure(seeds, tags)
+                history.append(
+                    HistoryEntry(round_no - 0.5, seeds, tags, spread)
+                )
+                if spread > best.spread:
+                    best = history[-1]
+
+                tag_sel = find_tags(
+                    graph, seeds, targets, query.r,
+                    method=config.tag_method, config=config.tag_config,
+                    rng=rng,
+                )
+                tags = tag_sel.tags
+                if config.pad_tags:
+                    tags = _pad_tags(tags, graph, targets, query.r, universe)
+                spread = measure(seeds, tags)
+                history.append(
+                    HistoryEntry(float(round_no), seeds, tags, spread)
+                )
+                if spread > best.spread:
+                    best = history[-1]
+
+                improvement = spread - prev_round_spread
+                threshold = config.convergence_tol * max(
+                    prev_round_spread, 1.0
+                )
+                if improvement <= threshold:
+                    converged = True
+                    break
+                prev_round_spread = spread
+    except BudgetExceededError as exc:
+        exc.partial = _partial_joint_result(
+            best, history, rounds, timer.elapsed, sampler
+        )
+        raise
 
     return JointResult(
         seeds=best.seeds,
@@ -225,4 +263,35 @@ def jointly_select(
         rounds=rounds,
         converged=converged,
         elapsed_seconds=timer.elapsed,
+        telemetry=(
+            sampler.telemetry.as_dict() if sampler is not None else None
+        ),
+    )
+
+
+def _partial_joint_result(
+    best: HistoryEntry | None,
+    history: list[HistoryEntry],
+    rounds: int,
+    elapsed: float,
+    sampler: "SamplingEngine | None",
+) -> JointResult:
+    """Best-effort :class:`JointResult` when the budget stops a run."""
+    if best is None:
+        seeds: tuple[int, ...] = ()
+        tags: tuple[str, ...] = ()
+        spread = 0.0
+    else:
+        seeds, tags, spread = best.seeds, best.tags, best.spread
+    return JointResult(
+        seeds=seeds,
+        tags=tags,
+        spread=spread,
+        history=tuple(history),
+        rounds=rounds,
+        converged=False,
+        elapsed_seconds=elapsed,
+        telemetry=(
+            sampler.telemetry.as_dict() if sampler is not None else None
+        ),
     )

@@ -82,6 +82,10 @@ class JointResult:
         Whether the stopping rule fired before ``max_rounds``.
     elapsed_seconds:
         Total wall-clock time.
+    telemetry:
+        Runtime failure counters (shards retried, pool rebuilds,
+        checkpoint writes, ...) when a fault-tolerant sampler ran the
+        sub-solvers; ``None`` on the scalar path.
     """
 
     seeds: tuple[int, ...]
@@ -91,6 +95,7 @@ class JointResult:
     rounds: int
     converged: bool
     elapsed_seconds: float
+    telemetry: dict | None = None
 
     def spread_fraction(self, num_targets: int) -> float:
         """Spread as a fraction of the target-set size."""

@@ -18,6 +18,7 @@ from repro.core.joint import JointConfig, jointly_select
 from repro.core.problem import JointQuery, JointResult
 from repro.diffusion.monte_carlo import estimate_spread
 from repro.engine.parallel import SamplingEngine
+from repro.engine.runtime import RunBudget
 from repro.graphs.tag_graph import TagGraph
 from repro.index.itrs import make_lltrs_manager, make_ltrs_manager
 from repro.index.lazy import IndexManager
@@ -45,7 +46,10 @@ class CampaignSession:
         checks run cascades through it (frontier-batched, and sharded
         across its worker pool when ``workers > 1``). The determinism
         contract carries over — a session with a fixed seed replays
-        identically for any worker count.
+        identically for any worker count. A sampler built with a
+        :class:`~repro.engine.RetryPolicy`, :class:`FaultPlan`, or
+        :class:`~repro.engine.CheckpointManager` makes every session
+        query fault tolerant (and, with checkpoints, resumable).
     """
 
     def __init__(
@@ -86,7 +90,11 @@ class CampaignSession:
         return None
 
     def seeds(
-        self, targets: Sequence[int], tags: Sequence[str], k: int
+        self,
+        targets: Sequence[int],
+        tags: Sequence[str],
+        k: int,
+        budget: RunBudget | None = None,
     ) -> SeedSelection:
         """Top-``k`` seeds for fixed ``tags``, reusing session indexes."""
         self.queries_run += 1
@@ -97,6 +105,7 @@ class CampaignSession:
             manager=self._manager_for(targets),
             rng=self._rng,
             sampler=self._sampler,
+            budget=budget,
         )
 
     def tags(
@@ -111,14 +120,29 @@ class CampaignSession:
             rng=self._rng,
         )
 
-    def joint(self, targets: Sequence[int], k: int, r: int) -> JointResult:
-        """Full Algorithm 2 for one target set."""
+    def joint(
+        self,
+        targets: Sequence[int],
+        k: int,
+        r: int,
+        budget: RunBudget | None = None,
+    ) -> JointResult:
+        """Full Algorithm 2 for one target set.
+
+        Runs on the session's sampler when one was given, so a sampler
+        built with a checkpoint manager makes the whole joint run
+        resumable: replaying the same session (same graph, seed, and
+        query sequence) with ``resume=True`` splices the checkpointed
+        shard prefixes back in and provably yields the same seeds.
+        """
         self.queries_run += 1
         return jointly_select(
             self._graph,
             JointQuery(targets, k=k, r=r),
             self._config,
             rng=self._rng,
+            sampler=self._sampler,
+            budget=budget,
         )
 
     def spread(
@@ -127,6 +151,7 @@ class CampaignSession:
         targets: Sequence[int],
         tags: Sequence[str],
         num_samples: int | None = None,
+        budget: RunBudget | None = None,
     ) -> float:
         """Independent MC estimate of ``σ(S, T, C1)`` for any plan."""
         return estimate_spread(
@@ -134,6 +159,7 @@ class CampaignSession:
             num_samples=num_samples or self._config.eval_samples,
             rng=self._rng,
             engine=self._sampler,
+            budget=budget,
         )
 
     @property
@@ -143,8 +169,20 @@ class CampaignSession:
             return ()
         return self._shared_manager.indexed_tags
 
+    @property
+    def telemetry(self) -> dict | None:
+        """The sampler's cumulative runtime counters (``None`` scalar)."""
+        if self._sampler is None:
+            return None
+        return self._sampler.telemetry.as_dict()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
+        base = (
             f"CampaignSession(graph={self._graph!r}, "
-            f"queries_run={self.queries_run})"
+            f"queries_run={self.queries_run}"
         )
+        if self._sampler is not None:
+            summary = self._sampler.telemetry.summary()
+            if summary:
+                return f"{base}, runtime=[{summary}])"
+        return base + ")"

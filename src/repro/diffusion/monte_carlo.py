@@ -13,13 +13,14 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.diffusion.cascade import simulate_cascade
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import BudgetExceededError, InvalidQueryError
 from repro.graphs.tag_graph import TagGraph
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import as_target_array, check_node_ids, check_tags_exist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 
 def target_mask(graph: TagGraph, targets: Iterable[int]) -> np.ndarray:
@@ -47,6 +48,7 @@ def estimate_spread(
     edge_probs: np.ndarray | None = None,
     targets_mask: np.ndarray | None = None,
     engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> float:
     """Estimate ``σ(S, T, C1)`` — expected number of activated targets.
 
@@ -70,6 +72,11 @@ def estimate_spread(
         Optional :class:`~repro.engine.SamplingEngine`: cascades are
         then simulated frontier-batched (and sharded across processes
         for ``workers > 1``) instead of one scalar BFS per sample.
+    budget:
+        Optional :class:`~repro.engine.RunBudget`. A tripped limit
+        raises :class:`~repro.exceptions.BudgetExceededError` whose
+        ``partial`` is the spread estimate over the cascades completed
+        so far (or ``0.0`` when none ran).
 
     Returns
     -------
@@ -117,12 +124,21 @@ def estimate_spread(
             num_samples,
             target_arr,
             rng,
+            budget=budget,
         )
 
+    if budget is not None:
+        budget.charge_samples(num_samples, partial=0.0)
     total = 0
-    for _ in range(num_samples):
+    for done in range(1, num_samples + 1):
         active = simulate_cascade(graph, seed_list, edge_probs, rng)
         total += int(active[target_arr].sum())
+        if budget is not None and done < num_samples:
+            try:
+                budget.check()
+            except BudgetExceededError as exc:
+                exc.partial = total / done
+                raise
     return total / num_samples
 
 

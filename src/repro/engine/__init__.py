@@ -13,12 +13,29 @@ This package is the performance layer of the reproduction:
   RNG streams (same master seed ⇒ identical results for any worker
   count).
 
+On top of the fan-out sits the fault-tolerant runtime:
+
+* :mod:`repro.engine.runtime` — :class:`RetryPolicy`-driven shard
+  retry with backoff, pool rebuilds and graceful degradation to the
+  in-process path; :class:`Deadline`/:class:`RunBudget` guards that
+  raise :class:`~repro.exceptions.BudgetExceededError` carrying the
+  partial result; :class:`RunTelemetry` failure counters;
+* :mod:`repro.engine.checkpoint` — :class:`CheckpointManager`,
+  shard-granular checkpoint/resume of the flat collections under a
+  deterministic-replay contract;
+* :mod:`repro.engine.faults` — :class:`FaultPlan`, a deterministic
+  fault-injection harness (scripted shard failures, hangs, worker
+  kills, pool poisoning, interrupts) used to exercise every recovery
+  path in tests.
+
 The scalar implementations in :mod:`repro.sketch` and
 :mod:`repro.diffusion` remain the correctness oracle; pass a
 ``SamplingEngine`` through the ``engine=`` knobs of the high-level APIs
 to opt into this layer.
 """
 
+from repro.engine.checkpoint import CheckpointManager, rng_state_digest
+from repro.engine.faults import FaultPlan, InjectedFault, InjectedPermanentFault
 from repro.engine.frontier import (
     batched_cascade_counts,
     batched_rr_members,
@@ -29,16 +46,31 @@ from repro.engine.frontier import (
 )
 from repro.engine.parallel import DEFAULT_SHARD_SIZE, MODES, SamplingEngine
 from repro.engine.rr_storage import RRCollection
+from repro.engine.runtime import (
+    Deadline,
+    RetryPolicy,
+    RunBudget,
+    RunTelemetry,
+)
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "MODES",
+    "CheckpointManager",
+    "Deadline",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedPermanentFault",
     "RRCollection",
+    "RetryPolicy",
+    "RunBudget",
+    "RunTelemetry",
     "SamplingEngine",
     "batched_cascade_counts",
     "batched_rr_members",
     "cascade_frontier",
     "hybrid_rr_frontier",
+    "rng_state_digest",
     "rr_fixed_frontier",
     "rr_frontier",
 ]

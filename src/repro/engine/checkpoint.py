@@ -1,0 +1,171 @@
+"""Shard-granular checkpoint/resume for sampling runs.
+
+A θ-sized sampling campaign is a deterministic function of the master
+seed, so a checkpoint does not need to freeze process state — it only
+needs (a) the flat arrays produced by the contiguous *done-prefix* of
+shards and (b) enough of the run's identity to prove a resumed run is
+replaying the same computation. The resume model is therefore
+*deterministic replay with a memo cache*: a restarted session replays
+its operations in order; each engine-level sampling operation carries a
+monotonically increasing ``op`` index and a **signature** (operation
+kind, sample counts, shard plan, engine mode, and a digest of the
+master RNG state at the operation's start). Operations whose checkpoint
+signature matches load instantly from disk; a partially checkpointed
+operation resumes from its last done-prefix; everything else is
+computed fresh. Because shard streams come from the ``SeedSequence``
+spawn tree, the spliced run is bit-identical to an uninterrupted one —
+the kill-and-resume tests assert exactly that.
+
+Signature mismatches (different seed, different θ, different shard
+size) are treated as "someone else's checkpoint": silently ignored and
+overwritten, never an error. Writes are atomic (tmp file +
+``os.replace``), so a SIGKILL mid-write leaves the previous checkpoint
+intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import CheckpointError, ConfigurationError
+
+
+def rng_state_digest(rng: np.random.Generator) -> str:
+    """Short stable digest of a generator's full state.
+
+    Two generators with equal digests produce identical futures, which
+    is what makes a matching checkpoint provably safe to splice in.
+    """
+    state = rng.bit_generator.state
+    payload = json.dumps(state, sort_keys=True, default=int)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+class CheckpointManager:
+    """Reads and writes per-operation shard checkpoints in a directory.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory; created on first write.
+    resume:
+        When ``False`` (a fresh run) existing checkpoints are never
+        *loaded* — only written — so stale state cannot leak into a run
+        that did not ask for it. ``--resume`` flips this on.
+    every:
+        Write cadence: flush when the done-prefix has advanced by at
+        least this many shards since the last write (forced flushes —
+        interrupts, run completion — ignore the cadence).
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, resume: bool = False,
+        every: int = 4,
+    ) -> None:
+        if every < 1:
+            raise ConfigurationError(
+                f"checkpoint cadence 'every' must be >= 1, got {every}"
+            )
+        self.directory = Path(directory)
+        self.resume = bool(resume)
+        self.every = int(every)
+        self._last_flushed: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def op_path(self, op_index: int) -> Path:
+        """File path of operation ``op_index``'s checkpoint."""
+        return self.directory / f"op{int(op_index):05d}.npz"
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def should_flush(self, op_index: int, shards_done: int,
+                     force: bool = False) -> bool:
+        """Whether the prefix has advanced enough to warrant a write."""
+        last = self._last_flushed.get(op_index, 0)
+        if shards_done <= last and not force:
+            return False
+        return force or shards_done - last >= self.every
+
+    def save(
+        self,
+        op_index: int,
+        signature: dict,
+        arrays: dict[str, np.ndarray],
+        shards_done: int,
+        total_shards: int,
+    ) -> None:
+        """Atomically write one operation's done-prefix checkpoint."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            meta = dict(signature)
+            meta["shards_done"] = int(shards_done)
+            meta["total_shards"] = int(total_shards)
+            path = self.op_path(op_index)
+            tmp = path.with_suffix(".npz.tmp")
+            payload = {
+                "__meta__": np.frombuffer(
+                    json.dumps(meta, sort_keys=True).encode("utf-8"),
+                    dtype=np.uint8,
+                ),
+            }
+            payload.update(arrays)
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp, path)
+            self._last_flushed[op_index] = int(shards_done)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint for op {op_index} under "
+                f"{self.directory}: {exc}"
+            ) from exc
+
+    def load(
+        self, op_index: int, signature: dict
+    ) -> tuple[dict[str, np.ndarray], int, int] | None:
+        """Load op ``op_index`` if its signature matches.
+
+        Returns ``(arrays, shards_done, total_shards)``, or ``None``
+        when resuming is off, the file is missing, unreadable, or was
+        written by a different run (signature mismatch).
+        """
+        if not self.resume:
+            return None
+        path = self.op_path(op_index)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+                arrays = {
+                    key: data[key] for key in data.files if key != "__meta__"
+                }
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None  # corrupt / foreign file: recompute from scratch
+        shards_done = int(meta.pop("shards_done", 0))
+        total_shards = int(meta.pop("total_shards", 0))
+        if meta != dict(signature):
+            return None
+        self._last_flushed[op_index] = shards_done
+        return arrays, shards_done, total_shards
+
+    def clear(self) -> None:
+        """Delete every checkpoint file in the directory."""
+        if not self.directory.exists():
+            return
+        for path in self.directory.glob("op*.npz"):
+            path.unlink(missing_ok=True)
+        self._last_flushed.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CheckpointManager(directory={str(self.directory)!r}, "
+            f"resume={self.resume}, every={self.every})"
+        )

@@ -1,0 +1,195 @@
+"""Deterministic fault injection for the sampling runtime.
+
+Testing a recovery path by hoping the OS misbehaves on cue is not a
+strategy; a :class:`FaultPlan` *scripts* the misbehavior. The plan is
+consulted from two sides:
+
+* **worker-side** — :meth:`FaultPlan.apply` runs at the top of every
+  shard attempt (inside the child process when a pool is active) and
+  can raise a transient error, raise a permanent error, sleep to
+  simulate a hang, or ``os._exit`` to genuinely kill the worker and
+  break the ``ProcessPoolExecutor``;
+* **driver-side** — :meth:`FaultPlan.before_submit` can poison the pool
+  (simulate ``BrokenProcessPool`` at submission time) and
+  :meth:`FaultPlan.after_shard_done` can raise ``KeyboardInterrupt``
+  after a prescribed number of completed shards, which is how the
+  kill-and-resume tests interrupt a checkpointed run at an exact,
+  reproducible point.
+
+Faults are keyed by ``(shard_index, attempt)`` so "fail shard 3 on its
+first two attempts, then succeed" is expressible — exactly the schedule
+the determinism-under-retry tests need. A plan is picklable (plain
+dicts of plain values), so it rides along to pool workers unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+
+class InjectedFault(RuntimeError):
+    """A scripted *transient* failure raised by a :class:`FaultPlan`.
+
+    Deliberately **not** a :class:`~repro.exceptions.ReproError`: the
+    runtime classifies ``ReproError`` as permanent, and injected faults
+    exist to exercise the retry path.
+    """
+
+
+class InjectedPermanentFault(RuntimeError):
+    """A scripted failure the runtime must treat as permanent."""
+
+
+#: Worker-side fault kinds understood by :meth:`FaultPlan.apply`.
+KINDS = ("fail", "fail_permanent", "hang", "kill")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of injected failures.
+
+    All mutating builder methods return ``self`` so plans read as one
+    chained expression::
+
+        plan = FaultPlan().fail_shard(2, attempts=(0, 1)).hang_shard(5)
+    """
+
+    #: ``(shard, attempt) -> kind`` for worker-side faults.
+    shard_faults: dict[tuple[int, int], str] = field(default_factory=dict)
+    #: Seconds a ``"hang"`` fault sleeps before returning normally.
+    hang_seconds: float = 30.0
+    #: Poison the pool at submission ``poison_after`` (0-based counter
+    #: over all submissions), at most ``poison_times`` times.
+    poison_after: int | None = None
+    poison_times: int = 1
+    #: Raise ``KeyboardInterrupt`` once this many shards have completed.
+    interrupt_after: int | None = None
+
+    # Driver-side mutable counters (never consulted in workers).
+    _submissions: int = field(default=0, repr=False)
+    _poisoned: int = field(default=0, repr=False)
+    _completions: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def fail_shard(
+        self, shard: int, attempts: tuple[int, ...] = (0,),
+        permanent: bool = False,
+    ) -> "FaultPlan":
+        """Fail ``shard`` on each attempt number in ``attempts``."""
+        kind = "fail_permanent" if permanent else "fail"
+        for attempt in attempts:
+            self.shard_faults[(int(shard), int(attempt))] = kind
+        return self
+
+    def hang_shard(
+        self, shard: int, attempts: tuple[int, ...] = (0,),
+        seconds: float | None = None,
+    ) -> "FaultPlan":
+        """Make ``shard`` sleep ``seconds`` before completing normally."""
+        if seconds is not None:
+            self.hang_seconds = float(seconds)
+        for attempt in attempts:
+            self.shard_faults[(int(shard), int(attempt))] = "hang"
+        return self
+
+    def kill_shard(
+        self, shard: int, attempts: tuple[int, ...] = (0,)
+    ) -> "FaultPlan":
+        """Kill the worker process running ``shard`` (breaks the pool).
+
+        In the in-process serial path, where there is no worker to kill,
+        this degenerates to a transient :class:`InjectedFault`.
+        """
+        for attempt in attempts:
+            self.shard_faults[(int(shard), int(attempt))] = "kill"
+        return self
+
+    def poison_pool_after(self, tasks: int, times: int = 1) -> "FaultPlan":
+        """Simulate a broken pool at submission number ``tasks`` onward.
+
+        Fires at most ``times`` times, so a plan can script "the pool
+        breaks once, the rebuild fixes it" as well as "the pool is
+        cursed, degrade to in-process".
+        """
+        self.poison_after = int(tasks)
+        self.poison_times = int(times)
+        return self
+
+    def interrupt_after_shards(self, count: int) -> "FaultPlan":
+        """Raise ``KeyboardInterrupt`` after ``count`` completed shards."""
+        self.interrupt_after = int(count)
+        return self
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def apply(self, shard: int, attempt: int, in_pool: bool) -> None:
+        """Worker-side hook: act on any fault scheduled for this attempt."""
+        kind = self.shard_faults.get((int(shard), int(attempt)))
+        if kind is None:
+            return
+        if kind == "fail":
+            raise InjectedFault(
+                f"injected transient fault: shard {shard} attempt {attempt}"
+            )
+        if kind == "fail_permanent":
+            raise InjectedPermanentFault(
+                f"injected permanent fault: shard {shard} attempt {attempt}"
+            )
+        if kind == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        if kind == "kill":
+            if in_pool:  # pragma: no cover - runs inside a doomed child
+                os._exit(1)
+            raise InjectedFault(
+                f"injected kill (serial fallback): shard {shard} "
+                f"attempt {attempt}"
+            )
+        raise ValueError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+    def before_submit(self) -> None:
+        """Driver-side hook: poison the pool at the scripted submission."""
+        current = self._submissions
+        self._submissions += 1
+        if (
+            self.poison_after is not None
+            and current >= self.poison_after
+            and self._poisoned < self.poison_times
+        ):
+            self._poisoned += 1
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool(
+                f"injected pool poison at submission {current}"
+            )
+
+    def after_shard_done(self) -> None:
+        """Driver-side hook: interrupt after the scripted completion."""
+        self._completions += 1
+        if (
+            self.interrupt_after is not None
+            and self._completions >= self.interrupt_after
+        ):
+            raise KeyboardInterrupt(
+                f"injected interrupt after {self._completions} shards"
+            )
+
+    def reset_counters(self) -> "FaultPlan":
+        """Zero the driver-side counters (for plan reuse across runs)."""
+        self._submissions = 0
+        self._poisoned = 0
+        self._completions = 0
+        return self
+
+    def __getstate__(self):
+        # Workers only need the fault table; driver counters stay home.
+        state = self.__dict__.copy()
+        state["_submissions"] = 0
+        state["_poisoned"] = 0
+        state["_completions"] = 0
+        return state

@@ -9,12 +9,18 @@ fixed-size shards and runs each shard with its own child RNG stream.
 Determinism contract
 --------------------
 Sharding depends only on ``(theta, shard_size)`` — never on ``workers``
-— and each shard's generator is spawned from the master generator's
-``SeedSequence`` (``Generator.spawn``), so shard ``i`` produces the same
-samples no matter which worker runs it or in what order shards finish.
+— and each shard is keyed to a child ``SeedSequence`` spawned from the
+master generator's spawn tree, in shard order. A shard's samples are a
+pure function of its seed sequence, so shard ``i`` produces the same
+output no matter which worker runs it, in what order shards finish, or
+**how many times it had to be attempted** — the fault-tolerant runtime
+(:mod:`repro.engine.runtime`) leans on this to retry failed shards,
+rebuild broken pools, degrade to the in-process path, and splice
+checkpointed prefixes, all without changing a single sampled bit.
 Results are concatenated in shard order. Consequences:
 
-* same master seed ⇒ bit-identical output for any ``workers`` count;
+* same master seed ⇒ bit-identical output for any ``workers`` count
+  and any retry/failure schedule;
 * the serial path (``workers=1``) runs in-process — no pool, no pickling;
 * successive calls on one engine with a shared generator consume the
   generator's spawn counter, so a session remains replayable end to end.
@@ -32,11 +38,19 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.engine.checkpoint import CheckpointManager, rng_state_digest
+from repro.engine.faults import FaultPlan
 from repro.engine.frontier import batched_cascade_counts, batched_rr_members
 from repro.engine.rr_storage import RRCollection
-from repro.exceptions import ConfigurationError
+from repro.engine.runtime import (
+    RetryPolicy,
+    RunBudget,
+    RunTelemetry,
+    execute_shards,
+)
+from repro.exceptions import BudgetExceededError, ConfigurationError
 from repro.graphs.tag_graph import TagGraph
-from repro.utils.rng import ensure_rng, spawn_generators
+from repro.utils.rng import ensure_rng, spawn_seed_sequences
 
 MODES = ("scalar", "vectorized")
 
@@ -48,6 +62,10 @@ DEFAULT_SHARD_SIZE = 512
 
 def _shard_counts(total: int, shard_size: int) -> list[int]:
     """Split ``total`` samples into fixed-size shards (last one ragged)."""
+    if shard_size < 1:
+        raise ConfigurationError(
+            f"shard_size must be >= 1, got {shard_size}"
+        )
     if total <= 0:
         return []
     full, rest = divmod(total, shard_size)
@@ -59,11 +77,16 @@ def _rr_shard(
     target_arr: np.ndarray,
     edge_probs: np.ndarray,
     count: int,
-    rng: np.random.Generator,
+    seed_seq: np.random.SeedSequence,
     mode: str,
     batch_size: int | None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """One shard of RR samples; module-level so process pools can pickle it."""
+    """One shard of RR samples; module-level so process pools can pickle it.
+
+    The shard's generator is rebuilt from ``seed_seq`` at the top of
+    every attempt, so retries replay the shard bit-identically.
+    """
+    rng = np.random.default_rng(seed_seq)
     roots = rng.choice(target_arr, size=count)
     if mode == "scalar":
         from repro.sketch.rr_sets import reverse_reachable_set
@@ -85,11 +108,12 @@ def _cascade_shard(
     edge_probs: np.ndarray,
     count: int,
     target_arr: np.ndarray,
-    rng: np.random.Generator,
+    seed_seq: np.random.SeedSequence,
     mode: str,
     batch_size: int | None,
 ) -> np.ndarray:
     """One shard of IC cascades; returns per-sample target counts."""
+    rng = np.random.default_rng(seed_seq)
     if mode == "scalar":
         from repro.diffusion.cascade import simulate_cascade
 
@@ -102,6 +126,46 @@ def _cascade_shard(
         graph, seed_arr, edge_probs, count, target_arr, rng,
         batch_size=batch_size,
     )
+
+
+def _rr_prefix_arrays(shards: list) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-shard ``(members, indptr)`` results into flat CSR."""
+    if not shards:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    members = np.concatenate([m for m, _ in shards])
+    counts = np.concatenate([np.diff(p) for _, p in shards])
+    indptr = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return members, indptr
+
+
+def _split_rr_prefix(
+    members: np.ndarray, indptr: np.ndarray, counts: list[int],
+    shards_done: int,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Invert :func:`_rr_prefix_arrays` back into per-shard results."""
+    results = []
+    cursor = 0
+    for i in range(shards_done):
+        c = counts[i]
+        base = indptr[cursor]
+        sub_indptr = (indptr[cursor:cursor + c + 1] - base).astype(np.int64)
+        sub_members = members[base:indptr[cursor + c]].astype(np.int64)
+        results.append((sub_members, sub_indptr))
+        cursor += c
+    return results
+
+
+def _split_count_prefix(
+    flat: np.ndarray, counts: list[int], shards_done: int
+) -> list[np.ndarray]:
+    """Split a flat cascade-count prefix back into per-shard arrays."""
+    results = []
+    cursor = 0
+    for i in range(shards_done):
+        results.append(flat[cursor:cursor + counts[i]].astype(np.int64))
+        cursor += counts[i]
+    return results
 
 
 class SamplingEngine:
@@ -123,6 +187,22 @@ class SamplingEngine:
         Samples per frontier batch inside a shard (vectorized mode);
         ``None`` sizes batches from the node count automatically.
         Does not affect results, only memory/locality.
+    retry_policy:
+        :class:`~repro.engine.runtime.RetryPolicy` governing shard
+        retries, backoff, pool rebuilds, the hung-shard watchdog and
+        graceful degradation. ``None`` uses the defaults.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` for
+        deterministic fault injection (tests / chaos drills).
+    checkpoint:
+        Optional :class:`~repro.engine.checkpoint.CheckpointManager`;
+        sampling operations then persist their shard done-prefix and,
+        when the manager is in resume mode, splice matching checkpoints
+        back in instead of recomputing.
+
+    Failure handling never changes results (retried shards replay their
+    ``SeedSequence`` bit-identically); it only changes whether the run
+    survives. Counters live on :attr:`telemetry`.
     """
 
     def __init__(
@@ -131,6 +211,9 @@ class SamplingEngine:
         workers: int = 1,
         shard_size: int = DEFAULT_SHARD_SIZE,
         batch_size: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: CheckpointManager | None = None,
     ) -> None:
         if mode not in MODES:
             raise ConfigurationError(
@@ -148,15 +231,32 @@ class SamplingEngine:
         self.workers = int(workers)
         self.shard_size = int(shard_size)
         self.batch_size = batch_size
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.checkpoint = checkpoint
+        self.telemetry = RunTelemetry()
         self._pool: ProcessPoolExecutor | None = None
+        self._op_counter = 0
 
     # ------------------------------------------------------------------
     # Pool management
     # ------------------------------------------------------------------
-    def _executor(self) -> ProcessPoolExecutor:
+    def pool(self) -> ProcessPoolExecutor:
+        """The live worker pool, created on first use."""
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
+
+    def rebuild_pool(self) -> ProcessPoolExecutor:
+        """Tear down a (presumed broken) pool and start a fresh one."""
+        self.abort_pool()
+        return self.pool()
+
+    def abort_pool(self) -> None:
+        """Shut the pool down without waiting (cancel what can be)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for the serial engine)."""
@@ -167,23 +267,103 @@ class SamplingEngine:
     def __enter__(self) -> "SamplingEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Context-manager safety: on an exception the pool may hold
+        # doomed futures — abort rather than wait on them.
+        if exc_type is not None:
+            self.abort_pool()
+        else:
+            self.close()
+
+    def reset_ops(self) -> None:
+        """Restart the operation counter (begin a new logical run).
+
+        Checkpoint files are keyed by operation index; a resumed run
+        must replay its operations from index 0 with a fresh engine or
+        after calling this.
+        """
+        self._op_counter = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SamplingEngine(mode={self.mode!r}, workers={self.workers}, "
-            f"shard_size={self.shard_size})"
+            f"shard_size={self.shard_size}, "
+            f"telemetry=[{self.telemetry.summary()}])"
         )
 
     # ------------------------------------------------------------------
     # Drivers
     # ------------------------------------------------------------------
-    def _run_shards(self, worker, tasks: list[tuple]) -> list:
-        """Run shard tasks, preserving shard order in the result list."""
-        if self.workers == 1 or len(tasks) <= 1:
-            return [worker(*task) for task in tasks]
-        return list(self._executor().map(worker, *zip(*tasks)))
+    def _signature(
+        self, kind: str, total: int, rng: np.random.Generator,
+        extra: int,
+    ) -> dict:
+        """Checkpoint signature pinning one sampling operation's identity."""
+        seed_seq = rng.bit_generator.seed_seq
+        return {
+            "kind": kind,
+            "total": int(total),
+            "shard_size": self.shard_size,
+            "mode": self.mode,
+            "extra": int(extra),
+            "rng": rng_state_digest(rng),
+            "spawn_cursor": int(getattr(seed_seq, "n_children_spawned", 0)),
+        }
+
+    def _run_op(
+        self,
+        worker,
+        tasks: list[tuple],
+        counts: list[int],
+        signature: dict,
+        pack,
+        split,
+        budget: RunBudget | None,
+        charge=None,
+    ) -> list:
+        """Run one checkpointable sampling operation through the runtime.
+
+        ``pack(shards) -> dict[str, ndarray]`` flattens a done-prefix
+        for storage; ``split(arrays, shards_done)`` inverts it back into
+        per-shard results for resume splicing. ``charge(shard_result)``
+        accounts one newly completed shard against the budget (raising
+        :class:`BudgetExceededError` stops the run mid-growth).
+        """
+        op_index = self._op_counter
+        self._op_counter += 1
+        charged_upto = 0
+
+        preloaded: list = []
+        if self.checkpoint is not None:
+            loaded = self.checkpoint.load(op_index, signature)
+            if loaded is not None:
+                arrays, shards_done, _total = loaded
+                preloaded = split(arrays, min(shards_done, len(counts)))
+                self.telemetry.checkpoint_loads += 1
+                charged_upto = len(preloaded)
+
+        def on_prefix(done: int, results: list, force: bool) -> None:
+            nonlocal charged_upto
+            if self.checkpoint is not None and done > 0 and (
+                self.checkpoint.should_flush(op_index, done, force)
+            ):
+                self.checkpoint.save(
+                    op_index, signature, pack(results[:done]), done,
+                    len(counts),
+                )
+                self.telemetry.checkpoint_writes += 1
+            if charge is not None and not force:
+                while charged_upto < done:
+                    charge(results[charged_upto])
+                    charged_upto += 1
+
+        return execute_shards(
+            self, worker, tasks,
+            budget=budget,
+            on_prefix=on_prefix,
+            preloaded=len(preloaded),
+            preloaded_results=preloaded,
+        )
 
     def sample_rr_sets(
         self,
@@ -192,32 +372,66 @@ class SamplingEngine:
         edge_probs: np.ndarray,
         theta: int,
         rng: np.random.Generator | int | None = None,
+        budget: RunBudget | None = None,
     ) -> RRCollection:
         """Sample ``theta`` targeted RR sets (roots uniform over targets).
 
         ``target_arr`` must be a pre-validated int64 node-id array (see
         :func:`repro.utils.validation.as_target_array`). Returns a flat
         :class:`RRCollection`, deterministic for a fixed master ``rng``
-        regardless of ``workers``.
+        regardless of ``workers`` and of any failure/retry schedule.
+        With a ``budget``, raises
+        :class:`~repro.exceptions.BudgetExceededError` whose ``partial``
+        is the prefix :class:`RRCollection` collected so far.
         """
         rng = ensure_rng(rng)
+        signature = self._signature("rr", theta, rng, extra=target_arr.size)
         counts = _shard_counts(theta, self.shard_size)
-        streams = spawn_generators(rng, len(counts))
+        streams = spawn_seed_sequences(rng, len(counts))
         tasks = [
             (graph, target_arr, edge_probs, count, stream, self.mode,
              self.batch_size)
             for count, stream in zip(counts, streams)
         ]
-        shards = self._run_shards(_rr_shard, tasks)
+
+        def pack(shards):
+            members, indptr = _rr_prefix_arrays(shards)
+            return {"members": members, "indptr": indptr}
+
+        def split(arrays, shards_done):
+            return _split_rr_prefix(
+                arrays["members"], arrays["indptr"], counts, shards_done
+            )
+
+        def charge(shard) -> None:
+            budget.charge_rr_members(len(shard[0]))
+
+        try:
+            if budget is not None:
+                budget.charge_samples(theta)
+            shards = self._run_op(
+                _rr_shard, tasks, counts, signature, pack, split, budget,
+                charge=charge if budget is not None else None,
+            )
+        except BudgetExceededError as exc:
+            if exc.partial is None or isinstance(exc.partial, list):
+                exc.partial = self._collect_rr(
+                    exc.partial or [], graph.num_nodes
+                )
+            raise
+        return self._collect_rr(shards, graph.num_nodes)
+
+    @staticmethod
+    def _collect_rr(shards: list, num_nodes: int) -> RRCollection:
         if not shards:
             return RRCollection(
                 np.empty(0, dtype=np.int64),
                 np.zeros(1, dtype=np.int64),
-                graph.num_nodes,
+                num_nodes,
             )
         return RRCollection.concat(
             [
-                RRCollection(members, indptr, graph.num_nodes)
+                RRCollection(members, indptr, num_nodes)
                 for members, indptr in shards
             ]
         )
@@ -230,21 +444,45 @@ class SamplingEngine:
         num_samples: int,
         target_arr: np.ndarray,
         rng: np.random.Generator | int | None = None,
+        budget: RunBudget | None = None,
     ) -> np.ndarray:
         """Per-cascade activated-target counts for ``num_samples`` runs.
 
         Deterministic for a fixed master ``rng`` regardless of
-        ``workers``; the Monte-Carlo spread estimate is the mean.
+        ``workers`` and of any failure/retry schedule; the Monte-Carlo
+        spread estimate is the mean.
         """
         rng = ensure_rng(rng)
+        signature = self._signature(
+            "cascade", num_samples, rng, extra=seed_arr.size
+        )
         counts = _shard_counts(num_samples, self.shard_size)
-        streams = spawn_generators(rng, len(counts))
+        streams = spawn_seed_sequences(rng, len(counts))
         tasks = [
             (graph, seed_arr, edge_probs, count, target_arr, stream,
              self.mode, self.batch_size)
             for count, stream in zip(counts, streams)
         ]
-        shards = self._run_shards(_cascade_shard, tasks)
+
+        def pack(shards):
+            return {"counts": np.concatenate(shards)}
+
+        def split(arrays, shards_done):
+            return _split_count_prefix(arrays["counts"], counts, shards_done)
+
+        try:
+            if budget is not None:
+                budget.charge_samples(num_samples)
+            shards = self._run_op(
+                _cascade_shard, tasks, counts, signature, pack, split, budget
+            )
+        except BudgetExceededError as exc:
+            if exc.partial is None or isinstance(exc.partial, list):
+                exc.partial = (
+                    np.concatenate(exc.partial)
+                    if exc.partial else np.empty(0, dtype=np.int64)
+                )
+            raise
         if not shards:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(shards)
@@ -257,11 +495,26 @@ class SamplingEngine:
         num_samples: int,
         target_arr: np.ndarray,
         rng: np.random.Generator | int | None = None,
+        budget: RunBudget | None = None,
     ) -> float:
-        """Monte-Carlo ``σ(S, T, C1)`` through the engine (Eq. 5)."""
-        counts = self.cascade_target_counts(
-            graph, seed_arr, edge_probs, num_samples, target_arr, rng
-        )
+        """Monte-Carlo ``σ(S, T, C1)`` through the engine (Eq. 5).
+
+        On a budget stop the re-raised error's ``partial`` is the mean
+        over however many cascades completed (``0.0`` when none did),
+        matching the scalar path's partial shape.
+        """
+        try:
+            counts = self.cascade_target_counts(
+                graph, seed_arr, edge_probs, num_samples, target_arr, rng,
+                budget=budget,
+            )
+        except BudgetExceededError as exc:
+            done = exc.partial
+            if isinstance(done, np.ndarray) and done.size > 0:
+                exc.partial = float(done.sum()) / done.size
+            else:
+                exc.partial = 0.0
+            raise
         if counts.size == 0:
             return 0.0
         return float(counts.sum()) / counts.size

@@ -47,3 +47,49 @@ class IndexError_(ReproError):
     Named with a trailing underscore to avoid shadowing the builtin
     :class:`IndexError`.
     """
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a run exceeds its :class:`~repro.engine.RunBudget`.
+
+    Unlike a crash, the run's work so far is not lost: the ``partial``
+    attribute carries whatever partial result the raising layer could
+    assemble (a prefix :class:`~repro.engine.RRCollection`, a partial
+    ``TRSResult``, …) and ``reason`` names the limit that tripped
+    (``"wall_seconds"``, ``"max_samples"`` or ``"max_rr_members"``).
+    """
+
+    def __init__(self, reason: str, partial: object = None) -> None:
+        super().__init__(f"run budget exceeded: {reason}")
+        self.reason = reason
+        self.partial = partial
+
+
+class ShardFailedError(ReproError):
+    """Raised when a sampling shard fails permanently.
+
+    Emitted by the fault-tolerant runtime after the
+    :class:`~repro.engine.RetryPolicy` is exhausted (or immediately for
+    errors classified permanent). Carries the shard index, the number of
+    attempts made, and the last underlying exception.
+    """
+
+    def __init__(
+        self, shard_index: int, attempts: int, last_error: BaseException
+    ) -> None:
+        super().__init__(
+            f"shard {shard_index} failed permanently after {attempts} "
+            f"attempt(s): {last_error!r}"
+        )
+        self.shard_index = shard_index
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written or restored.
+
+    Signature mismatches on load are *not* errors (the stale checkpoint
+    is ignored and recomputed); this covers corrupt files and unusable
+    checkpoint directories.
+    """

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
 from repro.index.lazy import IndexManager
 from repro.index.local import local_edge_universe
@@ -34,6 +35,7 @@ from repro.utils.validation import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,9 @@ class IndexedTRSResult:
     world_choices:
         Per-working-graph (tag → world) choices when recording was
         requested (Figure 7's diagnostic); otherwise ``None``.
+    telemetry:
+        Runtime failure counters when an engine with a fault-tolerant
+        runtime was involved; ``None`` otherwise.
     """
 
     seeds: tuple[int, ...]
@@ -69,6 +74,7 @@ class IndexedTRSResult:
     query_seconds: float
     index_stats: IndexStats
     world_choices: tuple[dict[str, int], ...] | None = None
+    telemetry: dict | None = None
 
     def spread_fraction(self, num_targets: int) -> float:
         """Estimated spread as a fraction of the target-set size."""
@@ -120,6 +126,7 @@ def indexed_select_seeds(
     rng: np.random.Generator | int | None = None,
     record_choices: bool = False,
     engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> IndexedTRSResult:
     """Select top-``k`` seeds using pre-sampled possible-world indexes.
 
@@ -138,6 +145,12 @@ def indexed_select_seeds(
         runs the hybrid traversal frontier-batched and stores RR sets
         flat; the traversal stays in-process regardless of ``workers``
         because each working graph is drawn from shared manager state.
+    budget:
+        Optional :class:`~repro.engine.RunBudget` checked after every
+        working-graph traversal; a tripped limit raises
+        :class:`~repro.exceptions.BudgetExceededError` whose ``partial``
+        is an :class:`IndexedTRSResult` covering the RR sets generated
+        so far.
     """
     rng = ensure_rng(rng)
     check_budget(k, graph.num_nodes, what="seeds")
@@ -150,47 +163,59 @@ def indexed_select_seeds(
     vectorized = engine is not None and engine.mode == "vectorized"
 
     timer = Timer()
-    with timer:
-        edge_probs = graph.edge_probabilities(tag_list)
-        opt_t = estimate_opt_t(
-            graph, target_arr, edge_probs, k, config, rng, engine=engine
-        )
-        theta = compute_theta(
-            graph.num_nodes, k, num_targets, opt_t, config
-        )
-        tc = compute_theta_c(theta, len(tag_list), config.alpha, config.delta)
-        manager.ensure_indexes(tag_list, tc, rng)
-
-        covered = manager.covered_mask
-        mask_buffer = np.zeros(graph.num_edges, dtype=bool)
-        roots = rng.choice(target_arr, size=theta)
-
-        if vectorized:
-            from repro.engine.frontier import hybrid_rr_frontier
-
-            traverse = hybrid_rr_frontier
-        else:
-            traverse = _hybrid_rr_set
-
-        rr_list: list[np.ndarray] = []
-        choices_log: list[dict[str, int]] = []
-        for root in roots:
-            choices = manager.sample_world_choices(tag_list, rng)
-            if record_choices:
-                choices_log.append(choices)
-            working = manager.working_mask(choices, out=mask_buffer)
-            rr_list.append(
-                traverse(graph, int(root), working, covered, edge_probs, rng)
+    rr_list: list[np.ndarray] = []
+    choices_log: list[dict[str, int]] = []
+    theta = 0
+    tc = 0
+    try:
+        with timer:
+            edge_probs = graph.edge_probabilities(tag_list)
+            opt_t = estimate_opt_t(
+                graph, target_arr, edge_probs, k, config, rng,
+                engine=engine, budget=budget,
             )
-        if vectorized:
-            from repro.engine.rr_storage import RRCollection
-
-            rr_sets: "list[np.ndarray] | RRCollection" = (
-                RRCollection.from_sets(rr_list, graph.num_nodes)
+            theta = compute_theta(
+                graph.num_nodes, k, num_targets, opt_t, config
             )
-        else:
-            rr_sets = rr_list
-        coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
+            tc = compute_theta_c(
+                theta, len(tag_list), config.alpha, config.delta
+            )
+            manager.ensure_indexes(tag_list, tc, rng)
+
+            covered = manager.covered_mask
+            mask_buffer = np.zeros(graph.num_edges, dtype=bool)
+            roots = rng.choice(target_arr, size=theta)
+
+            if vectorized:
+                from repro.engine.frontier import hybrid_rr_frontier
+
+                traverse = hybrid_rr_frontier
+            else:
+                traverse = _hybrid_rr_set
+
+            if budget is not None:
+                budget.charge_samples(theta)
+            for root in roots:
+                choices = manager.sample_world_choices(tag_list, rng)
+                if record_choices:
+                    choices_log.append(choices)
+                working = manager.working_mask(choices, out=mask_buffer)
+                rr_list.append(
+                    traverse(
+                        graph, int(root), working, covered, edge_probs, rng
+                    )
+                )
+                if budget is not None:
+                    budget.charge_rr_members(rr_list[-1].size)
+            rr_sets = _pack_rr(rr_list, graph.num_nodes, vectorized)
+            coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
+    except BudgetExceededError as exc:
+        exc.partial = _partial_indexed_result(
+            rr_list, choices_log if record_choices else None, k, graph,
+            num_targets, theta, tc, timer.elapsed, manager, vectorized,
+            engine,
+        )
+        raise
 
     return IndexedTRSResult(
         seeds=coverage.seeds,
@@ -200,6 +225,51 @@ def indexed_select_seeds(
         query_seconds=timer.elapsed,
         index_stats=manager.stats.snapshot(),
         world_choices=tuple(choices_log) if record_choices else None,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
+    )
+
+
+def _pack_rr(rr_list: list[np.ndarray], num_nodes: int, vectorized: bool):
+    """Flat-store the RR sets when the engine runs vectorized."""
+    if not vectorized:
+        return rr_list
+    from repro.engine.rr_storage import RRCollection
+
+    return RRCollection.from_sets(rr_list, num_nodes)
+
+
+def _partial_indexed_result(
+    rr_list: list[np.ndarray],
+    choices_log: list[dict[str, int]] | None,
+    k: int,
+    graph: TagGraph,
+    num_targets: int,
+    theta: int,
+    tc: int,
+    elapsed: float,
+    manager: IndexManager,
+    vectorized: bool,
+    engine: "SamplingEngine | None",
+) -> IndexedTRSResult:
+    """Best-effort :class:`IndexedTRSResult` from a budget-stopped run."""
+    collected = len(rr_list)
+    if collected > 0:
+        rr_sets = _pack_rr(rr_list, graph.num_nodes, vectorized)
+        coverage = greedy_max_coverage(rr_sets, min(k, collected),
+                                       graph.num_nodes)
+        seeds = coverage.seeds
+        spread = coverage.spread_estimate(num_targets)
+    else:
+        seeds, spread = (), 0.0
+    return IndexedTRSResult(
+        seeds=seeds,
+        estimated_spread=spread,
+        theta=collected if collected else theta,
+        theta_c=tc,
+        query_seconds=elapsed,
+        index_stats=manager.stats.snapshot(),
+        world_choices=tuple(choices_log) if choices_log is not None else None,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
     )
 
 

@@ -8,7 +8,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import BudgetExceededError, ConfigurationError
 from repro.graphs.tag_graph import TagGraph
 from repro.index.itrs import (
     indexed_select_seeds,
@@ -24,6 +24,7 @@ from repro.sketch.trs import trs_select_seeds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 ENGINES = ("trs", "imm", "itrs", "ltrs", "lltrs", "greedy-mc")
 
@@ -42,12 +43,17 @@ class SeedSelection:
         Which engine produced the result.
     elapsed_seconds:
         Wall-clock time of the selection (online part for index engines).
+    telemetry:
+        Runtime failure counters (shards retried, pool rebuilds, ...)
+        when a fault-tolerant sampler ran the engine; ``None`` on the
+        scalar path.
     """
 
     seeds: tuple[int, ...]
     estimated_spread: float
     engine: str
     elapsed_seconds: float
+    telemetry: dict | None = None
 
 
 def find_seeds(
@@ -61,6 +67,7 @@ def find_seeds(
     num_samples: int = 100,
     rng: np.random.Generator | int | None = None,
     sampler: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> SeedSelection:
     """Find the top-``k`` seeds for targeted spread under fixed ``tags``.
 
@@ -86,6 +93,11 @@ def find_seeds(
         frontier-batched / multi-process sampling substrate every
         algorithmic engine above can run on. ``None`` keeps the scalar
         oracle path.
+    budget:
+        Optional :class:`~repro.engine.RunBudget` forwarded to the
+        engine; a tripped limit raises
+        :class:`~repro.exceptions.BudgetExceededError` whose ``partial``
+        is re-wrapped as a best-effort :class:`SeedSelection`.
     """
     if engine not in ENGINES:
         raise ConfigurationError(
@@ -93,56 +105,55 @@ def find_seeds(
         )
 
     if engine == "trs":
-        result = trs_select_seeds(
-            graph, targets, tags, k, config, rng, engine=sampler
+        run = lambda: trs_select_seeds(  # noqa: E731
+            graph, targets, tags, k, config, rng, engine=sampler,
+            budget=budget,
         )
-        return SeedSelection(
-            seeds=result.seeds,
-            estimated_spread=result.estimated_spread,
-            engine=engine,
-            elapsed_seconds=result.elapsed_seconds,
+    elif engine == "imm":
+        run = lambda: imm_select_seeds(  # noqa: E731
+            graph, targets, tags, k, config, rng=rng, engine=sampler,
+            budget=budget,
         )
-
-    if engine == "imm":
-        imm = imm_select_seeds(
-            graph, targets, tags, k, config, rng=rng, engine=sampler
-        )
-        return SeedSelection(
-            seeds=imm.seeds,
-            estimated_spread=imm.estimated_spread,
-            engine=engine,
-            elapsed_seconds=imm.elapsed_seconds,
-        )
-
-    if engine == "greedy-mc":
-        greedy = greedy_mc_select_seeds(
+    elif engine == "greedy-mc":
+        run = lambda: greedy_mc_select_seeds(  # noqa: E731
             graph, targets, tags, k, num_samples=num_samples, rng=rng,
-            engine=sampler,
+            engine=sampler, budget=budget,
         )
-        return SeedSelection(
-            seeds=greedy.seeds,
-            estimated_spread=greedy.estimated_spread,
-            engine=engine,
-            elapsed_seconds=greedy.elapsed_seconds,
+    else:
+        if manager is None:
+            if engine == "itrs":
+                manager = make_itrs_manager(
+                    graph, theta=config.theta_max, r=max(len(tags), 1),
+                    config=config, rng=rng,
+                )
+            elif engine == "ltrs":
+                manager = make_ltrs_manager(graph)
+            else:  # lltrs
+                manager = make_lltrs_manager(graph, targets, config)
+        mgr = manager
+        run = lambda: indexed_select_seeds(  # noqa: E731
+            graph, targets, tags, k, mgr, config, rng, engine=sampler,
+            budget=budget,
         )
 
-    if manager is None:
-        if engine == "itrs":
-            manager = make_itrs_manager(
-                graph, theta=config.theta_max, r=max(len(tags), 1),
-                config=config, rng=rng,
-            )
-        elif engine == "ltrs":
-            manager = make_ltrs_manager(graph)
-        else:  # lltrs
-            manager = make_lltrs_manager(graph, targets, config)
+    try:
+        result = run()
+    except BudgetExceededError as exc:
+        if exc.partial is not None and hasattr(exc.partial, "seeds"):
+            exc.partial = _as_selection(exc.partial, engine)
+        raise
+    return _as_selection(result, engine)
 
-    indexed = indexed_select_seeds(
-        graph, targets, tags, k, manager, config, rng, engine=sampler
-    )
+
+def _as_selection(result, engine: str) -> SeedSelection:
+    """Re-wrap any engine's (possibly partial) result uniformly."""
+    elapsed = getattr(result, "elapsed_seconds", None)
+    if elapsed is None:
+        elapsed = getattr(result, "query_seconds", 0.0)
     return SeedSelection(
-        seeds=indexed.seeds,
-        estimated_spread=indexed.estimated_spread,
+        seeds=result.seeds,
+        estimated_spread=result.estimated_spread,
         engine=engine,
-        elapsed_seconds=indexed.query_seconds,
+        elapsed_seconds=elapsed,
+        telemetry=getattr(result, "telemetry", None),
     )

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.diffusion.monte_carlo import estimate_spread, target_mask
+from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
@@ -27,6 +28,7 @@ from repro.utils.validation import check_budget, check_tags_exist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 
 @dataclass(frozen=True)
@@ -44,12 +46,16 @@ class GreedyMCResult:
         CELF/CELF++ exist to minimize.
     elapsed_seconds:
         Wall-clock selection time.
+    telemetry:
+        Runtime failure counters when an engine ran the simulation;
+        ``None`` on the scalar path.
     """
 
     seeds: tuple[int, ...]
     estimated_spread: float
     spread_evaluations: int
     elapsed_seconds: float
+    telemetry: dict | None = None
 
 
 def greedy_mc_select_seeds(
@@ -62,6 +68,7 @@ def greedy_mc_select_seeds(
     use_celf_plus_plus: bool = True,
     rng: np.random.Generator | int | None = None,
     engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> GreedyMCResult:
     """Pick ``k`` seeds by lazy greedy hill climbing (Eq. 7).
 
@@ -76,6 +83,11 @@ def greedy_mc_select_seeds(
     engine:
         Optional :class:`~repro.engine.SamplingEngine` for
         frontier-batched (and multi-process) cascade simulation.
+    budget:
+        Optional :class:`~repro.engine.RunBudget` spanning every MC
+        evaluation; a tripped limit raises
+        :class:`~repro.exceptions.BudgetExceededError` whose ``partial``
+        is a :class:`GreedyMCResult` with the seeds picked so far.
 
     Notes
     -----
@@ -113,58 +125,78 @@ def greedy_mc_select_seeds(
             edge_probs=edge_probs,
             targets_mask=targets_mask,
             engine=engine,
+            budget=budget,
         )
 
     timer = Timer()
-    with timer:
-        seeds: list[int] = []
-        base_spread = 0.0
+    seeds: list[int] = []
+    base_spread = 0.0
+    try:
+        with timer:
+            # Heap entries: (-gain, node, round_when_computed,
+            # gain_after_best). gain_after_best is the CELF++ cache: the
+            # node's marginal gain assuming the round's current best is
+            # also added.
+            heap: list[list[float | int | None]] = []
+            for node in pool:
+                gain = spread_of([node])
+                heapq.heappush(heap, [-gain, node, 0, None])
 
-        # Heap entries: (-gain, node, round_when_computed, gain_after_best)
-        # gain_after_best is the CELF++ cache: the node's marginal gain
-        # assuming the round's current best is also added.
-        heap: list[list[float | int | None]] = []
-        for node in pool:
-            gain = spread_of([node])
-            heapq.heappush(heap, [-gain, node, 0, None])
+            round_no = 0
+            while heap and len(seeds) < k:
+                entry = heapq.heappop(heap)
+                neg_gain, node, computed_at, gain_after_best = entry
 
-        round_no = 0
-        while heap and len(seeds) < k:
-            entry = heapq.heappop(heap)
-            neg_gain, node, computed_at, gain_after_best = entry
+                if computed_at == round_no:
+                    # Fresh bound: by submodularity nothing below can
+                    # beat it.
+                    seeds.append(int(node))
+                    base_spread = base_spread + (-neg_gain)
+                    round_no += 1
+                    continue
 
-            if computed_at == round_no:
-                # Fresh bound: by submodularity nothing below can beat it.
-                seeds.append(int(node))
-                base_spread = base_spread + (-neg_gain)
-                round_no += 1
-                continue
+                if (
+                    use_celf_plus_plus
+                    and gain_after_best is not None
+                    and computed_at == round_no - 1
+                ):
+                    # CELF++ shortcut: the cached "gain if best is
+                    # added" became exact when that best was indeed the
+                    # last pick.
+                    heapq.heappush(
+                        heap, [-gain_after_best, node, round_no, None]
+                    )
+                    continue
 
-            if (
-                use_celf_plus_plus
-                and gain_after_best is not None
-                and computed_at == round_no - 1
-            ):
-                # CELF++ shortcut: the cached "gain if best is added"
-                # became exact when that best was indeed the last pick.
-                heapq.heappush(heap, [-gain_after_best, node, round_no, None])
-                continue
-
-            fresh = spread_of(seeds + [int(node)]) - base_spread
-            cache = None
-            if use_celf_plus_plus and heap:
-                current_best = int(heap[0][1])
-                cache = (
-                    spread_of(seeds + [current_best, int(node)])
-                    - spread_of(seeds + [current_best])
+                fresh = spread_of(seeds + [int(node)]) - base_spread
+                cache = None
+                if use_celf_plus_plus and heap:
+                    current_best = int(heap[0][1])
+                    cache = (
+                        spread_of(seeds + [current_best, int(node)])
+                        - spread_of(seeds + [current_best])
+                    )
+                heapq.heappush(
+                    heap, [-max(fresh, 0.0), node, round_no, cache]
                 )
-            heapq.heappush(heap, [-max(fresh, 0.0), node, round_no, cache])
 
-        final_spread = spread_of(seeds)
+            final_spread = spread_of(seeds)
+    except BudgetExceededError as exc:
+        exc.partial = GreedyMCResult(
+            seeds=tuple(seeds),
+            estimated_spread=0.0 if not seeds else base_spread,
+            spread_evaluations=evaluations,
+            elapsed_seconds=timer.elapsed,
+            telemetry=(
+                engine.telemetry.as_dict() if engine is not None else None
+            ),
+        )
+        raise
 
     return GreedyMCResult(
         seeds=tuple(seeds),
         estimated_spread=final_spread,
         spread_evaluations=evaluations,
         elapsed_seconds=timer.elapsed,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
     )

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
 from repro.sketch.rr_sets import sample_rr_sets_validated
@@ -40,6 +41,7 @@ from repro.utils.validation import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,9 @@ class IMMResult:
         How many geometric guesses phase 1 examined.
     elapsed_seconds:
         Total selection time.
+    telemetry:
+        Runtime failure counters when an engine ran the sampling;
+        ``None`` on the scalar path.
     """
 
     seeds: tuple[int, ...]
@@ -68,6 +73,7 @@ class IMMResult:
     lower_bound: float
     sampling_rounds: int
     elapsed_seconds: float
+    telemetry: dict | None = None
 
 
 def imm_select_seeds(
@@ -79,6 +85,7 @@ def imm_select_seeds(
     ell: float = 1.0,
     rng: np.random.Generator | int | None = None,
     engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> IMMResult:
     """Targeted IMM: top-``k`` seeds with martingale-sized sampling.
 
@@ -94,6 +101,11 @@ def imm_select_seeds(
         Optional :class:`~repro.engine.SamplingEngine`; the geometric
         rounds then accumulate flat
         :class:`~repro.engine.RRCollection` batches instead of lists.
+    budget:
+        Optional :class:`~repro.engine.RunBudget`; a tripped limit
+        raises :class:`~repro.exceptions.BudgetExceededError` whose
+        ``partial`` is a best-effort :class:`IMMResult` covering the RR
+        sets accumulated across all completed rounds.
 
     Targets are validated once at this boundary; every sampling round
     reuses the pre-validated array.
@@ -105,10 +117,36 @@ def imm_select_seeds(
         targets, graph.num_nodes, context="imm_select_seeds"
     )
     t_size = int(target_arr.size)
+
+    timer = Timer()
+    try:
+        return _imm_core(
+            graph, target_arr, tags, k, config, ell, rng, engine, budget,
+            timer,
+        )
+    except BudgetExceededError as exc:
+        exc.partial = _partial_imm_result(
+            exc.partial, k, graph.num_nodes, t_size, timer.elapsed, engine
+        )
+        raise
+
+
+def _imm_core(
+    graph: TagGraph,
+    target_arr: np.ndarray,
+    tags: Sequence[str],
+    k: int,
+    config: SketchConfig,
+    ell: float,
+    rng: np.random.Generator,
+    engine: "SamplingEngine | None",
+    budget: "RunBudget | None",
+    timer: Timer,
+) -> IMMResult:
+    t_size = int(target_arr.size)
     n = graph.num_nodes
     eps = config.epsilon
 
-    timer = Timer()
     with timer:
         edge_probs = graph.edge_probabilities(tags)
 
@@ -133,9 +171,22 @@ def imm_select_seeds(
             )
 
         def extended(current, count: int):
-            extra = sample_rr_sets_validated(
-                graph, target_arr, edge_probs, count, rng, engine=engine
-            )
+            try:
+                extra = sample_rr_sets_validated(
+                    graph, target_arr, edge_probs, count, rng,
+                    engine=engine, budget=budget,
+                )
+            except BudgetExceededError as exc:
+                # Fold the failing batch's partial into what earlier
+                # rounds accumulated so the caller sees everything.
+                if engine is None:
+                    current.extend(exc.partial or [])
+                    exc.partial = current
+                else:
+                    exc.partial = type(current).concat(
+                        (current, exc.partial)
+                    ) if exc.partial is not None else current
+                raise
             if engine is None:
                 current.extend(extra)
                 return current
@@ -191,4 +242,33 @@ def imm_select_seeds(
         lower_bound=lower_bound,
         sampling_rounds=rounds,
         elapsed_seconds=timer.elapsed,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
+    )
+
+
+def _partial_imm_result(
+    partial_sets,
+    k: int,
+    num_nodes: int,
+    t_size: int,
+    elapsed: float,
+    engine: "SamplingEngine | None",
+) -> IMMResult:
+    """Best-effort :class:`IMMResult` from whatever a budget stop left."""
+    sets = partial_sets if partial_sets is not None else []
+    collected = len(sets)
+    if collected > 0:
+        coverage = greedy_max_coverage(sets, min(k, collected), num_nodes)
+        seeds = coverage.seeds
+        spread = coverage.fraction * t_size
+    else:
+        seeds, spread = (), 0.0
+    return IMMResult(
+        seeds=seeds,
+        estimated_spread=spread,
+        theta=collected,
+        lower_bound=1.0,
+        sampling_rounds=0,
+        elapsed_seconds=elapsed,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
     )

@@ -23,6 +23,7 @@ from repro.utils.validation import as_target_array, check_node_ids
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
     from repro.engine.rr_storage import RRCollection
+    from repro.engine.runtime import RunBudget
 
 
 def reverse_reachable_set(
@@ -153,22 +154,47 @@ def sample_rr_sets_validated(
     theta: int,
     rng: np.random.Generator | int | None = None,
     engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> "list[np.ndarray] | RRCollection":
     """:func:`sample_rr_sets` minus validation: the hot-path entry.
 
     ``target_arr`` must be the sorted-unique int64 array produced by
     :func:`repro.utils.validation.as_target_array`; no per-call
-    re-validation or re-sorting happens here.
+    re-validation or re-sorting happens here. With a ``budget``, both
+    the engine and the scalar path raise
+    :class:`~repro.exceptions.BudgetExceededError` carrying the RR sets
+    collected so far once a limit trips.
     """
     if theta <= 0:
         raise InvalidQueryError(f"theta must be positive, got {theta}")
     rng = ensure_rng(rng)
     if engine is not None:
-        return engine.sample_rr_sets(graph, target_arr, edge_probs, theta, rng)
+        return engine.sample_rr_sets(
+            graph, target_arr, edge_probs, theta, rng, budget=budget
+        )
 
     roots = rng.choice(target_arr, size=theta)
     visited = np.zeros(graph.num_nodes, dtype=bool)
-    return [
-        _reverse_reachable_set_into(graph, int(root), edge_probs, rng, visited)
-        for root in roots
-    ]
+    if budget is None:
+        return [
+            _reverse_reachable_set_into(
+                graph, int(root), edge_probs, rng, visited
+            )
+            for root in roots
+        ]
+    from repro.exceptions import BudgetExceededError
+
+    budget.charge_samples(theta, partial=[])
+    sets: list[np.ndarray] = []
+    for root in roots:
+        sets.append(
+            _reverse_reachable_set_into(
+                graph, int(root), edge_probs, rng, visited
+            )
+        )
+        try:
+            budget.charge_rr_members(sets[-1].size)
+        except BudgetExceededError as exc:
+            exc.partial = sets
+            raise
+    return sets

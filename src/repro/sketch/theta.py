@@ -32,6 +32,7 @@ from repro.utils.validation import as_target_array
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,7 @@ def estimate_opt_t(
     config: SketchConfig = SketchConfig(),
     rng: np.random.Generator | int | None = None,
     engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> float:
     """Lower-bound ``OPT_T`` from a pilot batch of targeted RR sets.
 
@@ -152,7 +154,7 @@ def estimate_opt_t(
         )
     pilot = sample_rr_sets_validated(
         graph, target_arr, edge_probs, config.pilot_samples, rng,
-        engine=engine,
+        engine=engine, budget=budget,
     )
     result = greedy_max_coverage(pilot, k, graph.num_nodes)
     return max(result.spread_estimate(int(target_arr.size)), 1.0)

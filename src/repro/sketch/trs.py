@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
 from repro.sketch.rr_sets import sample_rr_sets_validated
@@ -34,6 +35,7 @@ from repro.utils.validation import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.parallel import SamplingEngine
+    from repro.engine.runtime import RunBudget
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,10 @@ class TRSResult:
         size θ differently).
     elapsed_seconds:
         Wall-clock time of the whole selection.
+    telemetry:
+        Runtime failure counters (shards retried, pool rebuilds, ...)
+        when an engine with a fault-tolerant runtime ran the sampling;
+        ``None`` on the scalar path.
     """
 
     seeds: tuple[int, ...]
@@ -60,6 +66,7 @@ class TRSResult:
     theta: int
     opt_t_estimate: float | None
     elapsed_seconds: float
+    telemetry: dict | None = None
 
     def spread_fraction(self, num_targets: int) -> float:
         """Estimated spread as a fraction of the target-set size."""
@@ -76,6 +83,7 @@ def trs_select_seeds(
     config: SketchConfig = SketchConfig(),
     rng: np.random.Generator | int | None = None,
     engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
 ) -> TRSResult:
     """Select the top-``k`` seeds for spread within ``targets`` given ``tags``.
 
@@ -98,6 +106,12 @@ def trs_select_seeds(
         Optional :class:`~repro.engine.SamplingEngine` for
         frontier-batched / multi-process RR sampling. ``None`` keeps the
         scalar oracle path (bit-compatible for fixed seeds).
+    budget:
+        Optional :class:`~repro.engine.RunBudget`. When a limit trips
+        mid-sampling, the raised
+        :class:`~repro.exceptions.BudgetExceededError` carries a best-
+        effort partial :class:`TRSResult` (greedy coverage of the RR
+        sets collected so far) in ``exc.partial``.
 
     Targets are validated once here; the pilot and main sampling passes
     receive the pre-validated array.
@@ -111,16 +125,28 @@ def trs_select_seeds(
     num_targets = int(target_arr.size)
 
     timer = Timer()
-    with timer:
-        edge_probs = graph.edge_probabilities(tags)
-        opt_t = estimate_opt_t(
-            graph, target_arr, edge_probs, k, config, rng, engine=engine
+    opt_t: float | None = None
+    try:
+        with timer:
+            edge_probs = graph.edge_probabilities(tags)
+            opt_t = estimate_opt_t(
+                graph, target_arr, edge_probs, k, config, rng,
+                engine=engine, budget=budget,
+            )
+            theta = compute_theta(
+                graph.num_nodes, k, num_targets, opt_t, config
+            )
+            rr_sets = sample_rr_sets_validated(
+                graph, target_arr, edge_probs, theta, rng,
+                engine=engine, budget=budget,
+            )
+            coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
+    except BudgetExceededError as exc:
+        exc.partial = _partial_trs_result(
+            exc.partial, k, graph.num_nodes, num_targets, opt_t,
+            timer.elapsed, engine,
         )
-        theta = compute_theta(graph.num_nodes, k, num_targets, opt_t, config)
-        rr_sets = sample_rr_sets_validated(
-            graph, target_arr, edge_probs, theta, rng, engine=engine
-        )
-        coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
+        raise
 
     return TRSResult(
         seeds=coverage.seeds,
@@ -128,4 +154,37 @@ def trs_select_seeds(
         theta=theta,
         opt_t_estimate=opt_t,
         elapsed_seconds=timer.elapsed,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
+    )
+
+
+def _partial_trs_result(
+    partial_sets,
+    k: int,
+    num_nodes: int,
+    num_targets: int,
+    opt_t: float | None,
+    elapsed: float,
+    engine: "SamplingEngine | None",
+) -> TRSResult:
+    """Best-effort :class:`TRSResult` from the RR sets a budget stop left.
+
+    The seeds still greedily cover whatever was sampled; only the
+    statistical guarantee (which needs the full θ) is forfeit.
+    """
+    sets = partial_sets if partial_sets is not None else []
+    collected = len(sets)
+    if collected > 0:
+        coverage = greedy_max_coverage(sets, min(k, collected), num_nodes)
+        seeds = coverage.seeds
+        spread = coverage.spread_estimate(num_targets)
+    else:
+        seeds, spread = (), 0.0
+    return TRSResult(
+        seeds=seeds,
+        estimated_spread=spread,
+        theta=collected,
+        opt_t_estimate=opt_t,
+        elapsed_seconds=elapsed,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
     )

@@ -50,6 +50,26 @@ def spawn_generators(
         return [np.random.default_rng(child) for child in children]
 
 
+def spawn_seed_sequences(
+    rng: np.random.Generator, count: int
+) -> list[np.random.SeedSequence]:
+    """Spawn ``count`` child :class:`~numpy.random.SeedSequence` objects.
+
+    Consumes the parent's spawn counter exactly like
+    :func:`spawn_generators`, and ``np.random.default_rng(child)`` yields
+    the very same stream ``Generator.spawn`` would have produced — but a
+    ``SeedSequence`` can be *re-instantiated* any number of times. The
+    fault-tolerant runtime keys each shard to its seed sequence so a
+    retried shard replays its samples bit-identically, and a checkpoint
+    only needs the spawn cursor, not generator state.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    return rng.bit_generator.seed_seq.spawn(count)
+
+
 def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators.
 
