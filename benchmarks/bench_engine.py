@@ -9,6 +9,11 @@ cascade simulation) on a ladder of synthetic configs, three ways each:
   :class:`~repro.engine.SamplingEngine`;
 * ``parallel`` — the same engine with a process pool (pool startup is
   excluded; on single-core boxes this mostly measures IPC overhead).
+  Jobs below the engine's ``parallel_threshold`` auto-fall back to the
+  in-process vectorized path, so small configs report the fallback's
+  timing — the ``parallel_fell_back`` field says when that happened
+  (pass ``--parallel-threshold 0`` to force the pool and measure raw
+  IPC overhead instead).
 
 Writes ``BENCH_engine.json`` next to the repo root with per-case median
 wall times and speedups, and prints a table. Usage::
@@ -17,11 +22,14 @@ wall times and speedups, and prints a table. Usage::
     PYTHONPATH=src:. python benchmarks/bench_engine.py --quick \
         --min-speedup 3.0     # CI gate: exit 1 if the largest config's
                               # vectorized speedup falls below this
+    PYTHONPATH=src:. python benchmarks/bench_engine.py --quick \
+        --metrics-out obs.json   # observability report for the run
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import statistics
 import time
@@ -29,6 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.datasets import bfs_targets, twitter, yelp
 from repro.diffusion import simulate_cascade
 from repro.engine import SamplingEngine
@@ -62,6 +71,7 @@ def bench_config(
     num_cascades: int,
     repeats: int,
     workers: int,
+    parallel_threshold: int | None = None,
 ) -> dict:
     data = factory(scale=scale)
     graph = data.graph
@@ -90,8 +100,12 @@ def bench_config(
     # Size shards so the pooled engine genuinely fans out (the default
     # shard of 512 would fit a quick-mode θ in a single in-process task).
     shard = max(1, min(theta, num_cascades) // (2 * workers))
+    pooled_kwargs = {}
+    if parallel_threshold is not None:
+        pooled_kwargs["parallel_threshold"] = parallel_threshold
     pooled = SamplingEngine(
-        mode="vectorized", workers=workers, shard_size=shard
+        mode="vectorized", workers=workers, shard_size=shard,
+        **pooled_kwargs,
     )
 
     def rr_engine(engine: SamplingEngine):
@@ -134,6 +148,10 @@ def bench_config(
         timings["parallel_speedup"] = round(
             timings["scalar_s"] / timings["parallel_s"], 2
         )
+    # Whether the small-work guard sent the "parallel" runs down the
+    # in-process path instead of the pool (see SamplingEngine's
+    # parallel_threshold).
+    result["parallel_fell_back"] = pooled.telemetry.parallel_fallbacks > 0
     serial.close()
     pooled.close()
     return result
@@ -156,6 +174,16 @@ def main(argv=None) -> int:
         help="exit non-zero unless the largest config's vectorized "
              "speedup meets this for both RR and cascade",
     )
+    parser.add_argument(
+        "--parallel-threshold", type=int, default=None,
+        help="override the pooled engine's small-work fallback "
+             "threshold (0 forces the pool even for tiny jobs)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write an observability report (repro.obs.report/1) "
+             "covering the whole benchmark run",
+    )
     args = parser.parse_args(argv)
 
     configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
@@ -163,15 +191,26 @@ def main(argv=None) -> int:
     cascades = args.cascades or (200 if args.quick else 600)
     repeats = args.repeats or (3 if args.quick else 5)
 
+    scope = (
+        obs.observe() if args.metrics_out else contextlib.nullcontext()
+    )
     results = []
-    for label, factory, scale in configs:
-        print(f"benchmarking {label} ...", flush=True)
-        results.append(
-            bench_config(
-                label, factory, scale, theta, cascades, repeats,
-                args.workers,
+    with scope as observation:
+        for label, factory, scale in configs:
+            print(f"benchmarking {label} ...", flush=True)
+            results.append(
+                bench_config(
+                    label, factory, scale, theta, cascades, repeats,
+                    args.workers,
+                    parallel_threshold=args.parallel_threshold,
+                )
             )
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(observation.report(), indent=2) + "\n",
+            encoding="utf-8",
         )
+        print(f"wrote observability report to {args.metrics_out}")
 
     report = {
         "quick": args.quick,
@@ -199,6 +238,12 @@ def main(argv=None) -> int:
                 f"{t['vectorized_speedup']:>8.2f}"
                 f"{t['parallel_speedup']:>8.2f}"
             )
+    fell_back = [r["config"] for r in results if r["parallel_fell_back"]]
+    if fell_back:
+        print(
+            "note: parallel runs fell back to the in-process path "
+            f"(work below threshold) on: {', '.join(fell_back)}"
+        )
     print(f"\nwrote {out_path}")
 
     if args.min_speedup is not None:

@@ -13,9 +13,20 @@ Subcommands
     The full iterative algorithm (Algorithm 2).
 ``spread``
     Monte-Carlo estimate of σ(S, T, C1) for a given plan.
+``report``
+    Render a saved observability report (``--metrics-out`` output)
+    as text, or convert its trace to Chrome trace-event JSON.
 
 All subcommands accept ``--seed`` for deterministic replays. Node lists
 are comma-separated; target files contain one node id per line.
+
+Query subcommands accept observability flags: ``--metrics-out PATH``
+writes the full run report (metrics + trace + phase table, schema
+``repro.obs.report/1``), ``--trace PATH`` writes the span trace as
+Chrome trace-event JSON (loadable by Perfetto / chrome://tracing /
+speedscope for flamegraphs), and ``--profile`` additionally enables
+the per-kernel profiling hooks. Observability is off — and costs
+nothing — unless one of these flags is given.
 
 Sampler-enabled subcommands additionally expose the fault-tolerant
 runtime: ``--retries`` (per-shard retry count), ``--deadline`` /
@@ -30,11 +41,13 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import signal
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro import obs
 from repro.core.baseline import BaselineConfig, baseline_greedy
 from repro.core.joint import JointConfig, jointly_select
 from repro.core.problem import JointQuery
@@ -189,6 +202,29 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help=(
+                "write the full observability report (metrics + trace + "
+                "phases, JSON schema repro.obs.report/1) to PATH"
+            ),
+        )
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help=(
+                "write the span trace as Chrome trace-event JSON to PATH "
+                "(open in Perfetto / chrome://tracing for a flamegraph)"
+            ),
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help=(
+                "also enable per-kernel profiling hooks (hot-kernel call "
+                "counts and timing histograms; implies observability on)"
+            ),
+        )
+
     seeds = sub.add_parser("seeds", help="top-k seeds for fixed tags")
     add_common(seeds)
     seeds.add_argument("-k", type=int, required=True)
@@ -196,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated tag set")
     seeds.add_argument("--engine", choices=ENGINES, default="trs")
     add_sampler(seeds)
+    add_obs(seeds)
 
     tags = sub.add_parser("tags", help="top-r tags for fixed seeds")
     add_common(tags)
@@ -203,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     tags.add_argument("--seeds", required=True,
                       help="comma-separated seed node ids")
     tags.add_argument("--method", choices=METHODS, default="batch")
+    add_obs(tags)
 
     joint = sub.add_parser("joint", help="joint top-k seeds and top-r tags")
     add_common(joint)
@@ -212,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the interleaved greedy baseline instead")
     joint.add_argument("--max-rounds", type=int, default=4)
     add_sampler(joint)
+    add_obs(joint)
 
     spread = sub.add_parser("spread", help="estimate σ(S, T, C1) by MC")
     add_common(spread)
@@ -219,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     spread.add_argument("--tags", required=True)
     spread.add_argument("--samples", type=int, default=500)
     add_sampler(spread)
+    add_obs(spread)
 
     compare = sub.add_parser(
         "compare", help="compare seed engines on one query"
@@ -231,6 +271,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated engine list",
     )
     add_sampler(compare)
+    add_obs(compare)
+
+    report = sub.add_parser(
+        "report", help="render a saved observability report"
+    )
+    report.add_argument(
+        "report_file", help="JSON report written by --metrics-out"
+    )
+    report.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help=(
+            "also convert the report's trace to Chrome trace-event JSON "
+            "at PATH (flamegraph form)"
+        ),
+    )
 
     learn = sub.add_parser(
         "learn", help="learn a tag graph from an interaction log"
@@ -382,6 +437,18 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = json.loads(Path(args.report_file).read_text(encoding="utf-8"))
+    sys.stdout.write(obs.render_report(report))
+    if args.chrome is not None:
+        events = obs.chrome_events_from_dicts(report.get("trace") or [])
+        Path(args.chrome).write_text(
+            json.dumps(events, indent=2), encoding="utf-8"
+        )
+        print(f"wrote {len(events)} trace events to {args.chrome}")
+    return 0
+
+
 _COMMANDS = {
     "dataset": _cmd_dataset,
     "seeds": _cmd_seeds,
@@ -390,6 +457,7 @@ _COMMANDS = {
     "spread": _cmd_spread,
     "compare": _cmd_compare,
     "learn": _cmd_learn,
+    "report": _cmd_report,
 }
 
 
@@ -422,6 +490,28 @@ def _describe_partial(partial: object) -> str:
     return f"partial: {partial!r}"
 
 
+def _write_observability(
+    observation, trace_path: str | None, metrics_path: str | None
+) -> None:
+    """Flush ``--trace`` / ``--metrics-out`` files from an observation.
+
+    Runs after the command (even on budget-exceeded / interrupt exits),
+    so partial runs still leave usable traces behind.
+    """
+    report = observation.report()
+    if metrics_path is not None:
+        Path(metrics_path).write_text(
+            json.dumps(report, indent=2), encoding="utf-8"
+        )
+        print(f"wrote metrics report to {metrics_path}", file=sys.stderr)
+    if trace_path is not None:
+        events = observation.tracer.to_chrome_events()
+        Path(trace_path).write_text(
+            json.dumps(events, indent=2), encoding="utf-8"
+        )
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -431,8 +521,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     _install_sigterm_handler()
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    profile = bool(getattr(args, "profile", False))
+    observing = bool(trace_path or metrics_path or profile)
+    scope = (
+        obs.observe(profile=profile) if observing else contextlib.nullcontext()
+    )
+    observation = None
     try:
-        return _COMMANDS[args.command](args)
+        with scope as observation:
+            return _COMMANDS[args.command](args)
     except KeyboardInterrupt:
         checkpoint_dir = getattr(args, "checkpoint_dir", None)
         if checkpoint_dir:
@@ -450,6 +549,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if described:
             print(described)
         return 75
+    finally:
+        if observation is not None:
+            _write_observability(observation, trace_path, metrics_path)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.core.initialization import (
     eliminate_low_frequency_tags,
     frequency_tags,
@@ -174,18 +175,29 @@ def jointly_select(
     rounds = 0
     converged = False
     try:
-        with timer:
+        with timer, obs.span(
+            "joint", k=query.k, r=query.r, num_targets=len(targets)
+        ) as joint_span:
             # --- initial condition ---------------------------------------
-            if config.seed_init == "ims":
-                seeds = ims_seeds(graph, targets, query.k, config.sketch, rng)
-            else:
-                seeds = random_seeds(graph, query.k, rng)
-            if config.tag_init == "frequency":
-                tags = frequency_tags(
-                    graph, targets, query.r, universe=universe
-                )
-            else:
-                tags = random_tags(graph, query.r, universe=universe, rng=rng)
+            with obs.span(
+                "joint.init",
+                seed_init=config.seed_init,
+                tag_init=config.tag_init,
+            ):
+                if config.seed_init == "ims":
+                    seeds = ims_seeds(
+                        graph, targets, query.k, config.sketch, rng
+                    )
+                else:
+                    seeds = random_seeds(graph, query.k, rng)
+                if config.tag_init == "frequency":
+                    tags = frequency_tags(
+                        graph, targets, query.r, universe=universe
+                    )
+                else:
+                    tags = random_tags(
+                        graph, query.r, universe=universe, rng=rng
+                    )
 
             def measure(s: tuple[int, ...], c: tuple[str, ...]) -> float:
                 if not c:
@@ -211,35 +223,46 @@ def jointly_select(
             prev_round_spread = spread
             for round_no in range(1, config.max_rounds + 1):
                 rounds = round_no
+                obs.count("joint.rounds")
+                with obs.span("joint.round", round=round_no) as round_span:
+                    with obs.span(
+                        "joint.seed_step", engine=config.seed_engine
+                    ):
+                        selection = find_seeds(
+                            graph, targets, tags, query.k,
+                            engine=config.seed_engine, config=config.sketch,
+                            manager=manager, rng=rng, sampler=sampler,
+                            budget=budget,
+                        )
+                    seeds = tuple(sorted(selection.seeds))
+                    spread = measure(seeds, tags)
+                    history.append(
+                        HistoryEntry(round_no - 0.5, seeds, tags, spread)
+                    )
+                    if spread > best.spread:
+                        best = history[-1]
 
-                selection = find_seeds(
-                    graph, targets, tags, query.k,
-                    engine=config.seed_engine, config=config.sketch,
-                    manager=manager, rng=rng, sampler=sampler,
-                    budget=budget,
-                )
-                seeds = tuple(sorted(selection.seeds))
-                spread = measure(seeds, tags)
-                history.append(
-                    HistoryEntry(round_no - 0.5, seeds, tags, spread)
-                )
-                if spread > best.spread:
-                    best = history[-1]
-
-                tag_sel = find_tags(
-                    graph, seeds, targets, query.r,
-                    method=config.tag_method, config=config.tag_config,
-                    rng=rng,
-                )
-                tags = tag_sel.tags
-                if config.pad_tags:
-                    tags = _pad_tags(tags, graph, targets, query.r, universe)
-                spread = measure(seeds, tags)
-                history.append(
-                    HistoryEntry(float(round_no), seeds, tags, spread)
-                )
-                if spread > best.spread:
-                    best = history[-1]
+                    with obs.span(
+                        "joint.tag_step", method=config.tag_method
+                    ):
+                        tag_sel = find_tags(
+                            graph, seeds, targets, query.r,
+                            method=config.tag_method,
+                            config=config.tag_config,
+                            rng=rng,
+                        )
+                    tags = tag_sel.tags
+                    if config.pad_tags:
+                        tags = _pad_tags(
+                            tags, graph, targets, query.r, universe
+                        )
+                    spread = measure(seeds, tags)
+                    history.append(
+                        HistoryEntry(float(round_no), seeds, tags, spread)
+                    )
+                    if spread > best.spread:
+                        best = history[-1]
+                    round_span.set(spread=spread)
 
                 improvement = spread - prev_round_spread
                 threshold = config.convergence_tol * max(
@@ -249,6 +272,8 @@ def jointly_select(
                     converged = True
                     break
                 prev_round_spread = spread
+            obs.gauge("joint.best_spread", best.spread)
+            joint_span.set(rounds=rounds, converged=converged)
     except BudgetExceededError as exc:
         exc.partial = _partial_joint_result(
             best, history, rounds, timer.elapsed, sampler
@@ -266,6 +291,7 @@ def jointly_select(
         telemetry=(
             sampler.telemetry.as_dict() if sampler is not None else None
         ),
+        report=obs.snapshot_report(),
     )
 
 

@@ -86,6 +86,10 @@ class JointResult:
         Runtime failure counters (shards retried, pool rebuilds,
         checkpoint writes, ...) when a fault-tolerant sampler ran the
         sub-solvers; ``None`` on the scalar path.
+    report:
+        Observability report (metrics + trace + phases) when the run
+        happened inside an :func:`repro.obs.observe` scope; ``None``
+        otherwise.
     """
 
     seeds: tuple[int, ...]
@@ -96,6 +100,7 @@ class JointResult:
     converged: bool
     elapsed_seconds: float
     telemetry: dict | None = None
+    report: dict | None = None
 
     def spread_fraction(self, num_targets: int) -> float:
         """Spread as a fraction of the target-set size."""

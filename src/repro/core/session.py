@@ -14,6 +14,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.joint import JointConfig, jointly_select
 from repro.core.problem import JointQuery, JointResult
 from repro.diffusion.monte_carlo import estimate_spread
@@ -175,6 +176,18 @@ class CampaignSession:
         if self._sampler is None:
             return None
         return self._sampler.telemetry.as_dict()
+
+    @property
+    def metrics(self) -> dict | None:
+        """Metrics of the enclosing :func:`repro.obs.observe` scope.
+
+        A grouped counters/gauges/histograms snapshot covering every
+        query issued so far inside the scope, or ``None`` when
+        observability is off. Individual query results additionally
+        carry a full per-call ``report``.
+        """
+        registry = obs.current_registry()
+        return registry.as_dict() if registry is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         base = (

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.diffusion.cascade import simulate_cascade
 from repro.exceptions import BudgetExceededError, InvalidQueryError
 from repro.graphs.tag_graph import TagGraph
@@ -137,8 +138,12 @@ def estimate_spread(
             try:
                 budget.check()
             except BudgetExceededError as exc:
+                # Same counter name as the engine driver: on any path,
+                # cascade.samples_drawn equals cascades actually run.
+                obs.count("cascade.samples_drawn", done)
                 exc.partial = total / done
                 raise
+    obs.count("cascade.samples_drawn", num_samples)
     return total / num_samples
 
 

@@ -34,7 +34,9 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.tag_graph import TagGraph
+from repro.obs.profile import kernel_timer
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_node_array, check_node_ids
 
@@ -239,6 +241,8 @@ def _batched_reverse_bfs(
     batch = int(roots.size)
     rev_indptr, rev_edges = graph.reverse_csr()
     src = graph.src
+    # Hoisted flag: profiling must never add per-level work when off.
+    profiling = obs.profiling_enabled()
 
     visited = np.zeros((batch, n), dtype=bool)
     frontier_sample = np.arange(batch, dtype=np.int64)
@@ -248,6 +252,8 @@ def _batched_reverse_bfs(
     node_chunks = [frontier_node]
 
     while frontier_node.size:
+        if profiling:
+            obs.record("frontier.rr_level_size", frontier_node.size)
         positions, degrees = _frontier_edge_positions(rev_indptr, frontier_node)
         if positions.size == 0:
             break
@@ -300,9 +306,10 @@ def batched_rr_members(
     member_chunks: list[np.ndarray] = []
     count_chunks: list[np.ndarray] = []
     for lo in range(0, roots.size, batch):
-        members, indptr = _batched_reverse_bfs(
-            graph, roots[lo:lo + batch], edge_probs, rng
-        )
+        with kernel_timer("kernel.batched_reverse_bfs"):
+            members, indptr = _batched_reverse_bfs(
+                graph, roots[lo:lo + batch], edge_probs, rng
+            )
         member_chunks.append(members)
         count_chunks.append(np.diff(indptr))
     members = (
@@ -347,32 +354,40 @@ def batched_cascade_counts(
     dst = graph.dst
     batch = _batch_size_for(n, batch_size)
 
+    profiling = obs.profiling_enabled()
     counts_chunks: list[np.ndarray] = []
     for lo in range(0, num_samples, batch):
-        b = min(batch, num_samples - lo)
-        active = np.zeros((b, n), dtype=bool)
-        frontier_sample = np.repeat(np.arange(b, dtype=np.int64), seeds.size)
-        frontier_node = np.tile(seeds, b)
-        active[frontier_sample, frontier_node] = True
-        while frontier_node.size:
-            positions, degrees = _frontier_edge_positions(
-                fwd_indptr, frontier_node
+        with kernel_timer("kernel.batched_cascade"):
+            b = min(batch, num_samples - lo)
+            active = np.zeros((b, n), dtype=bool)
+            frontier_sample = np.repeat(
+                np.arange(b, dtype=np.int64), seeds.size
             )
-            if positions.size == 0:
-                break
-            eids = fwd_edges[positions]
-            edge_sample = np.repeat(frontier_sample, degrees)
-            live = rng.random(eids.size) < edge_probs[eids]
-            child_sample = edge_sample[live]
-            child_node = dst[eids[live]]
-            fresh = ~active[child_sample, child_node]
-            child_sample = child_sample[fresh]
-            child_node = child_node[fresh]
-            if child_sample.size == 0:
-                break
-            flat = np.unique(child_sample * n + child_node)
-            child_sample, child_node = np.divmod(flat, n)
-            active[child_sample, child_node] = True
-            frontier_sample, frontier_node = child_sample, child_node
-        counts_chunks.append(active[:, target_arr].sum(axis=1))
+            frontier_node = np.tile(seeds, b)
+            active[frontier_sample, frontier_node] = True
+            while frontier_node.size:
+                if profiling:
+                    obs.record(
+                        "frontier.cascade_level_size", frontier_node.size
+                    )
+                positions, degrees = _frontier_edge_positions(
+                    fwd_indptr, frontier_node
+                )
+                if positions.size == 0:
+                    break
+                eids = fwd_edges[positions]
+                edge_sample = np.repeat(frontier_sample, degrees)
+                live = rng.random(eids.size) < edge_probs[eids]
+                child_sample = edge_sample[live]
+                child_node = dst[eids[live]]
+                fresh = ~active[child_sample, child_node]
+                child_sample = child_sample[fresh]
+                child_node = child_node[fresh]
+                if child_sample.size == 0:
+                    break
+                flat = np.unique(child_sample * n + child_node)
+                child_sample, child_node = np.divmod(flat, n)
+                active[child_sample, child_node] = True
+                frontier_sample, frontier_node = child_sample, child_node
+            counts_chunks.append(active[:, target_arr].sum(axis=1))
     return np.concatenate(counts_chunks).astype(np.int64)

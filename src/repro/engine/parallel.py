@@ -38,6 +38,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.engine.checkpoint import CheckpointManager, rng_state_digest
 from repro.engine.faults import FaultPlan
 from repro.engine.frontier import batched_cascade_counts, batched_rr_members
@@ -58,6 +59,13 @@ MODES = ("scalar", "vectorized")
 #: exist even at pilot sizes (so ``workers=4`` has work to spread),
 #: large enough that per-shard dispatch overhead is negligible.
 DEFAULT_SHARD_SIZE = 512
+
+#: Below this many total samples, pool dispatch costs more than the
+#: sampling itself (``BENCH_engine.json`` showed parallel_speedup
+#: 0.04-0.78 on the quick configs), so a multi-worker engine falls
+#: back to the in-process vectorized path. Results are unaffected —
+#: the determinism contract already guarantees serial == pooled.
+DEFAULT_PARALLEL_THRESHOLD = 4096
 
 
 def _shard_counts(total: int, shard_size: int) -> list[int]:
@@ -199,6 +207,14 @@ class SamplingEngine:
         sampling operations then persist their shard done-prefix and,
         when the manager is in resume mode, splice matching checkpoints
         back in instead of recomputing.
+    parallel_threshold:
+        Sampling operations totalling fewer samples than this run on
+        the in-process path even when ``workers > 1`` (pool dispatch
+        dominates at small sizes). ``0`` disables the fallback. The
+        decision is recorded in ``telemetry.parallel_fallbacks`` and
+        the ``engine.parallel_fallbacks`` metric. A
+        :class:`~repro.engine.faults.FaultPlan` suppresses the
+        fallback — fault injection exists to exercise the pool paths.
 
     Failure handling never changes results (retried shards replay their
     ``SeedSequence`` bit-identically); it only changes whether the run
@@ -214,6 +230,7 @@ class SamplingEngine:
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         checkpoint: CheckpointManager | None = None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
     ) -> None:
         if mode not in MODES:
             raise ConfigurationError(
@@ -227,6 +244,10 @@ class SamplingEngine:
             raise ConfigurationError(
                 f"shard_size must be >= 1, got {shard_size}"
             )
+        if parallel_threshold < 0:
+            raise ConfigurationError(
+                f"parallel_threshold must be >= 0, got {parallel_threshold}"
+            )
         self.mode = mode
         self.workers = int(workers)
         self.shard_size = int(shard_size)
@@ -234,7 +255,11 @@ class SamplingEngine:
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
         self.checkpoint = checkpoint
-        self.telemetry = RunTelemetry()
+        self.parallel_threshold = int(parallel_threshold)
+        # Bind runtime counters to the observation active *now*, so an
+        # engine built inside an ``obs.observe()`` scope reports its
+        # retries/rebuilds/fallbacks in the global run report.
+        self.telemetry = RunTelemetry(registry=obs.current_registry())
         self._pool: ProcessPoolExecutor | None = None
         self._op_counter = 0
 
@@ -328,10 +353,28 @@ class SamplingEngine:
         per-shard results for resume splicing. ``charge(shard_result)``
         accounts one newly completed shard against the budget (raising
         :class:`BudgetExceededError` stops the run mid-growth).
+
+        Small runs skip the pool: when the operation totals fewer than
+        ``parallel_threshold`` samples, dispatch overhead exceeds the
+        sampling work, so a multi-worker engine runs it in-process.
+        Identical results either way (determinism contract); only the
+        wall clock and the ``parallel_fallbacks`` counter notice. A
+        fault plan disables the fallback because fault injection
+        explicitly targets the pool recovery paths.
         """
         op_index = self._op_counter
         self._op_counter += 1
         charged_upto = 0
+
+        force_serial = (
+            self.workers > 1
+            and self.fault_plan is None
+            and self.parallel_threshold > 0
+            and sum(counts) < self.parallel_threshold
+        )
+        if force_serial:
+            self.telemetry.parallel_fallbacks += 1
+            obs.count("engine.parallel_fallbacks")
 
         preloaded: list = []
         if self.checkpoint is not None:
@@ -363,6 +406,7 @@ class SamplingEngine:
             on_prefix=on_prefix,
             preloaded=len(preloaded),
             preloaded_results=preloaded,
+            force_serial=force_serial,
         )
 
     def sample_rr_sets(
@@ -406,20 +450,30 @@ class SamplingEngine:
         def charge(shard) -> None:
             budget.charge_rr_members(len(shard[0]))
 
-        try:
-            if budget is not None:
-                budget.charge_samples(theta)
-            shards = self._run_op(
-                _rr_shard, tasks, counts, signature, pack, split, budget,
-                charge=charge if budget is not None else None,
-            )
-        except BudgetExceededError as exc:
-            if exc.partial is None or isinstance(exc.partial, list):
-                exc.partial = self._collect_rr(
-                    exc.partial or [], graph.num_nodes
+        with obs.span(
+            "engine.sample_rr_sets", theta=int(theta), mode=self.mode,
+            workers=self.workers,
+        ):
+            try:
+                if budget is not None:
+                    budget.charge_samples(theta)
+                shards = self._run_op(
+                    _rr_shard, tasks, counts, signature, pack, split,
+                    budget,
+                    charge=charge if budget is not None else None,
                 )
-            raise
-        return self._collect_rr(shards, graph.num_nodes)
+            except BudgetExceededError as exc:
+                if exc.partial is None or isinstance(exc.partial, list):
+                    exc.partial = self._collect_rr(
+                        exc.partial or [], graph.num_nodes
+                    )
+                raise
+            collection = self._collect_rr(shards, graph.num_nodes)
+        # Counted from the returned object, at the driver: invariant to
+        # worker count, retries, and checkpoint/resume splicing.
+        obs.count("rr.samples_drawn", len(collection))
+        obs.count("rr.members", int(collection.members.size))
+        return collection
 
     @staticmethod
     def _collect_rr(shards: list, num_nodes: int) -> RRCollection:
@@ -470,22 +524,30 @@ class SamplingEngine:
         def split(arrays, shards_done):
             return _split_count_prefix(arrays["counts"], counts, shards_done)
 
-        try:
-            if budget is not None:
-                budget.charge_samples(num_samples)
-            shards = self._run_op(
-                _cascade_shard, tasks, counts, signature, pack, split, budget
-            )
-        except BudgetExceededError as exc:
-            if exc.partial is None or isinstance(exc.partial, list):
-                exc.partial = (
-                    np.concatenate(exc.partial)
-                    if exc.partial else np.empty(0, dtype=np.int64)
+        with obs.span(
+            "engine.cascade_target_counts", num_samples=int(num_samples),
+            mode=self.mode, workers=self.workers,
+        ):
+            try:
+                if budget is not None:
+                    budget.charge_samples(num_samples)
+                shards = self._run_op(
+                    _cascade_shard, tasks, counts, signature, pack, split,
+                    budget,
                 )
-            raise
-        if not shards:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(shards)
+            except BudgetExceededError as exc:
+                if exc.partial is None or isinstance(exc.partial, list):
+                    exc.partial = (
+                        np.concatenate(exc.partial)
+                        if exc.partial else np.empty(0, dtype=np.int64)
+                    )
+                raise
+            if shards:
+                flat = np.concatenate(shards)
+            else:
+                flat = np.empty(0, dtype=np.int64)
+        obs.count("cascade.samples_drawn", int(flat.size))
+        return flat
 
     def estimate_spread(
         self,

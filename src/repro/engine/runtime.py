@@ -43,7 +43,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.engine.faults import FaultPlan, InjectedPermanentFault
@@ -257,7 +257,6 @@ class RunBudget:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class RunTelemetry:
     """Counters that make failure handling observable.
 
@@ -265,27 +264,60 @@ class RunTelemetry:
     accumulated across its runs; result objects snapshot it via
     :meth:`as_dict` and :class:`~repro.core.session.CampaignSession`
     exposes :meth:`summary` in its repr.
+
+    Since the observability PR this is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry`: each field reads and
+    writes a ``runtime.<field>`` counter. An engine constructed inside
+    an :func:`repro.obs.observe` scope binds to that scope's registry,
+    so runtime counters appear in the global run report for free; with
+    no scope active (the default) each telemetry block owns a private
+    registry and behaves exactly like the old plain-field dataclass.
     """
 
-    shards_run: int = 0
-    shards_retried: int = 0
-    shards_failed: int = 0
-    pool_rebuilds: int = 0
-    degradations: int = 0
-    checkpoint_writes: int = 0
-    checkpoint_loads: int = 0
+    FIELDS = (
+        "shards_run",
+        "shards_retried",
+        "shards_failed",
+        "pool_rebuilds",
+        "degradations",
+        "checkpoint_writes",
+        "checkpoint_loads",
+        "parallel_fallbacks",
+    )
+    _PREFIX = "runtime."
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry=None, **counts: int) -> None:
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        object.__setattr__(self, "registry", registry)
+        for key, value in counts.items():
+            if key not in self.FIELDS:
+                raise TypeError(
+                    f"RunTelemetry has no counter {key!r}"
+                )
+            if value:
+                setattr(self, key, value)
+
+    def __getattr__(self, name: str) -> int:
+        if name in self.FIELDS:
+            return int(self.registry.value(self._PREFIX + name, 0))
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: int) -> None:
+        if name in self.FIELDS:
+            self.registry.counter(self._PREFIX + name).value = int(value)
+        else:
+            object.__setattr__(self, name, value)
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict snapshot (for result objects / JSON)."""
-        return {
-            "shards_run": self.shards_run,
-            "shards_retried": self.shards_retried,
-            "shards_failed": self.shards_failed,
-            "pool_rebuilds": self.pool_rebuilds,
-            "degradations": self.degradations,
-            "checkpoint_writes": self.checkpoint_writes,
-            "checkpoint_loads": self.checkpoint_loads,
-        }
+        return {name: getattr(self, name) for name in self.FIELDS}
 
     def merge(self, other: "RunTelemetry") -> None:
         """Add another telemetry block into this one."""
@@ -296,6 +328,9 @@ class RunTelemetry:
         """One-line human-readable summary (only non-zero counters)."""
         parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
         return ", ".join(parts) if parts else "clean"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunTelemetry({self.summary()})"
 
 
 # ---------------------------------------------------------------------------
@@ -322,6 +357,7 @@ def execute_shards(
     on_prefix: Callable[[int, list, bool], None] | None = None,
     preloaded: int = 0,
     preloaded_results: list | None = None,
+    force_serial: bool = False,
 ) -> list:
     """Run shard ``tasks`` under the engine's retry policy.
 
@@ -345,6 +381,10 @@ def execute_shards(
     preloaded / preloaded_results:
         Resume support: the first ``preloaded`` shards are taken from
         ``preloaded_results`` and never executed.
+    force_serial:
+        Run on the in-process path even when the engine has a pool —
+        used by the small-run fallback, which has already decided that
+        pool dispatch would cost more than the sampling itself.
 
     Returns the shard results in shard order. Raises
     :class:`ShardFailedError` when a shard exhausts its attempts,
@@ -372,7 +412,7 @@ def execute_shards(
         return results
 
     try:
-        if engine.workers == 1 or len(pending) == 1:
+        if force_serial or engine.workers == 1 or len(pending) == 1:
             _execute_serial(
                 engine, worker, tasks, results, pending, policy, plan,
                 telemetry, budget, jitter_rng, flush,

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
 from repro.index.lazy import IndexManager
@@ -65,6 +66,10 @@ class IndexedTRSResult:
     telemetry:
         Runtime failure counters when an engine with a fault-tolerant
         runtime was involved; ``None`` otherwise.
+    report:
+        Observability report (metrics + trace + phases) when the call
+        ran inside an :func:`repro.obs.observe` scope; ``None``
+        otherwise.
     """
 
     seeds: tuple[int, ...]
@@ -75,6 +80,7 @@ class IndexedTRSResult:
     index_stats: IndexStats
     world_choices: tuple[dict[str, int], ...] | None = None
     telemetry: dict | None = None
+    report: dict | None = None
 
     def spread_fraction(self, num_targets: int) -> float:
         """Estimated spread as a fraction of the target-set size."""
@@ -168,19 +174,26 @@ def indexed_select_seeds(
     theta = 0
     tc = 0
     try:
-        with timer:
+        with timer, obs.span(
+            "itrs", k=k, num_targets=num_targets
+        ) as itrs_span:
             edge_probs = graph.edge_probabilities(tag_list)
-            opt_t = estimate_opt_t(
-                graph, target_arr, edge_probs, k, config, rng,
-                engine=engine, budget=budget,
-            )
+            with obs.span("itrs.pilot"):
+                opt_t = estimate_opt_t(
+                    graph, target_arr, edge_probs, k, config, rng,
+                    engine=engine, budget=budget,
+                )
             theta = compute_theta(
                 graph.num_nodes, k, num_targets, opt_t, config
             )
             tc = compute_theta_c(
                 theta, len(tag_list), config.alpha, config.delta
             )
-            manager.ensure_indexes(tag_list, tc, rng)
+            obs.gauge("itrs.theta", theta)
+            obs.gauge("itrs.theta_c", tc)
+            itrs_span.set(theta=theta, theta_c=tc)
+            with obs.span("itrs.ensure_indexes", theta_c=tc):
+                manager.ensure_indexes(tag_list, tc, rng)
 
             covered = manager.covered_mask
             mask_buffer = np.zeros(graph.num_edges, dtype=bool)
@@ -195,20 +208,24 @@ def indexed_select_seeds(
 
             if budget is not None:
                 budget.charge_samples(theta)
-            for root in roots:
-                choices = manager.sample_world_choices(tag_list, rng)
-                if record_choices:
-                    choices_log.append(choices)
-                working = manager.working_mask(choices, out=mask_buffer)
-                rr_list.append(
-                    traverse(
-                        graph, int(root), working, covered, edge_probs, rng
+            with obs.span("itrs.traverse", theta=theta):
+                for root in roots:
+                    choices = manager.sample_world_choices(tag_list, rng)
+                    if record_choices:
+                        choices_log.append(choices)
+                    working = manager.working_mask(choices, out=mask_buffer)
+                    rr_list.append(
+                        traverse(
+                            graph, int(root), working, covered, edge_probs,
+                            rng,
+                        )
                     )
-                )
-                if budget is not None:
-                    budget.charge_rr_members(rr_list[-1].size)
-            rr_sets = _pack_rr(rr_list, graph.num_nodes, vectorized)
-            coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
+                    if budget is not None:
+                        budget.charge_rr_members(rr_list[-1].size)
+            obs.count("itrs.working_graphs", len(rr_list))
+            with obs.span("itrs.cover"):
+                rr_sets = _pack_rr(rr_list, graph.num_nodes, vectorized)
+                coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
     except BudgetExceededError as exc:
         exc.partial = _partial_indexed_result(
             rr_list, choices_log if record_choices else None, k, graph,
@@ -226,6 +243,7 @@ def indexed_select_seeds(
         index_stats=manager.stats.snapshot(),
         world_choices=tuple(choices_log) if record_choices else None,
         telemetry=engine.telemetry.as_dict() if engine is not None else None,
+        report=obs.snapshot_report(),
     )
 
 

@@ -14,6 +14,7 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import IndexError_
 from repro.graphs.tag_graph import TagGraph
 from repro.index.possible_world_index import TagIndex
@@ -73,7 +74,10 @@ class IndexManager:
         with timer:
             for tag in tag_list:
                 if tag in self._indexes:
+                    # L-TRS reuse: a previously built tag is a cache hit.
+                    obs.count("index.cache_hits")
                     continue
+                obs.count("index.cache_misses")
                 index = TagIndex(
                     self._graph,
                     tag,
@@ -82,6 +86,8 @@ class IndexManager:
                     rng=rng,
                 )
                 self._indexes[tag] = index
+                obs.count("index.worlds_built", index.num_worlds)
+                obs.count("index.stored_edges", index.stored_edges)
                 self._stats.worlds_built += index.num_worlds
                 self._stats.stored_edges += index.stored_edges
                 self._stats.tags_indexed.add(tag)

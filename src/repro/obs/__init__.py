@@ -1,0 +1,181 @@
+"""repro.obs — zero-dependency observability for the reproduction.
+
+One mechanism serves every layer: an *observation* bundles a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.trace.Tracer`, and instrumented code talks to
+whichever observation is currently active via module-level helpers::
+
+    from repro import obs
+
+    with obs.observe() as ob:
+        result = trs_select_seeds(graph, targets, tags, k, rng=7)
+    report = ob.report()          # metrics + trace + per-phase table
+
+Inside library code::
+
+    obs.count("rr.samples_drawn", theta)      # counter
+    obs.record("frontier.size", frontier.size)  # histogram
+    with obs.span("trs.sample", theta=theta):   # traced region
+        ...
+
+Design constraints, in priority order:
+
+1. **Zero overhead when off.**  Every helper starts with an
+   ``_ACTIVE is None`` check and returns immediately (``span`` returns
+   a shared null singleton).  The default state is off; benchmarks and
+   production runs pay one attribute load + ``is`` test per call site.
+2. **Never perturbs results.**  Recording reads no RNG and mutates no
+   algorithm state, so runs with and without observability are
+   bit-identical (asserted by ``tests/test_obs.py``).
+3. **Exact counters.**  Work counters are incremented where the work
+   is *known* (driver level, from returned shapes), not sampled — so
+   they are invariant to worker count and checkpoint/resume replay.
+
+Observations nest: ``observe()`` inside an active scope stacks, and
+the inner scope's metrics fold into the outer one on exit.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import build_report, render_report
+from repro.obs.trace import NULL_SPAN, Span, Tracer, chrome_events_from_dicts
+
+__all__ = [
+    "Observation",
+    "observe",
+    "active",
+    "current_registry",
+    "count",
+    "record",
+    "gauge",
+    "span",
+    "traced",
+    "profiling_enabled",
+    "snapshot_report",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "build_report",
+    "render_report",
+    "chrome_events_from_dicts",
+]
+
+
+class Observation:
+    """A live observability scope: one registry + one tracer."""
+
+    def __init__(self, profile: bool = False) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.profile = bool(profile)
+
+    def report(self) -> dict:
+        """Structured run report (see ``docs/observability.md``)."""
+        return build_report(self)
+
+
+#: The active observation, or None (the default: observability off).
+_ACTIVE: Optional[Observation] = None
+#: Stack of enclosing observations, for nested ``observe()`` scopes.
+_STACK: List[Observation] = []
+
+
+def active() -> Optional[Observation]:
+    """The currently active observation, or ``None``."""
+    return _ACTIVE
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or ``None`` when off."""
+    return _ACTIVE.metrics if _ACTIVE is not None else None
+
+
+@contextmanager
+def observe(profile: bool = False) -> Iterator[Observation]:
+    """Enable observability for the enclosed block.
+
+    Nested scopes stack; on exit an inner scope's metrics are merged
+    into its parent so outer reports stay complete.
+    """
+    global _ACTIVE
+    ob = Observation(profile=profile)
+    if _ACTIVE is not None:
+        _STACK.append(_ACTIVE)
+    _ACTIVE = ob
+    try:
+        yield ob
+    finally:
+        parent = _STACK.pop() if _STACK else None
+        _ACTIVE = parent
+        if parent is not None:
+            parent.metrics.merge(ob.metrics)
+            parent.tracer.roots.extend(ob.tracer.roots)
+
+
+# ---------------------------------------------------------------------------
+# Cheap recording helpers — each is a no-op unless an observation is active.
+# ---------------------------------------------------------------------------
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` by ``amount`` (no-op when off)."""
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.count(name, amount)
+
+
+def record(name: str, value: float) -> None:
+    """Observe ``value`` in histogram ``name`` (no-op when off)."""
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.record(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op when off)."""
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.set_gauge(name, value)
+
+
+def span(name: str, **attrs: Any):
+    """Open a traced span (returns a shared null span when off)."""
+    if _ACTIVE is not None:
+        return _ACTIVE.tracer.span(name, **attrs)
+    return NULL_SPAN
+
+
+def profiling_enabled() -> bool:
+    """True when the active observation asked for kernel profiling."""
+    return _ACTIVE is not None and _ACTIVE.profile
+
+
+def snapshot_report() -> Optional[dict]:
+    """Current observation's report, or ``None`` when off.
+
+    Result objects attach this on construction so every result carries
+    the metrics and completed spans of the run that produced it. Spans
+    still open at snapshot time (enclosing scopes) are not included.
+    """
+    return _ACTIVE.report() if _ACTIVE is not None else None
+
+
+def traced(name: str) -> Callable:
+    """Decorator: wrap every call of ``fn`` in ``span(name)``."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if _ACTIVE is None:
+                return fn(*args, **kwargs)
+            with _ACTIVE.tracer.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,227 @@
+"""Typed metrics primitives for the observability subsystem.
+
+Three instrument kinds, mirroring the OpenMetrics trio but with zero
+dependencies and deterministic, process-local semantics:
+
+``Counter``
+    Monotonically increasing integer — *work performed*.  The
+    statistical test suite asserts exact equality between counters
+    such as ``rr.samples_drawn`` and the work an algorithm claims to
+    have done, so counters must never be approximate.
+
+``Gauge``
+    A point-in-time value (last write wins), e.g. the chosen ``theta``
+    or the number of workers an engine ended up using.
+
+``Histogram``
+    Streaming summary (count / sum / min / max) plus power-of-two
+    buckets, for distributions such as per-sample frontier sizes.
+
+All instruments live in a :class:`MetricsRegistry`.  Registries are
+cheap; one is created per :func:`repro.obs.observe` scope and thrown
+away with it.  None of the code here reads clocks or RNGs — recording
+a metric can never perturb an algorithm's random stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonic integer counter.  ``inc`` by a non-negative amount."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r}: negative increment {amount}"
+            )
+        self.value += int(amount)
+
+    def as_dict(self) -> int:
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins scalar."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+#: Upper edges of the power-of-two histogram buckets: 1, 2, 4, ... 2^30.
+_BUCKET_EDGES: Tuple[int, ...] = tuple(1 << i for i in range(31))
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary with power-of-two buckets.
+
+    Bucket ``i`` counts observations ``v`` with
+    ``edges[i-1] < v <= edges[i]`` (first bucket: ``v <= 1``); values
+    above the last edge land in an overflow bucket.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for edge in _BUCKET_EDGES:
+            if value <= edge:
+                self.buckets[edge] = self.buckets.get(edge, 0) + 1
+                return
+        self.buckets[-1] = self.buckets.get(-1, 0) + 1  # overflow
+
+    def observe_many(self, values) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["buckets"] = {str(k): v for k, v in sorted(self.buckets.items())}
+        return out
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Create-on-demand collection of named instruments.
+
+    Names are dotted strings (``"rr.samples_drawn"``).  Requesting the
+    same name twice returns the same instrument; requesting it with a
+    different kind raises, so a typo can't silently fork a metric.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, kind: type) -> Instrument:
+        found = self._instruments.get(name)
+        if found is None:
+            found = kind(name=name)
+            self._instruments[name] = found
+        elif type(found) is not kind:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(found).__name__}, not {kind.__name__}"
+            )
+        return found
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    # -- convenience recording -------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def record(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection ---------------------------------------------------
+
+    def get(self, name: str) -> Instrument | None:
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: int = 0) -> int | float:
+        """Value of a counter/gauge, or ``default`` if absent."""
+        found = self._instruments.get(name)
+        if found is None:
+            return default
+        if isinstance(found, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; use .get()")
+        return found.value
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Serializable snapshot, grouped by instrument kind."""
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                counters[name] = inst.as_dict()
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.as_dict()
+            else:
+                histograms[name] = inst.as_dict()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges overwrite,
+        histograms combine summaries and buckets."""
+        for inst in other:
+            if isinstance(inst, Counter):
+                self.counter(inst.name).inc(inst.value)
+            elif isinstance(inst, Gauge):
+                self.gauge(inst.name).set(inst.value)
+            else:
+                mine = self.histogram(inst.name)
+                mine.count += inst.count
+                mine.total += inst.total
+                mine.min = min(mine.min, inst.min)
+                mine.max = max(mine.max, inst.max)
+                for edge, n in inst.buckets.items():
+                    mine.buckets[edge] = mine.buckets.get(edge, 0) + n
+
+    def reset(self) -> None:
+        self._instruments.clear()

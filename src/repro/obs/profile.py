@@ -1,0 +1,63 @@
+"""Opt-in kernel profiling hooks.
+
+Two layers, both off unless ``obs.observe(profile=True)`` is active:
+
+* :func:`kernel_timer` — a micro-span around one hot-kernel call.
+  Records a ``<name>.seconds`` histogram and a ``<name>.calls``
+  counter into the active registry instead of creating trace spans,
+  because hot kernels run thousands of times and a span per call
+  would swamp the trace.
+* :func:`profile_session` — a cProfile context for whole-block
+  profiling, returning pstats-formatted top entries.  Used by hand
+  when a kernel regression needs attribution, never on by default.
+
+These hooks only fire in the driver process: pool workers have no
+active observation, and per-worker timings would not be comparable
+anyway (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro import obs
+
+__all__ = ["kernel_timer", "profile_session"]
+
+
+@contextmanager
+def kernel_timer(name: str) -> Iterator[None]:
+    """Time one kernel invocation into ``<name>.seconds`` /
+    ``<name>.calls`` when profiling is enabled; otherwise free."""
+    if not obs.profiling_enabled():
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        obs.count(f"{name}.calls")
+        obs.record(f"{name}.seconds", elapsed)
+
+
+@contextmanager
+def profile_session(top: int = 20) -> Iterator[dict]:
+    """cProfile the enclosed block; ``result["stats"]`` holds the
+    formatted top-``top`` cumulative entries after exit."""
+    result: dict = {"stats": None}
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield result
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        result["stats"] = buffer.getvalue()

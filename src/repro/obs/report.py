@@ -1,0 +1,118 @@
+"""Structured run reports.
+
+A report is the JSON document emitted by ``--metrics-out``, attached
+to result objects as ``.report``, and pretty-printed by
+``repro report``.  Schema (``repro.obs.report/1``)::
+
+    {
+      "schema": "repro.obs.report/1",
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+      "trace": [ {name, duration_seconds, attrs?, children?}, ... ],
+      "phases": [ {name, seconds, percent}, ... ]
+    }
+
+``phases`` is derived from the trace: the top-level spans, flattened
+into a table with their share of the total traced time — the "where
+did the run go" summary the paper's runtime figures are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["SCHEMA", "build_report", "render_report"]
+
+SCHEMA = "repro.obs.report/1"
+
+
+def _phase_table(trace_dicts: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    total = sum(d.get("duration_seconds") or 0.0 for d in trace_dicts)
+    phases = []
+    for d in trace_dicts:
+        seconds = d.get("duration_seconds") or 0.0
+        phases.append(
+            {
+                "name": d["name"],
+                "seconds": seconds,
+                "percent": (100.0 * seconds / total) if total > 0 else 0.0,
+            }
+        )
+    return phases
+
+
+def build_report(observation) -> Dict[str, Any]:
+    """Snapshot an :class:`~repro.obs.Observation` into report form."""
+    trace = observation.tracer.as_dicts()
+    return {
+        "schema": SCHEMA,
+        "metrics": observation.metrics.as_dict(),
+        "trace": trace,
+        "phases": _phase_table(trace),
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable text rendering (used by ``repro report``)."""
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unrecognised report schema: {report.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    lines: List[str] = []
+
+    phases = report.get("phases") or []
+    if phases:
+        lines.append("Phases")
+        width = max(len(p["name"]) for p in phases)
+        for p in phases:
+            lines.append(
+                f"  {p['name']:<{width}}  {p['seconds']:>9.4f}s"
+                f"  {p['percent']:>5.1f}%"
+            )
+        lines.append("")
+
+    metrics = report.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append("Counters")
+        width = max(len(n) for n in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+        lines.append("")
+
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        lines.append("Gauges")
+        width = max(len(n) for n in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+        lines.append("")
+
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        lines.append("Histograms")
+        width = max(len(n) for n in histograms)
+        for name, h in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  count={h['count']}"
+                f" mean={h['mean']:.2f}"
+                + (
+                    f" min={h['min']:g} max={h['max']:g}"
+                    if h.get("count")
+                    else ""
+                )
+            )
+        lines.append("")
+
+    def depth(entries: List[Dict[str, Any]]) -> int:
+        if not entries:
+            return 0
+        return 1 + max(depth(e.get("children") or []) for e in entries)
+
+    trace = report.get("trace") or []
+    if trace:
+        lines.append(
+            f"Trace: {len(trace)} root span(s), max depth {depth(trace)}"
+        )
+
+    return "\n".join(lines).rstrip() + "\n"

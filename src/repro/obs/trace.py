@@ -1,0 +1,204 @@
+"""Hierarchical tracing spans on monotonic clocks.
+
+A :class:`Tracer` maintains a stack of open :class:`Span` objects.
+Entering a span pushes it; exiting pops it and attaches it to its
+parent, so a finished trace is a forest of timed, attributed nodes.
+Durations come from :func:`time.perf_counter` (monotonic, high
+resolution); wall-clock epochs are never recorded, which keeps traces
+comparable across runs and machines.
+
+Export targets:
+
+* ``as_dicts()`` — nested JSON (name / duration / attrs / children),
+  the form embedded in run reports and written by ``--trace``.
+* ``to_chrome_events()`` — flat Chrome trace-event list (``ph: "X"``
+  complete events with microsecond timestamps), loadable by
+  ``chrome://tracing``, Perfetto, or speedscope for flamegraphs.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "chrome_events_from_dicts"]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``duration`` is filled when the span closes."""
+
+    name: str
+    start: float = 0.0
+    duration: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes (e.g. ``span.set(theta=4096)``)."""
+        self.attrs.update(attrs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start_seconds": self.start,
+            "duration_seconds": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when observability is off.
+
+    Supports the same surface as :class:`Span` uses in call sites
+    (context manager + ``set``) so instrumented code never branches.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+#: Module-wide singleton; allocating per call would defeat the point.
+NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager that times one span within a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects a forest of spans for one observation scope."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._origin = time.perf_counter()
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _OpenSpan:
+        return _OpenSpan(self, Span(name=name, attrs=dict(attrs)))
+
+    def _push(self, span: Span) -> None:
+        span.start = time.perf_counter() - self._origin
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.duration = time.perf_counter() - self._origin - span.start
+        popped = self._stack.pop()
+        assert popped is span, "span stack corrupted"
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def traced(self, name: str) -> Callable:
+        """Decorator form: time every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- export ----------------------------------------------------------
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [root.as_dict() for root in self.roots]
+
+    def to_chrome_events(self) -> List[Dict[str, Any]]:
+        """Flatten to Chrome trace-event ``X`` (complete) events."""
+        events: List[Dict[str, Any]] = []
+
+        def walk(span: Span) -> None:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": (span.duration or 0.0) * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": dict(span.attrs),
+                }
+            )
+            for child in span.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return events
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with ``name``, depth-first."""
+        found: List[Span] = []
+
+        def walk(span: Span) -> None:
+            if span.name == name:
+                found.append(span)
+            for child in span.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return found
+
+
+def chrome_events_from_dicts(
+    trace_dicts: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Convert exported span dicts (a report's ``trace``) to Chrome
+    trace events — the offline counterpart of
+    :meth:`Tracer.to_chrome_events`, used by ``repro report`` to turn a
+    saved report back into a flamegraph-loadable file."""
+    events: List[Dict[str, Any]] = []
+
+    def walk(entry: Dict[str, Any]) -> None:
+        events.append(
+            {
+                "name": entry["name"],
+                "ph": "X",
+                "ts": (entry.get("start_seconds") or 0.0) * 1e6,
+                "dur": (entry.get("duration_seconds") or 0.0) * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(entry.get("attrs") or {}),
+            }
+        )
+        for child in entry.get("children") or []:
+            walk(child)
+
+    for root in trace_dicts:
+        walk(root)
+    return events

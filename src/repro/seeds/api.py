@@ -47,6 +47,10 @@ class SeedSelection:
         Runtime failure counters (shards retried, pool rebuilds, ...)
         when a fault-tolerant sampler ran the engine; ``None`` on the
         scalar path.
+    report:
+        Observability report (metrics + trace + phases) when the call
+        ran inside an :func:`repro.obs.observe` scope; ``None``
+        otherwise.
     """
 
     seeds: tuple[int, ...]
@@ -54,6 +58,7 @@ class SeedSelection:
     engine: str
     elapsed_seconds: float
     telemetry: dict | None = None
+    report: dict | None = None
 
 
 def find_seeds(
@@ -156,4 +161,5 @@ def _as_selection(result, engine: str) -> SeedSelection:
         engine=engine,
         elapsed_seconds=elapsed,
         telemetry=getattr(result, "telemetry", None),
+        report=getattr(result, "report", None),
     )

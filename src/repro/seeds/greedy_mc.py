@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.diffusion.monte_carlo import estimate_spread, target_mask
 from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
@@ -49,6 +50,10 @@ class GreedyMCResult:
     telemetry:
         Runtime failure counters when an engine ran the simulation;
         ``None`` on the scalar path.
+    report:
+        Observability report (metrics + trace + phases) when the call
+        ran inside an :func:`repro.obs.observe` scope; ``None``
+        otherwise.
     """
 
     seeds: tuple[int, ...]
@@ -56,6 +61,7 @@ class GreedyMCResult:
     spread_evaluations: int
     elapsed_seconds: float
     telemetry: dict | None = None
+    report: dict | None = None
 
 
 def greedy_mc_select_seeds(
@@ -115,6 +121,7 @@ def greedy_mc_select_seeds(
         if not seed_set:
             return 0.0
         evaluations += 1
+        obs.count("celf.spread_evaluations")
         return estimate_spread(
             graph,
             seed_set,
@@ -132,7 +139,7 @@ def greedy_mc_select_seeds(
     seeds: list[int] = []
     base_spread = 0.0
     try:
-        with timer:
+        with timer, obs.span("greedy_mc", k=k, num_samples=num_samples):
             # Heap entries: (-gain, node, round_when_computed,
             # gain_after_best). gain_after_best is the CELF++ cache: the
             # node's marginal gain assuming the round's current best is
@@ -199,4 +206,5 @@ def greedy_mc_select_seeds(
         spread_evaluations=evaluations,
         elapsed_seconds=timer.elapsed,
         telemetry=engine.telemetry.as_dict() if engine is not None else None,
+        report=obs.snapshot_report(),
     )

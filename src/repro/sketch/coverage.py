@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import InvalidQueryError
 
 
@@ -111,6 +112,8 @@ def greedy_max_coverage(
 
     budget = min(k, int(allowed.sum()))
     for _ in range(budget):
+        # Each greedy round is one full residual-gain scan (argmax).
+        obs.count("coverage.gain_evaluations")
         masked = np.where(allowed & ~used, counts, -1)
         best = int(masked.argmax())
         gain = int(masked[best])
@@ -174,6 +177,7 @@ def _greedy_max_coverage_flat(
 
     budget = min(k, int(allowed.sum()))
     for _ in range(budget):
+        obs.count("coverage.gain_evaluations")
         masked = np.where(allowed & ~used, counts, -1)
         best = int(masked.argmax())
         gain = int(masked[best])

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
@@ -65,6 +66,10 @@ class IMMResult:
     telemetry:
         Runtime failure counters when an engine ran the sampling;
         ``None`` on the scalar path.
+    report:
+        Observability report (metrics + trace + phases) when the call
+        ran inside an :func:`repro.obs.observe` scope; ``None``
+        otherwise.
     """
 
     seeds: tuple[int, ...]
@@ -74,6 +79,7 @@ class IMMResult:
     sampling_rounds: int
     elapsed_seconds: float
     telemetry: dict | None = None
+    report: dict | None = None
 
 
 def imm_select_seeds(
@@ -147,7 +153,7 @@ def _imm_core(
     n = graph.num_nodes
     eps = config.epsilon
 
-    with timer:
+    with timer, obs.span("imm", k=k, num_targets=t_size):
         edge_probs = graph.edge_probabilities(tags)
 
         # Phase 1 — geometric search for a lower bound on OPT_T.
@@ -195,22 +201,25 @@ def _imm_core(
         lower_bound = 1.0
         rounds = 0
         max_rounds = max(int(math.log2(max(t_size, 2))), 1)
-        for i in range(1, max_rounds + 1):
-            rounds = i
-            x = t_size / (2.0 ** i)
-            theta_i = min(
-                int(math.ceil(lam_prime / max(x, 1e-9))), config.theta_max
-            )
-            if len(rr_sets) < theta_i:
-                rr_sets = extended(rr_sets, theta_i - len(rr_sets))
-            coverage = greedy_max_coverage(rr_sets, k, n)
-            estimate = coverage.fraction * t_size
-            if estimate >= (1.0 + eps_prime) * x:
-                lower_bound = max(estimate / (1.0 + eps_prime), 1.0)
-                break
-            if theta_i >= config.theta_max:
-                lower_bound = max(estimate, 1.0)
-                break
+        with obs.span("imm.search", max_rounds=max_rounds):
+            for i in range(1, max_rounds + 1):
+                rounds = i
+                obs.count("imm.rounds")
+                x = t_size / (2.0 ** i)
+                theta_i = min(
+                    int(math.ceil(lam_prime / max(x, 1e-9))),
+                    config.theta_max,
+                )
+                if len(rr_sets) < theta_i:
+                    rr_sets = extended(rr_sets, theta_i - len(rr_sets))
+                coverage = greedy_max_coverage(rr_sets, k, n)
+                estimate = coverage.fraction * t_size
+                if estimate >= (1.0 + eps_prime) * x:
+                    lower_bound = max(estimate / (1.0 + eps_prime), 1.0)
+                    break
+                if theta_i >= config.theta_max:
+                    lower_bound = max(estimate, 1.0)
+                    break
 
         # Phase 2 — final θ from the certified lower bound.
         alpha = math.sqrt(ell * log_t + math.log(2.0))
@@ -229,11 +238,13 @@ def _imm_core(
                 config.theta_max,
             )
         )
-        if len(rr_sets) < theta:
-            rr_sets = extended(rr_sets, theta - len(rr_sets))
-        else:
-            rr_sets = rr_sets[:theta]
-        final = greedy_max_coverage(rr_sets, k, n)
+        obs.gauge("imm.theta", theta)
+        with obs.span("imm.select", theta=theta):
+            if len(rr_sets) < theta:
+                rr_sets = extended(rr_sets, theta - len(rr_sets))
+            else:
+                rr_sets = rr_sets[:theta]
+            final = greedy_max_coverage(rr_sets, k, n)
 
     return IMMResult(
         seeds=final.seeds,
@@ -243,6 +254,7 @@ def _imm_core(
         sampling_rounds=rounds,
         elapsed_seconds=timer.elapsed,
         telemetry=engine.telemetry.as_dict() if engine is not None else None,
+        report=obs.snapshot_report(),
     )
 
 

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import InvalidQueryError
 from repro.graphs.tag_graph import TagGraph
 from repro.utils.rng import ensure_rng
@@ -176,12 +177,17 @@ def sample_rr_sets_validated(
     roots = rng.choice(target_arr, size=theta)
     visited = np.zeros(graph.num_nodes, dtype=bool)
     if budget is None:
-        return [
+        sets = [
             _reverse_reachable_set_into(
                 graph, int(root), edge_probs, rng, visited
             )
             for root in roots
         ]
+        # Same counter names as the engine driver: the scalar oracle
+        # and the vectorized paths must report identical logical work.
+        obs.count("rr.samples_drawn", len(sets))
+        obs.count("rr.members", sum(s.size for s in sets))
+        return sets
     from repro.exceptions import BudgetExceededError
 
     budget.charge_samples(theta, partial=[])
@@ -197,4 +203,6 @@ def sample_rr_sets_validated(
         except BudgetExceededError as exc:
             exc.partial = sets
             raise
+    obs.count("rr.samples_drawn", len(sets))
+    obs.count("rr.members", sum(s.size for s in sets))
     return sets

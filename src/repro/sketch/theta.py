@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ConfigurationError, EstimationError
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
@@ -152,9 +153,11 @@ def estimate_opt_t(
         target_arr = as_target_array(
             targets, graph.num_nodes, context="estimate_opt_t"
         )
-    pilot = sample_rr_sets_validated(
-        graph, target_arr, edge_probs, config.pilot_samples, rng,
-        engine=engine, budget=budget,
-    )
-    result = greedy_max_coverage(pilot, k, graph.num_nodes)
+    with obs.span("sketch.pilot", pilot_samples=config.pilot_samples):
+        pilot = sample_rr_sets_validated(
+            graph, target_arr, edge_probs, config.pilot_samples, rng,
+            engine=engine, budget=budget,
+        )
+        result = greedy_max_coverage(pilot, k, graph.num_nodes)
+    obs.count("sketch.pilot_batches")
     return max(result.spread_estimate(int(target_arr.size)), 1.0)

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import BudgetExceededError
 from repro.graphs.tag_graph import TagGraph
 from repro.sketch.coverage import greedy_max_coverage
@@ -59,6 +60,10 @@ class TRSResult:
         Runtime failure counters (shards retried, pool rebuilds, ...)
         when an engine with a fault-tolerant runtime ran the sampling;
         ``None`` on the scalar path.
+    report:
+        Structured observability report (metrics + trace + phases, see
+        ``docs/observability.md``) when the call ran inside an
+        :func:`repro.obs.observe` scope; ``None`` otherwise.
     """
 
     seeds: tuple[int, ...]
@@ -67,6 +72,7 @@ class TRSResult:
     opt_t_estimate: float | None
     elapsed_seconds: float
     telemetry: dict | None = None
+    report: dict | None = None
 
     def spread_fraction(self, num_targets: int) -> float:
         """Estimated spread as a fraction of the target-set size."""
@@ -127,20 +133,25 @@ def trs_select_seeds(
     timer = Timer()
     opt_t: float | None = None
     try:
-        with timer:
+        with timer, obs.span("trs", k=k, num_targets=num_targets) as trs_span:
             edge_probs = graph.edge_probabilities(tags)
-            opt_t = estimate_opt_t(
-                graph, target_arr, edge_probs, k, config, rng,
-                engine=engine, budget=budget,
-            )
+            with obs.span("trs.pilot"):
+                opt_t = estimate_opt_t(
+                    graph, target_arr, edge_probs, k, config, rng,
+                    engine=engine, budget=budget,
+                )
             theta = compute_theta(
                 graph.num_nodes, k, num_targets, opt_t, config
             )
-            rr_sets = sample_rr_sets_validated(
-                graph, target_arr, edge_probs, theta, rng,
-                engine=engine, budget=budget,
-            )
-            coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
+            obs.gauge("trs.theta", theta)
+            trs_span.set(theta=theta)
+            with obs.span("trs.sample", theta=theta):
+                rr_sets = sample_rr_sets_validated(
+                    graph, target_arr, edge_probs, theta, rng,
+                    engine=engine, budget=budget,
+                )
+            with obs.span("trs.cover"):
+                coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
     except BudgetExceededError as exc:
         exc.partial = _partial_trs_result(
             exc.partial, k, graph.num_nodes, num_targets, opt_t,
@@ -155,6 +166,7 @@ def trs_select_seeds(
         opt_t_estimate=opt_t,
         elapsed_seconds=timer.elapsed,
         telemetry=engine.telemetry.as_dict() if engine is not None else None,
+        report=obs.snapshot_report(),
     )
 
 

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.tag_graph import TagGraph
 from repro.tags.individual import TagSelection
 from repro.tags.lattice import BatchLattice, build_batches
@@ -51,14 +52,16 @@ def batch_paths_select_tags(
     check_node_ids(target_list, graph.num_nodes, context="batch tags")
 
     timer = Timer()
-    with timer:
+    with timer, obs.span("tags.batch", r=r) as batch_span:
         if paths is None:
             paths = collect_paths(graph, seed_list, target_list, config, rng)
         evaluator = PathSpreadEvaluator(
             graph, seed_list, target_list, paths, config, rng
         )
-        batches = build_batches(paths, max_tags=r)
-        lattice = BatchLattice(batches)
+        with obs.span("tags.build_lattice"):
+            batches = build_batches(paths, max_tags=r)
+            lattice = BatchLattice(batches)
+        batch_span.set(num_paths=len(paths), num_batches=len(batches))
 
         selected_tags: frozenset[str] = frozenset()
         remaining = set(range(len(batches)))
@@ -112,4 +115,5 @@ def batch_paths_select_tags(
         spread_evaluations=evaluator.evaluations,
         elapsed_seconds=timer.elapsed,
         method="batch",
+        report=obs.snapshot_report(),
     )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.tag_graph import TagGraph
 from repro.tags.paths import TagPath, TagSelectionConfig, collect_paths
 from repro.tags.spread_eval import PathSpreadEvaluator
@@ -44,6 +45,10 @@ class TagSelection:
         Wall-clock selection time (path enumeration included).
     method:
         ``"individual"`` or ``"batch"``.
+    report:
+        Observability report (metrics + trace + phases) when the call
+        ran inside an :func:`repro.obs.observe` scope; ``None``
+        otherwise.
     """
 
     tags: tuple[str, ...]
@@ -52,6 +57,7 @@ class TagSelection:
     spread_evaluations: int
     elapsed_seconds: float
     method: str
+    report: dict | None = None
 
 
 def individual_paths_select_tags(
@@ -79,7 +85,7 @@ def individual_paths_select_tags(
     check_node_ids(target_list, graph.num_nodes, context="individual tags")
 
     timer = Timer()
-    with timer:
+    with timer, obs.span("tags.individual", r=r):
         if paths is None:
             paths = collect_paths(graph, seed_list, target_list, config, rng)
         evaluator = PathSpreadEvaluator(
@@ -133,4 +139,5 @@ def individual_paths_select_tags(
         spread_evaluations=evaluator.evaluations,
         elapsed_seconds=timer.elapsed,
         method="individual",
+        report=obs.snapshot_report(),
     )

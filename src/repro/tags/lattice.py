@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.exceptions import InvalidQueryError
 from repro.tags.paths import TagPath
 
@@ -58,6 +59,7 @@ def build_batches(
         if max_tags is not None and len(tag_set) > max_tags:
             continue
         grouped.setdefault(tag_set, []).append(idx)
+    obs.count("tags.batches_built", len(grouped))
     return [
         PathBatch(tag_set=tags, path_indices=tuple(indices))
         for tags, indices in sorted(

@@ -29,6 +29,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.diffusion.cascade import reachable_targets, simulate_cascade
 from repro.exceptions import InvalidQueryError
 from repro.graphs.tag_graph import TagGraph
@@ -128,6 +129,7 @@ class PathSpreadEvaluator:
         afterwards.
         """
         self.evaluations += 1
+        obs.count("tags.spread_evaluations")
         indices = sorted(set(int(i) for i in active_paths))
         for idx in indices:
             if not (0 <= idx < len(self._paths)):
@@ -181,6 +183,7 @@ class PathSpreadEvaluator:
                 self._graph, self._seeds, edge_probs, self._rng
             )
             total += int(active[target_arr].sum())
+        obs.count("cascade.samples_drawn", self._config.mc_samples)
         return total / self._config.mc_samples
 
     def _exact_spread(
@@ -212,6 +215,8 @@ class PathSpreadEvaluator:
         """Lazily build the per-path coverage matrix (num_paths × θ)."""
         if self._path_coverage is None:
             theta = self._config.rr_theta
+            obs.count("tags.rr_matrix_built")
+            obs.count("rr.samples_drawn", theta)
             roots = self._rng.choice(
                 np.array(self._targets, dtype=np.int64), size=theta
             )

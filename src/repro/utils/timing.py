@@ -11,6 +11,15 @@ class Timer:
     A single ``Timer`` may be entered multiple times; ``elapsed`` is the
     running total across all completed (and the current, if any) spans.
 
+    Parameters
+    ----------
+    metric:
+        Optional metric name. When set and an :func:`repro.obs.observe`
+        scope is active, every completed span is recorded into the
+        histogram ``<metric>.seconds`` of the active registry — this is
+        the bridge that unifies ad-hoc ``Timer`` instrumentation with
+        the observability layer.
+
     Examples
     --------
     >>> timer = Timer()
@@ -20,9 +29,10 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metric: str | None = None) -> None:
         self._total = 0.0
         self._started_at: float | None = None
+        self.metric = metric
 
     def __enter__(self) -> "Timer":
         self._started_at = time.perf_counter()
@@ -30,8 +40,13 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         if self._started_at is not None:
-            self._total += time.perf_counter() - self._started_at
+            span = time.perf_counter() - self._started_at
+            self._total += span
             self._started_at = None
+            if self.metric is not None:
+                from repro import obs  # local import: avoid cycles
+
+                obs.record(f"{self.metric}.seconds", span)
 
     @property
     def elapsed(self) -> float:
