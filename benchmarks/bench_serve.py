@@ -1,0 +1,166 @@
+"""Serving-layer benchmark: cold vs warm query latency + cache metrics.
+
+Measures what the serving layer is *for* — cross-query asset reuse.
+For each config a fresh :class:`~repro.serve.CampaignServer` answers
+the same seed-selection query repeatedly:
+
+* **cold** — the first query builds the targeted RR sketch (miss);
+* **warm** — repeats are answered from the cached sketch with only the
+  deterministic greedy-cover pass (hit).
+
+Also times a mixed four-op workload replayed twice (second pass fully
+warm) and snapshots the ``serve.cache.*`` counters. Writes
+``BENCH_serve.json`` at the repo root and prints a table. Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src:. python benchmarks/bench_serve.py --quick \
+        --min-speedup 5.0   # CI gate: exit 1 if warm-over-cold falls below
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+from pathlib import Path
+
+from repro.core.joint import JointConfig
+from repro.datasets import bfs_targets, twitter, yelp
+from repro.serve import CampaignServer
+from repro.sketch.theta import SketchConfig
+
+#: (label, factory, scale, k) — the *last* entry is the gated one.
+QUICK_CONFIGS = [
+    ("yelp-0.5", yelp, 0.5, 5),
+    ("twitter-1.0", twitter, 1.0, 5),
+]
+FULL_CONFIGS = QUICK_CONFIGS + [
+    ("twitter-2.0", twitter, 2.0, 10),
+]
+
+
+def _bench_config(label, factory, scale, k, warm_repeats):
+    data = factory(scale=scale, seed=13)
+    graph = data.graph
+    targets = [int(t) for t in bfs_targets(graph, min(60, graph.num_nodes))]
+    tags = list(graph.tags[:3])
+    config = JointConfig(sketch=SketchConfig())
+
+    with CampaignServer(graph, config=config, pool_size=2) as server:
+        cold = server.find_seeds(targets, tags, k, engine="trs", seed=0)
+        warm_times = []
+        for _ in range(warm_repeats):
+            warm = server.find_seeds(targets, tags, k, engine="trs", seed=0)
+            assert warm.cache == "hit"
+            assert warm.value.seeds == cold.value.seeds
+            warm_times.append(warm.elapsed_seconds)
+        warm_s = statistics.median(warm_times)
+
+        # Mixed workload: second pass is fully warm.
+        def replay():
+            elapsed = 0.0
+            for op in (
+                lambda: server.find_seeds(
+                    targets, tags, k, engine="trs", seed=0
+                ),
+                lambda: server.find_seeds(
+                    targets, tags, k, engine="lltrs", seed=0
+                ),
+                lambda: server.find_tags(
+                    cold.value.seeds, targets, 2, seed=0
+                ),
+                lambda: server.estimate_spread(
+                    cold.value.seeds, targets, tags, seed=0
+                ),
+            ):
+                elapsed += op().elapsed_seconds
+            return elapsed
+
+        mixed_first = replay()
+        mixed_second = replay()
+        stats = server.cache_stats()
+        metrics = server.metrics()
+
+    speedup = cold.elapsed_seconds / max(warm_s, 1e-9)
+    return {
+        "config": label,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "k": k,
+        "num_targets": len(targets),
+        "cold_s": cold.elapsed_seconds,
+        "warm_median_s": warm_s,
+        "warm_over_cold_speedup": round(speedup, 2),
+        "mixed_workload_first_pass_s": mixed_first,
+        "mixed_workload_warm_pass_s": mixed_second,
+        "mixed_speedup": round(mixed_first / max(mixed_second, 1e-9), 2),
+        "serve_cache": stats.as_dict(),
+        "serve_counters": {
+            name: value
+            for name, value in metrics["counters"].items()
+            if name.startswith("serve.")
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--warm-repeats", type=int, default=10)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help=(
+            "exit 1 unless the largest config's warm-over-cold speedup "
+            "meets this floor"
+        ),
+    )
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    results = [
+        _bench_config(label, factory, scale, k, args.warm_repeats)
+        for label, factory, scale, k in configs
+    ]
+
+    header = (
+        f"{'config':<14} {'cold s':>9} {'warm s':>9} "
+        f"{'speedup':>8} {'mixed':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in results:
+        print(
+            f"{row['config']:<14} {row['cold_s']:>9.4f} "
+            f"{row['warm_median_s']:>9.4f} "
+            f"{row['warm_over_cold_speedup']:>7.1f}x "
+            f"{row['mixed_speedup']:>6.1f}x"
+        )
+
+    payload = {
+        "quick": args.quick,
+        "warm_repeats": args.warm_repeats,
+        "results": results,
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=1), encoding="utf-8"
+    )
+    print(f"\nwrote {args.output}")
+
+    if args.min_speedup is not None:
+        gated = results[-1]["warm_over_cold_speedup"]
+        if gated < args.min_speedup:
+            print(
+                f"FAIL: warm-over-cold speedup {gated:.1f}x "
+                f"< required {args.min_speedup:.1f}x"
+            )
+            return 1
+        print(
+            f"gate OK: {gated:.1f}x >= {args.min_speedup:.1f}x "
+            f"({results[-1]['config']})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

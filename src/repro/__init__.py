@@ -33,12 +33,19 @@ Package map
     The joint iterative framework (Algorithm 2) and the baseline greedy.
 ``repro.datasets``
     Synthetic analogues of the paper's four evaluation networks.
+``repro.serve``
+    Concurrent campaign serving: a thread-safe ``CampaignServer``
+    answering many queries over one graph with single-flight,
+    byte-accounted cross-query asset reuse (RR sketches, warm results,
+    frozen indexes) — served answers stay bit-identical to direct
+    library calls.
 """
 
 from repro import analysis, datasets
 from repro.core.baseline import BaselineConfig, baseline_greedy
 from repro.core.joint import JointConfig, jointly_select
 from repro.core.problem import HistoryEntry, JointQuery, JointResult
+from repro.core.session import CampaignSession
 from repro.diffusion.monte_carlo import estimate_spread, estimate_spread_fraction
 from repro.engine.parallel import SamplingEngine
 from repro.engine.rr_storage import RRCollection
@@ -48,11 +55,14 @@ from repro.exceptions import (
     GraphConstructionError,
     InvalidQueryError,
     ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
 )
 from repro.graphs.builders import TagGraphBuilder, graph_from_quadruples
 from repro.graphs.io import load_tag_graph, save_tag_graph
 from repro.graphs.tag_graph import TagGraph
 from repro.seeds.api import SeedSelection, find_seeds
+from repro.serve import CampaignServer, ServeResponse
 from repro.sketch.theta import SketchConfig
 from repro.tags.api import TagSelection, find_tags
 from repro.tags.paths import TagSelectionConfig
@@ -61,6 +71,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BaselineConfig",
+    "CampaignServer",
+    "CampaignSession",
     "ConfigurationError",
     "EstimationError",
     "GraphConstructionError",
@@ -73,6 +85,9 @@ __all__ = [
     "ReproError",
     "SamplingEngine",
     "SeedSelection",
+    "ServeResponse",
+    "ServerClosedError",
+    "ServerOverloadedError",
     "SketchConfig",
     "TagGraph",
     "TagGraphBuilder",

@@ -16,6 +16,12 @@ Subcommands
 ``report``
     Render a saved observability report (``--metrics-out`` output)
     as text, or convert its trace to Chrome trace-event JSON.
+``serve``
+    Long-lived campaign server: loads the graph once and answers
+    line-delimited JSON queries on stdin (one response per line on
+    stdout) with cross-query asset reuse. ``--warm FILE`` prebuilds
+    assets from a JSON request array before serving; ``--warm-index``
+    builds and freezes a shared possible-world index at startup.
 
 All subcommands accept ``--seed`` for deterministic replays. Node lists
 are comma-separated; target files contain one node id per line.
@@ -273,6 +279,49 @@ def build_parser() -> argparse.ArgumentParser:
     add_sampler(compare)
     add_obs(compare)
 
+    serve = sub.add_parser(
+        "serve", help="serve campaign queries as line-delimited JSON"
+    )
+    serve.add_argument("graph", help="TSV graph file")
+    serve.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="default seed engine for requests that omit one",
+    )
+    serve.add_argument(
+        "--pool-size", type=int, default=4,
+        help="worker threads executing queries (default 4)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=32,
+        help=(
+            "queries allowed to wait beyond the running ones; submits "
+            "past pool-size + queue-capacity are rejected (default 32)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024 * 1024,
+        help="byte budget for the shared asset cache (default 256 MiB)",
+    )
+    serve.add_argument(
+        "--warm", default=None, metavar="FILE",
+        help=(
+            "JSON array of protocol requests to execute (and thereby "
+            "cache) before reading stdin"
+        ),
+    )
+    serve.add_argument(
+        "--warm-index", default=None, metavar="TAGS",
+        help=(
+            "comma-separated tags (or 'all') to index and freeze at "
+            "startup for ltrs/itrs queries"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final serve.* metrics snapshot as JSON to PATH",
+    )
+    add_sampler(serve)
+
     report = sub.add_parser(
         "report", help="render a saved observability report"
     )
@@ -437,6 +486,69 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CampaignServer, serve_stdio
+
+    graph = load_tag_graph(args.graph)
+    config = (
+        JointConfig() if args.engine is None
+        else JointConfig(seed_engine=args.engine)
+    )
+    sampler = _make_sampler(args)
+    server = CampaignServer(
+        graph,
+        config=config,
+        sampler=sampler,
+        pool_size=args.pool_size,
+        queue_capacity=args.queue_capacity,
+        cache_bytes=args.cache_bytes,
+        default_deadline=args.deadline,
+        default_max_samples=args.max_samples,
+    )
+    handled = 0
+    with _sampler_scope(sampler):
+        try:
+            if args.warm_index:
+                tags = (
+                    None if args.warm_index.strip() == "all"
+                    else _parse_tags(args.warm_index)
+                )
+                built = server.warm_index(tags)
+                print(
+                    f"warm-index: froze {len(built)} tag indexes",
+                    file=sys.stderr,
+                )
+            if args.warm:
+                requests = json.loads(
+                    Path(args.warm).read_text(encoding="utf-8")
+                )
+                warmed = server.warm(requests)
+                stats = server.cache_stats()
+                print(
+                    f"warm: executed {warmed} requests "
+                    f"({stats.entries} assets, {stats.bytes} bytes cached)",
+                    file=sys.stderr,
+                )
+            handled = serve_stdio(server)
+        finally:
+            server.close()
+            if args.metrics_out is not None:
+                snapshot = {
+                    "schema": "repro.serve.metrics/1",
+                    "metrics": server.metrics(),
+                    "cache": server.cache_stats().as_dict(),
+                }
+                Path(args.metrics_out).write_text(
+                    json.dumps(snapshot, indent=2), encoding="utf-8"
+                )
+                print(
+                    f"wrote serve metrics to {args.metrics_out}",
+                    file=sys.stderr,
+                )
+    print(f"served {handled} requests", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     report = json.loads(Path(args.report_file).read_text(encoding="utf-8"))
     sys.stdout.write(obs.render_report(report))
@@ -458,6 +570,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "learn": _cmd_learn,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 
@@ -524,6 +637,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     profile = bool(getattr(args, "profile", False))
+    if args.command == "serve":
+        # The server observes each query in its own worker-thread scope
+        # and writes its own ``--metrics-out`` snapshot; a main-thread
+        # scope would see nothing and clobber that file.
+        trace_path = metrics_path = None
+        profile = False
     observing = bool(trace_path or metrics_path or profile)
     scope = (
         obs.observe(profile=profile) if observing else contextlib.nullcontext()

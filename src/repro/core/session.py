@@ -66,7 +66,44 @@ class CampaignSession:
         self._sampler = sampler
         self._shared_manager: IndexManager | None = None
         self._local_managers: dict[tuple[int, ...], IndexManager] = {}
+        self._server = None
+        self._base_seed = 0
+        self._query_index = 0
         self.queries_run = 0
+
+    @classmethod
+    def connect(cls, server, seed: int = 0) -> "CampaignSession":
+        """A session whose queries run on a :class:`~repro.serve.CampaignServer`.
+
+        The connected session keeps the exact library-facing API (its
+        methods still return :class:`SeedSelection` / ``TagSelection`` /
+        ``JointResult`` / ``float``) but routes every query through the
+        server, so it transparently benefits from the server's worker
+        pool, asset cache, and admission control — and transparently
+        shares those with every other connected session.
+
+        Determinism: the ``i``-th query of a session connected with
+        ``seed`` always runs with the per-query seed derived from
+        ``SeedSequence([seed, i])``, independent of what other sessions
+        do concurrently. Two sessions connected with the same seed that
+        issue the same query sequence get bit-identical answers (and
+        the second one's are likely cache hits).
+        """
+        session = cls(server.graph, config=server.config)
+        session._server = server
+        session._base_seed = int(seed)
+        return session
+
+    def _next_seed(self) -> int:
+        """Deterministic per-query seed for the connected stream."""
+        seq = np.random.SeedSequence([self._base_seed, self._query_index])
+        self._query_index += 1
+        return int(seq.generate_state(1)[0])
+
+    @property
+    def server(self):
+        """The connected :class:`~repro.serve.CampaignServer`, or ``None``."""
+        return self._server
 
     @property
     def graph(self) -> TagGraph:
@@ -99,6 +136,14 @@ class CampaignSession:
     ) -> SeedSelection:
         """Top-``k`` seeds for fixed ``tags``, reusing session indexes."""
         self.queries_run += 1
+        if self._server is not None:
+            return self._server.find_seeds(
+                targets, tags, k,
+                engine=self._config.seed_engine,
+                seed=self._next_seed(),
+                deadline=budget.wall_seconds if budget else None,
+                max_samples=budget.max_samples if budget else None,
+            ).value
         return find_seeds(
             self._graph, targets, tags, k,
             engine=self._config.seed_engine,
@@ -114,6 +159,12 @@ class CampaignSession:
     ) -> TagSelection:
         """Top-``r`` tags for fixed ``seeds``."""
         self.queries_run += 1
+        if self._server is not None:
+            return self._server.find_tags(
+                seeds, targets, r,
+                method=self._config.tag_method,
+                seed=self._next_seed(),
+            ).value
         return find_tags(
             self._graph, seeds, targets, r,
             method=self._config.tag_method,
@@ -137,6 +188,13 @@ class CampaignSession:
         shard prefixes back in and provably yields the same seeds.
         """
         self.queries_run += 1
+        if self._server is not None:
+            return self._server.jointly_select(
+                targets, k, r,
+                seed=self._next_seed(),
+                deadline=budget.wall_seconds if budget else None,
+                max_samples=budget.max_samples if budget else None,
+            ).value
         return jointly_select(
             self._graph,
             JointQuery(targets, k=k, r=r),
@@ -155,6 +213,14 @@ class CampaignSession:
         budget: RunBudget | None = None,
     ) -> float:
         """Independent MC estimate of ``σ(S, T, C1)`` for any plan."""
+        if self._server is not None:
+            return self._server.estimate_spread(
+                seeds, targets, tags,
+                num_samples=num_samples,
+                seed=self._next_seed(),
+                deadline=budget.wall_seconds if budget else None,
+                max_samples=budget.max_samples if budget else None,
+            ).value
         return estimate_spread(
             self._graph, seeds, targets, tags,
             num_samples=num_samples or self._config.eval_samples,

@@ -44,7 +44,12 @@ from repro.engine.frontier import (
     rr_fixed_frontier,
     rr_frontier,
 )
-from repro.engine.parallel import DEFAULT_SHARD_SIZE, MODES, SamplingEngine
+from repro.engine.parallel import (
+    DEFAULT_SHARD_SIZE,
+    MODES,
+    QueryEngineView,
+    SamplingEngine,
+)
 from repro.engine.rr_storage import RRCollection
 from repro.engine.runtime import (
     Deadline,
@@ -61,6 +66,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "InjectedPermanentFault",
+    "QueryEngineView",
     "RRCollection",
     "RetryPolicy",
     "RunBudget",

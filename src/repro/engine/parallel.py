@@ -34,6 +34,7 @@ identical sharding and driver overheads.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -261,16 +262,18 @@ class SamplingEngine:
         # retries/rebuilds/fallbacks in the global run report.
         self.telemetry = RunTelemetry(registry=obs.current_registry())
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         self._op_counter = 0
 
     # ------------------------------------------------------------------
     # Pool management
     # ------------------------------------------------------------------
     def pool(self) -> ProcessPoolExecutor:
-        """The live worker pool, created on first use."""
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        """The live worker pool, created on first use (thread-safe)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
 
     def rebuild_pool(self) -> ProcessPoolExecutor:
         """Tear down a (presumed broken) pool and start a fresh one."""
@@ -279,15 +282,33 @@ class SamplingEngine:
 
     def abort_pool(self) -> None:
         """Shut the pool down without waiting (cancel what can be)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for the serial engine)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def for_query(self, registry=None) -> "QueryEngineView":
+        """A per-query view of this engine with isolated telemetry.
+
+        The view shares the (expensive, process-backed) worker pool and
+        every sampling knob with its parent, but owns a fresh
+        :class:`~repro.engine.runtime.RunTelemetry` bound to ``registry``
+        (default: the observation active on the *calling thread*) and an
+        independent operation counter. Concurrent queries served off one
+        pooled engine therefore keep exact per-query ``runtime.*``
+        counters — nothing bleeds between queries — while still reusing
+        one set of worker processes. Checkpointing stays with the parent:
+        views never write checkpoints (per-query checkpoint files would
+        collide across threads).
+        """
+        return QueryEngineView(self, registry=registry)
 
     def __enter__(self) -> "SamplingEngine":
         return self
@@ -580,3 +601,73 @@ class SamplingEngine:
         if counts.size == 0:
             return 0.0
         return float(counts.sum()) / counts.size
+
+
+class QueryEngineView(SamplingEngine):
+    """A telemetry-isolated view over a shared :class:`SamplingEngine`.
+
+    Created by :meth:`SamplingEngine.for_query`. The view inherits every
+    sampling knob (mode, workers, shard size, batch size, retry policy,
+    fault plan, parallel threshold) and *delegates pool management to
+    the parent*, so any number of views share one set of worker
+    processes. What it does **not** share:
+
+    * ``telemetry`` — a fresh :class:`RunTelemetry` bound to the
+      registry passed in (or the caller thread's active observation),
+      so ``runtime.*`` counters are exact per query;
+    * the operation counter — each view numbers its own operations;
+    * ``checkpoint`` — always ``None`` (concurrent queries must not
+      interleave writes into one checkpoint directory).
+
+    The determinism contract is unchanged: a view runs the same shards
+    through the same pool, so results are bit-identical to running the
+    parent engine (or a fresh engine with the same knobs) solo.
+    """
+
+    def __init__(self, parent: SamplingEngine, registry=None) -> None:
+        # Deliberately does NOT call SamplingEngine.__init__: knobs are
+        # inherited from the parent, never re-validated or re-defaulted.
+        self._parent = parent
+        self.mode = parent.mode
+        self.workers = parent.workers
+        self.shard_size = parent.shard_size
+        self.batch_size = parent.batch_size
+        self.retry_policy = parent.retry_policy
+        self.fault_plan = parent.fault_plan
+        self.checkpoint = None
+        self.parallel_threshold = parent.parallel_threshold
+        self.telemetry = RunTelemetry(
+            registry=registry
+            if registry is not None
+            else obs.current_registry()
+        )
+        self._pool = None  # unused; pool access goes through the parent
+        self._pool_lock = parent._pool_lock
+        self._op_counter = 0
+
+    @property
+    def parent(self) -> SamplingEngine:
+        """The engine whose pool this view shares."""
+        return self._parent
+
+    def pool(self) -> ProcessPoolExecutor:
+        return self._parent.pool()
+
+    def rebuild_pool(self) -> ProcessPoolExecutor:
+        return self._parent.rebuild_pool()
+
+    def abort_pool(self) -> None:
+        self._parent.abort_pool()
+
+    def close(self) -> None:
+        """No-op: the parent owns (and eventually closes) the pool."""
+
+    def for_query(self, registry=None) -> "QueryEngineView":
+        """Views chain back to the parent, never stack."""
+        return QueryEngineView(self._parent, registry=registry)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryEngineView(mode={self.mode!r}, workers={self.workers}, "
+            f"telemetry=[{self.telemetry.summary()}])"
+        )

@@ -86,6 +86,27 @@ class ShardFailedError(ReproError):
         self.last_error = last_error
 
 
+class ServerOverloadedError(ReproError):
+    """Raised when a :class:`~repro.serve.CampaignServer` rejects a query.
+
+    The server's admission control is a bounded queue: when every worker
+    is busy and the queue is at capacity, new queries are rejected
+    *cleanly* — nothing is partially executed, no shared state is
+    touched — so callers can retry with backoff. Carries the queue
+    ``capacity`` that was exceeded.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(
+            f"server overloaded: bounded queue at capacity {capacity}"
+        )
+        self.capacity = capacity
+
+
+class ServerClosedError(ReproError):
+    """Raised when a query is submitted to a closed campaign server."""
+
+
 class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be written or restored.
 

@@ -19,6 +19,8 @@ arrays) so BFS sweeps touch contiguous memory.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -107,6 +109,36 @@ class TagGraph:
         self._rev_indptr, self._rev_edges = _build_csr(self._dst, self._n)
         self._edge_tag_maps: list[dict[str, float]] | None = None
         self._edge_tag_neglogs: list[list[tuple[str, float]]] | None = None
+        # Opt-in aggregation memo (see enable_probability_cache). Off by
+        # default so library users keep the allocation-per-call contract.
+        self._prob_cache: (
+            OrderedDict[tuple[str, ...], np.ndarray] | None
+        ) = None
+        self._prob_cache_max = 0
+        self._prob_cache_lock = threading.Lock()
+        self._prob_cache_hits = 0
+        self._prob_cache_misses = 0
+        self._prob_cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool fan-out ships graphs to workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the (unpicklable) memo lock and its cache for transport.
+
+        Worker processes only read graph structure; they never share the
+        aggregation memo with the parent, so shipping its contents would
+        be wasted bytes anyway.
+        """
+        state = self.__dict__.copy()
+        state["_prob_cache_lock"] = None
+        state["_prob_cache"] = None
+        state["_prob_cache_max"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._prob_cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -174,11 +206,90 @@ class TagGraph:
         ``P(e | C1) = 1 - Π_{c ∈ C1} (1 - P(e | c))``. Unknown tags raise
         :class:`InvalidQueryError`. Passing no tags yields all zeros.
         """
+        if self._prob_cache is None:
+            return self._aggregate(tags)
+        return self._edge_probabilities_cached(tuple(tags))
+
+    def _aggregate(self, tags: Iterable[str]) -> np.ndarray:
         survival = np.ones(self.num_edges, dtype=np.float64)
         for tag in tags:
             ids, probs = self.tag_edges(tag)
             survival[ids] *= 1.0 - probs
         return 1.0 - survival
+
+    # ------------------------------------------------------------------
+    # Optional aggregation memo (serving hot path)
+    # ------------------------------------------------------------------
+    def enable_probability_cache(self, max_entries: int = 64) -> None:
+        """Memoize :meth:`edge_probabilities` per exact tag *sequence*.
+
+        Off by default. The serving layer turns this on so repeat
+        queries against the same tag set skip the O(Σ|tag edges|)
+        aggregation pass. Keys are the tag sequence **as iterated** (not
+        a sorted set): the survival product is applied per tag in
+        order, so different orders can differ in the last float ulp and
+        must not share an entry — callers wanting sharing canonicalize
+        tags first (``repro.serve`` does).
+
+        Cached arrays are returned *read-only* (and one array instance
+        may be handed to many threads); all in-repo consumers only read
+        them. Thread-safe; ``max_entries`` bounds memory via LRU.
+        """
+        if max_entries <= 0:
+            raise InvalidQueryError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        with self._prob_cache_lock:
+            if self._prob_cache is None:
+                self._prob_cache = OrderedDict()
+            self._prob_cache_max = int(max_entries)
+            while len(self._prob_cache) > self._prob_cache_max:
+                self._prob_cache.popitem(last=False)
+                self._prob_cache_evictions += 1
+
+    def disable_probability_cache(self) -> None:
+        """Drop the memo and return to allocate-per-call behavior."""
+        with self._prob_cache_lock:
+            self._prob_cache = None
+            self._prob_cache_max = 0
+
+    def probability_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counts and current size of the memo."""
+        with self._prob_cache_lock:
+            cache = self._prob_cache
+            return {
+                "enabled": int(cache is not None),
+                "entries": len(cache) if cache is not None else 0,
+                "hits": self._prob_cache_hits,
+                "misses": self._prob_cache_misses,
+                "evictions": self._prob_cache_evictions,
+            }
+
+    def _edge_probabilities_cached(self, key: tuple[str, ...]) -> np.ndarray:
+        with self._prob_cache_lock:
+            cache = self._prob_cache
+            if cache is None:  # disabled concurrently
+                return self._aggregate(key)
+            hit = cache.get(key)
+            if hit is not None:
+                cache.move_to_end(key)
+                self._prob_cache_hits += 1
+                return hit
+            self._prob_cache_misses += 1
+        # Aggregate outside the lock; concurrent same-key builders
+        # produce bit-identical arrays, setdefault keeps one canonical.
+        arr = self._aggregate(key)
+        arr.flags.writeable = False
+        with self._prob_cache_lock:
+            cache = self._prob_cache
+            if cache is None:
+                return arr
+            arr = cache.setdefault(key, arr)
+            cache.move_to_end(key)
+            while len(cache) > self._prob_cache_max:
+                cache.popitem(last=False)
+                self._prob_cache_evictions += 1
+        return arr
 
     def edge_tag_probability(self, edge_id: int, tag: str) -> float:
         """Return ``P(edge_id | tag)``; zero when the pair is absent."""

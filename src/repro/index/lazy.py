@@ -51,6 +51,30 @@ class IndexManager:
         self._edge_universe = edge_universe
         self._indexes: dict[str, TagIndex] = {}
         self._stats = IndexStats()
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Freezing (shared read-only handles)
+    # ------------------------------------------------------------------
+    def freeze(self) -> "IndexManager":
+        """Make this manager read-only and safe to share across threads.
+
+        After freezing, :meth:`ensure_indexes` never builds: tags that
+        already have worlds are plain cache hits (no stats mutation, no
+        timing), and a request for an unindexed tag raises
+        :class:`IndexError_` instead of racing a build. All query-side
+        methods (:meth:`sample_world_choices`, :meth:`working_mask`,
+        :meth:`index_for`) only read, so one frozen manager can back
+        any number of concurrent queries. Returns ``self`` for
+        chaining (``load_index(...).freeze()``).
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether this manager is a read-only shared handle."""
+        return self._frozen
 
     # ------------------------------------------------------------------
     # Building
@@ -69,6 +93,16 @@ class IndexManager:
         rng = ensure_rng(rng)
         tag_list = list(tags)
         check_tags_exist(tag_list, self._graph.tags)
+        if self._frozen:
+            missing = [tag for tag in tag_list if tag not in self._indexes]
+            if missing:
+                raise IndexError_(
+                    f"frozen index manager has no worlds for {missing!r}; "
+                    "build before freeze() or serve only indexed tags"
+                )
+            for _ in tag_list:
+                obs.count("index.cache_hits")
+            return []
         built: list[str] = []
         timer = Timer()
         with timer:

@@ -66,13 +66,21 @@ def save_index(manager: IndexManager, directory: str | Path) -> int:
     return total_bytes
 
 
-def load_index(graph: TagGraph, directory: str | Path) -> IndexManager:
+def load_index(
+    graph: TagGraph,
+    directory: str | Path,
+    freeze: bool = False,
+) -> IndexManager:
     """Load a previously saved index for ``graph``.
 
     The worlds are restored verbatim — a loaded manager answers queries
     identically to the one that was saved (given the same query RNG).
     Raises :class:`IndexError_` when the directory does not hold a
     manifest or when it was built for a different edge count.
+
+    ``freeze=True`` returns the manager already frozen (see
+    :meth:`~repro.index.lazy.IndexManager.freeze`): a read-only shared
+    handle the serving layer can hand to concurrent queries.
     """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST
@@ -103,6 +111,8 @@ def load_index(graph: TagGraph, directory: str | Path) -> IndexManager:
             ]
         _install_tag_index(manager, graph, tag, worlds, universe)
     manager.stats.build_seconds = float(manifest.get("build_seconds", 0.0))
+    if freeze:
+        manager.freeze()
     return manager
 
 

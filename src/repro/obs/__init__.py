@@ -33,11 +33,21 @@ Design constraints, in priority order:
 
 Observations nest: ``observe()`` inside an active scope stacks, and
 the inner scope's metrics fold into the outer one on exit.
+
+Observation scopes are **thread-local**: each thread has its own
+active-observation slot and nesting stack, so concurrent queries (the
+``repro.serve`` worker pool) each get an isolated scope — one query's
+counters can never bleed into another's report. A scope opened on one
+thread is invisible to every other thread; code that fans work out to
+*threads* and wants it observed must open a scope in each worker (the
+serving layer does exactly that, per query). Process pools are
+unaffected — workers never had an active observation to begin with.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional
 
@@ -82,42 +92,55 @@ class Observation:
         return build_report(self)
 
 
-#: The active observation, or None (the default: observability off).
-_ACTIVE: Optional[Observation] = None
-#: Stack of enclosing observations, for nested ``observe()`` scopes.
-_STACK: List[Observation] = []
+class _ThreadState(threading.local):
+    """Per-thread observation state: the active scope + nesting stack.
+
+    Thread-locality is what makes concurrent serving safe: each query
+    thread opens its own ``observe()`` scope and records into it without
+    any locking — there is nothing shared to lock.
+    """
+
+    def __init__(self) -> None:  # called once per thread, lazily
+        self.active: Optional[Observation] = None
+        self.stack: List[Observation] = []
+
+
+_STATE = _ThreadState()
 
 
 def active() -> Optional[Observation]:
-    """The currently active observation, or ``None``."""
-    return _ACTIVE
+    """The current thread's active observation, or ``None``."""
+    return _STATE.active
 
 
 def current_registry() -> Optional[MetricsRegistry]:
     """The active metrics registry, or ``None`` when off."""
-    return _ACTIVE.metrics if _ACTIVE is not None else None
+    ob = _STATE.active
+    return ob.metrics if ob is not None else None
 
 
 @contextmanager
 def observe(profile: bool = False) -> Iterator[Observation]:
-    """Enable observability for the enclosed block.
+    """Enable observability for the enclosed block (this thread only).
 
     Nested scopes stack; on exit an inner scope's metrics are merged
     into its parent so outer reports stay complete.
     """
-    global _ACTIVE
     ob = Observation(profile=profile)
-    if _ACTIVE is not None:
-        _STACK.append(_ACTIVE)
-    _ACTIVE = ob
+    if _STATE.active is not None:
+        _STATE.stack.append(_STATE.active)
+    _STATE.active = ob
     try:
         yield ob
     finally:
-        parent = _STACK.pop() if _STACK else None
-        _ACTIVE = parent
+        parent = _STATE.stack.pop() if _STATE.stack else None
+        _STATE.active = parent
         if parent is not None:
             parent.metrics.merge(ob.metrics)
-            parent.tracer.roots.extend(ob.tracer.roots)
+            # Inner spans nest under the parent's open span (if any),
+            # re-based onto the parent's clock — a query's report shows
+            # asset-build spans under its own root span.
+            parent.tracer.adopt(ob.tracer)
 
 
 # ---------------------------------------------------------------------------
@@ -127,32 +150,37 @@ def observe(profile: bool = False) -> Iterator[Observation]:
 
 def count(name: str, amount: int = 1) -> None:
     """Increment counter ``name`` by ``amount`` (no-op when off)."""
-    if _ACTIVE is not None:
-        _ACTIVE.metrics.count(name, amount)
+    ob = _STATE.active
+    if ob is not None:
+        ob.metrics.count(name, amount)
 
 
 def record(name: str, value: float) -> None:
     """Observe ``value`` in histogram ``name`` (no-op when off)."""
-    if _ACTIVE is not None:
-        _ACTIVE.metrics.record(name, value)
+    ob = _STATE.active
+    if ob is not None:
+        ob.metrics.record(name, value)
 
 
 def gauge(name: str, value: float) -> None:
     """Set gauge ``name`` to ``value`` (no-op when off)."""
-    if _ACTIVE is not None:
-        _ACTIVE.metrics.set_gauge(name, value)
+    ob = _STATE.active
+    if ob is not None:
+        ob.metrics.set_gauge(name, value)
 
 
 def span(name: str, **attrs: Any):
     """Open a traced span (returns a shared null span when off)."""
-    if _ACTIVE is not None:
-        return _ACTIVE.tracer.span(name, **attrs)
+    ob = _STATE.active
+    if ob is not None:
+        return ob.tracer.span(name, **attrs)
     return NULL_SPAN
 
 
 def profiling_enabled() -> bool:
     """True when the active observation asked for kernel profiling."""
-    return _ACTIVE is not None and _ACTIVE.profile
+    ob = _STATE.active
+    return ob is not None and ob.profile
 
 
 def snapshot_report() -> Optional[dict]:
@@ -162,7 +190,8 @@ def snapshot_report() -> Optional[dict]:
     the metrics and completed spans of the run that produced it. Spans
     still open at snapshot time (enclosing scopes) are not included.
     """
-    return _ACTIVE.report() if _ACTIVE is not None else None
+    ob = _STATE.active
+    return ob.report() if ob is not None else None
 
 
 def traced(name: str) -> Callable:
@@ -171,9 +200,10 @@ def traced(name: str) -> Callable:
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            if _ACTIVE is None:
+            ob = _STATE.active
+            if ob is None:
                 return fn(*args, **kwargs)
-            with _ACTIVE.tracer.span(name):
+            with ob.tracer.span(name):
                 return fn(*args, **kwargs)
 
         return wrapper

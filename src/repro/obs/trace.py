@@ -119,6 +119,29 @@ class Tracer:
         else:
             self.roots.append(span)
 
+    def adopt(self, other: "Tracer") -> None:
+        """Graft another tracer's finished roots into this trace.
+
+        Used when a nested observation scope closes: the inner scope's
+        spans become children of this tracer's innermost *open* span
+        (or new roots when none is open), with their starts re-based
+        onto this tracer's clock origin so the merged timeline stays
+        consistent. The serving layer relies on this to nest an asset
+        build's spans under the requesting query's ``serve.query`` root.
+        """
+        offset = other._origin - self._origin
+
+        def shift(span: Span) -> None:
+            span.start += offset
+            for child in span.children:
+                shift(child)
+
+        if offset:
+            for root in other.roots:
+                shift(root)
+        target = self._stack[-1].children if self._stack else self.roots
+        target.extend(other.roots)
+
     def traced(self, name: str) -> Callable:
         """Decorator form: time every call of the wrapped function."""
 

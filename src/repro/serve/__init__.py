@@ -1,0 +1,54 @@
+"""``repro.serve`` — concurrent campaign serving with asset reuse.
+
+The batch library answers one query per process; this package turns it
+into a long-lived service. A :class:`CampaignServer` loads a
+:class:`~repro.graphs.TagGraph` once, runs concurrent queries on a
+bounded worker pool, and shares expensive read-only artifacts —
+targeted RR sketches, warm results, frozen possible-world indexes,
+tag-aggregation arrays — across queries through a single-flight,
+byte-accounted LRU (:class:`AssetCache`).
+
+The serving contract is *determinism-preserving*: a served answer
+(seeds, tags, spread, and work counters) is bit-identical to the
+equivalent direct library call with the same RNG seed and canonical
+inputs, on cold misses, warm hits, and post-eviction rebuilds alike.
+See ``docs/serving.md`` and the differential/concurrency test suites.
+
+Quick start::
+
+    from repro.serve import CampaignServer
+
+    server = CampaignServer(graph, pool_size=4)
+    resp = server.find_seeds(targets, tags, k=2, seed=0)
+    resp.value.seeds, resp.cache          # (…), "miss"
+    server.find_seeds(targets, tags, k=2, seed=0).cache  # "hit"
+
+The ``repro serve`` CLI subcommand exposes the same facade over a
+line-delimited JSON protocol on stdin/stdout
+(:mod:`repro.serve.protocol`).
+"""
+
+from repro.serve.cache import AssetCache, CachedAsset, CacheStats
+from repro.serve.keys import (
+    AssetKey,
+    canonical_tags,
+    config_digest,
+    targets_digest,
+)
+from repro.serve.protocol import execute_request, handle_line, serve_stdio
+from repro.serve.server import CampaignServer, ServeResponse
+
+__all__ = [
+    "AssetCache",
+    "AssetKey",
+    "CachedAsset",
+    "CacheStats",
+    "CampaignServer",
+    "ServeResponse",
+    "canonical_tags",
+    "config_digest",
+    "targets_digest",
+    "execute_request",
+    "handle_line",
+    "serve_stdio",
+]

@@ -1,0 +1,265 @@
+"""Byte-accounted LRU asset cache with single-flight deduplication.
+
+The serving hot path is "many concurrent queries, few distinct assets";
+this cache guarantees two things under that contention:
+
+* **Single flight** — when N threads ask for the same missing key, one
+  becomes the *builder* and runs the (expensive, RR-sampling) build;
+  the other N-1 block on the build's ticket and receive the same asset
+  object. The ``builds`` counter therefore increments exactly once per
+  distinct key, which the concurrency suite asserts directly.
+* **Bounded memory** — every asset declares its payload size in bytes;
+  inserting past ``max_bytes`` evicts least-recently-used entries (the
+  just-inserted asset is never evicted, so a single oversized asset
+  still serves the query that built it).
+
+A failed build never poisons the cache: the error propagates to the
+builder, waiting threads observe the failure and re-compete to build
+(one of them becomes the next builder). All waiting is on per-ticket
+events — the cache-wide lock is only ever held for dictionary
+bookkeeping, never across a build, so builds of distinct keys proceed
+in parallel and the cache cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["AssetCache", "CacheStats", "CachedAsset"]
+
+
+@dataclass
+class CachedAsset:
+    """One cached asset: the payload plus its accounting metadata.
+
+    ``metrics`` carries the observability registry captured while the
+    asset was built. On a cache hit the server merges it into the
+    query's own observation, so a served answer reports the *same* work
+    counters whether the asset was built for this query or reused —
+    the differential suite's bit-identity includes counters.
+    """
+
+    key: object
+    value: Any
+    nbytes: int
+    metrics: Any = None  # MetricsRegistry snapshot from the build scope
+    builds: int = 1  # how many times this key has been (re)built
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time cache counters (all monotonic except gauges).
+
+    Every satisfied request is either a ``miss`` (it ran the build) or
+    a ``hit`` (it was served an already/concurrently built asset);
+    ``singleflight_joins`` is the subset of hits that blocked on an
+    in-flight build rather than finding the asset resident. So
+    ``misses == builds`` (absent failed builds) and the request total
+    is ``hits + misses``, with joins double-counted nowhere.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    evictions: int = 0
+    singleflight_joins: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "evictions": self.evictions,
+            "singleflight_joins": self.singleflight_joins,
+            "entries": self.entries,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass
+class _Ticket:
+    """In-flight build marker; waiters block on ``event``."""
+
+    event: threading.Event = field(default_factory=threading.Event)
+    asset: Optional[CachedAsset] = None
+    error: Optional[BaseException] = None
+
+
+class AssetCache:
+    """Thread-safe LRU keyed by :class:`~repro.serve.keys.AssetKey`.
+
+    Parameters
+    ----------
+    max_bytes:
+        Soft ceiling on cached payload bytes. Eviction runs at insert
+        time and spares the entry being inserted.
+    on_event:
+        Optional callback ``on_event(name, amount)`` mirroring every
+        counter bump (``hits``/``misses``/``builds``/``evictions``/
+        ``singleflight_joins``) into the server's ``serve.cache.*``
+        metrics. Called outside any wait but under the cache lock, so
+        it must be cheap and must not call back into the cache.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 256 * 1024 * 1024,
+        on_event: Callable[[str, int], None] | None = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[object, CachedAsset]" = OrderedDict()
+        self._inflight: dict[object, _Ticket] = {}
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+        self._rebuilds: dict[object, int] = {}
+        self._on_event = on_event
+
+    # ------------------------------------------------------------------
+    # Events / stats
+    # ------------------------------------------------------------------
+    def _bump(self, name: str, amount: int = 1) -> None:
+        setattr(self._stats, name, getattr(self._stats, name) + amount)
+        if self._on_event is not None:
+            self._on_event(name, amount)
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters (entries/bytes reflect *now*)."""
+        with self._lock:
+            snap = CacheStats(**self._stats.as_dict())
+            snap.entries = len(self._entries)
+            snap.bytes = sum(e.nbytes for e in self._entries.values())
+            return snap
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def get(self, key: object) -> Optional[CachedAsset]:
+        """Plain lookup: LRU-touch and return the asset, or ``None``."""
+        with self._lock:
+            asset = self._entries.get(key)
+            if asset is not None:
+                self._entries.move_to_end(key)
+                self._bump("hits")
+            return asset
+
+    def get_or_build(
+        self,
+        key: object,
+        build: Callable[[], Tuple[Any, int, Any]],
+    ) -> Tuple[CachedAsset, bool]:
+        """Return the asset for ``key``, building it at most once.
+
+        ``build()`` returns ``(value, nbytes, metrics)``; it runs
+        without the cache lock held. Returns ``(asset, built_here)`` —
+        ``built_here`` tells the caller whether *this* thread ran the
+        build (its observation already contains the build's metrics via
+        scope nesting) or received a cached/joined asset (and should
+        merge ``asset.metrics`` itself).
+        """
+        while True:
+            ticket: Optional[_Ticket] = None
+            am_builder = False
+            with self._lock:
+                asset = self._entries.get(key)
+                if asset is not None:
+                    self._entries.move_to_end(key)
+                    self._bump("hits")
+                    return asset, False
+                ticket = self._inflight.get(key)
+                if ticket is None:
+                    ticket = _Ticket()
+                    self._inflight[key] = ticket
+                    am_builder = True
+                    self._bump("misses")
+                else:
+                    self._bump("singleflight_joins")
+
+            if am_builder:
+                try:
+                    value, nbytes, metrics = build()
+                except BaseException as exc:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    ticket.error = exc
+                    ticket.event.set()
+                    raise
+                asset = self._insert(key, value, nbytes, metrics)
+                ticket.asset = asset
+                ticket.event.set()
+                return asset, True
+
+            ticket.event.wait()
+            if ticket.error is not None:
+                # The build failed; compete to become the next builder.
+                continue
+            with self._lock:
+                # LRU-touch if the asset is still resident (it may have
+                # been evicted while we were waking up — still usable).
+                if ticket.asset is not None and ticket.asset.key in self._entries:
+                    self._entries.move_to_end(ticket.asset.key)
+                self._bump("hits")
+            return ticket.asset, False
+
+    def _insert(self, key, value, nbytes, metrics) -> CachedAsset:
+        with self._lock:
+            rebuilds = self._rebuilds.get(key, 0) + 1
+            self._rebuilds[key] = rebuilds
+            asset = CachedAsset(
+                key=key,
+                value=value,
+                nbytes=int(nbytes),
+                metrics=metrics,
+                builds=rebuilds,
+            )
+            self._entries[key] = asset
+            self._entries.move_to_end(key)
+            self._bump("builds")
+            self._evict_over_budget(spare=key)
+            self._inflight.pop(key, None)
+            return asset
+
+    def _evict_over_budget(self, spare: object) -> None:
+        """Evict LRU entries (never ``spare``) while over ``max_bytes``."""
+        total = sum(e.nbytes for e in self._entries.values())
+        while total > self.max_bytes and len(self._entries) > 1:
+            oldest = next(iter(self._entries))
+            if oldest == spare:
+                # The new entry is the oldest only when it's alone —
+                # handled by the loop guard; otherwise skip it.
+                self._entries.move_to_end(oldest)
+                oldest = next(iter(self._entries))
+                if oldest == spare:
+                    break
+            evicted = self._entries.pop(oldest)
+            total -= evicted.nbytes
+            self._bump("evictions")
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self, key: object) -> bool:
+        """Drop one entry (if resident). Returns whether it was there."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        """Drop every resident entry; returns how many were dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

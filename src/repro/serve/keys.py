@@ -1,0 +1,83 @@
+"""Cache-key scheme for shareable serving assets.
+
+Every asset the server caches — targeted RR sketches, warm query
+results — is addressed by an :class:`AssetKey`, a flat hashable tuple
+of:
+
+``kind``
+    What the asset is (``"trs_sketch"``, ``"result"``); distinct kinds
+    never collide even for identical queries.
+``targets_digest``
+    SHA-256 over the canonical target array (sorted unique ``int64``
+    bytes, see :func:`targets_digest`). Any change to the target set —
+    adding, removing, or substituting a single node — produces a
+    different digest and therefore a cache miss; permutations and
+    duplicates of the *same* set digest identically.
+``tags``
+    The canonical tag tuple (sorted, deduplicated — see
+    :func:`canonical_tags`). The server canonicalizes tags before
+    executing a query, so two requests naming the same tag *set* in
+    different orders share one asset and one (bit-identical) answer.
+``params``
+    Everything else the asset's bytes depend on, flattened to a
+    hashable tuple: the op, ``k``/``r``, the RNG seed, and a digest of
+    the sketch configuration. For RR sketches this is the "θ key": θ is
+    a deterministic function of ``(graph, targets, tags, k, config,
+    seed)``, so two queries agree on the cached sketch *iff* they agree
+    on ``(targets_digest, tags, params)`` — the property suite checks
+    both directions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.utils.validation import as_target_array
+
+__all__ = ["AssetKey", "canonical_tags", "config_digest", "targets_digest"]
+
+
+def targets_digest(targets: Iterable[int], num_nodes: int) -> str:
+    """Collision-resistant digest of a target set.
+
+    Validates exactly like the library entry points (via
+    :func:`~repro.utils.validation.as_target_array`) and hashes the
+    canonical sorted-unique ``int64`` array, so the digest is a pure
+    function of the target *set*: order and duplicates don't matter,
+    any single-node mutation does.
+    """
+    arr = as_target_array(targets, num_nodes, context="targets_digest")
+    return hashlib.sha256(arr.tobytes()).hexdigest()
+
+
+def canonical_tags(tags: Sequence[str]) -> tuple[str, ...]:
+    """Canonical form of a tag set: sorted, deduplicated tuple.
+
+    Tag aggregation multiplies per-tag survival probabilities in
+    iteration order, so different orders could differ in the last float
+    ulp; the server always executes queries with the canonical order so
+    all permutations of one tag set share one bit-identical answer.
+    """
+    return tuple(sorted(dict.fromkeys(tags)))
+
+
+def config_digest(config: object) -> str:
+    """Digest of a (frozen, repr-stable) configuration object."""
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+class AssetKey(NamedTuple):
+    """Hashable address of one cached serving asset."""
+
+    kind: str
+    targets_digest: str
+    tags: tuple[str, ...]
+    params: tuple
+
+    def describe(self) -> str:
+        """Short human-readable form for logs and metrics labels."""
+        return (
+            f"{self.kind}[targets={self.targets_digest[:8]}, "
+            f"tags={','.join(self.tags)}, params={self.params!r}]"
+        )

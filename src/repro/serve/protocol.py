@@ -1,0 +1,192 @@
+"""Line-delimited JSON protocol for ``repro serve``.
+
+One request per input line, one response per output line, both JSON
+objects. Requests carry an ``op`` plus op-specific fields; responses
+echo the request ``id`` (when given) and either the result fields with
+``"ok": true`` or ``{"ok": false, "error": ..., "type": ...}``.
+
+Request shapes
+--------------
+``{"op": "find_seeds", "targets": [...], "tags": [...], "k": 2,
+   "engine": "trs", "seed": 0, "deadline": 5.0}``
+``{"op": "find_tags", "seeds": [...], "targets": [...], "r": 2,
+   "method": "batch", "seed": 0}``
+``{"op": "joint", "targets": [...], "k": 2, "r": 2, "seed": 0}``
+``{"op": "spread", "seeds": [...], "targets": [...], "tags": [...],
+   "num_samples": 200, "seed": 0}``
+``{"op": "warm_index", "tags": [...], "theta_c": 64, "seed": 0}``
+``{"op": "metrics"}`` / ``{"op": "ping"}``
+
+Query responses include ``cache`` (``"miss"``/``"hit"``) and
+``elapsed_ms``; pass ``"report": true`` in a request to inline the full
+per-query observability report. EOF on the input stream shuts the
+server down cleanly after draining in-flight queries.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, IO
+
+from repro.exceptions import ReproError
+from repro.serve.server import CampaignServer, ServeResponse
+
+__all__ = ["execute_request", "handle_line", "serve_stdio"]
+
+_QUERY_OPS = ("find_seeds", "find_tags", "joint", "spread")
+
+
+def _response_fields(response: ServeResponse) -> dict[str, Any]:
+    value = response.value
+    fields: dict[str, Any] = {
+        "cache": response.cache,
+        "elapsed_ms": round(response.elapsed_seconds * 1000.0, 3),
+    }
+    if response.op == "find_seeds":
+        fields["seeds"] = [int(s) for s in value.seeds]
+        fields["spread"] = float(value.estimated_spread)
+        fields["engine"] = value.engine
+    elif response.op == "find_tags":
+        fields["tags"] = list(value.tags)
+        fields["spread"] = float(value.estimated_spread)
+        fields["method"] = value.method
+    elif response.op == "joint":
+        fields["seeds"] = [int(s) for s in value.seeds]
+        fields["tags"] = list(value.tags)
+        fields["spread"] = float(value.spread)
+        fields["rounds"] = int(value.rounds)
+        fields["converged"] = bool(value.converged)
+    elif response.op == "spread":
+        fields["spread"] = float(value)
+    return fields
+
+
+def execute_request(
+    server: CampaignServer, request: dict
+) -> ServeResponse | dict:
+    """Run one decoded request against the server (blocking).
+
+    Returns the :class:`ServeResponse` for query ops, or a plain dict
+    for administrative ops (``metrics``/``ping``/``warm_index``).
+    Raises on invalid requests — :func:`handle_line` turns that into an
+    error response.
+    """
+    op = request.get("op")
+    if op == "ping":
+        return {"pong": True}
+    if op == "metrics":
+        return {"metrics": server.metrics(),
+                "cache": server.cache_stats().as_dict()}
+    if op == "warm_index":
+        built = server.warm_index(
+            tags=request.get("tags"),
+            theta_c=request.get("theta_c"),
+            r=int(request.get("r", 2)),
+            seed=int(request.get("seed", 0)),
+        )
+        return {"warmed_tags": built}
+    if op not in _QUERY_OPS:
+        raise ReproError(
+            f"unknown op {op!r}; expected one of "
+            f"{_QUERY_OPS + ('warm_index', 'metrics', 'ping')}"
+        )
+
+    seed = int(request.get("seed", 0))
+    deadline = request.get("deadline")
+    deadline = float(deadline) if deadline is not None else None
+    max_samples = request.get("max_samples")
+    max_samples = int(max_samples) if max_samples is not None else None
+
+    if op == "find_seeds":
+        return server.find_seeds(
+            targets=request["targets"],
+            tags=request.get("tags", ()),
+            k=int(request["k"]),
+            engine=request.get("engine"),
+            seed=seed,
+            num_samples=int(request.get("num_samples", 100)),
+            deadline=deadline,
+            max_samples=max_samples,
+        )
+    if op == "find_tags":
+        return server.find_tags(
+            seeds=request["seeds"],
+            targets=request["targets"],
+            r=int(request["r"]),
+            method=request.get("method"),
+            seed=seed,
+            deadline=deadline,
+            max_samples=max_samples,
+        )
+    if op == "joint":
+        return server.jointly_select(
+            targets=request["targets"],
+            k=int(request["k"]),
+            r=int(request["r"]),
+            seed=seed,
+            deadline=deadline,
+            max_samples=max_samples,
+        )
+    return server.estimate_spread(
+        seeds=request["seeds"],
+        targets=request["targets"],
+        tags=request.get("tags", ()),
+        num_samples=request.get("num_samples"),
+        seed=seed,
+        deadline=deadline,
+        max_samples=max_samples,
+    )
+
+
+def handle_line(server: CampaignServer, line: str) -> dict:
+    """Decode one request line and return the response dict.
+
+    Every failure mode — bad JSON, unknown op, library errors, budget
+    and overload rejections — becomes a well-formed error response; the
+    protocol loop never dies on a bad request.
+    """
+    request_id = None
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ReproError("request must be a JSON object")
+        request_id = request.get("id")
+        result = execute_request(server, request)
+        response: dict[str, Any] = {"ok": True}
+        if isinstance(result, ServeResponse):
+            response.update(_response_fields(result))
+            if request.get("report"):
+                response["report"] = result.report
+        else:
+            response.update(result)
+    except (ReproError, json.JSONDecodeError, KeyError, ValueError,
+            TypeError) as exc:
+        response = {
+            "ok": False,
+            "error": str(exc) or repr(exc),
+            "type": type(exc).__name__,
+        }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def serve_stdio(
+    server: CampaignServer,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+) -> int:
+    """Run the request/response loop until EOF. Returns request count."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    handled = 0
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        response = handle_line(server, line)
+        stdout.write(json.dumps(response) + "\n")
+        stdout.flush()
+        handled += 1
+    return handled

@@ -1,0 +1,693 @@
+"""``CampaignServer`` — concurrent campaign serving with asset reuse.
+
+One server owns one :class:`~repro.graphs.TagGraph` and turns the
+batch library into a multi-query service:
+
+* Queries (`find_seeds` / `find_tags` / `jointly_select` /
+  `estimate_spread`) run on a **bounded thread pool** behind a bounded
+  admission queue; overload is rejected cleanly with
+  :class:`~repro.exceptions.ServerOverloadedError` instead of queueing
+  without bound.
+* Expensive shareable artifacts — targeted RR sketches (the sampling
+  half of TRS), warm query results, per-tag possible-world indexes, and
+  tag-aggregation arrays — are built **once** (single-flight) and
+  reused across queries through a byte-accounted LRU
+  (:class:`~repro.serve.cache.AssetCache`).
+* Every query runs inside its **own observability scope** (thread-local
+  — see :mod:`repro.obs`), so ``rr.*`` / ``runtime.*`` counters are
+  per-query exact even when one pooled
+  :class:`~repro.engine.SamplingEngine` backs all queries (each query
+  samples through a telemetry-isolated
+  :class:`~repro.engine.QueryEngineView`).
+
+Determinism contract
+--------------------
+A served answer is **bit-identical** to the equivalent direct library
+call with the same RNG seed and *canonical* inputs (tags sorted and
+deduplicated, seed lists sorted and deduplicated — the server
+canonicalizes before executing, so all permutations of one query share
+one answer). This holds on every cache path: cold (the server runs the
+same code the library would), warm (the cached asset was produced by
+that same code and the remaining selection is deterministic), and
+post-eviction (the rebuild replays the same seeded build). The
+differential test suite asserts this for seeds, tags, spreads, *and*
+work counters: a cache hit merges the asset's build-time metrics into
+the query's observation, so served reports always account for the work
+embodied in the answer, not just the work done by this query.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import obs
+from repro.core.joint import JointConfig, jointly_select
+from repro.core.problem import JointQuery
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.engine.runtime import RunBudget, RunTelemetry
+from repro.exceptions import (
+    ConfigurationError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.graphs.tag_graph import TagGraph
+from repro.index.lazy import IndexManager
+from repro.index.possible_world_index import theta_c as compute_theta_c
+from repro.obs.metrics import MetricsRegistry
+from repro.seeds.api import ENGINES, SeedSelection, find_seeds
+from repro.serve.cache import AssetCache
+from repro.serve.keys import (
+    AssetKey,
+    canonical_tags,
+    config_digest,
+    targets_digest,
+)
+from repro.sketch.trs import trs_build_sketch, trs_select_from_sketch
+from repro.tags.api import METHODS, find_tags
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+__all__ = ["CampaignServer", "ServeResponse"]
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """Envelope around one served answer.
+
+    Attributes
+    ----------
+    op:
+        The query kind (``"find_seeds"``, ``"find_tags"``, ``"joint"``,
+        ``"spread"``).
+    value:
+        The library-level result: a
+        :class:`~repro.seeds.api.SeedSelection`,
+        :class:`~repro.tags.api.TagSelection`,
+        :class:`~repro.core.problem.JointResult`, or a float spread.
+    cache:
+        ``"miss"`` when this query built the decisive asset, ``"hit"``
+        when it reused one (including single-flight joins), ``"none"``
+        for uncached ops.
+    elapsed_seconds:
+        Wall-clock execution time on the worker (queue wait excluded).
+    report:
+        The per-query observability report (metrics + spans nested
+        under the ``serve.query`` root). Work counters here are
+        bit-identical to a direct library call's — cache hits merge the
+        asset's build-time counters in.
+    """
+
+    op: str
+    value: Any
+    cache: str
+    elapsed_seconds: float
+    report: dict | None = None
+
+    @property
+    def seeds(self) -> tuple[int, ...] | None:
+        """Convenience accessor for seed-bearing results."""
+        return getattr(self.value, "seeds", None)
+
+    @property
+    def tags(self) -> tuple[str, ...] | None:
+        """Convenience accessor for tag-bearing results."""
+        return getattr(self.value, "tags", None)
+
+    @property
+    def spread(self) -> float:
+        """The result's spread estimate, whatever its concrete type."""
+        if isinstance(self.value, float):
+            return self.value
+        value = getattr(self.value, "estimated_spread", None)
+        if value is None:
+            value = getattr(self.value, "spread", 0.0)
+        return float(value)
+
+
+#: Rough in-memory footprint of a cached result object: enough for LRU
+#: byte-accounting without a recursive sizeof walk.
+def _approx_nbytes(value: Any) -> int:
+    sized = getattr(value, "nbytes", None)
+    if sized is not None:
+        return int(sized)
+    return max(256, len(repr(value)))
+
+
+class CampaignServer:
+    """Thread-safe multi-query facade over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The tagged uncertain graph every query runs against. The server
+        enables the graph's aggregation memo
+        (:meth:`~repro.graphs.TagGraph.enable_probability_cache`) so
+        repeat tag sets skip the per-query aggregation pass.
+    config:
+        Shared :class:`~repro.core.joint.JointConfig`; supplies the
+        default seed engine, sketch knobs, and tag-selection knobs.
+    sampler:
+        Optional pooled :class:`~repro.engine.SamplingEngine` shared by
+        all queries. Each query samples through
+        ``sampler.for_query(...)`` — a view with per-query telemetry —
+        so one set of worker processes serves every query without
+        counter bleed.
+    pool_size:
+        Worker threads executing queries.
+    queue_capacity:
+        Additional queries allowed to wait beyond the ``pool_size``
+        running ones; a submit past ``pool_size + queue_capacity``
+        in-system queries raises :class:`ServerOverloadedError`.
+    cache_bytes:
+        Byte budget for the asset LRU.
+    default_deadline / default_max_samples:
+        Per-query :class:`~repro.engine.RunBudget` defaults, overridable
+        per call. Deadlines anchor at execution start (queue wait is
+        governed by admission control, not the deadline).
+    prob_cache_entries:
+        Size of the graph's tag-aggregation memo (0 disables).
+    """
+
+    def __init__(
+        self,
+        graph: TagGraph,
+        config: JointConfig = JointConfig(),
+        sampler=None,
+        pool_size: int = 4,
+        queue_capacity: int = 32,
+        cache_bytes: int = 256 * 1024 * 1024,
+        default_deadline: float | None = None,
+        default_max_samples: int | None = None,
+        prob_cache_entries: int = 64,
+    ) -> None:
+        if pool_size <= 0:
+            raise ConfigurationError(
+                f"pool_size must be positive, got {pool_size}"
+            )
+        if queue_capacity < 0:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 0, got {queue_capacity}"
+            )
+        self._graph = graph
+        self._config = config
+        self._sampler = sampler
+        self._default_deadline = default_deadline
+        self._default_max_samples = default_max_samples
+        if prob_cache_entries:
+            graph.enable_probability_cache(prob_cache_entries)
+
+        self._metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._cache = AssetCache(
+            max_bytes=cache_bytes, on_event=self._on_cache_event
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-serve"
+        )
+        self._capacity = pool_size + queue_capacity
+        self._in_system = 0
+        self._admission_lock = threading.Lock()
+        self._index_manager: IndexManager | None = None
+        self._warm_theta_c: int | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TagGraph:
+        """The served graph."""
+        return self._graph
+
+    @property
+    def config(self) -> JointConfig:
+        """The shared query configuration."""
+        return self._config
+
+    @property
+    def index_manager(self) -> IndexManager | None:
+        """The frozen shared possible-world index, when warmed."""
+        return self._index_manager
+
+    def metrics(self) -> dict:
+        """Snapshot of the server-level ``serve.*`` metrics."""
+        with self._metrics_lock:
+            stats = self._cache.stats()
+            self._metrics.set_gauge("serve.cache.bytes", stats.bytes)
+            self._metrics.set_gauge("serve.cache.entries", stats.entries)
+            return self._metrics.as_dict()
+
+    def cache_stats(self):
+        """The asset cache's own counter snapshot."""
+        return self._cache.stats()
+
+    def _record(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self._metrics.count(name, amount)
+
+    def _observe_hist(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self._metrics.record(name, value)
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self._metrics.set_gauge(name, value)
+
+    def _on_cache_event(self, name: str, amount: int) -> None:
+        # Called under the cache lock — keep to a counter bump. The
+        # metrics lock nests inside the cache lock only here; no code
+        # path takes them in the opposite order.
+        self._record(f"serve.cache.{name}", amount)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Finish in-flight queries and stop accepting new ones."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CampaignServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm_index(
+        self,
+        tags: Sequence[str] | None = None,
+        theta_c: int | None = None,
+        r: int = 2,
+        seed: int = 0,
+    ) -> list[str]:
+        """Build and pin a frozen shared possible-world index.
+
+        Builds ``theta_c`` worlds per tag (default: Theorem 6's count
+        for the config's pessimistic ``theta_max`` and ``r``) with a
+        deterministic RNG, then freezes the manager so any number of
+        concurrent ``ltrs``/``itrs`` queries can read it. Replaying the
+        same ``(tags, theta_c, seed)`` elsewhere reproduces the exact
+        manager — the differential suite exploits this for bit-identity
+        against direct library calls.
+        """
+        sketch = self._config.sketch
+        if theta_c is None:
+            theta_c = compute_theta_c(
+                sketch.theta_max, max(r, 1), sketch.alpha, sketch.delta
+            )
+        manager = IndexManager(self._graph)
+        built = manager.ensure_indexes(
+            tags if tags is not None else self._graph.tags,
+            theta_c,
+            ensure_rng(seed),
+        )
+        self._index_manager = manager.freeze()
+        self._warm_theta_c = int(theta_c)
+        self._record("serve.index.warmed_tags", len(built))
+        return built
+
+    @property
+    def warmed_theta_c(self) -> int | None:
+        """Worlds-per-tag count of the warmed index (``None`` if cold)."""
+        return self._warm_theta_c
+
+    def warm(self, requests: Sequence[dict]) -> int:
+        """Prebuild assets by executing query specs (protocol dicts).
+
+        Returns the number of requests executed. Used by ``repro serve
+        --warm``; failures propagate so a bad warm file is loud.
+        """
+        from repro.serve.protocol import execute_request
+
+        for request in requests:
+            execute_request(self, dict(request))
+        return len(requests)
+
+    # ------------------------------------------------------------------
+    # Admission + execution
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        if self._closed:
+            raise ServerClosedError("campaign server is closed")
+        with self._admission_lock:
+            if self._in_system >= self._capacity:
+                self._record("serve.rejected")
+                raise ServerOverloadedError(self._capacity)
+            self._in_system += 1
+            self._set_gauge("serve.queue.depth", self._in_system)
+
+    def _release(self, _future: Future) -> None:
+        with self._admission_lock:
+            self._in_system -= 1
+            self._set_gauge("serve.queue.depth", self._in_system)
+
+    def _submit(self, op: str, runner: Callable) -> "Future[ServeResponse]":
+        self._admit()
+        try:
+            future = self._executor.submit(self._run_query, op, runner)
+        except BaseException:
+            self._release(None)
+            raise
+        future.add_done_callback(self._release)
+        return future
+
+    def _run_query(self, op: str, runner: Callable) -> ServeResponse:
+        timer = Timer()
+        with timer, obs.observe() as ob:
+            with obs.span("serve.query", op=op):
+                value, cache_mode = runner(ob)
+            report = ob.report()
+        self._record("serve.queries")
+        self._observe_hist(
+            "serve.query.latency_ms", timer.elapsed * 1000.0
+        )
+        return ServeResponse(
+            op=op,
+            value=value,
+            cache=cache_mode,
+            elapsed_seconds=timer.elapsed,
+            report=report,
+        )
+
+    def _budget(
+        self, deadline: float | None, max_samples: int | None
+    ) -> RunBudget | None:
+        deadline = (
+            deadline if deadline is not None else self._default_deadline
+        )
+        max_samples = (
+            max_samples
+            if max_samples is not None
+            else self._default_max_samples
+        )
+        if deadline is None and max_samples is None:
+            return None
+        return RunBudget(wall_seconds=deadline, max_samples=max_samples)
+
+    def _view(self, registry=None):
+        """A telemetry-isolated engine view, or None (scalar path)."""
+        if self._sampler is None:
+            return None
+        return self._sampler.for_query(registry=registry)
+
+    def _runtime_dict(self, ob) -> dict | None:
+        if self._sampler is None:
+            return None
+        return RunTelemetry(registry=ob.metrics).as_dict()
+
+    # ------------------------------------------------------------------
+    # Queries — sync facade
+    # ------------------------------------------------------------------
+    def find_seeds(self, *args, **kwargs) -> ServeResponse:
+        """Top-``k`` seed selection (blocking). See :meth:`submit_find_seeds`."""
+        return self.submit_find_seeds(*args, **kwargs).result()
+
+    def find_tags(self, *args, **kwargs) -> ServeResponse:
+        """Top-``r`` tag selection (blocking). See :meth:`submit_find_tags`."""
+        return self.submit_find_tags(*args, **kwargs).result()
+
+    def jointly_select(self, *args, **kwargs) -> ServeResponse:
+        """Full Algorithm 2 (blocking). See :meth:`submit_jointly_select`."""
+        return self.submit_jointly_select(*args, **kwargs).result()
+
+    def estimate_spread(self, *args, **kwargs) -> ServeResponse:
+        """MC spread estimate (blocking). See :meth:`submit_estimate_spread`."""
+        return self.submit_estimate_spread(*args, **kwargs).result()
+
+    # ------------------------------------------------------------------
+    # Queries — async submission
+    # ------------------------------------------------------------------
+    def submit_find_seeds(
+        self,
+        targets: Sequence[int],
+        tags: Sequence[str],
+        k: int,
+        engine: str | None = None,
+        seed: int = 0,
+        num_samples: int = 100,
+        deadline: float | None = None,
+        max_samples: int | None = None,
+    ) -> "Future[ServeResponse]":
+        """Queue a seed-selection query; the future yields a response.
+
+        ``engine`` defaults to the server config's ``seed_engine``;
+        ``"trs"`` queries reuse cached RR sketches across queries, other
+        engines reuse whole results. ``seed`` pins the query's RNG —
+        the served answer is bit-identical to
+        ``repro.find_seeds(graph, targets, canonical_tags(tags), k,
+        engine=..., rng=seed)``.
+        """
+        engine = engine or self._config.seed_engine
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        tags_c = canonical_tags(tags)
+        tdigest = targets_digest(targets, self._graph.num_nodes)
+        targets = tuple(int(t) for t in targets)
+
+        def runner(ob):
+            budget = self._budget(deadline, max_samples)
+            if engine == "trs":
+                return self._seeds_via_sketch(
+                    ob, targets, tdigest, tags_c, k, seed, budget
+                )
+            return self._seeds_via_result(
+                ob, targets, tdigest, tags_c, k, engine, seed,
+                num_samples, budget,
+            )
+
+        return self._submit("find_seeds", runner)
+
+    def _seeds_via_sketch(
+        self, ob, targets, tdigest, tags_c, k, seed, budget
+    ) -> tuple[SeedSelection, str]:
+        """TRS path: cache the expensive sampling half, re-cover per query."""
+        key = AssetKey(
+            kind="trs_sketch",
+            targets_digest=tdigest,
+            tags=tags_c,
+            params=(k, seed, config_digest(self._config.sketch)),
+        )
+
+        def build():
+            with obs.observe() as build_ob:
+                view = self._view(registry=build_ob.metrics)
+                sketch = trs_build_sketch(
+                    self._graph, targets, tags_c, k,
+                    config=self._config.sketch, rng=ensure_rng(seed),
+                    engine=view, budget=budget,
+                )
+            return sketch, sketch.nbytes, build_ob.metrics
+
+        asset, built_here = self._cache.get_or_build(key, build)
+        if not built_here:
+            # Account the asset's build work to this query's report so
+            # warm answers carry the same counters as cold ones.
+            ob.metrics.merge(asset.metrics)
+        result = trs_select_from_sketch(self._graph, asset.value, k)
+        selection = SeedSelection(
+            seeds=result.seeds,
+            estimated_spread=result.estimated_spread,
+            engine="trs",
+            elapsed_seconds=result.elapsed_seconds,
+            telemetry=self._runtime_dict(ob),
+        )
+        return selection, ("miss" if built_here else "hit")
+
+    def _seeds_via_result(
+        self, ob, targets, tdigest, tags_c, k, engine, seed, num_samples,
+        budget,
+    ) -> tuple[SeedSelection, str]:
+        """Non-TRS engines: cache the whole (deterministic) result."""
+        key = AssetKey(
+            kind="result",
+            targets_digest=tdigest,
+            tags=tags_c,
+            params=(
+                "find_seeds", engine, k, seed, num_samples,
+                config_digest(self._config.sketch),
+            ),
+        )
+
+        def build():
+            with obs.observe() as build_ob:
+                view = self._view(registry=build_ob.metrics)
+                selection = find_seeds(
+                    self._graph, targets, tags_c, k,
+                    engine=engine, config=self._config.sketch,
+                    manager=self._manager_for(engine, tags_c),
+                    num_samples=num_samples, rng=ensure_rng(seed),
+                    sampler=view, budget=budget,
+                )
+            return selection, _approx_nbytes(selection), build_ob.metrics
+
+        asset, built_here = self._cache.get_or_build(key, build)
+        if not built_here:
+            ob.metrics.merge(asset.metrics)
+        return asset.value, ("miss" if built_here else "hit")
+
+    def _manager_for(
+        self, engine: str, tags_c: tuple[str, ...]
+    ) -> IndexManager | None:
+        """The frozen shared index when it can serve this query.
+
+        Only global-universe engines (``ltrs``/``itrs``) read the shared
+        manager, and only when every queried tag is already indexed —
+        otherwise the query falls back to a fresh private manager, like
+        a direct library call (a frozen manager must never build).
+        """
+        manager = self._index_manager
+        if manager is None or engine not in ("ltrs", "itrs"):
+            return None
+        if all(manager.has_index(tag) for tag in tags_c):
+            return manager
+        return None
+
+    def submit_find_tags(
+        self,
+        seeds: Sequence[int],
+        targets: Sequence[int],
+        r: int,
+        method: str | None = None,
+        seed: int = 0,
+        deadline: float | None = None,
+        max_samples: int | None = None,
+    ) -> "Future[ServeResponse]":
+        """Queue a tag-selection query (seed set canonicalized)."""
+        method = method or self._config.tag_method
+        if method not in METHODS:
+            raise ConfigurationError(
+                f"unknown tag method {method!r}; expected one of {METHODS}"
+            )
+        seeds_c = tuple(sorted({int(s) for s in seeds}))
+        tdigest = targets_digest(targets, self._graph.num_nodes)
+        targets = tuple(int(t) for t in targets)
+        key = AssetKey(
+            kind="result",
+            targets_digest=tdigest,
+            tags=(),
+            params=(
+                "find_tags", method, r, seed, seeds_c,
+                config_digest(self._config.tag_config),
+            ),
+        )
+
+        def runner(ob):
+            def build():
+                with obs.observe() as build_ob:
+                    selection = find_tags(
+                        self._graph, seeds_c, targets, r,
+                        method=method, config=self._config.tag_config,
+                        rng=ensure_rng(seed),
+                    )
+                return (
+                    selection, _approx_nbytes(selection), build_ob.metrics
+                )
+
+            asset, built_here = self._cache.get_or_build(key, build)
+            if not built_here:
+                ob.metrics.merge(asset.metrics)
+            return asset.value, ("miss" if built_here else "hit")
+
+        return self._submit("find_tags", runner)
+
+    def submit_jointly_select(
+        self,
+        targets: Sequence[int],
+        k: int,
+        r: int,
+        seed: int = 0,
+        deadline: float | None = None,
+        max_samples: int | None = None,
+    ) -> "Future[ServeResponse]":
+        """Queue a full joint (Algorithm 2) query."""
+        tdigest = targets_digest(targets, self._graph.num_nodes)
+        targets = tuple(int(t) for t in targets)
+        key = AssetKey(
+            kind="result",
+            targets_digest=tdigest,
+            tags=(),
+            params=("joint", k, r, seed, config_digest(self._config)),
+        )
+
+        def runner(ob):
+            budget = self._budget(deadline, max_samples)
+
+            def build():
+                with obs.observe() as build_ob:
+                    view = self._view(registry=build_ob.metrics)
+                    result = jointly_select(
+                        self._graph, JointQuery(targets, k=k, r=r),
+                        self._config, rng=ensure_rng(seed), sampler=view,
+                        budget=budget,
+                    )
+                return result, _approx_nbytes(result), build_ob.metrics
+
+            asset, built_here = self._cache.get_or_build(key, build)
+            if not built_here:
+                ob.metrics.merge(asset.metrics)
+            return asset.value, ("miss" if built_here else "hit")
+
+        return self._submit("joint", runner)
+
+    def submit_estimate_spread(
+        self,
+        seeds: Sequence[int],
+        targets: Sequence[int],
+        tags: Sequence[str],
+        num_samples: int | None = None,
+        seed: int = 0,
+        deadline: float | None = None,
+        max_samples: int | None = None,
+    ) -> "Future[ServeResponse]":
+        """Queue an MC spread estimate (seeds and tags canonicalized)."""
+        tags_c = canonical_tags(tags)
+        seeds_c = tuple(sorted({int(s) for s in seeds}))
+        samples = (
+            num_samples if num_samples is not None
+            else self._config.eval_samples
+        )
+        tdigest = targets_digest(targets, self._graph.num_nodes)
+        targets = tuple(int(t) for t in targets)
+        key = AssetKey(
+            kind="result",
+            targets_digest=tdigest,
+            tags=tags_c,
+            params=("spread", seeds_c, samples, seed),
+        )
+
+        def runner(ob):
+            budget = self._budget(deadline, max_samples)
+
+            def build():
+                with obs.observe() as build_ob:
+                    view = self._view(registry=build_ob.metrics)
+                    value = estimate_spread(
+                        self._graph, seeds_c, targets, tags_c,
+                        num_samples=samples, rng=ensure_rng(seed),
+                        engine=view, budget=budget,
+                    )
+                return float(value), 64, build_ob.metrics
+
+            asset, built_here = self._cache.get_or_build(key, build)
+            if not built_here:
+                ob.metrics.merge(asset.metrics)
+            return asset.value, ("miss" if built_here else "hit")
+
+        return self._submit("spread", runner)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self._cache.stats()
+        return (
+            f"CampaignServer(graph={self._graph!r}, "
+            f"cache=[{stats.entries} entries, {stats.bytes} bytes], "
+            f"in_system={self._in_system}/{self._capacity})"
+        )

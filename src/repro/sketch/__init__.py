@@ -15,7 +15,13 @@ from repro.sketch.rr_sets import (
     sample_rr_sets_validated,
 )
 from repro.sketch.theta import SketchConfig, compute_theta, estimate_opt_t
-from repro.sketch.trs import TRSResult, trs_select_seeds
+from repro.sketch.trs import (
+    TRSResult,
+    TRSSketch,
+    trs_build_sketch,
+    trs_select_from_sketch,
+    trs_select_seeds,
+)
 
 __all__ = [
     "CoverageResult",
@@ -23,6 +29,7 @@ __all__ = [
     "SketchConfig",
     "imm_select_seeds",
     "TRSResult",
+    "TRSSketch",
     "compute_theta",
     "estimate_opt_t",
     "greedy_max_coverage",
@@ -30,5 +37,7 @@ __all__ = [
     "rr_set_from_edge_mask",
     "sample_rr_sets",
     "sample_rr_sets_validated",
+    "trs_build_sketch",
+    "trs_select_from_sketch",
     "trs_select_seeds",
 ]

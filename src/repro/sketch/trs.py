@@ -81,6 +81,158 @@ class TRSResult:
         return self.estimated_spread / num_targets
 
 
+@dataclass(frozen=True)
+class TRSSketch:
+    """A reusable targeted RR sketch: the expensive half of TRS.
+
+    Produced by :func:`trs_build_sketch`; consumed by
+    :func:`trs_select_from_sketch`. The sketch captures everything the
+    greedy cover needs — the sampled RR sets plus the θ bookkeeping —
+    so a serving layer can build it once and answer repeat queries with
+    only the (cheap, deterministic) cover pass.
+
+    The RR sets are *logically read-only*: greedy cover never mutates
+    them, so one sketch may back many concurrent selections.
+    """
+
+    rr_sets: object
+    theta: int
+    opt_t_estimate: float | None
+    num_targets: int
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size, for byte-accounted caches."""
+        sets = self.rr_sets
+        members = getattr(sets, "members", None)
+        if members is not None:  # RRCollection: CSR arrays
+            return int(members.nbytes) + int(sets.indptr.nbytes)
+        total = 0
+        for arr in sets:
+            total += int(getattr(arr, "nbytes", 8 * len(arr)))
+        return total
+
+
+def _build_sketch_phases(
+    graph: TagGraph,
+    target_arr: np.ndarray,
+    tags: Sequence[str],
+    k: int,
+    config: SketchConfig,
+    rng: np.random.Generator,
+    engine: "SamplingEngine | None",
+    budget: "RunBudget | None",
+    trs_span=None,
+    state: dict | None = None,
+):
+    """Shared pilot → θ → sampling pipeline (spans included).
+
+    This is the single code path behind both :func:`trs_select_seeds`
+    and :func:`trs_build_sketch`, so the two are bit-identical by
+    construction: same RNG consumption order, same spans, same budget
+    behavior. ``state`` (when given) receives ``opt_t`` as soon as the
+    pilot finishes, so budget-stop handlers can report it even when the
+    main sampling pass trips the budget.
+    """
+    num_targets = int(target_arr.size)
+    edge_probs = graph.edge_probabilities(tags)
+    with obs.span("trs.pilot"):
+        opt_t = estimate_opt_t(
+            graph, target_arr, edge_probs, k, config, rng,
+            engine=engine, budget=budget,
+        )
+    if state is not None:
+        state["opt_t"] = opt_t
+    theta = compute_theta(graph.num_nodes, k, num_targets, opt_t, config)
+    obs.gauge("trs.theta", theta)
+    if trs_span is not None:
+        trs_span.set(theta=theta)
+    with obs.span("trs.sample", theta=theta):
+        rr_sets = sample_rr_sets_validated(
+            graph, target_arr, edge_probs, theta, rng,
+            engine=engine, budget=budget,
+        )
+    return rr_sets, theta, opt_t
+
+
+def trs_build_sketch(
+    graph: TagGraph,
+    targets: Sequence[int],
+    tags: Sequence[str],
+    k: int,
+    config: SketchConfig = SketchConfig(),
+    rng: np.random.Generator | int | None = None,
+    engine: "SamplingEngine | None" = None,
+    budget: "RunBudget | None" = None,
+) -> TRSSketch:
+    """Run TRS's sampling half and return the reusable :class:`TRSSketch`.
+
+    Validates inputs exactly like :func:`trs_select_seeds`, runs the
+    pilot, sizes θ, and draws the targeted RR sets — but stops short of
+    seed selection. ``trs_select_from_sketch(graph, targets, k, sketch)``
+    then yields the same seeds :func:`trs_select_seeds` would have,
+    because both share one pipeline (and greedy cover is deterministic).
+
+    Note the sketch depends on ``k`` and the RNG state (the pilot's RNG
+    draws vary with ``k``), so cache keys for sketches must include
+    both, not just ``(targets, tags)``.
+    """
+    rng = ensure_rng(rng)
+    check_budget(k, graph.num_nodes, what="seeds")
+    check_tags_exist(tags, graph.tags)
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="trs_build_sketch"
+    )
+    num_targets = int(target_arr.size)
+    state: dict = {}
+    timer = Timer()
+    try:
+        with timer:
+            rr_sets, theta, opt_t = _build_sketch_phases(
+                graph, target_arr, tags, k, config, rng, engine, budget,
+                state=state,
+            )
+    except BudgetExceededError as exc:
+        exc.partial = _partial_trs_result(
+            exc.partial, k, graph.num_nodes, num_targets,
+            state.get("opt_t"), timer.elapsed, engine,
+        )
+        raise
+    return TRSSketch(
+        rr_sets=rr_sets,
+        theta=theta,
+        opt_t_estimate=opt_t,
+        num_targets=num_targets,
+    )
+
+
+def trs_select_from_sketch(
+    graph: TagGraph,
+    sketch: TRSSketch,
+    k: int,
+    engine: "SamplingEngine | None" = None,
+) -> TRSResult:
+    """Greedy-cover ``k`` seeds out of a prebuilt :class:`TRSSketch`.
+
+    Pure deterministic selection — consumes no RNG and never mutates
+    the sketch, so any number of callers (threads) may select from one
+    shared sketch concurrently.
+    """
+    check_budget(k, graph.num_nodes, what="seeds")
+    timer = Timer()
+    with timer, obs.span("trs.cover"):
+        coverage = greedy_max_coverage(sketch.rr_sets, k, graph.num_nodes)
+    return TRSResult(
+        seeds=coverage.seeds,
+        estimated_spread=coverage.spread_estimate(sketch.num_targets),
+        theta=sketch.theta,
+        opt_t_estimate=sketch.opt_t_estimate,
+        elapsed_seconds=timer.elapsed,
+        telemetry=engine.telemetry.as_dict() if engine is not None else None,
+        report=obs.snapshot_report(),
+    )
+
+
 def trs_select_seeds(
     graph: TagGraph,
     targets: Sequence[int],
@@ -131,31 +283,19 @@ def trs_select_seeds(
     num_targets = int(target_arr.size)
 
     timer = Timer()
-    opt_t: float | None = None
+    state: dict = {}
     try:
         with timer, obs.span("trs", k=k, num_targets=num_targets) as trs_span:
-            edge_probs = graph.edge_probabilities(tags)
-            with obs.span("trs.pilot"):
-                opt_t = estimate_opt_t(
-                    graph, target_arr, edge_probs, k, config, rng,
-                    engine=engine, budget=budget,
-                )
-            theta = compute_theta(
-                graph.num_nodes, k, num_targets, opt_t, config
+            rr_sets, theta, opt_t = _build_sketch_phases(
+                graph, target_arr, tags, k, config, rng, engine, budget,
+                trs_span=trs_span, state=state,
             )
-            obs.gauge("trs.theta", theta)
-            trs_span.set(theta=theta)
-            with obs.span("trs.sample", theta=theta):
-                rr_sets = sample_rr_sets_validated(
-                    graph, target_arr, edge_probs, theta, rng,
-                    engine=engine, budget=budget,
-                )
             with obs.span("trs.cover"):
                 coverage = greedy_max_coverage(rr_sets, k, graph.num_nodes)
     except BudgetExceededError as exc:
         exc.partial = _partial_trs_result(
-            exc.partial, k, graph.num_nodes, num_targets, opt_t,
-            timer.elapsed, engine,
+            exc.partial, k, graph.num_nodes, num_targets,
+            state.get("opt_t"), timer.elapsed, engine,
         )
         raise
 

@@ -163,3 +163,113 @@ class TestLearnCommand:
              "--method", "bernoulli"]
         )
         assert code == 0
+
+
+class TestServeCommand:
+    def _requests(self, graph, targets):
+        tags = list(graph.tags[:2])
+        return [
+            {"id": 1, "op": "find_seeds", "targets": targets, "tags": tags,
+             "k": 2, "engine": "trs", "seed": 0},
+            {"id": 2, "op": "find_seeds", "targets": targets, "tags": tags,
+             "k": 2, "engine": "trs", "seed": 0},
+            {"id": 3, "op": "spread", "seeds": [targets[0]],
+             "targets": targets, "tags": tags, "seed": 1},
+            {"id": 4, "op": "metrics"},
+        ]
+
+    def test_serves_piped_json_queries(
+        self, workspace, capsys, monkeypatch, tmp_path
+    ):
+        import io
+        import json
+        import sys
+
+        graph_path, targets_path = workspace
+        graph = load_tag_graph(graph_path)
+        targets = [
+            int(x) for x in targets_path.read_text().split() if x.strip()
+        ]
+        requests = self._requests(graph, targets)
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n"),
+        )
+        metrics_path = tmp_path / "serve_metrics.json"
+        code = main(
+            ["serve", str(graph_path), "--pool-size", "2",
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 4
+        by_id = {d["id"]: d for d in lines}
+        assert by_id[1]["ok"] and by_id[1]["cache"] == "miss"
+        assert by_id[2]["ok"] and by_id[2]["cache"] == "hit"
+        assert by_id[1]["seeds"] == by_id[2]["seeds"]
+        assert by_id[1]["spread"] == by_id[2]["spread"]
+        assert by_id[3]["ok"] and isinstance(by_id[3]["spread"], float)
+        assert by_id[4]["metrics"]["counters"]["serve.queries"] == 3
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["schema"] == "repro.serve.metrics/1"
+        assert snapshot["cache"]["builds"] >= 2
+
+    def test_warm_file_prebuilds_assets(
+        self, workspace, capsys, monkeypatch, tmp_path
+    ):
+        import io
+        import json
+        import sys
+
+        graph_path, targets_path = workspace
+        graph = load_tag_graph(graph_path)
+        targets = [
+            int(x) for x in targets_path.read_text().split() if x.strip()
+        ]
+        query = {"op": "find_seeds", "targets": targets,
+                 "tags": list(graph.tags[:2]), "k": 2,
+                 "engine": "trs", "seed": 0}
+        warm_path = tmp_path / "warm.json"
+        warm_path.write_text(json.dumps([query]), encoding="utf-8")
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO(json.dumps({**query, "id": 7}) + "\n"),
+        )
+        code = main(
+            ["serve", str(graph_path), "--warm", str(warm_path)]
+        )
+        assert code == 0
+        (response,) = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert response["ok"]
+        assert response["cache"] == "hit"  # the warm file built it
+
+    def test_bad_requests_get_error_responses(
+        self, workspace, capsys, monkeypatch
+    ):
+        import io
+        import json
+        import sys
+
+        graph_path, _targets = workspace
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO('{"id": 1, "op": "nope"}\nnot json\n'),
+        )
+        code = main(["serve", str(graph_path)])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert [d["ok"] for d in lines] == [False, False]
+        assert lines[0]["type"] == "ReproError"
+        assert lines[1]["type"] == "JSONDecodeError"

@@ -1,0 +1,275 @@
+"""Differential suite: served answers ≡ direct library calls, bit for bit.
+
+Every test compares a :class:`repro.serve.CampaignServer` answer against
+the equivalent direct library call with the same RNG seed and canonical
+inputs — seeds, tags, spreads, *and* observability work counters — on
+all three cache paths:
+
+* **cold** — the server executes the query itself (miss);
+* **warm** — a repeat query is answered from the cached asset (hit);
+* **post-eviction** — a tiny cache budget forces the asset out and the
+  repeat query rebuilds it (miss again).
+
+The counter comparison is the sharp edge: a cache hit must *merge the
+asset's build-time metrics* into the query's report, so a warm answer
+accounts for the same work as the cold one. A plain "return the cached
+object" implementation passes the seeds/spread checks but fails these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.joint import JointConfig, jointly_select
+from repro.core.problem import JointQuery
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.index.itrs import make_ltrs_manager
+from repro.seeds.api import find_seeds
+from repro.serve import CampaignServer, canonical_tags
+from repro.sketch.theta import SketchConfig
+from repro.tags.api import find_tags
+from tests.conftest import FIG9_SEEDS, FIG9_TARGETS
+
+FAST_SKETCH = SketchConfig(theta_max=2_000, pilot_samples=50)
+
+
+def _counters(fn):
+    """Run ``fn`` inside a fresh observe scope; return its counters."""
+    with obs.observe() as ob:
+        result = fn()
+    return result, ob.metrics.as_dict()["counters"]
+
+
+def _server(graph, **kwargs):
+    kwargs.setdefault("config", JointConfig(sketch=FAST_SKETCH))
+    kwargs.setdefault("pool_size", 2)
+    return CampaignServer(graph, **kwargs)
+
+
+def _assert_matches(response, direct, direct_counters):
+    assert response.value.seeds == direct.seeds
+    assert response.value.estimated_spread == direct.estimated_spread
+    served = response.report["metrics"]["counters"]
+    assert served == direct_counters
+
+
+class TestFindSeedsDifferential:
+    """Grid of (dataset, targets, k, engine) configs, cold + warm."""
+
+    GRID = [
+        ("fig9", FIG9_TARGETS, 2, "trs", 0),
+        ("fig9", FIG9_TARGETS, 2, "trs", 7),
+        ("fig9", FIG9_TARGETS, 1, "trs", 0),
+        ("fig9", (6, 8), 2, "trs", 3),
+        ("fig9", FIG9_TARGETS, 2, "imm", 0),
+        ("fig9", FIG9_TARGETS, 2, "lltrs", 0),
+        ("fig9", FIG9_TARGETS, 2, "greedy-mc", 0),
+        ("yelp", None, 2, "trs", 0),
+        ("yelp", None, 2, "lltrs", 5),
+    ]
+
+    @pytest.mark.parametrize(
+        "dataset,targets,k,engine,seed", GRID,
+        ids=[f"{d}-{e}-k{k}-s{s}" for d, _t, k, e, s in GRID],
+    )
+    def test_cold_and_warm_match_direct(
+        self, dataset, targets, k, engine, seed, fig9_graph, small_yelp
+    ):
+        graph = fig9_graph if dataset == "fig9" else small_yelp.graph
+        if targets is None:
+            targets = tuple(range(0, graph.num_nodes, 7))[:12]
+        tags = tuple(graph.tags[:3])
+
+        direct, direct_counters = _counters(lambda: find_seeds(
+            graph, targets, canonical_tags(tags), k,
+            engine=engine, config=FAST_SKETCH, rng=seed,
+        ))
+        with _server(graph) as server:
+            cold = server.find_seeds(
+                targets, tags, k, engine=engine, seed=seed
+            )
+            warm = server.find_seeds(
+                targets, tags, k, engine=engine, seed=seed
+            )
+        assert cold.cache == "miss"
+        assert warm.cache == "hit"
+        _assert_matches(cold, direct, direct_counters)
+        _assert_matches(warm, direct, direct_counters)
+
+    def test_tag_order_and_duplicates_share_one_answer(self, fig9_graph):
+        """Permuted/duplicated tag sets canonicalize to one asset."""
+        tags = ("c5", "c4", "c6")
+        with _server(fig9_graph) as server:
+            a = server.find_seeds(FIG9_TARGETS, tags, 2, engine="trs")
+            b = server.find_seeds(
+                FIG9_TARGETS, ("c6", "c4", "c5", "c4"), 2, engine="trs"
+            )
+        assert b.cache == "hit"
+        assert a.value.seeds == b.value.seeds
+        assert a.value.estimated_spread == b.value.estimated_spread
+
+    def test_post_eviction_rebuild_matches_cold(self, fig9_graph):
+        """A tiny byte budget forces eviction; the rebuild is identical."""
+        tags_a, tags_b = ("c5", "c4"), ("c6", "c1")
+        with _server(fig9_graph, cache_bytes=1) as server:
+            cold = server.find_seeds(FIG9_TARGETS, tags_a, 2, engine="trs")
+            other = server.find_seeds(FIG9_TARGETS, tags_b, 2, engine="trs")
+            rebuilt = server.find_seeds(
+                FIG9_TARGETS, tags_a, 2, engine="trs"
+            )
+            stats = server.cache_stats()
+        assert other.cache == "miss"
+        assert rebuilt.cache == "miss"  # evicted, so re-built
+        assert stats.evictions >= 2
+        assert rebuilt.value.seeds == cold.value.seeds
+        assert (
+            rebuilt.value.estimated_spread == cold.value.estimated_spread
+        )
+        assert (
+            rebuilt.report["metrics"]["counters"]
+            == cold.report["metrics"]["counters"]
+        )
+
+    def test_distinct_seeds_get_distinct_assets(self, fig9_graph):
+        """The RNG seed is part of the sketch key — no cross-seed reuse."""
+        with _server(fig9_graph) as server:
+            first = server.find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0
+            )
+            second = server.find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=1
+            )
+        assert first.cache == "miss"
+        assert second.cache == "miss"
+
+    def test_index_engine_with_warm_frozen_index(self, fig9_graph):
+        """ltrs on the server's frozen index ≡ direct call on its twin."""
+        tags = ("c5", "c4")
+        with _server(fig9_graph) as server:
+            built = server.warm_index(seed=0)
+            theta_c = server.warmed_theta_c
+            cold = server.find_seeds(
+                FIG9_TARGETS, tags, 2, engine="ltrs", seed=0
+            )
+            warm = server.find_seeds(
+                FIG9_TARGETS, tags, 2, engine="ltrs", seed=0
+            )
+        assert set(built) == set(fig9_graph.tags)
+
+        manager = make_ltrs_manager(fig9_graph)
+        manager.ensure_indexes(fig9_graph.tags, theta_c, rng=0)
+        manager.freeze()
+        direct = find_seeds(
+            fig9_graph, FIG9_TARGETS, canonical_tags(tags), 2,
+            engine="ltrs", config=FAST_SKETCH, manager=manager, rng=0,
+        )
+        assert cold.value.seeds == direct.seeds
+        assert warm.value.seeds == direct.seeds
+        assert cold.value.estimated_spread == direct.estimated_spread
+        assert warm.value.estimated_spread == direct.estimated_spread
+
+
+class TestOtherOpsDifferential:
+    @pytest.mark.parametrize("method", ["batch", "individual"])
+    def test_find_tags_matches_direct(self, fig9_graph, method):
+        direct, direct_counters = _counters(lambda: find_tags(
+            fig9_graph, FIG9_SEEDS, FIG9_TARGETS, 2, method=method, rng=0,
+        ))
+        with _server(fig9_graph) as server:
+            cold = server.find_tags(
+                FIG9_SEEDS, FIG9_TARGETS, 2, method=method, seed=0
+            )
+            warm = server.find_tags(
+                FIG9_SEEDS, FIG9_TARGETS, 2, method=method, seed=0
+            )
+        for resp in (cold, warm):
+            assert resp.value.tags == direct.tags
+            assert resp.value.estimated_spread == direct.estimated_spread
+            assert resp.report["metrics"]["counters"] == direct_counters
+        assert cold.cache == "miss" and warm.cache == "hit"
+
+    def test_seed_order_canonicalized(self, fig9_graph):
+        """Permuted seed lists share one tag-selection asset."""
+        with _server(fig9_graph) as server:
+            a = server.find_tags((2, 0, 1), FIG9_TARGETS, 2, seed=0)
+            b = server.find_tags((1, 2, 0, 0), FIG9_TARGETS, 2, seed=0)
+        assert b.cache == "hit"
+        assert a.value.tags == b.value.tags
+
+    @pytest.mark.parametrize("k,r,seed", [(2, 2, 0), (1, 2, 4)])
+    def test_joint_matches_direct(self, fig9_graph, k, r, seed):
+        config = JointConfig(sketch=FAST_SKETCH)
+        direct, direct_counters = _counters(lambda: jointly_select(
+            fig9_graph, JointQuery(FIG9_TARGETS, k=k, r=r), config,
+            rng=seed,
+        ))
+        with _server(fig9_graph, config=config) as server:
+            cold = server.jointly_select(FIG9_TARGETS, k=k, r=r, seed=seed)
+            warm = server.jointly_select(FIG9_TARGETS, k=k, r=r, seed=seed)
+        for resp in (cold, warm):
+            assert resp.value.seeds == direct.seeds
+            assert resp.value.tags == direct.tags
+            assert resp.value.spread == direct.spread
+            assert resp.value.rounds == direct.rounds
+            assert resp.report["metrics"]["counters"] == direct_counters
+        assert cold.cache == "miss" and warm.cache == "hit"
+
+    def test_spread_matches_direct(self, fig9_graph):
+        direct, direct_counters = _counters(lambda: estimate_spread(
+            fig9_graph, sorted(set(FIG9_SEEDS)), FIG9_TARGETS,
+            canonical_tags(("c5", "c4")), num_samples=150, rng=0,
+        ))
+        with _server(fig9_graph) as server:
+            cold = server.estimate_spread(
+                FIG9_SEEDS, FIG9_TARGETS, ("c4", "c5"),
+                num_samples=150, seed=0,
+            )
+            warm = server.estimate_spread(
+                FIG9_SEEDS, FIG9_TARGETS, ("c5", "c4"),
+                num_samples=150, seed=0,
+            )
+        assert cold.value == direct
+        assert warm.value == direct
+        assert cold.report["metrics"]["counters"] == direct_counters
+        assert warm.report["metrics"]["counters"] == direct_counters
+        assert cold.cache == "miss" and warm.cache == "hit"
+
+
+class TestConnectedSession:
+    def test_connected_sessions_replay_identically(self, fig9_graph):
+        """Same-seed connected sessions get bit-identical answers."""
+        from repro.core.session import CampaignSession
+
+        with _server(fig9_graph) as server:
+            s1 = CampaignSession.connect(server, seed=42)
+            s2 = CampaignSession.connect(server, seed=42)
+            r1 = s1.seeds(FIG9_TARGETS, ("c5", "c4"), 2)
+            t1 = s1.tags(r1.seeds, FIG9_TARGETS, 2)
+            r2 = s2.seeds(FIG9_TARGETS, ("c5", "c4"), 2)
+            t2 = s2.tags(r2.seeds, FIG9_TARGETS, 2)
+            v1 = s1.spread(r1.seeds, FIG9_TARGETS, t1.tags)
+            v2 = s2.spread(r2.seeds, FIG9_TARGETS, t2.tags)
+            stats = server.cache_stats()
+        assert r1.seeds == r2.seeds
+        assert r1.estimated_spread == r2.estimated_spread
+        assert t1.tags == t2.tags
+        assert v1 == v2
+        # The second session re-asked the first's questions: all hits.
+        assert stats.hits >= 3
+        assert s1.server is server and s2.server is server
+
+    def test_connected_session_returns_library_types(self, fig9_graph):
+        from repro.core.session import CampaignSession
+        from repro.seeds.api import SeedSelection
+        from repro.tags.api import TagSelection
+
+        with _server(fig9_graph) as server:
+            session = CampaignSession.connect(server)
+            selection = session.seeds(FIG9_TARGETS, ("c5",), 1)
+            tag_sel = session.tags((0,), FIG9_TARGETS, 1)
+            value = session.spread((0,), FIG9_TARGETS, ("c5",))
+        assert isinstance(selection, SeedSelection)
+        assert isinstance(tag_sel, TagSelection)
+        assert isinstance(value, float)
+        assert session.queries_run == 2

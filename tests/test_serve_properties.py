@@ -1,0 +1,186 @@
+"""Property-based suite for the serving cache-key scheme.
+
+The serving layer's correctness hinges on one invariant: two queries
+share a cached RR asset **iff** they agree on
+``(targets_digest, canonical tag set, θ-determining params)``. Both
+directions matter — a missed share wastes work, a false share serves
+wrong answers. Hypothesis explores the input space (permutations,
+duplicates, single-node mutations, near-miss params) far beyond what
+example tests cover.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidQueryError
+from repro.serve.cache import AssetCache
+from repro.serve.keys import (
+    AssetKey,
+    canonical_tags,
+    config_digest,
+    targets_digest,
+)
+from repro.sketch.theta import SketchConfig
+
+NUM_NODES = 30
+
+node_ids = st.integers(min_value=0, max_value=NUM_NODES - 1)
+target_lists = st.lists(node_ids, min_size=1, max_size=12)
+tag_pool = st.sampled_from(["c1", "c2", "c3", "c4", "c5", "c6"])
+tag_lists = st.lists(tag_pool, min_size=1, max_size=6)
+
+
+class TestTargetsDigest:
+    @given(targets=target_lists, data=st.data())
+    def test_digest_is_a_function_of_the_set(self, targets, data):
+        """Permutations and duplicates never change the digest."""
+        shuffled = data.draw(st.permutations(targets))
+        duplicated = targets + [targets[0]]
+        base = targets_digest(targets, NUM_NODES)
+        assert targets_digest(shuffled, NUM_NODES) == base
+        assert targets_digest(duplicated, NUM_NODES) == base
+
+    @given(targets=target_lists, data=st.data())
+    def test_single_node_mutation_changes_digest(self, targets, data):
+        """Swapping one member for a non-member → different digest."""
+        outside = data.draw(
+            node_ids.filter(lambda n: n not in set(targets))
+        )
+        mutated = list(targets)
+        mutated[data.draw(
+            st.integers(min_value=0, max_value=len(targets) - 1)
+        )] = outside
+        # Mutation may drop the last copy of a node or not; either way
+        # the *set* changed, so the digest must change.
+        if set(mutated) != set(targets):
+            assert (
+                targets_digest(mutated, NUM_NODES)
+                != targets_digest(targets, NUM_NODES)
+            )
+
+    @given(a=target_lists, b=target_lists)
+    def test_digest_equality_iff_set_equality(self, a, b):
+        same = targets_digest(a, NUM_NODES) == targets_digest(b, NUM_NODES)
+        assert same == (set(a) == set(b))
+
+    @given(targets=target_lists)
+    def test_digest_validates_like_the_library(self, targets):
+        """Out-of-range ids are rejected, not silently hashed."""
+        try:
+            targets_digest(targets + [NUM_NODES], NUM_NODES)
+        except InvalidQueryError:
+            pass
+        else:  # pragma: no cover - the assert documents the intent
+            raise AssertionError("out-of-range target accepted")
+
+
+class TestCanonicalTags:
+    @given(tags=tag_lists, data=st.data())
+    def test_canonical_form_ignores_order_and_duplicates(self, tags, data):
+        shuffled = data.draw(st.permutations(tags))
+        assert canonical_tags(tags) == canonical_tags(shuffled)
+        assert canonical_tags(tags) == canonical_tags(tags + tags)
+
+    @given(tags=tag_lists)
+    def test_canonical_form_is_sorted_and_unique(self, tags):
+        canon = canonical_tags(tags)
+        assert list(canon) == sorted(set(tags))
+
+
+class TestCacheKeyedByThetaInputs:
+    """Same asset iff (targets_digest, tag set, θ params) all match."""
+
+    @staticmethod
+    def _key(targets, tags, k, seed, config):
+        return AssetKey(
+            kind="trs_sketch",
+            targets_digest=targets_digest(targets, NUM_NODES),
+            tags=canonical_tags(tags),
+            params=(k, seed, config_digest(config)),
+        )
+
+    @given(
+        targets=target_lists, tags=tag_lists,
+        k=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=9),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_equivalent_queries_share_one_build(
+        self, targets, tags, k, seed, data
+    ):
+        """Permuted targets/tags with identical params → one build."""
+        cache = AssetCache(max_bytes=1 << 20)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return object(), 64, None
+
+        config = SketchConfig()
+        key_a = self._key(targets, tags, k, seed, config)
+        key_b = self._key(
+            data.draw(st.permutations(targets)),
+            data.draw(st.permutations(tags)) + [tags[0]],
+            k, seed, config,
+        )
+        asset_a, built_a = cache.get_or_build(key_a, build)
+        asset_b, built_b = cache.get_or_build(key_b, build)
+        assert key_a == key_b
+        assert built_a and not built_b
+        assert asset_b is asset_a
+        assert len(builds) == 1
+
+    @given(
+        targets=target_lists, tags=tag_lists,
+        k=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=9),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_any_theta_input_change_is_a_miss(
+        self, targets, tags, k, seed, data
+    ):
+        """Mutating targets by one node, or any θ param, → distinct key."""
+        cache = AssetCache(max_bytes=1 << 20)
+        build_count = [0]
+
+        def build():
+            build_count[0] += 1
+            return object(), 64, None
+
+        config = SketchConfig()
+        base = self._key(targets, tags, k, seed, config)
+        cache.get_or_build(base, build)
+
+        outside = data.draw(
+            node_ids.filter(lambda n: n not in set(targets))
+        )
+        variants = [
+            self._key(list(targets) + [outside], tags, k, seed, config),
+            self._key(targets, tags, k + 1, seed, config),
+            self._key(targets, tags, k, seed + 10, config),
+            self._key(
+                targets, tags, k, seed,
+                SketchConfig(theta_max=config.theta_max + 1),
+            ),
+        ]
+        remaining = sorted(
+            {"c1", "c2", "c3", "c4", "c5", "c6"} - set(tags)
+        )
+        if remaining:
+            extra_tag = data.draw(st.sampled_from(remaining))
+            variants.append(
+                self._key(targets, list(tags) + [extra_tag], k, seed, config)
+            )
+        for variant in variants:
+            assert variant != base
+            _asset, built_here = cache.get_or_build(variant, build)
+            assert built_here
+        assert build_count[0] == 1 + len(variants)
+        # And the original is still a hit afterwards.
+        _asset, built_here = cache.get_or_build(base, build)
+        assert not built_here
+        assert build_count[0] == 1 + len(variants)
