@@ -143,6 +143,7 @@ class CampaignSession:
                 seed=self._next_seed(),
                 deadline=budget.wall_seconds if budget else None,
                 max_samples=budget.max_samples if budget else None,
+                max_rr_members=budget.max_rr_members if budget else None,
             ).value
         return find_seeds(
             self._graph, targets, tags, k,
@@ -194,6 +195,7 @@ class CampaignSession:
                 seed=self._next_seed(),
                 deadline=budget.wall_seconds if budget else None,
                 max_samples=budget.max_samples if budget else None,
+                max_rr_members=budget.max_rr_members if budget else None,
             ).value
         return jointly_select(
             self._graph,
@@ -220,6 +222,7 @@ class CampaignSession:
                 seed=self._next_seed(),
                 deadline=budget.wall_seconds if budget else None,
                 max_samples=budget.max_samples if budget else None,
+                max_rr_members=budget.max_rr_members if budget else None,
             ).value
         return estimate_spread(
             self._graph, seeds, targets, tags,

@@ -46,7 +46,7 @@ class CachedAsset:
     value: Any
     nbytes: int
     metrics: Any = None  # MetricsRegistry snapshot from the build scope
-    builds: int = 1  # how many times this key has been (re)built
+    builds: int = 1  # builds of *this* asset object (always 1 today)
 
 
 @dataclass
@@ -118,7 +118,6 @@ class AssetCache:
         self._inflight: dict[object, _Ticket] = {}
         self._lock = threading.Lock()
         self._stats = CacheStats()
-        self._rebuilds: dict[object, int] = {}
         self._on_event = on_event
 
     # ------------------------------------------------------------------
@@ -209,14 +208,18 @@ class AssetCache:
 
     def _insert(self, key, value, nbytes, metrics) -> CachedAsset:
         with self._lock:
-            rebuilds = self._rebuilds.get(key, 0) + 1
-            self._rebuilds[key] = rebuilds
+            # Single-flight guarantees the key is absent here, so each
+            # insert is this asset's first build. Per-key rebuild
+            # history is deliberately not kept across eviction or
+            # invalidation — a long-lived server with unbounded
+            # distinct keys must not grow state for departed entries
+            # (the monotonic CacheStats counters track totals instead).
             asset = CachedAsset(
                 key=key,
                 value=value,
                 nbytes=int(nbytes),
                 metrics=metrics,
-                builds=rebuilds,
+                builds=1,
             )
             self._entries[key] = asset
             self._entries.move_to_end(key)

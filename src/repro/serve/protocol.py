@@ -9,6 +9,8 @@ Request shapes
 --------------
 ``{"op": "find_seeds", "targets": [...], "tags": [...], "k": 2,
    "engine": "trs", "seed": 0, "deadline": 5.0}``
+   (query ops also accept ``max_samples`` / ``max_rr_members`` budget
+   caps alongside ``deadline``)
 ``{"op": "find_tags", "seeds": [...], "targets": [...], "r": 2,
    "method": "batch", "seed": 0}``
 ``{"op": "joint", "targets": [...], "k": 2, "r": 2, "seed": 0}``
@@ -97,6 +99,10 @@ def execute_request(
     deadline = float(deadline) if deadline is not None else None
     max_samples = request.get("max_samples")
     max_samples = int(max_samples) if max_samples is not None else None
+    max_rr_members = request.get("max_rr_members")
+    max_rr_members = (
+        int(max_rr_members) if max_rr_members is not None else None
+    )
 
     if op == "find_seeds":
         return server.find_seeds(
@@ -108,6 +114,7 @@ def execute_request(
             num_samples=int(request.get("num_samples", 100)),
             deadline=deadline,
             max_samples=max_samples,
+            max_rr_members=max_rr_members,
         )
     if op == "find_tags":
         return server.find_tags(
@@ -118,6 +125,7 @@ def execute_request(
             seed=seed,
             deadline=deadline,
             max_samples=max_samples,
+            max_rr_members=max_rr_members,
         )
     if op == "joint":
         return server.jointly_select(
@@ -127,6 +135,7 @@ def execute_request(
             seed=seed,
             deadline=deadline,
             max_samples=max_samples,
+            max_rr_members=max_rr_members,
         )
     return server.estimate_spread(
         seeds=request["seeds"],
@@ -136,6 +145,7 @@ def execute_request(
         seed=seed,
         deadline=deadline,
         max_samples=max_samples,
+        max_rr_members=max_rr_members,
     )
 
 

@@ -164,7 +164,7 @@ class CampaignServer:
         in-system queries raises :class:`ServerOverloadedError`.
     cache_bytes:
         Byte budget for the asset LRU.
-    default_deadline / default_max_samples:
+    default_deadline / default_max_samples / default_max_rr_members:
         Per-query :class:`~repro.engine.RunBudget` defaults, overridable
         per call. Deadlines anchor at execution start (queue wait is
         governed by admission control, not the deadline).
@@ -182,6 +182,7 @@ class CampaignServer:
         cache_bytes: int = 256 * 1024 * 1024,
         default_deadline: float | None = None,
         default_max_samples: int | None = None,
+        default_max_rr_members: int | None = None,
         prob_cache_entries: int = 64,
     ) -> None:
         if pool_size <= 0:
@@ -197,6 +198,7 @@ class CampaignServer:
         self._sampler = sampler
         self._default_deadline = default_deadline
         self._default_max_samples = default_max_samples
+        self._default_max_rr_members = default_max_rr_members
         if prob_cache_entries:
             graph.enable_probability_cache(prob_cache_entries)
 
@@ -235,8 +237,13 @@ class CampaignServer:
 
     def metrics(self) -> dict:
         """Snapshot of the server-level ``serve.*`` metrics."""
+        # Snapshot the cache first: stats() takes the cache lock, and
+        # cache counter bumps call back into _record (metrics lock)
+        # while holding it — taking the metrics lock around stats()
+        # would invert that order and deadlock against a concurrent
+        # query's cache activity.
+        stats = self._cache.stats()
         with self._metrics_lock:
-            stats = self._cache.stats()
             self._metrics.set_gauge("serve.cache.bytes", stats.bytes)
             self._metrics.set_gauge("serve.cache.entries", stats.entries)
             return self._metrics.as_dict()
@@ -259,8 +266,10 @@ class CampaignServer:
 
     def _on_cache_event(self, name: str, amount: int) -> None:
         # Called under the cache lock — keep to a counter bump. The
-        # metrics lock nests inside the cache lock only here; no code
-        # path takes them in the opposite order.
+        # metrics lock nests inside the cache lock only here, so no
+        # code may take the cache lock while holding the metrics lock
+        # (metrics() snapshots the cache *before* locking metrics for
+        # exactly this reason).
         self._record(f"serve.cache.{name}", amount)
 
     # ------------------------------------------------------------------
@@ -268,7 +277,10 @@ class CampaignServer:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Finish in-flight queries and stop accepting new ones."""
-        self._closed = True
+        # Flip the flag under the admission lock so no query can pass
+        # _admit's closed check after we start shutting the pool down.
+        with self._admission_lock:
+            self._closed = True
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "CampaignServer":
@@ -334,9 +346,9 @@ class CampaignServer:
     # Admission + execution
     # ------------------------------------------------------------------
     def _admit(self) -> None:
-        if self._closed:
-            raise ServerClosedError("campaign server is closed")
         with self._admission_lock:
+            if self._closed:
+                raise ServerClosedError("campaign server is closed")
             if self._in_system >= self._capacity:
                 self._record("serve.rejected")
                 raise ServerOverloadedError(self._capacity)
@@ -352,6 +364,15 @@ class CampaignServer:
         self._admit()
         try:
             future = self._executor.submit(self._run_query, op, runner)
+        except RuntimeError as exc:
+            # close() can win the race between _admit and submit; the
+            # shut-down executor's RuntimeError then means "closed".
+            self._release(None)
+            if self._closed:
+                raise ServerClosedError(
+                    "campaign server is closed"
+                ) from exc
+            raise
         except BaseException:
             self._release(None)
             raise
@@ -377,7 +398,10 @@ class CampaignServer:
         )
 
     def _budget(
-        self, deadline: float | None, max_samples: int | None
+        self,
+        deadline: float | None,
+        max_samples: int | None,
+        max_rr_members: int | None = None,
     ) -> RunBudget | None:
         deadline = (
             deadline if deadline is not None else self._default_deadline
@@ -387,9 +411,18 @@ class CampaignServer:
             if max_samples is not None
             else self._default_max_samples
         )
-        if deadline is None and max_samples is None:
+        max_rr_members = (
+            max_rr_members
+            if max_rr_members is not None
+            else self._default_max_rr_members
+        )
+        if deadline is None and max_samples is None and max_rr_members is None:
             return None
-        return RunBudget(wall_seconds=deadline, max_samples=max_samples)
+        return RunBudget(
+            wall_seconds=deadline,
+            max_samples=max_samples,
+            max_rr_members=max_rr_members,
+        )
 
     def _view(self, registry=None):
         """A telemetry-isolated engine view, or None (scalar path)."""
@@ -434,6 +467,7 @@ class CampaignServer:
         num_samples: int = 100,
         deadline: float | None = None,
         max_samples: int | None = None,
+        max_rr_members: int | None = None,
     ) -> "Future[ServeResponse]":
         """Queue a seed-selection query; the future yields a response.
 
@@ -454,7 +488,7 @@ class CampaignServer:
         targets = tuple(int(t) for t in targets)
 
         def runner(ob):
-            budget = self._budget(deadline, max_samples)
+            budget = self._budget(deadline, max_samples, max_rr_members)
             if engine == "trs":
                 return self._seeds_via_sketch(
                     ob, targets, tdigest, tags_c, k, seed, budget
@@ -560,6 +594,7 @@ class CampaignServer:
         seed: int = 0,
         deadline: float | None = None,
         max_samples: int | None = None,
+        max_rr_members: int | None = None,
     ) -> "Future[ServeResponse]":
         """Queue a tag-selection query (seed set canonicalized)."""
         method = method or self._config.tag_method
@@ -607,6 +642,7 @@ class CampaignServer:
         seed: int = 0,
         deadline: float | None = None,
         max_samples: int | None = None,
+        max_rr_members: int | None = None,
     ) -> "Future[ServeResponse]":
         """Queue a full joint (Algorithm 2) query."""
         tdigest = targets_digest(targets, self._graph.num_nodes)
@@ -619,7 +655,7 @@ class CampaignServer:
         )
 
         def runner(ob):
-            budget = self._budget(deadline, max_samples)
+            budget = self._budget(deadline, max_samples, max_rr_members)
 
             def build():
                 with obs.observe() as build_ob:
@@ -647,6 +683,7 @@ class CampaignServer:
         seed: int = 0,
         deadline: float | None = None,
         max_samples: int | None = None,
+        max_rr_members: int | None = None,
     ) -> "Future[ServeResponse]":
         """Queue an MC spread estimate (seeds and tags canonicalized)."""
         tags_c = canonical_tags(tags)
@@ -665,7 +702,7 @@ class CampaignServer:
         )
 
         def runner(ob):
-            budget = self._budget(deadline, max_samples)
+            budget = self._budget(deadline, max_samples, max_rr_members)
 
             def build():
                 with obs.observe() as build_ob:

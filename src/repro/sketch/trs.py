@@ -169,7 +169,7 @@ def trs_build_sketch(
 
     Validates inputs exactly like :func:`trs_select_seeds`, runs the
     pilot, sizes θ, and draws the targeted RR sets — but stops short of
-    seed selection. ``trs_select_from_sketch(graph, targets, k, sketch)``
+    seed selection. ``trs_select_from_sketch(graph, sketch, k)``
     then yields the same seeds :func:`trs_select_seeds` would have,
     because both share one pipeline (and greedy cover is deterministic).
 

@@ -272,6 +272,46 @@ class TestAdmissionControl:
         with pytest.raises(ServerClosedError):
             server.find_seeds(FIG9_TARGETS, ("c5",), 1, engine="trs")
 
+    def test_close_racing_submits_rejects_cleanly(self, fig9_graph):
+        """Regression: a submit racing close() must see ServerClosedError
+        (or succeed/overload), never the shut-down executor's raw
+        RuntimeError."""
+        n_clients = 8
+        server = _server(fig9_graph)
+        barrier = threading.Barrier(n_clients + 1)
+        outcomes: list[object] = []
+        outcomes_lock = threading.Lock()
+
+        def client(seed):
+            barrier.wait(timeout=WAIT)
+            try:
+                future = server.submit_find_seeds(
+                    FIG9_TARGETS, ("c5",), 1, engine="trs", seed=seed
+                )
+                future.result(timeout=WAIT)
+                outcome: object = "ok"
+            except (ServerClosedError, ServerOverloadedError):
+                outcome = "rejected"
+            except BaseException as exc:  # the bug: raw RuntimeError
+                outcome = exc
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+        threads = [
+            threading.Thread(target=client, args=(seed,))
+            for seed in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=WAIT)
+        server.close()
+        for t in threads:
+            t.join(timeout=WAIT)
+        assert all(not t.is_alive() for t in threads)
+        assert len(outcomes) == n_clients
+        unexpected = [o for o in outcomes if o not in ("ok", "rejected")]
+        assert not unexpected, f"raw exceptions leaked: {unexpected!r}"
+
     def test_queue_depth_gauge_returns_to_zero(self, fig9_graph):
         with _server(fig9_graph) as server:
             futures = [
@@ -286,6 +326,49 @@ class TestAdmissionControl:
 
 
 class TestServerHygiene:
+    def test_metrics_poll_concurrent_with_cache_traffic(self, fig9_graph):
+        """Regression: metrics() used to hold the metrics lock while
+        taking the cache lock (stats()), while cache counter bumps take
+        them in the opposite order — a concurrent metrics poll plus any
+        cache-active query deadlocked both threads. The wall-clock
+        guards below turn a reintroduced inversion into a failure."""
+        n_queries = 8
+        with _server(fig9_graph) as server:
+            stop = threading.Event()
+            poll_errors: list[BaseException] = []
+
+            def poll():
+                while not stop.is_set():
+                    try:
+                        server.metrics()
+                    except BaseException as exc:  # pragma: no cover
+                        poll_errors.append(exc)
+                        return
+
+            pollers = [threading.Thread(target=poll) for _ in range(4)]
+            for t in pollers:
+                t.start()
+            try:
+                # Distinct seeds -> distinct keys -> a miss+build cache
+                # event (under the cache lock) per query.
+                futures = [
+                    server.submit_find_seeds(
+                        FIG9_TARGETS, ("c5",), 1, engine="trs", seed=s
+                    )
+                    for s in range(n_queries)
+                ]
+                responses = [f.result(timeout=WAIT) for f in futures]
+            finally:
+                stop.set()
+                for t in pollers:
+                    t.join(timeout=WAIT)
+            assert all(not t.is_alive() for t in pollers)
+            assert not poll_errors
+            assert len(responses) == n_queries
+            snapshot = server.metrics()
+        assert snapshot["counters"]["serve.queries"] == n_queries
+        assert snapshot["counters"]["serve.cache.builds"] == n_queries
+
     def test_probability_cache_enabled_and_bounded(self, fig9_graph):
         with _server(fig9_graph, prob_cache_entries=4) as server:
             # Same tag set under different seeds: distinct sketch assets,

@@ -259,6 +259,29 @@ class TestConnectedSession:
         assert stats.hits >= 3
         assert s1.server is server and s2.server is server
 
+    def test_connected_session_forwards_memory_budget(self, fig9_graph):
+        """Regression: a connected session must forward the whole
+        RunBudget — max_rr_members used to be silently dropped, so a
+        memory-capped query that fails in direct mode ran uncapped when
+        routed through a server."""
+        from repro.core.session import CampaignSession
+        from repro.engine.runtime import RunBudget
+        from repro.exceptions import BudgetExceededError
+
+        budget = RunBudget(max_rr_members=1)
+        with pytest.raises(BudgetExceededError):
+            CampaignSession(
+                fig9_graph, JointConfig(sketch=FAST_SKETCH)
+            ).seeds(FIG9_TARGETS, ("c5", "c4"), 2, budget=budget)
+
+        with _server(fig9_graph) as server:
+            session = CampaignSession.connect(server, seed=0)
+            with pytest.raises(BudgetExceededError):
+                session.seeds(
+                    FIG9_TARGETS, ("c5", "c4"), 2,
+                    budget=RunBudget(max_rr_members=1),
+                )
+
     def test_connected_session_returns_library_types(self, fig9_graph):
         from repro.core.session import CampaignSession
         from repro.seeds.api import SeedSelection
