@@ -9,8 +9,13 @@ the same seed-selection query repeatedly:
   deterministic greedy-cover pass (hit).
 
 Also times a mixed four-op workload replayed twice (second pass fully
-warm) and snapshots the ``serve.cache.*`` counters. Writes
-``BENCH_serve.json`` at the repo root and prints a table. Usage::
+warm), snapshots the ``serve.cache.*`` counters and per-op
+p50/p95/p99 latency quantiles, and runs a **concurrent duplicate
+burst** against a fresh server — many identical cold queries in
+flight at once — so single-flight joins are actually exercised
+(``singleflight_joins`` must come out positive; exactly one build).
+Writes ``BENCH_serve.json`` at the repo root and prints a table.
+``scripts/check_bench.py`` validates the written file in CI. Usage::
 
     PYTHONPATH=src:. python benchmarks/bench_serve.py --quick
     PYTHONPATH=src:. python benchmarks/bench_serve.py --quick \
@@ -22,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import time
 from pathlib import Path
 
 from repro.core.joint import JointConfig
@@ -81,6 +87,23 @@ def _bench_config(label, factory, scale, k, warm_repeats):
         stats = server.cache_stats()
         metrics = server.metrics()
 
+    # Concurrent duplicate burst on a *fresh* server: every query is
+    # cold, so all but the winning builder must join the in-flight
+    # build (or hit the just-resident asset) — this is what makes
+    # ``singleflight_joins`` observable at all.
+    concurrent = _bench_concurrent(graph, config, targets, tags, k)
+
+    op_latency = {
+        name[len("serve.op.latency_ms."):]: {
+            "count": hist["count"],
+            "p50_ms": round(hist["p50"], 3),
+            "p95_ms": round(hist["p95"], 3),
+            "p99_ms": round(hist["p99"], 3),
+        }
+        for name, hist in metrics["histograms"].items()
+        if name.startswith("serve.op.latency_ms.") and hist.get("count")
+    }
+
     speedup = cold.elapsed_seconds / max(warm_s, 1e-9)
     return {
         "config": label,
@@ -99,6 +122,49 @@ def _bench_config(label, factory, scale, k, warm_repeats):
             name: value
             for name, value in metrics["counters"].items()
             if name.startswith("serve.")
+        },
+        "op_latency_ms": op_latency,
+        "concurrent": concurrent,
+    }
+
+
+def _bench_concurrent(graph, config, targets, tags, k, fanout=8):
+    """Fire ``fanout`` identical cold queries concurrently.
+
+    Exactly one becomes the single-flight builder; the rest join the
+    in-flight build or hit the freshly resident asset. All responses
+    must carry bit-identical seeds.
+    """
+    with CampaignServer(graph, config=config, pool_size=4) as server:
+        start = time.perf_counter()
+        futures = [
+            server.submit_find_seeds(targets, tags, k, engine="trs", seed=0)
+            for _ in range(fanout)
+        ]
+        responses = [f.result() for f in futures]
+        wall_s = time.perf_counter() - start
+        stats = server.cache_stats()
+
+    seeds = {tuple(r.value.seeds) for r in responses}
+    assert len(seeds) == 1, f"concurrent duplicates disagreed: {seeds}"
+    cache_modes = [r.cache for r in responses]
+    assert stats.builds == 1, f"expected exactly one build, got {stats.builds}"
+    latencies = sorted(r.elapsed_seconds * 1000.0 for r in responses)
+
+    def pct(q):
+        return latencies[min(int(q * len(latencies)), len(latencies) - 1)]
+
+    return {
+        "fanout": fanout,
+        "wall_s": wall_s,
+        "misses": cache_modes.count("miss"),
+        "hits": cache_modes.count("hit"),
+        "builds": stats.builds,
+        "singleflight_joins": stats.singleflight_joins,
+        "latency_ms": {
+            "p50": round(pct(0.5), 3),
+            "p95": round(pct(0.95), 3),
+            "p99": round(pct(0.99), 3),
         },
     }
 
@@ -125,16 +191,19 @@ def main() -> int:
 
     header = (
         f"{'config':<14} {'cold s':>9} {'warm s':>9} "
-        f"{'speedup':>8} {'mixed':>7}"
+        f"{'speedup':>8} {'mixed':>7} {'joins':>6} {'p99 ms':>8}"
     )
     print(header)
     print("-" * len(header))
     for row in results:
+        concurrent = row["concurrent"]
         print(
             f"{row['config']:<14} {row['cold_s']:>9.4f} "
             f"{row['warm_median_s']:>9.4f} "
             f"{row['warm_over_cold_speedup']:>7.1f}x "
-            f"{row['mixed_speedup']:>6.1f}x"
+            f"{row['mixed_speedup']:>6.1f}x "
+            f"{concurrent['singleflight_joins']:>6} "
+            f"{concurrent['latency_ms']['p99']:>8.1f}"
         )
 
     payload = {

@@ -1,0 +1,112 @@
+"""Validate a ``BENCH_serve.json`` produced by ``benchmarks/bench_serve.py``.
+
+CI gate companion to the serving benchmark: re-checks the written
+artifact (rather than the bench process exit code) so the numbers that
+get uploaded are the numbers that passed. Asserts that
+
+* the gated (last) config's warm-over-cold speedup meets the floor
+  (default 5x — cross-query sketch reuse is the serving layer's
+  raison d'etre);
+* the concurrent duplicate burst actually exercised single-flight:
+  exactly one build, at least one ``singleflight_joins``, and every
+  duplicate answered (misses + hits == fanout);
+* per-op latency quantiles are present and ordered
+  (p50 <= p95 <= p99) for every recorded op.
+
+Usage::
+
+    python scripts/check_bench.py BENCH_serve.json --min-speedup 5.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(payload: dict, min_speedup: float) -> list[str]:
+    """Return a list of failure messages (empty = all gates pass)."""
+    failures: list[str] = []
+    results = payload.get("results") or []
+    if not results:
+        return ["no results in benchmark payload"]
+
+    gated = results[-1]
+    speedup = gated.get("warm_over_cold_speedup", 0.0)
+    if speedup < min_speedup:
+        failures.append(
+            f"{gated.get('config')}: warm-over-cold speedup {speedup:.1f}x "
+            f"< required {min_speedup:.1f}x"
+        )
+
+    for row in results:
+        config = row.get("config", "?")
+        concurrent = row.get("concurrent")
+        if not concurrent:
+            failures.append(f"{config}: missing concurrent burst section")
+            continue
+        if concurrent.get("builds") != 1:
+            failures.append(
+                f"{config}: concurrent burst ran "
+                f"{concurrent.get('builds')} builds, expected exactly 1"
+            )
+        if concurrent.get("singleflight_joins", 0) < 1:
+            failures.append(
+                f"{config}: singleflight_joins == "
+                f"{concurrent.get('singleflight_joins')} — the burst did "
+                f"not overlap any builds (concurrency not exercised)"
+            )
+        answered = concurrent.get("misses", 0) + concurrent.get("hits", 0)
+        if answered != concurrent.get("fanout"):
+            failures.append(
+                f"{config}: {answered} answered != fanout "
+                f"{concurrent.get('fanout')}"
+            )
+
+        op_latency = row.get("op_latency_ms") or {}
+        if not op_latency:
+            failures.append(f"{config}: no per-op latency quantiles")
+        for op, q in op_latency.items():
+            keys = ("p50_ms", "p95_ms", "p99_ms")
+            if any(k not in q for k in keys):
+                failures.append(f"{config}/{op}: missing quantile keys")
+            elif not q["p50_ms"] <= q["p95_ms"] <= q["p99_ms"]:
+                failures.append(
+                    f"{config}/{op}: quantiles not ordered: "
+                    f"{q['p50_ms']} / {q['p95_ms']} / {q['p99_ms']}"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "bench_file", nargs="?", default="BENCH_serve.json",
+        help="benchmark artifact to validate (default BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="warm-over-cold floor for the gated config (default 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = json.loads(Path(args.bench_file).read_text(encoding="utf-8"))
+    failures = check(payload, args.min_speedup)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    gated = payload["results"][-1]
+    print(
+        f"check_bench OK: {gated['config']} "
+        f"{gated['warm_over_cold_speedup']:.1f}x >= "
+        f"{args.min_speedup:.1f}x; "
+        f"singleflight_joins={gated['concurrent']['singleflight_joins']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

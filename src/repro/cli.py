@@ -22,6 +22,16 @@ Subcommands
     stdout) with cross-query asset reuse. ``--warm FILE`` prebuilds
     assets from a JSON request array before serving; ``--warm-index``
     builds and freezes a shared possible-world index at startup.
+    ``--listen HOST:PORT`` embeds a live telemetry endpoint
+    (``/metrics`` in OpenMetrics text, ``/healthz``, ``/events``);
+    ``--events-out PATH`` mirrors the query-lifecycle event log
+    (JSONL, schema ``repro.obs.events/1``) to a file, flushed even on
+    SIGTERM/Ctrl-C.
+``top``
+    Live single-screen dashboard for a ``--listen`` endpoint: scrapes
+    ``/metrics`` + ``/healthz`` every ``--interval`` seconds and
+    renders qps, cache hit ratio, per-op p50/p95/p99 latency, cache
+    bytes/evictions, in-flight/queued, and uptime.
 
 All subcommands accept ``--seed`` for deterministic replays. Node lists
 are comma-separated; target files contain one node id per line.
@@ -320,7 +330,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the final serve.* metrics snapshot as JSON to PATH",
     )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help=(
+            "embed a live telemetry HTTP endpoint serving /metrics "
+            "(OpenMetrics text), /healthz, and /events; port 0 picks a "
+            "free port (the resolved URL is printed to stderr)"
+        ),
+    )
+    serve.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help=(
+            "mirror query-lifecycle events to PATH as JSONL (schema "
+            "repro.obs.events/1), flushed even on SIGTERM/Ctrl-C"
+        ),
+    )
+    serve.add_argument(
+        "--telemetry-interval", type=float, default=1.0,
+        help="exporter snapshot interval in seconds for --listen (default 1)",
+    )
+    serve.add_argument(
+        "--telemetry-window", type=float, default=60.0,
+        help="rolling SLO window in seconds for --listen (default 60)",
+    )
+    serve.add_argument(
+        "--slo-target", type=float, default=0.999,
+        help="availability SLO target for the error budget (default 0.999)",
+    )
     add_sampler(serve)
+
+    top = sub.add_parser(
+        "top", help="live dashboard for a serve --listen endpoint"
+    )
+    top.add_argument(
+        "url", help="telemetry endpoint base URL (http://HOST:PORT)"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between dashboard refreshes (default 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="render N frames then exit (default 0 = until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (same as --iterations 1)",
+    )
 
     report = sub.add_parser(
         "report", help="render a saved observability report"
@@ -487,7 +543,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import CampaignServer, serve_stdio
+    from repro.serve import METRICS_SCHEMA, CampaignServer, serve_stdio
 
     graph = load_tag_graph(args.graph)
     config = (
@@ -505,9 +561,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         default_max_samples=args.max_samples,
     )
+    if args.events_out is not None:
+        server.events.open_sink(args.events_out)
+    telemetry = None
     handled = 0
     with _sampler_scope(sampler):
         try:
+            if args.listen is not None:
+                from repro.obs.live import start_live_telemetry
+
+                telemetry = start_live_telemetry(
+                    server,
+                    listen=args.listen,
+                    interval=args.telemetry_interval,
+                    window_seconds=args.telemetry_window,
+                    slo_target=args.slo_target,
+                )
+                print(
+                    f"telemetry: listening on {telemetry.url}",
+                    file=sys.stderr,
+                )
             if args.warm_index:
                 tags = (
                     None if args.warm_index.strip() == "all"
@@ -531,10 +604,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
             handled = serve_stdio(server)
         finally:
+            if telemetry is not None:
+                telemetry.close()
             server.close()
+            # close() flushed the event sink; closing the log also
+            # releases a --events-out file so even the SIGTERM path
+            # leaves a complete JSONL behind.
+            events_total = server.events.total
+            server.events.close()
+            if args.events_out is not None:
+                print(
+                    f"wrote {events_total} events to {args.events_out}",
+                    file=sys.stderr,
+                )
             if args.metrics_out is not None:
                 snapshot = {
-                    "schema": "repro.serve.metrics/1",
+                    "schema": METRICS_SCHEMA,
                     "metrics": server.metrics(),
                     "cache": server.cache_stats().as_dict(),
                 }
@@ -547,6 +632,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
     print(f"served {handled} requests", file=sys.stderr)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.live import parse_openmetrics, render_dashboard
+
+    base = args.url if "://" in args.url else f"http://{args.url}"
+    base = base.rstrip("/")
+
+    def fetch(path: str) -> str:
+        with urllib.request.urlopen(base + path, timeout=5.0) as resp:
+            return resp.read().decode("utf-8")
+
+    frames = 1 if args.once else max(args.iterations, 0)
+    rendered = 0
+    previous = None
+    previous_t = None
+    while True:
+        try:
+            scrape = parse_openmetrics(fetch("/metrics"))
+            try:
+                health = json.loads(fetch("/healthz"))
+            except urllib.error.HTTPError as exc:
+                # /healthz answers 503 (with a JSON body) once closed.
+                health = json.loads(exc.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"repro top: cannot scrape {base}: {exc}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        dt = (now - previous_t) if previous_t is not None else None
+        frame = render_dashboard(
+            scrape, health, url=base, previous=previous, dt=dt
+        )
+        if rendered and frames != 1:
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+        sys.stdout.write(frame)
+        sys.stdout.flush()
+        rendered += 1
+        if frames and rendered >= frames:
+            return 0
+        previous, previous_t = scrape, now
+        time.sleep(args.interval)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -571,6 +701,7 @@ _COMMANDS = {
     "learn": _cmd_learn,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "top": _cmd_top,
 }
 
 

@@ -51,7 +51,14 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.events import EVENTS_SCHEMA, Event, EventLog
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_quantile,
+)
 from repro.obs.report import build_report, render_report
 from repro.obs.trace import NULL_SPAN, Span, Tracer, chrome_events_from_dicts
 
@@ -71,12 +78,44 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
     "Tracer",
     "Span",
     "build_report",
     "render_report",
     "chrome_events_from_dicts",
+    "Event",
+    "EventLog",
+    "EVENTS_SCHEMA",
+    # live-telemetry names, resolved lazily via __getattr__ so the hot
+    # path never imports http.server:
+    "TelemetryExporter",
+    "TelemetryEndpoint",
+    "LiveTelemetry",
+    "start_live_telemetry",
+    "render_openmetrics",
+    "parse_openmetrics",
 ]
+
+#: Names forwarded to :mod:`repro.obs.live` on first access (PEP 562).
+_LIVE_EXPORTS = frozenset(
+    {
+        "TelemetryExporter",
+        "TelemetryEndpoint",
+        "LiveTelemetry",
+        "start_live_telemetry",
+        "render_openmetrics",
+        "parse_openmetrics",
+    }
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LIVE_EXPORTS:
+        from repro.obs import live
+
+        return getattr(live, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Observation:

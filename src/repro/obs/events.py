@@ -1,0 +1,205 @@
+"""Structured query-lifecycle event log (schema ``repro.obs.events/1``).
+
+Metrics answer "how much / how fast"; events answer "what happened,
+in what order, to which query". The serving layer emits one event per
+lifecycle transition::
+
+    query.admitted     admission control accepted the query
+    query.queued       the query entered the worker-pool run queue
+    query.build.start  this query became the single-flight builder
+    query.build.done   the build finished (``ok`` tells success)
+    query.cache.hit    the query reused a resident / in-flight asset
+    query.done         the query finished (``ok``, ``cache``, latency)
+    query.rejected     admission refused it (overload / closed)
+
+Every event carries the query's ``trace_id`` — the same id stamped on
+the query's ``serve.query`` span and Chrome trace events — so a slow
+entry in the event log can be correlated with its spans, and vice
+versa.
+
+Events live in a bounded in-memory ring (old events are overwritten,
+never blocking a query) and can additionally be mirrored to a JSONL
+sink (``repro serve --events-out``), one event object per line. The
+ring is served live at the telemetry endpoint's ``/events`` route.
+
+Emitting an event reads the wall clock but never touches an
+observation scope, RNG, or algorithm state — the serving layer's
+bit-identity invariant (results and work counters identical with
+telemetry on or off) is preserved by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, List, Optional
+
+__all__ = ["EVENTS_SCHEMA", "Event", "EventLog"]
+
+EVENTS_SCHEMA = "repro.obs.events/1"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One immutable lifecycle event."""
+
+    seq: int
+    ts: float  # wall-clock epoch seconds (operational, not deterministic)
+    kind: str
+    trace_id: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+        }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class EventLog:
+    """Thread-safe bounded event ring with an optional JSONL sink.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; ``0`` disables the ring (events still reach an
+        attached sink). Once full, each new event overwrites the
+        oldest and bumps ``dropped`` — emission never blocks.
+    sink:
+        Optional text stream; every event is written as one JSON line.
+        Use :meth:`open_sink` instead to have the log own (and close)
+        the file. Sink writes happen under the log's lock, so sinks
+        must be plain local files, not slow remote handles.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, sink: Optional[IO[str]] = None
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: Optional[deque] = (
+            deque(maxlen=capacity) if capacity else None
+        )
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dropped = 0
+        self._sink = sink
+        self._owns_sink = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether emitting has any effect (ring or sink present)."""
+        return self._ring is not None or self._sink is not None
+
+    def emit(
+        self, kind: str, trace_id: Optional[str] = None, **attrs: Any
+    ) -> Optional[Event]:
+        """Append one event; returns it (or ``None`` when disabled)."""
+        with self._lock:
+            if self._closed or not self.enabled:
+                return None
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                ts=time.time(),
+                kind=kind,
+                trace_id=trace_id,
+                attrs=attrs,
+            )
+            if self._ring is not None:
+                if len(self._ring) == self._ring.maxlen:
+                    self._dropped += 1
+                self._ring.append(event)
+            if self._sink is not None:
+                self._sink.write(json.dumps(event.as_dict()) + "\n")
+        return event
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring) if self._ring is not None else 0
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten after the ring filled up."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def total(self) -> int:
+        """Events ever emitted (monotonic)."""
+        with self._lock:
+            return self._seq
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent events as dicts, oldest first."""
+        with self._lock:
+            events = list(self._ring) if self._ring is not None else []
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return [e.as_dict() for e in events]
+
+    def payload(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/events`` endpoint document."""
+        with self._lock:
+            dropped, total = self._dropped, self._seq
+        return {
+            "schema": EVENTS_SCHEMA,
+            "capacity": self.capacity,
+            "total": total,
+            "dropped": dropped,
+            "events": self.snapshot(limit),
+        }
+
+    # ------------------------------------------------------------------
+    # Sink lifecycle
+    # ------------------------------------------------------------------
+    def open_sink(self, path) -> None:
+        """Open ``path`` as an owned line-buffered JSONL sink."""
+        handle = open(path, "w", encoding="utf-8", buffering=1)
+        with self._lock:
+            if self._sink is not None and self._owns_sink:
+                self._sink.close()
+            self._sink = handle
+            self._owns_sink = True
+
+    def attach_sink(self, sink: IO[str]) -> None:
+        """Mirror events to a caller-owned stream (not closed by us)."""
+        with self._lock:
+            self._sink = sink
+            self._owns_sink = False
+
+    def flush(self) -> None:
+        """Flush the sink (no-op without one)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and release the sink; idempotent. The ring survives
+        (still snapshottable) but further emits are dropped."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._sink is not None:
+                self._sink.flush()
+                if self._owns_sink:
+                    self._sink.close()
+                self._sink = None

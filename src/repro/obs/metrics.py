@@ -26,9 +26,15 @@ a metric can never perturb an algorithm's random stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple, Union
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bucket_quantile",
+]
 
 
 @dataclass
@@ -65,6 +71,67 @@ class Gauge:
 
 #: Upper edges of the power-of-two histogram buckets: 1, 2, 4, ... 2^30.
 _BUCKET_EDGES: Tuple[int, ...] = tuple(1 << i for i in range(31))
+
+
+def bucket_quantile(
+    buckets: Dict[int, int],
+    count: int,
+    q: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> float:
+    """Quantile estimate from power-of-two bucket counts.
+
+    ``buckets`` maps each upper bucket edge to its observation count
+    (``-1`` is the overflow bucket); ``count`` is the total. The
+    estimate walks the cumulative counts to the bucket containing rank
+    ``q * count`` and interpolates linearly between that bucket's lower
+    and upper edges (*upper-bound interpolation*: with no information
+    about the in-bucket distribution, mass is assumed uniform up to the
+    upper edge, so the estimate is exact to within one power-of-two
+    bucket). ``lo``/``hi`` — the observed min/max, when known — clamp
+    the estimate to the data's actual range.
+
+    Shared by :meth:`Histogram.quantile` (which clamps to the
+    histogram's min/max) and the rolling-window telemetry in
+    :mod:`repro.obs.live` (which differences two bucket snapshots and
+    has no min/max for the window).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return float("nan")
+    target = q * count
+    cumulative = 0
+    for edge in sorted(e for e in buckets if e != -1):
+        n = buckets[edge]
+        if n <= 0:
+            continue
+        if cumulative + n >= target:
+            lower = edge / 2.0 if edge > 1 else 0.0
+            within = max(target - cumulative, 0.0) / n
+            value = lower + (edge - lower) * within
+            if lo is not None:
+                value = max(value, lo)
+            if hi is not None:
+                value = min(value, hi)
+            return value
+        cumulative += n
+    # The rank falls in the overflow bucket, which has no upper edge:
+    # interpolate toward the observed max when known, else bound by one
+    # more bucket doubling.
+    lower = float(_BUCKET_EDGES[-1])
+    upper = float(hi) if hi is not None and hi > lower else lower * 2.0
+    n_over = buckets.get(-1, 0)
+    if n_over <= 0:
+        return upper if hi is not None else lower
+    within = min(max(target - cumulative, 0.0) / n_over, 1.0)
+    value = lower + (upper - lower) * within
+    if lo is not None:
+        value = max(value, lo)
+    if hi is not None:
+        value = min(value, hi)
+    return value
 
 
 @dataclass
@@ -105,6 +172,26 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the power-of-two buckets.
+
+        Upper-bound bucket interpolation (see :func:`bucket_quantile`),
+        clamped to the observed ``[min, max]`` — so the estimate agrees
+        with the exact percentile of the recorded values to within one
+        power-of-two bucket. Returns ``nan`` for an empty histogram.
+        """
+        if not self.count:
+            return float("nan")
+        return bucket_quantile(
+            self.buckets, self.count, q, lo=self.min, hi=self.max
+        )
+
+    def quantiles(
+        self, qs: Iterable[float] = (0.5, 0.95, 0.99)
+    ) -> Tuple[float, ...]:
+        """Several quantile estimates at once (default p50/p95/p99)."""
+        return tuple(self.quantile(q) for q in qs)
+
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             "count": self.count,
@@ -114,6 +201,10 @@ class Histogram:
         if self.count:
             out["min"] = self.min
             out["max"] = self.max
+            p50, p95, p99 = self.quantiles((0.5, 0.95, 0.99))
+            out["p50"] = p50
+            out["p95"] = p95
+            out["p99"] = p99
             out["buckets"] = {str(k): v for k, v in sorted(self.buckets.items())}
         return out
 

@@ -8,7 +8,8 @@ to result objects as ``.report``, and pretty-printed by
       "schema": "repro.obs.report/1",
       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
       "trace": [ {name, duration_seconds, attrs?, children?}, ... ],
-      "phases": [ {name, seconds, percent}, ... ]
+      "phases": [ {name, seconds, percent}, ... ],
+      "trace_id": "q-000042"          # optional correlation id
     }
 
 ``phases`` is derived from the trace: the top-level spans, flattened
@@ -43,12 +44,17 @@ def _phase_table(trace_dicts: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 def build_report(observation) -> Dict[str, Any]:
     """Snapshot an :class:`~repro.obs.Observation` into report form."""
     trace = observation.tracer.as_dicts()
-    return {
+    report = {
         "schema": SCHEMA,
         "metrics": observation.metrics.as_dict(),
         "trace": trace,
         "phases": _phase_table(trace),
     }
+    # Optional correlation id (set by the serving layer): lets a saved
+    # report be matched to the same query's live event-log entries.
+    if observation.tracer.trace_id is not None:
+        report["trace_id"] = observation.tracer.trace_id
+    return report
 
 
 def render_report(report: Dict[str, Any]) -> str:
@@ -93,14 +99,17 @@ def render_report(report: Dict[str, Any]) -> str:
         lines.append("Histograms")
         width = max(len(n) for n in histograms)
         for name, h in histograms.items():
+            extra = ""
+            if h.get("count"):
+                extra = f" min={h['min']:g} max={h['max']:g}"
+                if "p50" in h:
+                    extra += (
+                        f" p50={h['p50']:g} p95={h['p95']:g}"
+                        f" p99={h['p99']:g}"
+                    )
             lines.append(
                 f"  {name:<{width}}  count={h['count']}"
-                f" mean={h['mean']:.2f}"
-                + (
-                    f" min={h['min']:g} max={h['max']:g}"
-                    if h.get("count")
-                    else ""
-                )
+                f" mean={h['mean']:.2f}" + extra
             )
         lines.append("")
 

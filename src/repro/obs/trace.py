@@ -94,10 +94,19 @@ class _OpenSpan:
 
 
 class Tracer:
-    """Collects a forest of spans for one observation scope."""
+    """Collects a forest of spans for one observation scope.
 
-    def __init__(self) -> None:
+    ``trace_id`` is an optional correlation id (set by the serving
+    layer to the query's id, e.g. ``"q-000042"``). When set it is
+    stamped into every exported Chrome trace event's ``args`` and
+    surfaced in run reports, so a span in a flamegraph can be matched
+    to the same query's entries in the live event log
+    (:mod:`repro.obs.events`).
+    """
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self.roots: List[Span] = []
+        self.trace_id = trace_id
         self._stack: List[Span] = []
         self._origin = time.perf_counter()
 
@@ -165,6 +174,9 @@ class Tracer:
         events: List[Dict[str, Any]] = []
 
         def walk(span: Span) -> None:
+            args = dict(span.attrs)
+            if self.trace_id is not None:
+                args.setdefault("trace_id", self.trace_id)
             events.append(
                 {
                     "name": span.name,
@@ -173,7 +185,7 @@ class Tracer:
                     "dur": (span.duration or 0.0) * 1e6,
                     "pid": 0,
                     "tid": 0,
-                    "args": dict(span.attrs),
+                    "args": args,
                 }
             )
             for child in span.children:

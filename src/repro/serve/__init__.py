@@ -36,7 +36,7 @@ from repro.serve.keys import (
     targets_digest,
 )
 from repro.serve.protocol import execute_request, handle_line, serve_stdio
-from repro.serve.server import CampaignServer, ServeResponse
+from repro.serve.server import METRICS_SCHEMA, CampaignServer, ServeResponse
 
 __all__ = [
     "AssetCache",
@@ -44,6 +44,7 @@ __all__ = [
     "CachedAsset",
     "CacheStats",
     "CampaignServer",
+    "METRICS_SCHEMA",
     "ServeResponse",
     "canonical_tags",
     "config_digest",

@@ -17,7 +17,11 @@ Request shapes
 ``{"op": "spread", "seeds": [...], "targets": [...], "tags": [...],
    "num_samples": 200, "seed": 0}``
 ``{"op": "warm_index", "tags": [...], "theta_c": 64, "seed": 0}``
-``{"op": "metrics"}`` / ``{"op": "ping"}``
+``{"op": "metrics"}`` / ``{"op": "health"}`` / ``{"op": "ping"}``
+``{"op": "events", "limit": 50}``
+   (the most recent query-lifecycle events, schema
+   ``repro.obs.events/1`` — the same document the live telemetry
+   endpoint serves at ``/events``)
 
 Query responses include ``cache`` (``"miss"``/``"hit"``) and
 ``elapsed_ms``; pass ``"report": true`` in a request to inline the full
@@ -32,7 +36,7 @@ import sys
 from typing import Any, IO
 
 from repro.exceptions import ReproError
-from repro.serve.server import CampaignServer, ServeResponse
+from repro.serve.server import METRICS_SCHEMA, CampaignServer, ServeResponse
 
 __all__ = ["execute_request", "handle_line", "serve_stdio"]
 
@@ -78,8 +82,16 @@ def execute_request(
     if op == "ping":
         return {"pong": True}
     if op == "metrics":
-        return {"metrics": server.metrics(),
+        return {"schema": METRICS_SCHEMA,
+                "metrics": server.metrics(),
                 "cache": server.cache_stats().as_dict()}
+    if op == "health":
+        return {"health": server.health()}
+    if op == "events":
+        limit = request.get("limit")
+        return server.events.payload(
+            int(limit) if limit is not None else None
+        )
     if op == "warm_index":
         built = server.warm_index(
             tags=request.get("tags"),
@@ -91,7 +103,7 @@ def execute_request(
     if op not in _QUERY_OPS:
         raise ReproError(
             f"unknown op {op!r}; expected one of "
-            f"{_QUERY_OPS + ('warm_index', 'metrics', 'ping')}"
+            f"{_QUERY_OPS + ('warm_index', 'metrics', 'health', 'events', 'ping')}"
         )
 
     seed = int(request.get("seed", 0))

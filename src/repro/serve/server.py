@@ -38,7 +38,9 @@ embodied in the answer, not just the work done by this query.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from collections.abc import Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -57,6 +59,7 @@ from repro.exceptions import (
 from repro.graphs.tag_graph import TagGraph
 from repro.index.lazy import IndexManager
 from repro.index.possible_world_index import theta_c as compute_theta_c
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.seeds.api import ENGINES, SeedSelection, find_seeds
 from repro.serve.cache import AssetCache
@@ -71,7 +74,15 @@ from repro.tags.api import METHODS, find_tags
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 
-__all__ = ["CampaignServer", "ServeResponse"]
+__all__ = ["CampaignServer", "ServeResponse", "METRICS_SCHEMA"]
+
+#: Schema tag for serialized metrics snapshots (``repro serve
+#: --metrics-out``, protocol ``metrics`` responses). ``/2`` adds
+#: histogram quantiles (p50/p95/p99), the per-op latency family
+#: ``serve.op.latency_ms.*``, the ``serve.inflight`` /
+#: ``serve.uptime_seconds`` gauges, and ``serve.errors*`` counters —
+#: see ``docs/serving.md`` for the full ``/1`` → ``/2`` diff.
+METRICS_SCHEMA = "repro.serve.metrics/2"
 
 
 @dataclass(frozen=True)
@@ -170,6 +181,11 @@ class CampaignServer:
         governed by admission control, not the deadline).
     prob_cache_entries:
         Size of the graph's tag-aggregation memo (0 disables).
+    events / event_capacity:
+        Query-lifecycle event log (see :mod:`repro.obs.events`): pass a
+        configured :class:`~repro.obs.events.EventLog` or let the
+        server create a ring of ``event_capacity`` events
+        (``0`` disables emission entirely).
     """
 
     def __init__(
@@ -184,6 +200,8 @@ class CampaignServer:
         default_max_samples: int | None = None,
         default_max_rr_members: int | None = None,
         prob_cache_entries: int = 64,
+        events: EventLog | None = None,
+        event_capacity: int = 1024,
     ) -> None:
         if pool_size <= 0:
             raise ConfigurationError(
@@ -204,18 +222,42 @@ class CampaignServer:
 
         self._metrics = MetricsRegistry()
         self._metrics_lock = threading.Lock()
+        # Pre-register the core serving metrics so a /metrics scrape of
+        # an idle server already exposes every family at zero (scrapers
+        # need the t=0 sample to compute rates over the first window).
+        for name in (
+            "serve.queries", "serve.rejected", "serve.errors",
+            "serve.cache.hits", "serve.cache.misses", "serve.cache.builds",
+            "serve.cache.evictions", "serve.cache.singleflight_joins",
+        ):
+            self._metrics.counter(name)
+        self._metrics.histogram("serve.query.latency_ms")
+        self._metrics.set_gauge("serve.queue.depth", 0)
+        self._metrics.set_gauge("serve.inflight", 0)
         self._cache = AssetCache(
             max_bytes=cache_bytes, on_event=self._on_cache_event
         )
         self._executor = ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix="repro-serve"
         )
+        self._pool_size = pool_size
         self._capacity = pool_size + queue_capacity
         self._in_system = 0
+        self._executing = 0
         self._admission_lock = threading.Lock()
         self._index_manager: IndexManager | None = None
         self._warm_theta_c: int | None = None
         self._closed = False
+        self._started_monotonic = time.monotonic()
+        # Query-lifecycle telemetry: a monotone id per query (stamped on
+        # the query's spans AND its events, so the two correlate) plus a
+        # bounded event ring. Emitting events never touches observation
+        # scopes or RNGs — telemetry on/off cannot change results.
+        self._events = (
+            events if events is not None else EventLog(capacity=event_capacity)
+        )
+        self._query_seq = itertools.count(1)
+        self._query_local = threading.local()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -235,6 +277,16 @@ class CampaignServer:
         """The frozen shared possible-world index, when warmed."""
         return self._index_manager
 
+    @property
+    def events(self) -> EventLog:
+        """The query-lifecycle event log (ring + optional sink)."""
+        return self._events
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the server was constructed."""
+        return time.monotonic() - self._started_monotonic
+
     def metrics(self) -> dict:
         """Snapshot of the server-level ``serve.*`` metrics."""
         # Snapshot the cache first: stats() takes the cache lock, and
@@ -243,10 +295,28 @@ class CampaignServer:
         # would invert that order and deadlock against a concurrent
         # query's cache activity.
         stats = self._cache.stats()
+        uptime = self.uptime_seconds
         with self._metrics_lock:
             self._metrics.set_gauge("serve.cache.bytes", stats.bytes)
             self._metrics.set_gauge("serve.cache.entries", stats.entries)
+            self._metrics.set_gauge("serve.uptime_seconds", uptime)
             return self._metrics.as_dict()
+
+    def health(self) -> dict:
+        """Admission/queue/closed state (the ``/healthz`` document)."""
+        with self._admission_lock:
+            closed = self._closed
+            in_system = self._in_system
+            executing = self._executing
+        return {
+            "status": "closed" if closed else "ok",
+            "closed": closed,
+            "in_flight": executing,
+            "queued": max(in_system - executing, 0),
+            "capacity": self._capacity,
+            "pool_size": self._pool_size,
+            "uptime_seconds": self.uptime_seconds,
+        }
 
     def cache_stats(self):
         """The asset cache's own counter snapshot."""
@@ -263,6 +333,11 @@ class CampaignServer:
     def _set_gauge(self, name: str, value: float) -> None:
         with self._metrics_lock:
             self._metrics.set_gauge(name, value)
+
+    def _emit(self, kind: str, trace_id: str | None = None, **attrs) -> None:
+        """Emit a lifecycle event (no-op when the log is disabled)."""
+        if self._events.enabled:
+            self._events.emit(kind, trace_id=trace_id, **attrs)
 
     def _on_cache_event(self, name: str, amount: int) -> None:
         # Called under the cache lock — keep to a counter bump. The
@@ -282,6 +357,11 @@ class CampaignServer:
         with self._admission_lock:
             self._closed = True
         self._executor.shutdown(wait=True)
+        # In-flight queries have drained; push their final lifecycle
+        # events to any attached sink. The log itself stays open so
+        # post-close rejections are still recorded (and the ring stays
+        # snapshottable) — the sink owner closes it.
+        self._events.flush()
 
     def __enter__(self) -> "CampaignServer":
         return self
@@ -361,14 +441,27 @@ class CampaignServer:
             self._set_gauge("serve.queue.depth", self._in_system)
 
     def _submit(self, op: str, runner: Callable) -> "Future[ServeResponse]":
-        self._admit()
+        qid = f"q-{next(self._query_seq):06d}"
         try:
-            future = self._executor.submit(self._run_query, op, runner)
+            self._admit()
+        except (ServerClosedError, ServerOverloadedError) as exc:
+            self._emit(
+                "query.rejected", trace_id=qid, op=op,
+                reason=type(exc).__name__,
+            )
+            raise
+        self._emit("query.admitted", trace_id=qid, op=op)
+        try:
+            future = self._executor.submit(self._run_query, op, runner, qid)
         except RuntimeError as exc:
             # close() can win the race between _admit and submit; the
             # shut-down executor's RuntimeError then means "closed".
             self._release(None)
             if self._closed:
+                self._emit(
+                    "query.rejected", trace_id=qid, op=op,
+                    reason="ServerClosedError",
+                )
                 raise ServerClosedError(
                     "campaign server is closed"
                 ) from exc
@@ -376,18 +469,46 @@ class CampaignServer:
         except BaseException:
             self._release(None)
             raise
+        self._emit("query.queued", trace_id=qid, op=op)
         future.add_done_callback(self._release)
         return future
 
-    def _run_query(self, op: str, runner: Callable) -> ServeResponse:
+    def _run_query(
+        self, op: str, runner: Callable, qid: str
+    ) -> ServeResponse:
+        with self._admission_lock:
+            self._executing += 1
+            self._set_gauge("serve.inflight", self._executing)
+        self._query_local.qid = qid
         timer = Timer()
-        with timer, obs.observe() as ob:
-            with obs.span("serve.query", op=op):
-                value, cache_mode = runner(ob)
-            report = ob.report()
+        try:
+            with timer, obs.observe() as ob:
+                # Stamp the query id on the tracer so spans, Chrome
+                # trace events, and lifecycle events all correlate.
+                ob.tracer.trace_id = qid
+                with obs.span("serve.query", op=op, trace_id=qid):
+                    value, cache_mode = runner(ob)
+                report = ob.report()
+        except BaseException as exc:
+            self._record("serve.errors")
+            self._record(f"serve.errors.{type(exc).__name__}")
+            self._emit(
+                "query.done", trace_id=qid, op=op, ok=False,
+                error=type(exc).__name__,
+            )
+            raise
+        finally:
+            self._query_local.qid = None
+            with self._admission_lock:
+                self._executing -= 1
+                self._set_gauge("serve.inflight", self._executing)
+        elapsed_ms = timer.elapsed * 1000.0
         self._record("serve.queries")
-        self._observe_hist(
-            "serve.query.latency_ms", timer.elapsed * 1000.0
+        self._observe_hist("serve.query.latency_ms", elapsed_ms)
+        self._observe_hist(f"serve.op.latency_ms.{op}", elapsed_ms)
+        self._emit(
+            "query.done", trace_id=qid, op=op, ok=True, cache=cache_mode,
+            elapsed_ms=round(elapsed_ms, 3),
         )
         return ServeResponse(
             op=op,
@@ -434,6 +555,41 @@ class CampaignServer:
         if self._sampler is None:
             return None
         return RunTelemetry(registry=ob.metrics).as_dict()
+
+    def _get_asset(self, ob, key: AssetKey, build: Callable):
+        """Fetch-or-build through the cache with lifecycle telemetry.
+
+        Wraps :meth:`AssetCache.get_or_build`: the winning builder's
+        build is bracketed by ``query.build.start`` / ``query.build.done``
+        events, joiners and resident hits get ``query.cache.hit``, and
+        non-builders merge the asset's build-time metrics into this
+        query's observation so warm answers carry the same work
+        counters as cold ones.
+        """
+        qid = getattr(self._query_local, "qid", None)
+
+        def building():
+            self._emit(
+                "query.build.start", trace_id=qid, asset=key.kind
+            )
+            try:
+                built = build()
+            except BaseException as exc:
+                self._emit(
+                    "query.build.done", trace_id=qid, asset=key.kind,
+                    ok=False, error=type(exc).__name__,
+                )
+                raise
+            self._emit(
+                "query.build.done", trace_id=qid, asset=key.kind, ok=True
+            )
+            return built
+
+        asset, built_here = self._cache.get_or_build(key, building)
+        if not built_here:
+            self._emit("query.cache.hit", trace_id=qid, asset=key.kind)
+            ob.metrics.merge(asset.metrics)
+        return asset, built_here
 
     # ------------------------------------------------------------------
     # Queries — sync facade
@@ -521,11 +677,9 @@ class CampaignServer:
                 )
             return sketch, sketch.nbytes, build_ob.metrics
 
-        asset, built_here = self._cache.get_or_build(key, build)
-        if not built_here:
-            # Account the asset's build work to this query's report so
-            # warm answers carry the same counters as cold ones.
-            ob.metrics.merge(asset.metrics)
+        # _get_asset accounts a reused asset's build work to this
+        # query's report, so warm answers carry cold answers' counters.
+        asset, built_here = self._get_asset(ob, key, build)
         result = trs_select_from_sketch(self._graph, asset.value, k)
         selection = SeedSelection(
             seeds=result.seeds,
@@ -563,9 +717,7 @@ class CampaignServer:
                 )
             return selection, _approx_nbytes(selection), build_ob.metrics
 
-        asset, built_here = self._cache.get_or_build(key, build)
-        if not built_here:
-            ob.metrics.merge(asset.metrics)
+        asset, built_here = self._get_asset(ob, key, build)
         return asset.value, ("miss" if built_here else "hit")
 
     def _manager_for(
