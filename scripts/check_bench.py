@@ -1,8 +1,11 @@
-"""Validate a ``BENCH_serve.json`` produced by ``benchmarks/bench_serve.py``.
+"""Validate benchmark artifacts (``BENCH_serve.json`` / ``BENCH_engine.json``).
 
-CI gate companion to the serving benchmark: re-checks the written
-artifact (rather than the bench process exit code) so the numbers that
-get uploaded are the numbers that passed. Asserts that
+CI gate companion to the benchmarks: re-checks the written artifact
+(rather than the bench process exit code) so the numbers that get
+uploaded are the numbers that passed. The artifact kind is detected
+from its shape (``--kind`` overrides).
+
+For ``bench_serve.py`` artifacts, asserts that
 
 * the gated (last) config's warm-over-cold speedup meets the floor
   (default 5x — cross-query sketch reuse is the serving layer's
@@ -13,9 +16,23 @@ get uploaded are the numbers that passed. Asserts that
 * per-op latency quantiles are present and ordered
   (p50 <= p95 <= p99) for every recorded op.
 
+For ``bench_engine.py`` artifacts, asserts that
+
+* the gated (last, largest) config's bit-parallel RR speedup over the
+  scalar oracle meets the floor (default 32x — 64 worlds per word has
+  to actually buy bit-level parallelism, not just vectorization);
+* every config ran its pooled legs through the process pool
+  (``parallel_fell_back`` false) — i.e. the shared-memory fan-out was
+  measured, not silently replaced by the in-process path;
+* no shared-memory segments leaked (``leaked_segments`` empty) after
+  the pooled engines closed;
+* the bit-parallel kernels beat the vectorized ones on every config
+  and section (they exist to be the fastest tier).
+
 Usage::
 
     python scripts/check_bench.py BENCH_serve.json --min-speedup 5.0
+    python scripts/check_bench.py BENCH_engine.json --min-bit-speedup 32.0
 """
 
 from __future__ import annotations
@@ -26,7 +43,7 @@ import sys
 from pathlib import Path
 
 
-def check(payload: dict, min_speedup: float) -> list[str]:
+def check_serve(payload: dict, min_speedup: float) -> list[str]:
     """Return a list of failure messages (empty = all gates pass)."""
     failures: list[str] = []
     results = payload.get("results") or []
@@ -80,6 +97,58 @@ def check(payload: dict, min_speedup: float) -> list[str]:
     return failures
 
 
+def check_engine(payload: dict, min_bit_speedup: float) -> list[str]:
+    """Return a list of failure messages (empty = all gates pass)."""
+    failures: list[str] = []
+    results = payload.get("results") or []
+    if not results:
+        return ["no results in benchmark payload"]
+
+    gated = results[-1]
+    speedup = gated.get("rr", {}).get("bitparallel_speedup", 0.0)
+    if speedup < min_bit_speedup:
+        failures.append(
+            f"{gated.get('config')}: bit-parallel RR speedup "
+            f"{speedup:.1f}x < required {min_bit_speedup:.1f}x"
+        )
+
+    for row in results:
+        config = row.get("config", "?")
+        if row.get("parallel_fell_back", True):
+            failures.append(
+                f"{config}: pooled runs fell back to the in-process "
+                "path — shared-memory fan-out was not measured"
+            )
+        leaked = row.get("leaked_segments")
+        if leaked is None:
+            failures.append(f"{config}: missing leaked_segments field")
+        elif leaked:
+            failures.append(
+                f"{config}: shared-memory segments leaked after "
+                f"engine close: {leaked}"
+            )
+        for section in ("rr", "cascade"):
+            timings = row.get(section) or {}
+            for leg in ("scalar_s", "vectorized_s", "bitparallel_s",
+                        "parallel_s"):
+                if not timings.get(leg, 0) > 0:
+                    failures.append(f"{config}/{section}: missing {leg}")
+            if timings.get("bitparallel_s", 0) > 0 and (
+                timings["bitparallel_s"] >= timings.get("vectorized_s", 0)
+            ):
+                failures.append(
+                    f"{config}/{section}: bit-parallel "
+                    f"({timings['bitparallel_s']:.4f}s) not faster than "
+                    f"vectorized ({timings.get('vectorized_s', 0):.4f}s)"
+                )
+    return failures
+
+
+def detect_kind(payload: dict) -> str:
+    rows = payload.get("results") or [{}]
+    return "engine" if "rr" in rows[0] else "serve"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -87,24 +156,47 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark artifact to validate (default BENCH_serve.json)",
     )
     parser.add_argument(
+        "--kind", choices=("auto", "serve", "engine"), default="auto",
+        help="artifact kind (default: detect from payload shape)",
+    )
+    parser.add_argument(
         "--min-speedup", type=float, default=5.0,
-        help="warm-over-cold floor for the gated config (default 5.0)",
+        help="serve artifacts: warm-over-cold floor for the gated "
+             "config (default 5.0)",
+    )
+    parser.add_argument(
+        "--min-bit-speedup", type=float, default=32.0,
+        help="engine artifacts: bit-parallel RR speedup floor for the "
+             "gated config (default 32.0)",
     )
     args = parser.parse_args(argv)
 
     payload = json.loads(Path(args.bench_file).read_text(encoding="utf-8"))
-    failures = check(payload, args.min_speedup)
+    kind = detect_kind(payload) if args.kind == "auto" else args.kind
+    if kind == "engine":
+        failures = check_engine(payload, args.min_bit_speedup)
+    else:
+        failures = check_serve(payload, args.min_speedup)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     gated = payload["results"][-1]
-    print(
-        f"check_bench OK: {gated['config']} "
-        f"{gated['warm_over_cold_speedup']:.1f}x >= "
-        f"{args.min_speedup:.1f}x; "
-        f"singleflight_joins={gated['concurrent']['singleflight_joins']}"
-    )
+    if kind == "engine":
+        print(
+            f"check_bench OK: {gated['config']} bit-parallel RR "
+            f"{gated['rr']['bitparallel_speedup']:.1f}x >= "
+            f"{args.min_bit_speedup:.1f}x; geomean "
+            f"{payload.get('rr_bitparallel_geomean_speedup', 0):.1f}x; "
+            "pool fan-out exercised, no leaked segments"
+        )
+    else:
+        print(
+            f"check_bench OK: {gated['config']} "
+            f"{gated['warm_over_cold_speedup']:.1f}x >= "
+            f"{args.min_speedup:.1f}x; "
+            f"singleflight_joins={gated['concurrent']['singleflight_joins']}"
+        )
     return 0
 
 

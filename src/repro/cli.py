@@ -175,15 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_sampler(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--sampler", choices=("scalar", "vectorized"), default=None,
+            "--sampler",
+            choices=("scalar", "vectorized", "bitparallel"),
+            default=None,
             help=(
                 "sampling substrate: 'vectorized' runs frontier-batched "
-                "numpy kernels; default keeps the scalar reference path"
+                "numpy kernels, 'bitparallel' packs 64 possible worlds "
+                "per machine word (fastest); default keeps the scalar "
+                "reference path"
             ),
         )
         p.add_argument(
             "--workers", type=int, default=1,
-            help="worker processes for the vectorized sampler (default 1)",
+            help=(
+                "worker processes for the vectorized/bitparallel "
+                "samplers (default 1); multi-worker runs share the "
+                "graph via shared memory"
+            ),
         )
         p.add_argument(
             "--retries", type=int, default=None,

@@ -5,6 +5,13 @@ This package is the performance layer of the reproduction:
 * :mod:`repro.engine.frontier` — level-synchronous BFS kernels that
   expand whole frontiers with numpy CSR gathers and flip all frontier
   coins in one call (no per-edge Python loop);
+* :mod:`repro.engine.bitworld` — bit-parallel possible-world kernels:
+  64 worlds per uint64 word, counter-based coins (pure function of
+  ``(key, world, edge)``), popcount size accounting; one traversal
+  yields 64 RR sets or 64 cascades;
+* :mod:`repro.engine.shared_csr` — zero-copy shared-memory (or
+  memmap-spilled) publication of a graph's CSR arrays, so pool workers
+  attach by name instead of unpickling the graph per shard task;
 * :mod:`repro.engine.rr_storage` — :class:`RRCollection`, a CSR-style
   flat store for RR sets with a lazy inverted node→set index, enabling
   an O(total membership) greedy max-coverage pass;
@@ -39,16 +46,25 @@ from repro.engine.faults import FaultPlan, InjectedFault, InjectedPermanentFault
 from repro.engine.frontier import (
     batched_cascade_counts,
     batched_rr_members,
+    bitparallel_cascade_counts,
+    bitparallel_rr_members,
     cascade_frontier,
     hybrid_rr_frontier,
     rr_fixed_frontier,
     rr_frontier,
 )
 from repro.engine.parallel import (
+    DEFAULT_BITPARALLEL_SHARD_SIZE,
     DEFAULT_SHARD_SIZE,
     MODES,
     QueryEngineView,
     SamplingEngine,
+)
+from repro.engine.shared_csr import (
+    CSRGraphHandle,
+    CSRGraphView,
+    SharedCSR,
+    SharedProbs,
 )
 from repro.engine.rr_storage import RRCollection
 from repro.engine.runtime import (
@@ -59,8 +75,11 @@ from repro.engine.runtime import (
 )
 
 __all__ = [
+    "DEFAULT_BITPARALLEL_SHARD_SIZE",
     "DEFAULT_SHARD_SIZE",
     "MODES",
+    "CSRGraphHandle",
+    "CSRGraphView",
     "CheckpointManager",
     "Deadline",
     "FaultPlan",
@@ -72,8 +91,12 @@ __all__ = [
     "RunBudget",
     "RunTelemetry",
     "SamplingEngine",
+    "SharedCSR",
+    "SharedProbs",
     "batched_cascade_counts",
     "batched_rr_members",
+    "bitparallel_cascade_counts",
+    "bitparallel_rr_members",
     "cascade_frontier",
     "hybrid_rr_frontier",
     "rng_state_digest",

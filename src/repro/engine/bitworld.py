@@ -1,0 +1,602 @@
+"""Bit-parallel possible-world kernels: 64 worlds per ``uint64`` lane.
+
+Every sampling primitive in this repo asks the same question many times
+over: *in a random possible world, who reaches whom?* The scalar and
+frontier-batched kernels answer it one world at a time. The kernels
+here pack **64 independent possible worlds into one machine word**: bit
+``b`` of ``mask[v]`` means "node ``v`` is reached in world ``b`` of the
+current block", so a single bitwise OR advances 64 BFS traversals at
+once and a single popcount accounts 64 sample sizes.
+
+Coin model
+----------
+Edge coins are *counter-based*: world ``(block, lane)`` decides edge
+``e`` by hashing ``((block * m + e) << 6) | lane`` with a SplitMix64
+finalizer keyed by a per-shard stream key. The comparison
+``(hash >> 11) < ceil(p * 2**53)`` is exactly equivalent to drawing a
+53-bit uniform float ``u`` and testing ``u < p`` (including ``p == 1``),
+so every coin is a pure function of ``(key, block, edge, lane)``. That
+buys three properties the engine's determinism contract needs:
+
+* **replayability** — :func:`world_edge_mask` reconstructs any single
+  world's full edge mask, so the scalar fixed-world oracle
+  (:func:`repro.sketch.rr_sets.rr_set_from_edge_mask`) can verify any
+  lane of any block bit-for-bit;
+* **order independence** — lanes can be evaluated in any grouping
+  (dense blocks, sparse strips, re-batched block ranges) without
+  changing a single coin;
+* **worker invariance** — the key comes from the shard's
+  ``SeedSequence`` stream, so pooled and serial execution agree.
+
+Root-grouped packing
+--------------------
+Targeted RR sampling draws roots from the (small) target set, so many
+samples share a root. Slots are assigned to samples in stable
+root-sorted order, which packs same-root samples into the same 64-world
+block: the 64 traversals of a block then overlap heavily and the
+frontier collapses from ``O(samples)`` to ``O(distinct (block, node))``
+rows. The slot permutation is deterministic (stable sort), recorded via
+:func:`rr_world_of_sample`, and inverted during collection so sample
+``i`` keeps its drawn root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+U64 = np.uint64
+_ONE = U64(1)
+_FULL = U64(0xFFFFFFFFFFFFFFFF)
+_SPLITMIX_C1 = U64(0xBF58476D1CE4E5B9)
+_SPLITMIX_C2 = U64(0x94D049BB133111EB)
+_GOLDEN = U64(0x9E3779B97F4A7C15)
+_LANES64 = np.arange(64, dtype=np.uint64)
+
+#: Mean active lanes per frontier row above which the cascade kernel
+#: evaluates all 64 lane coins of a row in one dense 2-D pass instead
+#: of stripping lanes one bit at a time.
+DENSE_LANE_THRESHOLD = 8.0
+
+#: Pairs-per-row ratio above which an RR level expands in row space
+#: (shared edge gather per (block, node) row) instead of pair space.
+ROW_MODE_LANES = 16.0
+
+#: Mean candidate lanes per edge row above which row-space levels hash
+#: all 64 lanes densely rather than extracting active lanes first.
+ROW_DENSE_LANES = 32.0
+
+#: Soft cap on the ``blocks * nodes`` uint64 visited words of one block
+#: batch (32 MiB), mirroring ``frontier.DEFAULT_BATCH_CELLS``.
+DEFAULT_BLOCK_CELLS = 1 << 22
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer (vectorized); the coin hash."""
+    z = x * _GOLDEN
+    z ^= z >> U64(30)
+    z *= _SPLITMIX_C1
+    z ^= z >> U64(27)
+    z *= _SPLITMIX_C2
+    return z ^ (z >> U64(31))
+
+
+def coin_thresholds(edge_probs: np.ndarray) -> np.ndarray:
+    """Packed Bernoulli thresholds: coin succeeds iff ``hash>>11 < thr``.
+
+    ``thr = ceil(p * 2**53)`` makes the integer comparison exactly
+    equivalent to ``(hash >> 11) * 2**-53 < p`` — the standard 53-bit
+    uniform-float draw — for every ``p`` in ``[0, 1]``.
+    """
+    return np.ceil(
+        np.asarray(edge_probs, dtype=np.float64) * float(1 << 53)
+    ).astype(np.uint64)
+
+
+def live_csr(
+    indptr: np.ndarray, csr_edges: np.ndarray, edge_probs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Filter a CSR adjacency down to edges with nonzero probability.
+
+    Tag-conditioned probabilities zero out most edges (a query activates
+    few tags), so traversals that pre-drop dead edges gather far fewer
+    candidates per level. Returns ``(indptr', edges')`` over the same
+    node ids with original edge ids preserved.
+    """
+    keep = edge_probs[csr_edges] > 0.0
+    cumulative = np.zeros(csr_edges.size + 1, dtype=np.int64)
+    np.cumsum(keep, out=cumulative[1:])
+    return cumulative[indptr], csr_edges[keep]
+
+
+def world_edge_mask(
+    num_edges: int, thr53: np.ndarray, key: int, block: int, lane: int
+) -> np.ndarray:
+    """Full edge-existence mask of one world — the scalar oracle hook.
+
+    Evaluates the same counter hash the kernels use, for every edge of
+    world ``(block, lane)``; feeding the result to
+    :func:`repro.sketch.rr_sets.rr_set_from_edge_mask` must reproduce
+    the bit-parallel kernel's membership for that world exactly.
+    """
+    eids = np.arange(num_edges, dtype=np.int64)
+    ctr = (
+        (np.int64(block) * num_edges + eids).astype(np.uint64) << U64(6)
+    ) | U64(lane)
+    z = mix64(ctr ^ U64(key))
+    return (z >> U64(11)) < thr53
+
+
+def rr_world_of_sample(
+    roots: np.ndarray, sample: int, num_nodes: int
+) -> tuple[int, int]:
+    """``(block, lane)`` world coordinates of one RR sample.
+
+    Inverts the root-grouped slot assignment of :func:`bit_rr_members`
+    for oracle checks: sample ``i``'s RR set was traversed in this
+    world.
+    """
+    slot_order = _stable_argsort(np.asarray(roots, dtype=np.int64), num_nodes)
+    slot = int(np.flatnonzero(slot_order == sample)[0])
+    return slot >> 6, slot & 63
+
+
+def _stable_argsort(values: np.ndarray, bound: int) -> np.ndarray:
+    """Stable argsort, routed through int16 radix sort when values fit.
+
+    numpy's ``kind="stable"`` picks an O(n) radix sort only for dtypes
+    up to 16 bits (wider ints fall back to timsort, ~10x slower); shard
+    sizes and node counts on the evaluation graphs fit comfortably.
+    """
+    if 0 <= bound <= 32767:
+        return np.argsort(values.astype(np.int16), kind="stable")
+    return np.argsort(values, kind="stable")
+
+
+def _group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """First index of each run of equal values in a sorted key array."""
+    boundary = np.empty(sorted_keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    return np.flatnonzero(boundary)
+
+
+def _block_batches(num_blocks: int, num_nodes: int) -> list[tuple[int, int]]:
+    """Split blocks into ranges whose visited words stay cache-sized."""
+    per = max(1, DEFAULT_BLOCK_CELLS // max(num_nodes, 1))
+    return [
+        (lo, min(lo + per, num_blocks)) for lo in range(0, num_blocks, per)
+    ]
+
+
+_I32_MAX = (1 << 31) - 1
+
+
+def _bit_rr_block_range(
+    num_nodes: int,
+    block_stride: np.uint64,
+    rev_indptr: np.ndarray,
+    rev_parent: np.ndarray,
+    rev_thr: np.ndarray,
+    rev_ctr: np.ndarray,
+    slot_lo: int,
+    slots: np.ndarray,
+    slot_roots: np.ndarray,
+    key: np.uint64,
+    node_bits: int,
+    pack_dtype: type,
+    slot_chunks: list[np.ndarray],
+    node_chunks: list[np.ndarray],
+) -> None:
+    """Reverse-BFS one contiguous block range; append (slot, node) pairs.
+
+    The frontier is a pair of (slot, node) arrays — slots carry their
+    global 64-world coordinates so coin counters are batch-invariant —
+    while the visited state is one uint64 lane-mask per (block, node).
+    Each level gathers the in-edges of every frontier pair, draws the
+    pair's single lane coin, masks out already-visited worlds, and
+    canonicalizes survivors via one packed ``(block, node, lane)`` sort
+    that deduplicates, groups the visited-OR scatter, and fixes the
+    emission order in a single pass.
+
+    Index arrays arrive in the narrowest safe dtype (int32 when slots,
+    nodes, and per-batch visited cells all fit) — the level loop is
+    memory-bound, so halving index width buys real throughput.
+    """
+    idx = slots.dtype
+    n_idx = idx.type(num_nodes)
+    block_lo = slot_lo >> 6
+    blocks_here = ((int(slots[-1]) >> 6) - block_lo) + 1
+    visited = np.zeros(blocks_here * num_nodes, dtype=np.uint64)
+    node_mask = (1 << node_bits) - 1
+
+    def absorb(
+        packed: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fold a sorted canonical (block, node, lane) level into state.
+
+        One sorted pass deduplicates within-level repeats, groups the
+        visited OR-scatter, and fixes a deterministic emission order;
+        returns the next frontier in both pair form (slot, node) and
+        row form (block, node, lane-mask) so the loop can pick the
+        cheaper representation per level.
+        """
+        row_key = packed >> 6
+        boundary = np.empty(packed.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(packed[1:], packed[:-1], out=boundary[1:])
+        unique = np.flatnonzero(boundary)
+        if unique.size < packed.size:
+            packed = packed[unique]
+            row_key = row_key[unique]
+        group = _group_starts(row_key)
+        group_key = row_key[group]
+        masks = np.bitwise_or.reduceat(
+            _ONE << (packed & 63).astype(np.uint64), group
+        )
+        row_block = (group_key >> node_bits).astype(idx, copy=False)
+        row_node = (group_key & node_mask).astype(idx, copy=False)
+        visited[(row_block - block_lo) * n_idx + row_node] |= masks
+        next_node = (row_key & node_mask).astype(idx, copy=False)
+        next_slot = (
+            ((row_key >> node_bits) << 6) | (packed & 63)
+        ).astype(idx, copy=False)
+        slot_chunks.append(next_slot)
+        node_chunks.append(next_node)
+        return next_slot, next_node, row_block, row_node, masks
+
+    # Seed lanes grouped by (block, root); ghost lanes of a ragged tail
+    # simply never get a bit and can never activate.
+    init_key = ((slots >> 6) - block_lo) * n_idx + slot_roots
+    starts = _group_starts(init_key)
+    lane_bit = _ONE << (slots & 63).astype(np.uint64)
+    init_mask = np.bitwise_or.reduceat(lane_bit, starts)
+    visited[init_key[starts]] = init_mask
+    slot_chunks.append(slots)
+    node_chunks.append(slot_roots)
+
+    frontier_slot = slots
+    frontier_node = slot_roots
+    row_block = slots[starts] >> 6
+    row_node = slot_roots[starts]
+    row_mask = init_mask
+
+    while frontier_slot.size:
+        if frontier_slot.size >= row_node.size * ROW_MODE_LANES:
+            # Row space: lanes of a (block, node) row share their whole
+            # edge list, so lane-dense levels expand each row once and
+            # draw all lane coins per edge row — a fraction of the
+            # array traffic of the pair loop. Root-grouped packing
+            # makes the first levels extremely lane-dense.
+            edge_start = rev_indptr[row_node]
+            degrees = rev_indptr[row_node + 1] - edge_start
+            total = int(degrees.sum())
+            if total == 0:
+                return
+            level_dtype = idx if total <= _I32_MAX else np.dtype(np.int64)
+            cumulative = np.cumsum(degrees, dtype=level_dtype)
+            positions = np.arange(total, dtype=level_dtype) + np.repeat(
+                edge_start - (cumulative - degrees), degrees
+            )
+            er_parent = rev_parent[positions]
+            er_block = np.repeat(row_block, degrees)
+            cand = np.repeat(row_mask, degrees) & ~visited[
+                (er_block - block_lo) * n_idx + er_parent
+            ]
+            ebase = (
+                er_block.astype(np.uint64) * block_stride
+                + rev_ctr[positions]
+            )
+            er_thr = rev_thr[positions]
+            if float(np.bitwise_count(cand).mean()) >= ROW_DENSE_LANES:
+                # Near-full rows: hashing all 64 lanes in one 2-D pass
+                # beats extracting the active ones first.
+                live = _dense_coins(ebase, er_thr, cand, key)
+                alive = np.flatnonzero(live)
+                if alive.size == 0:
+                    return
+                bits = np.unpackbits(
+                    live[alive, None].view(np.uint8),
+                    axis=1,
+                    bitorder="little",
+                )
+                bit_row, bit_lane = np.nonzero(bits)
+                row = alive[bit_row]
+                lane_col = bit_lane
+            else:
+                # Moderate density: expand candidate lanes to pairs and
+                # hash exactly one coin per active (edge row, lane).
+                cbits = np.unpackbits(
+                    cand[:, None].view(np.uint8), axis=1, bitorder="little"
+                )
+                crow, clane = np.nonzero(cbits)
+                z = mix64((ebase[crow] | clane.astype(np.uint64)) ^ key)
+                ok = np.flatnonzero((z >> U64(11)) < er_thr[crow])
+                if ok.size == 0:
+                    return
+                row = crow[ok]
+                lane_col = clane[ok]
+            packed = (
+                (er_block[row].astype(pack_dtype, copy=False) << node_bits)
+                | er_parent[row]
+            ) << 6 | lane_col.astype(pack_dtype, copy=False)
+        else:
+            # Pair space: one coin per (slot, node) frontier pair edge;
+            # cheapest once lane masks thin out.
+            edge_start = rev_indptr[frontier_node]
+            degrees = rev_indptr[frontier_node + 1] - edge_start
+            total = int(degrees.sum())
+            if total == 0:
+                return
+            level_dtype = idx if total <= _I32_MAX else np.dtype(np.int64)
+            cumulative = np.cumsum(degrees, dtype=level_dtype)
+            positions = np.arange(total, dtype=level_dtype) + np.repeat(
+                edge_start - (cumulative - degrees), degrees
+            )
+            parent = rev_parent[positions]
+            edge_slot = np.repeat(frontier_slot, degrees)
+            edge_block = edge_slot >> 6
+            lane = (edge_slot & 63).astype(np.uint64)
+            visited_key = (edge_block - block_lo) * n_idx + parent
+            # One fused filter: the lane's counter coin must land AND
+            # the world must not have reached the parent already.
+            z = mix64(
+                (
+                    edge_block.astype(np.uint64) * block_stride
+                    + (rev_ctr[positions] | lane)
+                )
+                ^ key
+            )
+            good = ((z >> U64(11)) < rev_thr[positions]) & (
+                (visited[visited_key] >> lane) & _ONE == 0
+            )
+            hit = np.flatnonzero(good)
+            if hit.size == 0:
+                return
+            packed = (
+                (edge_block[hit].astype(pack_dtype, copy=False) << node_bits)
+                | parent[hit]
+            ) << 6 | (edge_slot[hit] & 63)
+        packed.sort()
+        frontier_slot, frontier_node, row_block, row_node, row_mask = absorb(
+            packed
+        )
+
+
+def bit_rr_members(
+    num_nodes: int,
+    num_edges: int,
+    rev_indptr: np.ndarray,
+    rev_edges: np.ndarray,
+    src: np.ndarray,
+    roots: np.ndarray,
+    thr53: np.ndarray,
+    key: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one RR set per root across 64-world blocks; flat CSR out.
+
+    ``rev_indptr``/``rev_edges`` should be the :func:`live_csr`-filtered
+    reverse adjacency. Returns ``(members, indptr)`` where sample ``i``
+    of ``roots`` owns ``members[indptr[i]:indptr[i+1]]`` (root first,
+    level order). Deterministic in ``(roots, thr53, key)`` alone —
+    block batching and worker layout cannot change a bit.
+    """
+    S = int(roots.size)
+    if S == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    key = U64(key)
+    node_bits = max(int(num_nodes - 1).bit_length(), 1)
+    num_blocks = (S + 63) // 64
+    blocks_per_batch = max(1, DEFAULT_BLOCK_CELLS // max(num_nodes, 1))
+    use32 = (
+        S <= _I32_MAX
+        and num_nodes <= _I32_MAX
+        and min(blocks_per_batch, num_blocks) * num_nodes <= _I32_MAX
+    )
+    idx = np.dtype(np.int32) if use32 else np.dtype(np.int64)
+    pack_dtype = (
+        np.int32
+        if num_blocks << (node_bits + 6) <= _I32_MAX
+        else np.int64
+    )
+    # Edge-aligned pre-gathers: the level loop then indexes each live
+    # edge position once instead of chaining edge-id lookups per level.
+    rev_indptr = rev_indptr.astype(idx, copy=False)
+    rev_parent = src[rev_edges].astype(idx, copy=False)
+    rev_thr = thr53[rev_edges]
+    rev_ctr = rev_edges.astype(np.uint64) << U64(6)
+    block_stride = U64(num_edges) << U64(6)
+
+    slot_order = _stable_argsort(
+        np.asarray(roots, dtype=np.int64), num_nodes
+    )  # slot -> sample id (root-grouped packing)
+    slot_roots = np.asarray(roots, dtype=np.int64)[slot_order].astype(
+        idx, copy=False
+    )
+
+    slot_chunks: list[np.ndarray] = []
+    node_chunks: list[np.ndarray] = []
+    all_slots = np.arange(S, dtype=idx)
+    for block_lo, block_hi in _block_batches(num_blocks, num_nodes):
+        lo = block_lo * 64
+        hi = min(block_hi * 64, S)
+        _bit_rr_block_range(
+            num_nodes, block_stride, rev_indptr, rev_parent, rev_thr,
+            rev_ctr, lo, all_slots[lo:hi], slot_roots[lo:hi], key,
+            node_bits, pack_dtype, slot_chunks, node_chunks,
+        )
+
+    slots = np.concatenate(slot_chunks)
+    nodes = np.concatenate(node_chunks)
+    samples = slot_order[slots]
+    order = _stable_argsort(samples, S - 1)
+    members = nodes[order]
+    counts = np.bincount(samples, minlength=S)
+    indptr = np.zeros(S + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return members, indptr
+
+
+def _dense_coins(
+    ebase: np.ndarray, thr: np.ndarray, cand: np.ndarray, key: np.uint64
+) -> np.ndarray:
+    """All-64-lane coin evaluation per row (dense frontiers)."""
+    z = mix64((ebase[:, None] | _LANES64[None, :]) ^ key)
+    succ = (z >> U64(11)) < thr[:, None]
+    live = np.packbits(succ, axis=1, bitorder="little").view(np.uint64)
+    return live.ravel() & cand
+
+
+def _sparse_coins(
+    ebase: np.ndarray, thr: np.ndarray, cand: np.ndarray, key: np.uint64
+) -> np.ndarray:
+    """Lowest-bit-stripping coin evaluation (sparse frontiers).
+
+    Each pass evaluates one lane per row and drops exhausted rows, so
+    total hash work equals the number of active (row, lane) pairs.
+    """
+    live = np.zeros(cand.size, dtype=np.uint64)
+    active = cand
+    rows = None
+    eb = ebase
+    th = thr
+    while True:
+        low = active & (~active + _ONE)
+        lane = np.bitwise_count(low - _ONE).astype(np.uint64)
+        z = mix64((eb | lane) ^ key)
+        succ = (z >> U64(11)) < th
+        contribution = low * succ.astype(np.uint64)
+        if rows is None:
+            live |= contribution
+        else:
+            live[rows] |= contribution
+        active = active ^ low
+        remaining = np.flatnonzero(active)
+        if remaining.size == 0:
+            return live
+        active = active[remaining]
+        eb = eb[remaining]
+        th = th[remaining]
+        rows = remaining if rows is None else rows[remaining]
+
+
+def bit_cascade_counts(
+    num_nodes: int,
+    num_edges: int,
+    fwd_indptr: np.ndarray,
+    fwd_edges: np.ndarray,
+    dst: np.ndarray,
+    seed_arr: np.ndarray,
+    num_samples: int,
+    target_arr: np.ndarray,
+    thr53: np.ndarray,
+    key: int,
+) -> np.ndarray:
+    """IC cascades across 64-world blocks; per-sample target popcounts.
+
+    All worlds of a block share the seed set, so frontier lane masks
+    stay dense and each (node, block) row advances 64 cascades per OR.
+    Target accounting unpacks the final lane masks over target rows and
+    popcount-sums per lane. Ghost lanes of the ragged tail block start
+    inactive and stay inactive.
+    """
+    if num_samples <= 0 or seed_arr.size == 0:
+        return np.zeros(max(num_samples, 0), dtype=np.int64)
+    key = U64(key)
+    n64 = np.int64(num_nodes)
+    m64 = np.int64(num_edges)
+    n = int(num_nodes)
+    num_blocks = (num_samples + 63) // 64
+
+    counts = np.empty(num_samples, dtype=np.int64)
+    for block_lo, block_hi in _block_batches(num_blocks, num_nodes):
+        blocks_here = block_hi - block_lo
+        visited = np.zeros(blocks_here * n, dtype=np.uint64)
+        block_masks = np.full(blocks_here, _FULL, dtype=np.uint64)
+        tail = num_samples - (num_blocks - 1) * 64
+        if block_hi == num_blocks and tail < 64:
+            block_masks[-1] = (_ONE << U64(tail)) - _ONE
+        local = np.arange(blocks_here, dtype=np.int64)
+        frontier_key = (local[:, None] * n64 + seed_arr[None, :]).ravel()
+        frontier_mask = np.repeat(block_masks, seed_arr.size)
+        visited[frontier_key] = frontier_mask
+        frontier_node = frontier_key % n64
+        frontier_block = frontier_key // n64
+        while frontier_node.size:
+            edge_start = fwd_indptr[frontier_node]
+            degrees = fwd_indptr[frontier_node + 1] - edge_start
+            total = int(degrees.sum())
+            if total == 0:
+                break
+            cumulative = np.cumsum(degrees)
+            positions = np.arange(total, dtype=np.int64) + np.repeat(
+                edge_start - (cumulative - degrees), degrees
+            )
+            eids = fwd_edges[positions]
+            edge_block = np.repeat(frontier_block, degrees)
+            edge_mask = np.repeat(frontier_mask, degrees)
+            child = dst[eids]
+            child_key = edge_block * n64 + child
+            cand = edge_mask & ~visited[child_key]
+            keep = cand != 0
+            if not keep.all():
+                eids = eids[keep]
+                cand = cand[keep]
+                edge_block = edge_block[keep]
+                child = child[keep]
+            if eids.size == 0:
+                break
+            # Coin counters use the *global* block id so batching over
+            # block ranges cannot change any world's coins.
+            ebase = (
+                (edge_block + block_lo) * m64 + eids
+            ).astype(np.uint64) << U64(6)
+            thr = thr53[eids]
+            if float(np.bitwise_count(cand).mean()) >= DENSE_LANE_THRESHOLD:
+                live = _dense_coins(ebase, thr, cand, key)
+            else:
+                live = _sparse_coins(ebase, thr, cand, key)
+            alive = live != 0
+            if not alive.any():
+                break
+            if not alive.all():
+                edge_block = edge_block[alive]
+                child = child[alive]
+                live = live[alive]
+            if num_nodes <= 32767 and blocks_here <= 32767:
+                o1 = np.argsort(child.astype(np.int16), kind="stable")
+                o2 = np.argsort(
+                    edge_block[o1].astype(np.int16), kind="stable"
+                )
+                order = o1[o2]
+            else:
+                order = np.argsort(edge_block * n64 + child)
+            sorted_key = (edge_block * n64 + child)[order]
+            group = _group_starts(sorted_key)
+            new_mask = np.bitwise_or.reduceat(live[order], group)
+            new_key = sorted_key[group]
+            new_mask &= ~visited[new_key]
+            fresh = new_mask != 0
+            if not fresh.all():
+                new_key = new_key[fresh]
+                new_mask = new_mask[fresh]
+            if new_key.size == 0:
+                break
+            visited[new_key] |= new_mask
+            frontier_key = new_key
+            frontier_mask = new_mask
+            frontier_node = frontier_key % n64
+            frontier_block = frontier_key // n64
+        # Popcount accounting: lane b of block k is sample k*64+b.
+        target_masks = np.ascontiguousarray(
+            visited.reshape(blocks_here, n)[:, target_arr]
+        )
+        bits = np.unpackbits(
+            target_masks.reshape(-1)[:, None].view(np.uint8),
+            axis=1,
+            bitorder="little",
+        ).reshape(blocks_here, target_arr.size, 64)
+        lane_counts = bits.sum(axis=1, dtype=np.int64).reshape(-1)
+        lo = block_lo * 64
+        hi = min(block_hi * 64, num_samples)
+        counts[lo:hi] = lane_counts[: hi - lo]
+    return counts

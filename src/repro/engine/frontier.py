@@ -20,6 +20,12 @@ Two flavours are provided for each traversal:
   which is where the big constant-factor wins come from because tiny
   per-sample frontiers are fused into one large gather.
 
+A third tier lives in :mod:`repro.engine.bitworld` and is fronted here
+by ``bitparallel_rr_members`` / ``bitparallel_cascade_counts``: 64
+possible worlds packed per uint64 word, with counter-based coins that
+are a pure function of ``(key, world, edge)`` — no generator state at
+all, so shards replay bit-identically from ``(roots, probs, key)``.
+
 All kernels are distributionally identical to their scalar
 counterparts (each edge coin is still flipped at most once per sample)
 but consume the RNG stream in a different order, so outputs for a fixed
@@ -35,6 +41,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro import obs
+from repro.engine import bitworld
 from repro.graphs.tag_graph import TagGraph
 from repro.obs.profile import kernel_timer
 from repro.utils.rng import ensure_rng
@@ -391,3 +398,73 @@ def batched_cascade_counts(
                 frontier_sample, frontier_node = child_sample, child_node
             counts_chunks.append(active[:, target_arr].sum(axis=1))
     return np.concatenate(counts_chunks).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Bit-parallel kernels (64 possible worlds per uint64 lane)
+# ----------------------------------------------------------------------
+def bitparallel_rr_members(
+    graph,
+    roots: np.ndarray,
+    edge_probs: np.ndarray,
+    key: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one RR set per root with the bit-parallel world kernel.
+
+    Same flat-CSR return contract as :func:`batched_rr_members`, but the
+    coins come from the counter-based stream of
+    :mod:`repro.engine.bitworld` keyed by ``key`` — deterministic in
+    ``(roots, edge_probs, key)`` alone, with no generator state to
+    thread. 64 possible worlds share every uint64 word of traversal
+    state; see the kernel module for the exact packing and the
+    replayable-oracle contract.
+
+    ``graph`` may be a :class:`~repro.graphs.tag_graph.TagGraph` or a
+    :class:`~repro.engine.shared_csr.CSRGraphView`.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    check_node_array(roots, graph.num_nodes,
+                     context="bitparallel_rr_members")
+    rev_indptr, rev_edges = graph.reverse_csr()
+    with kernel_timer("kernel.bitworld_rr"):
+        thr53 = bitworld.coin_thresholds(edge_probs)
+        live_indptr, live_edges = bitworld.live_csr(
+            rev_indptr, rev_edges, edge_probs
+        )
+        return bitworld.bit_rr_members(
+            graph.num_nodes, graph.num_edges, live_indptr, live_edges,
+            graph.src, roots, thr53, key,
+        )
+
+
+def bitparallel_cascade_counts(
+    graph,
+    seeds: np.ndarray,
+    edge_probs: np.ndarray,
+    num_samples: int,
+    target_arr: np.ndarray,
+    key: int,
+) -> np.ndarray:
+    """Run ``num_samples`` IC cascades bit-parallel; count targets each.
+
+    Same return contract as :func:`batched_cascade_counts`; cascade
+    ``i`` lives in lane ``i % 64`` of world block ``i // 64`` and the
+    coin for edge ``e`` in that world is a pure function of
+    ``(key, i, e)`` — see :mod:`repro.engine.bitworld`.
+    """
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    check_node_array(seeds, graph.num_nodes,
+                     context="bitparallel_cascade_counts")
+    target_arr = np.asarray(target_arr, dtype=np.int64)
+    if seeds.size == 0 or num_samples <= 0:
+        return np.zeros(max(num_samples, 0), dtype=np.int64)
+    fwd_indptr, fwd_edges = graph.forward_csr()
+    with kernel_timer("kernel.bitworld_cascade"):
+        thr53 = bitworld.coin_thresholds(edge_probs)
+        live_indptr, live_edges = bitworld.live_csr(
+            fwd_indptr, fwd_edges, edge_probs
+        )
+        return bitworld.bit_cascade_counts(
+            graph.num_nodes, graph.num_edges, live_indptr, live_edges,
+            graph.dst, seeds, num_samples, target_arr, thr53, key,
+        )

@@ -27,14 +27,25 @@ Results are concatenated in shard order. Consequences:
 
 The ``mode`` knob selects the per-shard kernel: ``"vectorized"`` uses
 the frontier-batched kernels of :mod:`repro.engine.frontier`;
-``"scalar"`` runs the original per-edge Python loops (the correctness
-oracle), which keeps scalar-vs-vectorized comparisons honest under the
-identical sharding and driver overheads.
+``"bitparallel"`` packs 64 possible worlds per uint64 word with
+counter-based coins (:mod:`repro.engine.bitworld`) — the fastest
+substrate; ``"scalar"`` runs the original per-edge Python loops (the
+correctness oracle), which keeps cross-mode comparisons honest under
+the identical sharding and driver overheads.
+
+Multi-worker engines in the shared-memory-capable modes (vectorized,
+bit-parallel) do not pickle the graph into shard tasks. The engine
+publishes each graph's CSR arrays once through
+:class:`~repro.engine.shared_csr.SharedCSR` and ships a tiny attach
+handle instead; every worker maps the same physical pages read-only.
+The per-operation probability vector travels the same way and is
+unlinked as soon as the operation completes.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -42,8 +53,21 @@ import numpy as np
 from repro import obs
 from repro.engine.checkpoint import CheckpointManager, rng_state_digest
 from repro.engine.faults import FaultPlan
-from repro.engine.frontier import batched_cascade_counts, batched_rr_members
+from repro.engine.frontier import (
+    batched_cascade_counts,
+    batched_rr_members,
+    bitparallel_cascade_counts,
+    bitparallel_rr_members,
+)
 from repro.engine.rr_storage import RRCollection
+from repro.engine.shared_csr import (
+    CSRGraphHandle,
+    CSRGraphView,
+    SharedCSR,
+    SharedProbs,
+    resolve_edge_probs,
+    resolve_graph,
+)
 from repro.engine.runtime import (
     RetryPolicy,
     RunBudget,
@@ -54,12 +78,20 @@ from repro.exceptions import BudgetExceededError, ConfigurationError
 from repro.graphs.tag_graph import TagGraph
 from repro.utils.rng import ensure_rng, spawn_seed_sequences
 
-MODES = ("scalar", "vectorized")
+MODES = ("scalar", "vectorized", "bitparallel")
 
 #: Default samples per shard. Small enough that a handful of shards
 #: exist even at pilot sizes (so ``workers=4`` has work to spread),
 #: large enough that per-shard dispatch overhead is negligible.
 DEFAULT_SHARD_SIZE = 512
+
+#: Default samples per shard for the bit-parallel kernel. Each uint64
+#: word carries 64 worlds, so a 512-sample shard would use only 8
+#: blocks — too little work to amortize the per-level numpy overhead.
+#: 8192 samples = 128 blocks keeps the kernel in its efficient regime
+#: while still producing multiple shards at realistic θ. Like
+#: ``shard_size`` generally, this is part of the determinism contract.
+DEFAULT_BITPARALLEL_SHARD_SIZE = 8192
 
 #: Below this many total samples, pool dispatch costs more than the
 #: sampling itself (``BENCH_engine.json`` showed parallel_speedup
@@ -67,6 +99,15 @@ DEFAULT_SHARD_SIZE = 512
 #: back to the in-process vectorized path. Results are unaffected —
 #: the determinism contract already guarantees serial == pooled.
 DEFAULT_PARALLEL_THRESHOLD = 4096
+
+#: Pickle-transport surcharge for modes that ship the whole graph into
+#: every shard task (currently only ``"scalar"``; the vectorized and
+#: bit-parallel modes attach to a :class:`SharedCSR` by name instead).
+#: Serializing + deserializing one edge costs about as much as sampling
+#: 1/200th of a sample on the evaluation graphs, so an operation must
+#: bring at least ``num_edges / 200`` extra samples of work before the
+#: pool pays for the copies it forces.
+TRANSPORT_EDGES_PER_SAMPLE = 200
 
 
 def _shard_counts(total: int, shard_size: int) -> list[int]:
@@ -82,9 +123,9 @@ def _shard_counts(total: int, shard_size: int) -> list[int]:
 
 
 def _rr_shard(
-    graph: TagGraph,
+    graph: TagGraph | CSRGraphHandle,
     target_arr: np.ndarray,
-    edge_probs: np.ndarray,
+    edge_probs,
     count: int,
     seed_seq: np.random.SeedSequence,
     mode: str,
@@ -94,7 +135,13 @@ def _rr_shard(
 
     The shard's generator is rebuilt from ``seed_seq`` at the top of
     every attempt, so retries replay the shard bit-identically.
+    ``graph`` is either the graph itself (serial path / scalar mode) or
+    a :class:`~repro.engine.shared_csr.CSRGraphHandle` the worker
+    attaches to by name — same for ``edge_probs`` and
+    :class:`~repro.engine.shared_csr.ProbsHandle`.
     """
+    graph = resolve_graph(graph)
+    edge_probs = resolve_edge_probs(edge_probs)
     rng = np.random.default_rng(seed_seq)
     roots = rng.choice(target_arr, size=count)
     if mode == "scalar":
@@ -106,15 +153,21 @@ def _rr_shard(
         ]
         flat = RRCollection.from_sets(sets, graph.num_nodes)
         return flat.members, flat.indptr
+    if mode == "bitparallel":
+        # The coin-stream key is drawn *after* the roots from the same
+        # shard stream, so the (roots, key) pair is a pure function of
+        # seed_seq — replayable across retries and worker counts.
+        key = int(rng.integers(np.iinfo(np.int64).max, dtype=np.int64))
+        return bitparallel_rr_members(graph, roots, edge_probs, key)
     return batched_rr_members(
         graph, roots, edge_probs, rng, batch_size=batch_size
     )
 
 
 def _cascade_shard(
-    graph: TagGraph,
+    graph: TagGraph | CSRGraphHandle,
     seed_arr: np.ndarray,
-    edge_probs: np.ndarray,
+    edge_probs,
     count: int,
     target_arr: np.ndarray,
     seed_seq: np.random.SeedSequence,
@@ -122,6 +175,8 @@ def _cascade_shard(
     batch_size: int | None,
 ) -> np.ndarray:
     """One shard of IC cascades; returns per-sample target counts."""
+    graph = resolve_graph(graph)
+    edge_probs = resolve_edge_probs(edge_probs)
     rng = np.random.default_rng(seed_seq)
     if mode == "scalar":
         from repro.diffusion.cascade import simulate_cascade
@@ -131,6 +186,11 @@ def _cascade_shard(
             active = simulate_cascade(graph, seed_arr, edge_probs, rng)
             counts[i] = int(active[target_arr].sum())
         return counts
+    if mode == "bitparallel":
+        key = int(rng.integers(np.iinfo(np.int64).max, dtype=np.int64))
+        return bitparallel_cascade_counts(
+            graph, seed_arr, edge_probs, count, target_arr, key
+        )
     return batched_cascade_counts(
         graph, seed_arr, edge_probs, count, target_arr, rng,
         batch_size=batch_size,
@@ -183,15 +243,24 @@ class SamplingEngine:
     Parameters
     ----------
     mode:
-        ``"vectorized"`` (frontier-batched numpy kernels, the default)
-        or ``"scalar"`` (the original Python loops, as oracle).
+        ``"vectorized"`` (frontier-batched numpy kernels, the default),
+        ``"bitparallel"`` (64 possible worlds per uint64 word, the
+        fastest substrate — see :mod:`repro.engine.bitworld`) or
+        ``"scalar"`` (the original Python loops, as oracle).
     workers:
         Process count; ``1`` (default) runs in-process. Results are
         identical for any value — see the module determinism contract.
+        Multi-worker engines in the vectorized and bit-parallel modes
+        publish the graph's CSR structure once through a
+        :class:`~repro.engine.shared_csr.SharedCSR` and ship tiny
+        handles in shard tasks instead of pickling the graph.
     shard_size:
-        Samples per shard. Part of the determinism contract: changing it
-        changes the RNG stream layout, so outputs for a fixed seed are
-        only comparable at equal ``shard_size``.
+        Samples per shard; ``None`` (default) resolves to
+        :data:`DEFAULT_SHARD_SIZE` (or
+        :data:`DEFAULT_BITPARALLEL_SHARD_SIZE` for the bit-parallel
+        mode). Part of the determinism contract: changing it changes
+        the RNG stream layout, so outputs for a fixed seed are only
+        comparable at equal ``shard_size``.
     batch_size:
         Samples per frontier batch inside a shard (vectorized mode);
         ``None`` sizes batches from the node count automatically.
@@ -212,10 +281,22 @@ class SamplingEngine:
         Sampling operations totalling fewer samples than this run on
         the in-process path even when ``workers > 1`` (pool dispatch
         dominates at small sizes). ``0`` disables the fallback. The
-        decision is recorded in ``telemetry.parallel_fallbacks`` and
-        the ``engine.parallel_fallbacks`` metric. A
+        scalar mode additionally pays a graph-transport surcharge of
+        ``num_edges / TRANSPORT_EDGES_PER_SAMPLE`` samples, because it
+        pickles the graph into every shard task; the shared-memory
+        modes do not. Each fallback is recorded in
+        ``telemetry.parallel_fallbacks``, the aggregate
+        ``engine.parallel_fallbacks`` metric, and a reason-suffixed
+        metric (``engine.parallel_fallbacks.below_threshold`` or
+        ``engine.parallel_fallbacks.transport_cost``). A
         :class:`~repro.engine.faults.FaultPlan` suppresses the
         fallback — fault injection exists to exercise the pool paths.
+    spill_dir:
+        Optional directory for the shared-CSR memmap spill: graphs
+        whose CSR arrays exceed
+        :data:`~repro.engine.shared_csr.SPILL_THRESHOLD_BYTES` are
+        published as a memory-mapped file there instead of POSIX shared
+        memory, so graphs larger than RAM can still fan out.
 
     Failure handling never changes results (retried shards replay their
     ``SeedSequence`` bit-identically); it only changes whether the run
@@ -226,12 +307,13 @@ class SamplingEngine:
         self,
         mode: str = "vectorized",
         workers: int = 1,
-        shard_size: int = DEFAULT_SHARD_SIZE,
+        shard_size: int | None = None,
         batch_size: int | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         checkpoint: CheckpointManager | None = None,
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        spill_dir: str | None = None,
     ) -> None:
         if mode not in MODES:
             raise ConfigurationError(
@@ -240,6 +322,12 @@ class SamplingEngine:
         if workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {workers}"
+            )
+        if shard_size is None:
+            shard_size = (
+                DEFAULT_BITPARALLEL_SHARD_SIZE
+                if mode == "bitparallel"
+                else DEFAULT_SHARD_SIZE
             )
         if shard_size < 1:
             raise ConfigurationError(
@@ -253,6 +341,7 @@ class SamplingEngine:
         self.workers = int(workers)
         self.shard_size = int(shard_size)
         self.batch_size = batch_size
+        self.spill_dir = spill_dir
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
         self.checkpoint = checkpoint
@@ -264,6 +353,13 @@ class SamplingEngine:
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._op_counter = 0
+        # Published shared-CSR segments, one per distinct graph object:
+        # id(graph) -> (weakref, SharedCSR). QueryEngineViews delegate
+        # here, so concurrent queries over one graph share one segment.
+        self._shared_graphs: dict[int, tuple] = {}
+        # RLock: the weakref-callback cleanup path can fire from a GC
+        # triggered while this thread already holds the lock.
+        self._shared_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Pool management
@@ -288,11 +384,64 @@ class SamplingEngine:
                 self._pool = None
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for the serial engine)."""
+        """Shut down the worker pool and unlink shared-CSR segments."""
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown()
                 self._pool = None
+        self._unlink_shared()
+
+    # ------------------------------------------------------------------
+    # Shared-memory graph transport
+    # ------------------------------------------------------------------
+    def _shared_csr(self, graph: TagGraph) -> SharedCSR:
+        """The (cached) :class:`SharedCSR` publication of ``graph``."""
+        gid = id(graph)
+        with self._shared_lock:
+            entry = self._shared_graphs.get(gid)
+            if entry is not None:
+                ref, shared = entry
+                if ref() is graph:
+                    return shared
+                shared.unlink()  # dead graph whose id was reused
+            shared = SharedCSR(graph, spill_dir=self.spill_dir)
+
+            def _drop(_ref, *, _gid=gid, _self=weakref.ref(self)) -> None:
+                engine = _self()
+                if engine is None:
+                    return  # SharedCSR's own finalizer handles unlink
+                with engine._shared_lock:
+                    stale = engine._shared_graphs.pop(_gid, None)
+                if stale is not None:
+                    stale[1].unlink()
+
+            self._shared_graphs[gid] = (weakref.ref(graph, _drop), shared)
+            return shared
+
+    def _unlink_shared(self) -> None:
+        """Destroy every published shared-CSR segment (idempotent)."""
+        with self._shared_lock:
+            entries = list(self._shared_graphs.values())
+            self._shared_graphs.clear()
+        for _ref, shared in entries:
+            shared.unlink()
+
+    def _graph_ref(self, graph):
+        """The transport form of ``graph`` for one sampling operation.
+
+        Serial engines and the scalar mode (whose traversals need the
+        full :class:`TagGraph` surface) pass the graph object through;
+        shared-memory-capable pooled modes swap in a picklable
+        :class:`CSRGraphHandle` so workers attach by name instead of
+        unpickling the CSR arrays per task.
+        """
+        if (
+            self.workers == 1
+            or self.mode == "scalar"
+            or isinstance(graph, CSRGraphView)
+        ):
+            return graph
+        return self._shared_csr(graph).handle
 
     def for_query(self, registry=None) -> "QueryEngineView":
         """A per-query view of this engine with isolated telemetry.
@@ -318,6 +467,7 @@ class SamplingEngine:
         # doomed futures — abort rather than wait on them.
         if exc_type is not None:
             self.abort_pool()
+            self._unlink_shared()
         else:
             self.close()
 
@@ -356,6 +506,19 @@ class SamplingEngine:
             "spawn_cursor": int(getattr(seed_seq, "n_children_spawned", 0)),
         }
 
+    def _transport_penalty(self, graph) -> int:
+        """Extra samples the pool must bring to pay for graph transport.
+
+        The scalar mode pickles ``graph`` into every shard task, so its
+        break-even point shifts up by ``num_edges /``
+        :data:`TRANSPORT_EDGES_PER_SAMPLE`. The vectorized and
+        bit-parallel modes attach to a :class:`SharedCSR` by name —
+        their transport cost is constant and tiny, so no surcharge.
+        """
+        if self.workers > 1 and self.mode == "scalar":
+            return int(graph.num_edges) // TRANSPORT_EDGES_PER_SAMPLE
+        return 0
+
     def _run_op(
         self,
         worker,
@@ -366,6 +529,7 @@ class SamplingEngine:
         split,
         budget: RunBudget | None,
         charge=None,
+        transport_penalty: int = 0,
     ) -> list:
         """Run one checkpointable sampling operation through the runtime.
 
@@ -376,10 +540,15 @@ class SamplingEngine:
         :class:`BudgetExceededError` stops the run mid-growth).
 
         Small runs skip the pool: when the operation totals fewer than
-        ``parallel_threshold`` samples, dispatch overhead exceeds the
+        ``parallel_threshold + transport_penalty`` samples, dispatch
+        (plus, for pickled-graph modes, transport) overhead exceeds the
         sampling work, so a multi-worker engine runs it in-process.
         Identical results either way (determinism contract); only the
-        wall clock and the ``parallel_fallbacks`` counter notice. A
+        wall clock and the ``parallel_fallbacks`` counters notice. The
+        fallback *reason* is published as a suffixed counter —
+        ``engine.parallel_fallbacks.below_threshold`` when the run was
+        small outright, ``engine.parallel_fallbacks.transport_cost``
+        when only the graph-shipping surcharge tipped the decision. A
         fault plan disables the fallback because fault injection
         explicitly targets the pool recovery paths.
         """
@@ -387,15 +556,22 @@ class SamplingEngine:
         self._op_counter += 1
         charged_upto = 0
 
+        total = sum(counts)
         force_serial = (
             self.workers > 1
             and self.fault_plan is None
             and self.parallel_threshold > 0
-            and sum(counts) < self.parallel_threshold
+            and total < self.parallel_threshold + transport_penalty
         )
         if force_serial:
+            reason = (
+                "below_threshold"
+                if total < self.parallel_threshold
+                else "transport_cost"
+            )
             self.telemetry.parallel_fallbacks += 1
             obs.count("engine.parallel_fallbacks")
+            obs.count(f"engine.parallel_fallbacks.{reason}")
 
         preloaded: list = []
         if self.checkpoint is not None:
@@ -453,8 +629,14 @@ class SamplingEngine:
         signature = self._signature("rr", theta, rng, extra=target_arr.size)
         counts = _shard_counts(theta, self.shard_size)
         streams = spawn_seed_sequences(rng, len(counts))
+        graph_ref = self._graph_ref(graph)
+        probs_ref: object = edge_probs
+        shared_probs = None
+        if isinstance(graph_ref, CSRGraphHandle):
+            shared_probs = SharedProbs(edge_probs, spill_dir=self.spill_dir)
+            probs_ref = shared_probs.handle
         tasks = [
-            (graph, target_arr, edge_probs, count, stream, self.mode,
+            (graph_ref, target_arr, probs_ref, count, stream, self.mode,
              self.batch_size)
             for count, stream in zip(counts, streams)
         ]
@@ -482,6 +664,7 @@ class SamplingEngine:
                     _rr_shard, tasks, counts, signature, pack, split,
                     budget,
                     charge=charge if budget is not None else None,
+                    transport_penalty=self._transport_penalty(graph),
                 )
             except BudgetExceededError as exc:
                 if exc.partial is None or isinstance(exc.partial, list):
@@ -489,6 +672,9 @@ class SamplingEngine:
                         exc.partial or [], graph.num_nodes
                     )
                 raise
+            finally:
+                if shared_probs is not None:
+                    shared_probs.unlink()
             collection = self._collect_rr(shards, graph.num_nodes)
         # Counted from the returned object, at the driver: invariant to
         # worker count, retries, and checkpoint/resume splicing.
@@ -533,8 +719,14 @@ class SamplingEngine:
         )
         counts = _shard_counts(num_samples, self.shard_size)
         streams = spawn_seed_sequences(rng, len(counts))
+        graph_ref = self._graph_ref(graph)
+        probs_ref: object = edge_probs
+        shared_probs = None
+        if isinstance(graph_ref, CSRGraphHandle):
+            shared_probs = SharedProbs(edge_probs, spill_dir=self.spill_dir)
+            probs_ref = shared_probs.handle
         tasks = [
-            (graph, seed_arr, edge_probs, count, target_arr, stream,
+            (graph_ref, seed_arr, probs_ref, count, target_arr, stream,
              self.mode, self.batch_size)
             for count, stream in zip(counts, streams)
         ]
@@ -555,6 +747,7 @@ class SamplingEngine:
                 shards = self._run_op(
                     _cascade_shard, tasks, counts, signature, pack, split,
                     budget,
+                    transport_penalty=self._transport_penalty(graph),
                 )
             except BudgetExceededError as exc:
                 if exc.partial is None or isinstance(exc.partial, list):
@@ -563,6 +756,9 @@ class SamplingEngine:
                         if exc.partial else np.empty(0, dtype=np.int64)
                     )
                 raise
+            finally:
+                if shared_probs is not None:
+                    shared_probs.unlink()
             if shards:
                 flat = np.concatenate(shards)
             else:
@@ -608,9 +804,10 @@ class QueryEngineView(SamplingEngine):
 
     Created by :meth:`SamplingEngine.for_query`. The view inherits every
     sampling knob (mode, workers, shard size, batch size, retry policy,
-    fault plan, parallel threshold) and *delegates pool management to
-    the parent*, so any number of views share one set of worker
-    processes. What it does **not** share:
+    fault plan, parallel threshold, spill dir) and *delegates pool and
+    shared-CSR management to the parent*, so any number of views share
+    one set of worker processes and one published copy of each graph.
+    What it does **not** share:
 
     * ``telemetry`` — a fresh :class:`RunTelemetry` bound to the
       registry passed in (or the caller thread's active observation),
@@ -636,6 +833,7 @@ class QueryEngineView(SamplingEngine):
         self.fault_plan = parent.fault_plan
         self.checkpoint = None
         self.parallel_threshold = parent.parallel_threshold
+        self.spill_dir = parent.spill_dir
         self.telemetry = RunTelemetry(
             registry=registry
             if registry is not None
@@ -658,6 +856,13 @@ class QueryEngineView(SamplingEngine):
 
     def abort_pool(self) -> None:
         self._parent.abort_pool()
+
+    def _shared_csr(self, graph: TagGraph) -> SharedCSR:
+        """Shared-CSR segments live with the parent, like the pool."""
+        return self._parent._shared_csr(graph)
+
+    def _unlink_shared(self) -> None:
+        """No-op: the parent owns the shared segments."""
 
     def close(self) -> None:
         """No-op: the parent owns (and eventually closes) the pool."""

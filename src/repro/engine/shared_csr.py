@@ -1,0 +1,447 @@
+"""Zero-copy graph transport for the sampling pool.
+
+Pool fan-out used to pickle the whole :class:`~repro.graphs.tag_graph.TagGraph`
+into every shard task: six int64 CSR arrays plus the per-tag probability
+table, serialized and copied once per shard per attempt. This module
+replaces that with *named* shared storage — the parent publishes the CSR
+structure once, tasks carry a tiny picklable handle, and every worker
+maps the same physical pages read-only:
+
+* :class:`SharedCSR` — owns the backing store for one graph's CSR
+  structure (``fwd_indptr``, ``fwd_edges``, ``rev_indptr``,
+  ``rev_edges``, ``src``, ``dst``). Small graphs live in POSIX shared
+  memory (:mod:`multiprocessing.shared_memory`); graphs whose arrays
+  exceed :data:`SPILL_THRESHOLD_BYTES` spill to a ``numpy.memmap`` file
+  when a spill directory is configured, so graphs larger than RAM can
+  still fan out (the kernel pages them on demand).
+* :class:`CSRGraphHandle` — the frozen, picklable address of a
+  :class:`SharedCSR`. ``handle.attach()`` in any process returns a
+  :class:`CSRGraphView`; attachments are cached per process, so a
+  worker maps each graph exactly once no matter how many shards it runs.
+* :class:`CSRGraphView` — a read-only stand-in exposing the slice of
+  the ``TagGraph`` surface the batched kernels consume (``num_nodes``,
+  ``num_edges``, ``src``, ``dst``, ``forward_csr``, ``reverse_csr``).
+* :class:`SharedProbs` — per-operation transport for the aggregated
+  edge-probability vector. Workers *copy* it out on fetch (it is small
+  and operation-scoped), so unlinking after the operation leaves no
+  dangling mappings behind in the pool.
+
+Lifecycle notes. Pool workers share the parent's ``resource_tracker``
+daemon, so a worker re-attaching to a segment is a no-op registration
+and exactly one unregister happens — in the creator's unlink. Creation
+is tracked in :func:`active_tokens` and every owner carries a
+``weakref.finalize`` guard, so even an engine that is never
+``close()``-d cannot leak ``/dev/shm`` entries (or spill files) past
+garbage collection.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    shared_memory = None
+
+#: Arrays past this total size spill to a memmap file instead of POSIX
+#: shared memory, provided the owner was given a ``spill_dir``. ``/dev/shm``
+#: is RAM-backed, so spilling is what lets a graph bigger than memory
+#: still be shared (the OS pages the file in on demand).
+SPILL_THRESHOLD_BYTES = 1 << 31
+
+#: 64-byte alignment for every array inside a segment (cache-line sized,
+#: and satisfies any numpy dtype alignment requirement).
+_ALIGN = 64
+
+#: Tokens (shm names / spill paths) created and not yet unlinked by this
+#: process. Tests assert this drains back to empty — a leak here is a
+#: leak in ``/dev/shm`` or the spill directory.
+_LIVE_TOKENS: set[str] = set()
+
+#: Per-process attachment cache: ``(backend, token) -> (resource, arrays)``.
+#: ``resource`` keeps the mapping alive (``SharedMemory`` object or
+#: ``np.memmap``); ``arrays`` are read-only views into it.
+_ATTACH_CACHE: dict[tuple[str, str], tuple[object, dict[str, np.ndarray]]] = {}
+
+
+def active_tokens() -> frozenset[str]:
+    """Backing-store tokens created by this process and still live."""
+    return frozenset(_LIVE_TOKENS)
+
+
+def _plan_layout(
+    arrays: dict[str, np.ndarray],
+) -> tuple[int, tuple[tuple[str, int, tuple[int, ...], str], ...]]:
+    """Total byte size + per-array ``(name, offset, shape, dtype)`` slots."""
+    offset = 0
+    slots = []
+    for name, arr in arrays.items():
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        slots.append((name, offset, arr.shape, arr.dtype.str))
+        offset += arr.nbytes
+    return max(offset, 1), tuple(slots)
+
+
+def _views(
+    buf, layout: tuple[tuple[str, int, tuple[int, ...], str], ...],
+    writeable: bool = False,
+) -> dict[str, np.ndarray]:
+    """Array views into ``buf`` following ``layout``."""
+    out = {}
+    for name, offset, shape, dtype in layout:
+        count = int(np.prod(shape, dtype=np.int64))
+        view = np.frombuffer(buf, dtype=np.dtype(dtype), count=count,
+                             offset=offset).reshape(shape)
+        if not writeable:
+            view = view.view()
+            view.flags.writeable = False
+        out[name] = view
+    return out
+
+
+def _attach(
+    backend: str, token: str,
+    layout: tuple[tuple[str, int, tuple[int, ...], str], ...],
+) -> tuple[object, dict[str, np.ndarray]]:
+    """Map an existing segment/file; returns ``(resource, views)``."""
+    if backend == "mmap":
+        mm = np.memmap(token, dtype=np.uint8, mode="r")
+        return mm, _views(mm, layout)
+    # Note: attaching re-registers the name with the resource tracker on
+    # Python < 3.13, but pool workers inherit the *parent's* tracker
+    # daemon, whose cache is a set — the re-register is a no-op and the
+    # single unregister happens in the creator's unlink. Unregistering
+    # here would cancel the creator's registration and desync the
+    # tracker (KeyError storms at shutdown).
+    shm = shared_memory.SharedMemory(name=token)
+    return shm, _views(shm.buf, layout)
+
+
+def _attach_cached(
+    backend: str, token: str,
+    layout: tuple[tuple[str, int, tuple[int, ...], str], ...],
+) -> dict[str, np.ndarray]:
+    """Per-process cached attach: each (backend, token) maps once."""
+    key = (backend, token)
+    entry = _ATTACH_CACHE.get(key)
+    if entry is None:
+        entry = _attach(backend, token, layout)
+        _ATTACH_CACHE[key] = entry
+    return entry[1]
+
+
+#: Mappings that could not be closed because a caller still holds views
+#: into them (e.g. a CSRGraphView kept past unlink). Held here so their
+#: ``__del__`` never runs mid-process and raises an unraisable
+#: BufferError; the OS reclaims the mappings at process exit.
+_ZOMBIE_MAPPINGS: list[object] = []
+
+
+def _evict(backend: str, token: str) -> None:
+    """Drop a cached attachment (creator-side, on unlink)."""
+    entry = _ATTACH_CACHE.pop((backend, token), None)
+    if entry is None:
+        return
+    resource, arrays = entry
+    arrays.clear()
+    if hasattr(resource, "close"):
+        try:
+            resource.close()
+        except BufferError:
+            # Someone still holds a view. The backing *name* is gone
+            # either way; park the mapping until process exit.
+            _ZOMBIE_MAPPINGS.append(resource)
+
+
+@dataclass(frozen=True)
+class PackHandle:
+    """Picklable address of one shared array pack.
+
+    ``backend`` is ``"shm"`` or ``"mmap"``; ``token`` is the segment
+    name or spill-file path; ``layout`` places each named array inside
+    the mapping. Handles are tiny (a few hundred bytes) regardless of
+    graph size — that is the whole point.
+    """
+
+    backend: str
+    token: str
+    layout: tuple[tuple[str, int, tuple[int, ...], str], ...]
+
+    def attach(self) -> dict[str, np.ndarray]:
+        """Read-only views of the pack's arrays (cached per process)."""
+        return _attach_cached(self.backend, self.token, self.layout)
+
+    def fetch_copy(self) -> dict[str, np.ndarray]:
+        """Private copies of the pack's arrays; leaves no mapping behind.
+
+        For short-lived packs (per-operation probability vectors):
+        attach, copy, release. The caller owns plain arrays, so the
+        creator can unlink immediately after the operation without any
+        worker holding a stale mapping.
+        """
+        key = (self.backend, self.token)
+        cached = _ATTACH_CACHE.get(key)
+        if cached is not None:  # creator process: copy straight out
+            return {name: arr.copy() for name, arr in cached[1].items()}
+        resource, views = _attach(self.backend, self.token, self.layout)
+        out = {name: arr.copy() for name, arr in views.items()}
+        views.clear()
+        if hasattr(resource, "close"):
+            resource.close()
+        return out
+
+
+class SharedArrayPack:
+    """Owner of one named shared segment holding several numpy arrays.
+
+    The creating process writes every array once at construction and
+    keeps read-only views of its own (registered in the attach cache, so
+    in-process ``handle.attach()`` is free). :meth:`unlink` destroys the
+    backing store; a ``weakref.finalize`` guard makes that automatic at
+    garbage collection for owners that are never closed explicitly.
+    """
+
+    def __init__(
+        self,
+        arrays: dict[str, np.ndarray],
+        spill_dir: str | None = None,
+        spill_threshold: int | None = None,
+    ) -> None:
+        arrays = {
+            name: np.ascontiguousarray(arr) for name, arr in arrays.items()
+        }
+        total, layout = _plan_layout(arrays)
+        threshold = (
+            SPILL_THRESHOLD_BYTES if spill_threshold is None
+            else spill_threshold
+        )
+        if spill_dir is not None and total >= threshold:
+            backend = "mmap"
+            fd, token = tempfile.mkstemp(suffix=".csrpack", dir=spill_dir)
+            os.close(fd)
+            resource = np.memmap(token, dtype=np.uint8, mode="r+",
+                                 shape=(total,))
+            buf = resource
+        else:
+            if shared_memory is None:  # pragma: no cover - exotic platforms
+                raise RuntimeError(
+                    "multiprocessing.shared_memory is unavailable; "
+                    "configure a spill_dir to use the mmap backend"
+                )
+            backend = "shm"
+            resource = shared_memory.SharedMemory(create=True, size=total)
+            token = resource.name
+            buf = resource.buf
+        for name, view in _views(buf, layout, writeable=True).items():
+            np.copyto(view, arrays[name])
+        if backend == "mmap":
+            resource.flush()
+        self.backend = backend
+        self.token = token
+        self.nbytes = total
+        self.handle = PackHandle(backend, token, layout)
+        self._resource = resource
+        _LIVE_TOKENS.add(token)
+        # Creator-side attach-cache entry: in-process handle.attach()
+        # (serial fallback path) reuses these views instead of remapping.
+        _ATTACH_CACHE[(backend, token)] = (
+            resource, _views(buf, layout, writeable=False)
+        )
+        self._finalizer = weakref.finalize(
+            self, _unlink_backing, backend, token
+        )
+
+    def unlink(self) -> None:
+        """Destroy the backing store (idempotent)."""
+        if self._finalizer.detach() is None:
+            return  # already unlinked
+        _evict(self.backend, self.token)
+        self._resource = None
+        _unlink_backing(self.backend, self.token)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedArrayPack(backend={self.backend!r}, "
+            f"token={self.token!r}, nbytes={self.nbytes})"
+        )
+
+
+def _unlink_backing(backend: str, token: str) -> None:
+    """Remove the named backing store; module-level for finalizers."""
+    _LIVE_TOKENS.discard(token)
+    if backend == "mmap":
+        try:
+            os.unlink(token)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        return
+    try:
+        seg = shared_memory.SharedMemory(name=token)
+    except FileNotFoundError:  # pragma: no cover - already gone
+        return
+    seg.close()
+    seg.unlink()  # shm_unlink + the one balancing tracker unregister
+
+
+class CSRGraphView:
+    """Read-only graph stand-in over attached CSR arrays.
+
+    Duck-types the slice of :class:`~repro.graphs.tag_graph.TagGraph`
+    that the batched kernels touch: ``num_nodes``, ``num_edges``,
+    ``src``, ``dst``, ``forward_csr()``, ``reverse_csr()`` and the
+    degree helpers. Tag-conditional probability aggregation is *not*
+    here — probability vectors travel separately (:class:`SharedProbs`),
+    already aggregated by the parent.
+    """
+
+    __slots__ = ("_arrays", "_num_nodes", "_num_edges")
+
+    def __init__(
+        self, arrays: dict[str, np.ndarray], num_nodes: int, num_edges: int
+    ) -> None:
+        self._arrays = arrays
+        self._num_nodes = int(num_nodes)
+        self._num_edges = int(num_edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def src(self) -> np.ndarray:
+        return self._arrays["src"]
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self._arrays["dst"]
+
+    def forward_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._arrays["fwd_indptr"], self._arrays["fwd_edges"]
+
+    def reverse_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._arrays["rev_indptr"], self._arrays["rev_edges"]
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self._arrays["fwd_indptr"])
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self._arrays["rev_indptr"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraphView(num_nodes={self._num_nodes}, "
+            f"num_edges={self._num_edges})"
+        )
+
+
+@dataclass(frozen=True)
+class CSRGraphHandle:
+    """Picklable address of a :class:`SharedCSR` (travels in shard tasks)."""
+
+    pack: PackHandle
+    num_nodes: int
+    num_edges: int
+
+    def attach(self) -> CSRGraphView:
+        """Map (or reuse this process's mapping of) the shared CSR."""
+        return CSRGraphView(self.pack.attach(), self.num_nodes,
+                            self.num_edges)
+
+
+class SharedCSR:
+    """One graph's CSR structure, published for zero-copy pool fan-out."""
+
+    def __init__(self, graph, spill_dir: str | None = None,
+                 spill_threshold: int | None = None) -> None:
+        fwd_indptr, fwd_edges = graph.forward_csr()
+        rev_indptr, rev_edges = graph.reverse_csr()
+        self._pack = SharedArrayPack(
+            {
+                "fwd_indptr": fwd_indptr,
+                "fwd_edges": fwd_edges,
+                "rev_indptr": rev_indptr,
+                "rev_edges": rev_edges,
+                "src": graph.src,
+                "dst": graph.dst,
+            },
+            spill_dir=spill_dir,
+            spill_threshold=spill_threshold,
+        )
+        self.handle = CSRGraphHandle(
+            self._pack.handle, graph.num_nodes, graph.num_edges
+        )
+
+    @property
+    def backend(self) -> str:
+        return self._pack.backend
+
+    @property
+    def nbytes(self) -> int:
+        return self._pack.nbytes
+
+    def unlink(self) -> None:
+        """Destroy the backing store (idempotent)."""
+        self._pack.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedCSR(backend={self.backend!r}, nbytes={self.nbytes}, "
+            f"num_nodes={self.handle.num_nodes}, "
+            f"num_edges={self.handle.num_edges})"
+        )
+
+
+@dataclass(frozen=True)
+class ProbsHandle:
+    """Picklable address of one operation's edge-probability vector."""
+
+    pack: PackHandle
+
+    def fetch(self) -> np.ndarray:
+        """A private (owned) copy of the probability vector."""
+        return self.pack.fetch_copy()["probs"]
+
+
+class SharedProbs:
+    """Operation-scoped shared transport for the aggregated probabilities.
+
+    Created per sampling operation, unlinked in a ``finally`` as soon as
+    the operation returns. Workers fetch *copies* (see
+    :meth:`PackHandle.fetch_copy`), so nothing in the pool outlives the
+    unlink.
+    """
+
+    def __init__(self, edge_probs: np.ndarray,
+                 spill_dir: str | None = None) -> None:
+        self._pack = SharedArrayPack(
+            {"probs": np.asarray(edge_probs, dtype=np.float64)},
+            spill_dir=spill_dir,
+        )
+        self.handle = ProbsHandle(self._pack.handle)
+
+    def unlink(self) -> None:
+        self._pack.unlink()
+
+
+def resolve_graph(graph_ref):
+    """A usable graph from a task argument: pass-through or attach."""
+    if isinstance(graph_ref, CSRGraphHandle):
+        return graph_ref.attach()
+    return graph_ref
+
+
+def resolve_edge_probs(probs_ref) -> np.ndarray:
+    """A usable probability vector from a task argument."""
+    if isinstance(probs_ref, ProbsHandle):
+        return probs_ref.fetch()
+    return probs_ref
