@@ -1,4 +1,5 @@
-"""Validate benchmark artifacts (``BENCH_serve.json`` / ``BENCH_engine.json``).
+"""Validate benchmark artifacts (``BENCH_serve.json`` / ``BENCH_engine.json``
+/ ``BENCH_load.json``).
 
 CI gate companion to the benchmarks: re-checks the written artifact
 (rather than the bench process exit code) so the numbers that get
@@ -29,10 +30,21 @@ For ``bench_engine.py`` artifacts, asserts that
 * the bit-parallel kernels beat the vectorized ones on every config
   and section (they exist to be the fastest tier).
 
+For ``repro loadgen`` artifacts (``BENCH_load.json``), asserts that
+
+* outcome accounting is *exact* at every swept rate: every issued query
+  terminated in exactly one of done / degraded / rejected / errors
+  (``accounted == issued``) — no query may vanish under overload;
+* no row reports raw ``errors`` (clean rejections and degraded answers
+  are the only acceptable overload outcomes);
+* rows exist for every swept rate and per-class p95s are recorded for
+  classes with completions.
+
 Usage::
 
     python scripts/check_bench.py BENCH_serve.json --min-speedup 5.0
     python scripts/check_bench.py BENCH_engine.json --min-bit-speedup 32.0
+    python scripts/check_bench.py BENCH_load.json
 """
 
 from __future__ import annotations
@@ -144,7 +156,44 @@ def check_engine(payload: dict, min_bit_speedup: float) -> list[str]:
     return failures
 
 
+def check_load(payload: dict, max_error_frac: float = 0.0) -> list[str]:
+    """Return a list of failure messages (empty = all gates pass)."""
+    failures: list[str] = []
+    rows = payload.get("rows") or []
+    if not rows:
+        return ["no rows in load report"]
+    if payload.get("schema") != "repro.bench.load/1":
+        failures.append(
+            f"unexpected schema {payload.get('schema')!r} for load report"
+        )
+    for row in rows:
+        rate = row.get("rate_qps", "?")
+        issued = row.get("issued", 0)
+        accounted = row.get("accounted", -1)
+        if issued <= 0:
+            failures.append(f"rate {rate}: issued no queries")
+            continue
+        if accounted != issued:
+            failures.append(
+                f"rate {rate}: accounted {accounted} != issued {issued} — "
+                "a query terminated in zero or two outcome bins"
+            )
+        errors = row.get("errors", 0)
+        if errors > max_error_frac * issued:
+            failures.append(
+                f"rate {rate}: {errors} raw errors (only clean "
+                "rejections/degrades are acceptable overload outcomes)"
+            )
+        for name in ("interactive", "batch", "best_effort"):
+            key = f"p95_ms.{name}"
+            if key not in row:
+                failures.append(f"rate {rate}: missing {key}")
+    return failures
+
+
 def detect_kind(payload: dict) -> str:
+    if payload.get("schema") == "repro.bench.load/1":
+        return "load"
     rows = payload.get("results") or [{}]
     return "engine" if "rr" in rows[0] else "serve"
 
@@ -156,8 +205,14 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark artifact to validate (default BENCH_serve.json)",
     )
     parser.add_argument(
-        "--kind", choices=("auto", "serve", "engine"), default="auto",
+        "--kind", choices=("auto", "serve", "engine", "load"),
+        default="auto",
         help="artifact kind (default: detect from payload shape)",
+    )
+    parser.add_argument(
+        "--max-error-frac", type=float, default=0.0,
+        help="load artifacts: tolerated raw-error fraction per rate "
+             "(default 0 — overload must end in clean outcomes)",
     )
     parser.add_argument(
         "--min-speedup", type=float, default=5.0,
@@ -175,12 +230,24 @@ def main(argv: list[str] | None = None) -> int:
     kind = detect_kind(payload) if args.kind == "auto" else args.kind
     if kind == "engine":
         failures = check_engine(payload, args.min_bit_speedup)
+    elif kind == "load":
+        failures = check_load(payload, args.max_error_frac)
     else:
         failures = check_serve(payload, args.min_speedup)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    if kind == "load":
+        rows = payload["rows"]
+        max_qps = payload.get("max_sustainable_qps")
+        print(
+            f"check_bench OK: {len(rows)} rates, accounting exact "
+            f"(issued == done + degraded + rejected + errors); "
+            f"max sustainable {max_qps if max_qps is not None else 'n/a'} "
+            f"qps at p95 <= {payload.get('slo_p95_ms')} ms"
+        )
+        return 0
     gated = payload["results"][-1]
     if kind == "engine":
         print(

@@ -50,10 +50,14 @@ from repro.diffusion.monte_carlo import estimate_spread, estimate_spread_fractio
 from repro.engine.parallel import SamplingEngine
 from repro.engine.rr_storage import RRCollection
 from repro.exceptions import (
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineRejectedError,
     EstimationError,
     GraphConstructionError,
     InvalidQueryError,
+    QueryRejectedError,
+    QueryShedError,
     ReproError,
     ServerClosedError,
     ServerOverloadedError,
@@ -73,7 +77,9 @@ __all__ = [
     "BaselineConfig",
     "CampaignServer",
     "CampaignSession",
+    "CircuitOpenError",
     "ConfigurationError",
+    "DeadlineRejectedError",
     "EstimationError",
     "GraphConstructionError",
     "HistoryEntry",
@@ -81,6 +87,8 @@ __all__ = [
     "JointConfig",
     "JointQuery",
     "JointResult",
+    "QueryRejectedError",
+    "QueryShedError",
     "RRCollection",
     "ReproError",
     "SamplingEngine",

@@ -26,7 +26,19 @@ Subcommands
     (``/metrics`` in OpenMetrics text, ``/healthz``, ``/events``);
     ``--events-out PATH`` mirrors the query-lifecycle event log
     (JSONL, schema ``repro.obs.events/1``) to a file, flushed even on
-    SIGTERM/Ctrl-C.
+    SIGTERM/Ctrl-C, with optional size-based rotation
+    (``--events-max-bytes`` / ``--events-backups``). QoS/overload knobs
+    (``--shed-threshold`` / ``--stale-threshold``) and the seeded
+    chaos harness (``--chaos-*``) are wired straight into the server.
+``loadgen``
+    Synthetic serving traffic against an embedded server: Zipfian tag
+    popularity, overlapping target sets, a configurable class mix, and
+    an open- or closed-loop arrival process; sweeps offered rates and
+    writes a capacity report (``BENCH_load.json``, schema
+    ``repro.bench.load/1``) with the max sustainable qps under the
+    interactive p95 SLO and a full done/degraded/rejected breakdown.
+    ``--replay`` reuses the op/class sequence from a recorded
+    ``--events-out`` JSONL.
 ``top``
     Live single-screen dashboard for a ``--listen`` endpoint: scrapes
     ``/metrics`` + ``/healthz`` every ``--interval`` seconds and
@@ -354,6 +366,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--events-max-bytes", type=int, default=None, metavar="N",
+        help=(
+            "rotate the --events-out file when it would exceed N bytes "
+            "(default: never rotate)"
+        ),
+    )
+    serve.add_argument(
+        "--events-backups", type=int, default=3, metavar="N",
+        help=(
+            "rotated event-file generations to keep (default 3; with "
+            "--events-max-bytes, disk use is bounded by (N+1) files)"
+        ),
+    )
+    serve.add_argument(
         "--telemetry-interval", type=float, default=1.0,
         help="exporter snapshot interval in seconds for --listen (default 1)",
     )
@@ -365,7 +391,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-target", type=float, default=0.999,
         help="availability SLO target for the error budget (default 0.999)",
     )
+    serve.add_argument(
+        "--shed-threshold", type=float, default=None, metavar="FRAC",
+        help=(
+            "utilization at which best_effort queries degrade to the "
+            "reduced-θ approximate tier (default 0.6)"
+        ),
+    )
+    serve.add_argument(
+        "--stale-threshold", type=float, default=None, metavar="FRAC",
+        help=(
+            "utilization past which best_effort queries are served from "
+            "resident cache only, else shed (default 0.85)"
+        ),
+    )
+
+    def add_chaos(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--chaos-seed", type=int, default=None, metavar="SEED",
+            help=(
+                "enable the deterministic serve-layer fault plan with "
+                "this seed (required for the other --chaos-* flags)"
+            ),
+        )
+        p.add_argument(
+            "--chaos-admission-rate", type=float, default=0.0,
+            help="probability of an injected error at admission",
+        )
+        p.add_argument(
+            "--chaos-dequeue-rate", type=float, default=0.0,
+            help="probability of an injected error at dequeue",
+        )
+        p.add_argument(
+            "--chaos-build-error-rate", type=float, default=0.0,
+            help="probability of failing an asset build (trips breakers)",
+        )
+        p.add_argument(
+            "--chaos-build-slow-rate", type=float, default=0.0,
+            help="probability of slowing an asset build",
+        )
+        p.add_argument(
+            "--chaos-build-slow-seconds", type=float, default=0.05,
+            help="sleep injected by --chaos-build-slow-rate (default 0.05)",
+        )
+        p.add_argument(
+            "--chaos-deadline-skew", type=float, default=0.0,
+            help=(
+                "seconds subtracted from every query deadline at "
+                "admission (models a fast-running clock)"
+            ),
+        )
+
+    add_chaos(serve)
     add_sampler(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help=(
+            "drive an embedded campaign server with synthetic traffic "
+            "and write a capacity report (BENCH_load.json)"
+        ),
+    )
+    loadgen.add_argument("graph", help="TSV graph file")
+    loadgen.add_argument(
+        "--rates", default="4,8,16", metavar="QPS[,QPS...]",
+        help="offered rates to sweep, comma-separated (default 4,8,16)",
+    )
+    loadgen.add_argument(
+        "--queries", type=int, default=60,
+        help="queries issued at each swept rate (default 60)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--slo-ms", type=float, default=500.0,
+        help="interactive p95 SLO the capacity verdict uses (default 500)",
+    )
+    loadgen.add_argument(
+        "--out", default="BENCH_load.json", metavar="PATH",
+        help="capacity report path (default BENCH_load.json)",
+    )
+    loadgen.add_argument(
+        "--pool-size", type=int, default=4,
+        help="server worker threads (default 4)",
+    )
+    loadgen.add_argument(
+        "--queue-capacity", type=int, default=8,
+        help="server queue capacity beyond the pool (default 8)",
+    )
+    loadgen.add_argument(
+        "--closed-loop", action="store_true",
+        help=(
+            "closed-loop mode: N synchronous clients back to back "
+            "instead of scheduled open-loop arrivals"
+        ),
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop client count (default 8)",
+    )
+    loadgen.add_argument(
+        "--replay", default=None, metavar="EVENTS_JSONL",
+        help=(
+            "replay the op/class sequence from a serve --events-out "
+            "JSONL instead of drawing from the synthetic mixes"
+        ),
+    )
+    loadgen.add_argument(
+        "--theta-max", type=int, default=2000,
+        help="sketch theta_max for the embedded server (default 2000)",
+    )
+    add_chaos(loadgen)
 
     top = sub.add_parser(
         "top", help="live dashboard for a serve --listen endpoint"
@@ -550,6 +685,40 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_chaos(args: argparse.Namespace):
+    """Build a ``ServeFaultPlan`` from the ``--chaos-*`` flags, or None."""
+    if getattr(args, "chaos_seed", None) is None:
+        return None
+    from repro.serve import ServeFaultPlan
+
+    return ServeFaultPlan(
+        seed=args.chaos_seed,
+        admission_error_rate=args.chaos_admission_rate,
+        dequeue_error_rate=args.chaos_dequeue_rate,
+        build_error_rate=args.chaos_build_error_rate,
+        build_slow_rate=args.chaos_build_slow_rate,
+        build_slow_seconds=args.chaos_build_slow_seconds,
+        deadline_skew_s=args.chaos_deadline_skew,
+    )
+
+
+def _make_qos(args: argparse.Namespace):
+    """Build a non-default ``QosConfig`` from flags, or None."""
+    shed = getattr(args, "shed_threshold", None)
+    stale = getattr(args, "stale_threshold", None)
+    if shed is None and stale is None:
+        return None
+    from repro.serve import QosConfig
+
+    defaults = QosConfig()
+    return QosConfig(
+        shed_threshold=shed if shed is not None else defaults.shed_threshold,
+        stale_threshold=(
+            stale if stale is not None else defaults.stale_threshold
+        ),
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import METRICS_SCHEMA, CampaignServer, serve_stdio
 
@@ -568,9 +737,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         default_deadline=args.deadline,
         default_max_samples=args.max_samples,
+        qos=_make_qos(args),
+        chaos=_make_chaos(args),
     )
     if args.events_out is not None:
-        server.events.open_sink(args.events_out)
+        server.events.open_sink(
+            args.events_out,
+            max_bytes=args.events_max_bytes,
+            backups=args.events_backups,
+        )
     telemetry = None
     handled = 0
     with _sampler_scope(sampler):
@@ -642,6 +817,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import CampaignServer
+    from repro.serve.loadgen import (
+        LoadSpec,
+        capacity_report,
+        replay_ops_from_events,
+    )
+    from repro.sketch.theta import SketchConfig
+
+    graph = load_tag_graph(args.graph)
+    rates = tuple(
+        float(r) for r in args.rates.split(",") if r.strip()
+    )
+    spec = LoadSpec(
+        seed=args.seed,
+        queries_per_rate=args.queries,
+        rates=rates,
+        slo_p95_ms=args.slo_ms,
+        open_loop=not args.closed_loop,
+        concurrency=args.concurrency,
+    )
+    replay_ops = (
+        replay_ops_from_events(args.replay)
+        if args.replay is not None else None
+    )
+    config = JointConfig(
+        sketch=SketchConfig(theta_max=args.theta_max, pilot_samples=50)
+    )
+    chaos = _make_chaos(args)
+
+    def make_server():
+        return CampaignServer(
+            graph,
+            config=config,
+            pool_size=args.pool_size,
+            queue_capacity=args.queue_capacity,
+            chaos=chaos,
+        )
+
+    report = capacity_report(
+        make_server, graph, spec, replay_ops=replay_ops
+    )
+    Path(args.out).write_text(
+        json.dumps(report, indent=2), encoding="utf-8"
+    )
+    max_qps = report["max_sustainable_qps"]
+    verdict = (
+        f"max sustainable: {max_qps:g} qps at p95 <= {args.slo_ms:g} ms"
+        if max_qps is not None
+        else f"no swept rate met the {args.slo_ms:g} ms p95 SLO"
+    )
+    for row in report["rows"]:
+        print(
+            f"rate {row['rate_qps']:g} qps: {row['done']} done, "
+            f"{row['degraded']} degraded, {row['rejected_total']} "
+            f"rejected, {row['errors']} errors "
+            f"(interactive p95 {row['p95_ms.interactive']} ms)",
+            file=sys.stderr,
+        )
+    print(f"loadgen: {verdict}; wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     import time
     import urllib.error
@@ -709,6 +947,7 @@ _COMMANDS = {
     "learn": _cmd_learn,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "top": _cmd_top,
 }
 

@@ -22,6 +22,16 @@ never blocking a query) and can additionally be mirrored to a JSONL
 sink (``repro serve --events-out``), one event object per line. The
 ring is served live at the telemetry endpoint's ``/events`` route.
 
+The sink is *hardened against the disk*: a write failure (ENOSPC, EIO,
+a file descriptor yanked from under us) is dropped and counted
+(``sink_errors`` in the ``/events`` payload) — it never raises into the
+serving path, because losing a telemetry line must never fail a query.
+Owned sinks opened with ``open_sink(path, max_bytes=..., backups=...)``
+rotate by size: at the byte threshold the file is renamed to
+``<path>.1`` (shifting older generations up, discarding past
+``backups``), so a long-lived server keeps at most ``backups + 1``
+event files on disk.
+
 Emitting an event reads the wall clock but never touches an
 observation scope, RNG, or algorithm state — the serving layer's
 bit-identity invariant (results and work counters identical with
@@ -31,6 +41,7 @@ telemetry on or off) is preserved by construction.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -96,6 +107,11 @@ class EventLog:
         self._sink = sink
         self._owns_sink = False
         self._closed = False
+        self._sink_errors = 0
+        self._sink_path: Optional[str] = None
+        self._sink_bytes = 0
+        self._max_bytes: Optional[int] = None
+        self._backups = 0
 
     # ------------------------------------------------------------------
     # Emission
@@ -125,8 +141,53 @@ class EventLog:
                     self._dropped += 1
                 self._ring.append(event)
             if self._sink is not None:
-                self._sink.write(json.dumps(event.as_dict()) + "\n")
+                self._write_sink_locked(json.dumps(event.as_dict()) + "\n")
         return event
+
+    def _write_sink_locked(self, line: str) -> None:
+        """Write one line to the sink; disk failures drop-and-count.
+
+        Telemetry must never fail a query: any :class:`OSError` from
+        the write or rotation (ENOSPC, EIO, a revoked descriptor) bumps
+        ``sink_errors`` and the event is simply not persisted — the
+        in-memory ring still has it.
+        """
+        try:
+            if (
+                self._max_bytes is not None
+                and self._sink_path is not None
+                and self._sink_bytes + len(line) > self._max_bytes
+                and self._sink_bytes > 0
+            ):
+                self._rotate_locked()
+            self._sink.write(line)
+            self._sink_bytes += len(line)
+        except (OSError, ValueError):
+            # ValueError covers writes to a handle a failed rotation
+            # left closed — same treatment: count, don't raise.
+            self._sink_errors += 1
+
+    def _rotate_locked(self) -> None:
+        """Rename the active file to ``.1``, shifting older generations.
+
+        Keeps at most ``backups`` rotated files: ``<path>.backups`` is
+        deleted, ``<path>.i`` becomes ``<path>.i+1``, the active file
+        becomes ``<path>.1``, and a fresh active file is opened. With
+        ``backups == 0`` the active file is simply truncated.
+        """
+        path = self._sink_path
+        self._sink.close()
+        if self._backups > 0:
+            last = f"{path}.{self._backups}"
+            if os.path.exists(last):
+                os.remove(last)
+            for index in range(self._backups - 1, 0, -1):
+                src = f"{path}.{index}"
+                if os.path.exists(src):
+                    os.replace(src, f"{path}.{index + 1}")
+            os.replace(path, f"{path}.1")
+        self._sink = open(path, "w", encoding="utf-8", buffering=1)
+        self._sink_bytes = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -147,6 +208,12 @@ class EventLog:
         with self._lock:
             return self._seq
 
+    @property
+    def sink_errors(self) -> int:
+        """Sink writes dropped on disk errors (ENOSPC, EIO, …)."""
+        with self._lock:
+            return self._sink_errors
+
     def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
         """The most recent events as dicts, oldest first."""
         with self._lock:
@@ -159,37 +226,65 @@ class EventLog:
         """The ``/events`` endpoint document."""
         with self._lock:
             dropped, total = self._dropped, self._seq
+            sink_errors = self._sink_errors
         return {
             "schema": EVENTS_SCHEMA,
             "capacity": self.capacity,
             "total": total,
             "dropped": dropped,
+            "sink_errors": sink_errors,
             "events": self.snapshot(limit),
         }
 
     # ------------------------------------------------------------------
     # Sink lifecycle
     # ------------------------------------------------------------------
-    def open_sink(self, path) -> None:
-        """Open ``path`` as an owned line-buffered JSONL sink."""
+    def open_sink(
+        self,
+        path,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
+    ) -> None:
+        """Open ``path`` as an owned line-buffered JSONL sink.
+
+        ``max_bytes`` enables size-based rotation: when the active file
+        would exceed it, it is rotated to ``<path>.1`` (older
+        generations shift up; at most ``backups`` are kept, so disk
+        usage is bounded by ``(backups + 1) * max_bytes`` plus one
+        line). ``max_bytes=None`` (default) never rotates.
+        """
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
         handle = open(path, "w", encoding="utf-8", buffering=1)
         with self._lock:
             if self._sink is not None and self._owns_sink:
                 self._sink.close()
             self._sink = handle
             self._owns_sink = True
+            self._sink_path = os.fspath(path)
+            self._sink_bytes = 0
+            self._max_bytes = max_bytes
+            self._backups = int(backups)
 
     def attach_sink(self, sink: IO[str]) -> None:
         """Mirror events to a caller-owned stream (not closed by us)."""
         with self._lock:
             self._sink = sink
             self._owns_sink = False
+            self._sink_path = None
+            self._sink_bytes = 0
+            self._max_bytes = None
 
     def flush(self) -> None:
-        """Flush the sink (no-op without one)."""
+        """Flush the sink (no-op without one; disk errors are counted)."""
         with self._lock:
             if self._sink is not None:
-                self._sink.flush()
+                try:
+                    self._sink.flush()
+                except (OSError, ValueError):
+                    self._sink_errors += 1
 
     def close(self) -> None:
         """Flush and release the sink; idempotent. The ring survives
@@ -199,7 +294,10 @@ class EventLog:
                 return
             self._closed = True
             if self._sink is not None:
-                self._sink.flush()
-                if self._owns_sink:
-                    self._sink.close()
+                try:
+                    self._sink.flush()
+                    if self._owns_sink:
+                        self._sink.close()
+                except (OSError, ValueError):
+                    self._sink_errors += 1
                 self._sink = None

@@ -14,6 +14,15 @@ equivalent direct library call with the same RNG seed and canonical
 inputs, on cold misses, warm hits, and post-eviction rebuilds alike.
 See ``docs/serving.md`` and the differential/concurrency test suites.
 
+Overload is *graded*, not binary (:mod:`repro.serve.qos`): queries
+carry a QoS class (``interactive``/``batch``/``best_effort``) drained
+by weighted round-robin, explicit deadlines participate in predictive
+admission and cooperative cancellation, ``best_effort`` queries degrade
+to quantified-error approximate tiers before being shed, and per-asset
+circuit breakers stop failing builds from burning the pool. A seeded
+:class:`ServeFaultPlan` (:mod:`repro.serve.chaos`) drives every one of
+those paths deterministically for tests and chaos drills.
+
 Quick start::
 
     from repro.serve import CampaignServer
@@ -29,6 +38,7 @@ line-delimited JSON protocol on stdin/stdout
 """
 
 from repro.serve.cache import AssetCache, CachedAsset, CacheStats
+from repro.serve.chaos import InjectedChaosError, ServeFaultPlan
 from repro.serve.keys import (
     AssetKey,
     canonical_tags,
@@ -36,6 +46,14 @@ from repro.serve.keys import (
     targets_digest,
 )
 from repro.serve.protocol import execute_request, handle_line, serve_stdio
+from repro.serve.qos import (
+    QUERY_CLASSES,
+    TIERS,
+    CircuitBreaker,
+    LatencyPredictor,
+    QosConfig,
+    WeightedClassQueues,
+)
 from repro.serve.server import METRICS_SCHEMA, CampaignServer, ServeResponse
 
 __all__ = [
@@ -44,8 +62,16 @@ __all__ = [
     "CachedAsset",
     "CacheStats",
     "CampaignServer",
+    "CircuitBreaker",
+    "InjectedChaosError",
+    "LatencyPredictor",
     "METRICS_SCHEMA",
+    "QUERY_CLASSES",
+    "QosConfig",
+    "ServeFaultPlan",
     "ServeResponse",
+    "TIERS",
+    "WeightedClassQueues",
     "canonical_tags",
     "config_digest",
     "targets_digest",

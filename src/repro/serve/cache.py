@@ -59,6 +59,12 @@ class CacheStats:
     in-flight build rather than finding the asset resident. So
     ``misses == builds`` (absent failed builds) and the request total
     is ``hits + misses``, with joins double-counted nowhere.
+
+    ``puts`` counts direct :meth:`AssetCache.put` inserts (salvaged
+    partials) — kept out of ``builds`` so the ``misses == builds``
+    invariant above survives; ``stale_hits`` counts
+    :meth:`AssetCache.find_stale` matches (degraded-tier service) —
+    kept out of ``hits`` so exact-answer hit rates stay honest.
     """
 
     hits: int = 0
@@ -66,6 +72,8 @@ class CacheStats:
     builds: int = 0
     evictions: int = 0
     singleflight_joins: int = 0
+    puts: int = 0
+    stale_hits: int = 0
     entries: int = 0
     bytes: int = 0
 
@@ -76,6 +84,8 @@ class CacheStats:
             "builds": self.builds,
             "evictions": self.evictions,
             "singleflight_joins": self.singleflight_joins,
+            "puts": self.puts,
+            "stale_hits": self.stale_hits,
             "entries": self.entries,
             "bytes": self.bytes,
         }
@@ -227,6 +237,56 @@ class AssetCache:
             self._evict_over_budget(spare=key)
             self._inflight.pop(key, None)
             return asset
+
+    def put(
+        self, key: object, value: Any, nbytes: int, metrics: Any = None
+    ) -> CachedAsset:
+        """Insert (or replace) an asset directly, bypassing single-flight.
+
+        Used for opportunistic inserts — salvaged partials from
+        cancelled builds — that no query *requested* through
+        :meth:`get_or_build`. Bumps ``puts`` rather than ``builds`` so
+        the ``misses == builds`` single-flight invariant stays intact.
+        """
+        with self._lock:
+            asset = CachedAsset(
+                key=key, value=value, nbytes=int(nbytes), metrics=metrics,
+                builds=1,
+            )
+            self._entries[key] = asset
+            self._entries.move_to_end(key)
+            self._bump("puts")
+            self._evict_over_budget(spare=key)
+            return asset
+
+    def find_stale(
+        self,
+        kind: str,
+        targets_digest: object,
+        tags: object | None = None,
+    ) -> Optional[CachedAsset]:
+        """Most-recently-used resident asset matching ``(kind, digest)``.
+
+        Parameter-*insensitive* lookup for the degraded ``stale`` tier:
+        any resident asset of the given kind for the same target digest
+        (and, when given, the same tag set) is acceptable, regardless of
+        the params under which it was built. Scans MRU-first so the
+        freshest candidate wins; a match is LRU-touched and counted as
+        a ``stale_hit`` (never a ``hit``). Returns ``None`` when
+        nothing matches — the caller decides whether that means shed.
+        """
+        with self._lock:
+            for key in reversed(self._entries):
+                if getattr(key, "kind", None) != kind:
+                    continue
+                if getattr(key, "targets_digest", None) != targets_digest:
+                    continue
+                if tags is not None and getattr(key, "tags", None) != tags:
+                    continue
+                self._entries.move_to_end(key)
+                self._bump("stale_hits")
+                return self._entries[key]
+        return None
 
     def _evict_over_budget(self, spare: object) -> None:
         """Evict LRU entries (never ``spare``) while over ``max_bytes``."""

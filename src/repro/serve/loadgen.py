@@ -1,0 +1,552 @@
+"""Synthetic serving traffic + capacity reports (``repro loadgen``).
+
+Overload behavior can only be judged under load, and "load" for this
+server has structure: tag popularity is heavy-tailed (a few campaign
+topics dominate), target sets overlap (queries about one community
+share digests, so the asset cache matters), and traffic mixes latency
+classes. This module synthesizes exactly that workload, drives a
+:class:`~repro.serve.CampaignServer` with it in open- or closed-loop
+mode, classifies every query's terminal outcome, and sweeps offered
+rates into a capacity report (``BENCH_load.json``, schema
+``repro.bench.load/1``) whose headline is the **max sustainable qps**:
+the highest swept rate at which interactive traffic still meets its
+p95 SLO without being rejected.
+
+Workload model
+--------------
+* **Tags** are drawn Zipfian (``weight ∝ 1 / rank^s``) over the graph's
+  tag universe — rank 0 is the hottest topic.
+* **Targets** come from a small pool of overlapping sets built around a
+  shared core (communities overlap in real networks), drawn Zipfian
+  too, so distinct queries repeatedly hit the same ``targets_digest``
+  and exercise single-flight asset reuse.
+* **Classes and ops** are drawn from configurable mixes; interactive
+  queries carry a deadline derived from the SLO, which arms both
+  predictive admission and cooperative cancellation.
+
+Everything about the *workload* is deterministic in ``seed`` (the
+arrival *timing* is wall-clock, necessarily). A lifecycle-event JSONL
+written by ``repro serve --events-out`` can be replayed instead: the
+op/class sequence is lifted from its ``query.admitted`` events and
+re-fleshed with synthesized inputs.
+
+Outcome accounting is exact and exhaustive: every issued query ends in
+exactly one of ``done`` (full tier), ``degraded`` (served at a reduced
+tier, tagged with its quantified error), ``rejected`` (clean structured
+rejection, broken down by code), or ``errors`` — the report's rows all
+satisfy ``issued == done + degraded + rejected + errors`` and
+``scripts/check_bench.py`` gates exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    ConfigurationError,
+    QueryRejectedError,
+    ReproError,
+)
+from repro.serve.qos import QUERY_CLASSES
+
+__all__ = [
+    "LOAD_SCHEMA",
+    "LoadSpec",
+    "QuerySpec",
+    "RateResult",
+    "capacity_report",
+    "replay_ops_from_events",
+    "run_rate",
+    "synthesize_queries",
+]
+
+#: Schema tag for the capacity report document.
+LOAD_SCHEMA = "repro.bench.load/1"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One synthetic query: the submit call, declaratively."""
+
+    op: str
+    qos_class: str
+    args: Tuple[Tuple[str, Any], ...]
+    deadline: Optional[float] = None
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.args)
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Workload shape and sweep parameters.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; the full query sequence is a pure function of it.
+    queries_per_rate:
+        Queries issued at each swept rate.
+    rates:
+        Offered arrival rates (queries/second) to sweep, ascending.
+    class_mix / op_mix:
+        ``(name, weight)`` pairs; weights need not sum to 1.
+    zipf_s:
+        Zipf exponent for tag and target-pool popularity (1.0–1.5 is
+        web-like; higher = hotter head).
+    tags_per_query:
+        Tags drawn (without replacement) per query.
+    target_pool / target_size / target_overlap:
+        Pool of candidate target sets, their size, and the fraction of
+        each set shared with the pool's common core.
+    seed_pool:
+        Distinct RNG seeds cycled across queries — smaller pools mean
+        more exact-key cache hits.
+    interactive_deadline_factor:
+        Interactive deadline = ``factor * slo_p95_ms`` (None disables
+        per-query deadlines entirely).
+    slo_p95_ms:
+        The interactive p95 latency SLO the capacity verdict uses.
+    open_loop:
+        Open loop (arrivals on a fixed schedule, the honest way to
+        measure overload) or closed loop (``concurrency`` synchronous
+        clients back to back).
+    concurrency:
+        Closed-loop client count (ignored in open loop).
+    k / r / spread_samples:
+        Query shape knobs passed through to the ops.
+    """
+
+    seed: int = 0
+    queries_per_rate: int = 60
+    rates: Tuple[float, ...] = (4.0, 8.0, 16.0)
+    class_mix: Tuple[Tuple[str, float], ...] = (
+        ("interactive", 0.5), ("batch", 0.3), ("best_effort", 0.2),
+    )
+    op_mix: Tuple[Tuple[str, float], ...] = (
+        ("find_seeds", 0.7), ("spread", 0.3),
+    )
+    zipf_s: float = 1.1
+    tags_per_query: int = 2
+    target_pool: int = 6
+    target_size: int = 24
+    target_overlap: float = 0.5
+    seed_pool: int = 4
+    interactive_deadline_factor: Optional[float] = 4.0
+    slo_p95_ms: float = 500.0
+    open_loop: bool = True
+    concurrency: int = 8
+    k: int = 2
+    r: int = 2
+    spread_samples: int = 50
+
+    def __post_init__(self) -> None:
+        if self.queries_per_rate <= 0:
+            raise ConfigurationError(
+                f"queries_per_rate must be positive, got "
+                f"{self.queries_per_rate}"
+            )
+        if not self.rates or any(r <= 0 for r in self.rates):
+            raise ConfigurationError(
+                f"rates must be positive, got {self.rates}"
+            )
+        for name, _w in self.class_mix:
+            if name not in QUERY_CLASSES:
+                raise ConfigurationError(
+                    f"unknown class {name!r} in class_mix"
+                )
+        for name, _w in self.op_mix:
+            if name not in ("find_seeds", "find_tags", "joint", "spread"):
+                raise ConfigurationError(f"unknown op {name!r} in op_mix")
+        if not 0.0 <= self.target_overlap <= 1.0:
+            raise ConfigurationError(
+                f"target_overlap must be in [0, 1], got "
+                f"{self.target_overlap}"
+            )
+
+
+def _zipf_weights(n: int, s: float) -> List[float]:
+    return [1.0 / (rank + 1) ** s for rank in range(n)]
+
+
+def _weighted_choice(rng: Random, pairs: Sequence[Tuple[str, float]]) -> str:
+    names = [name for name, _w in pairs]
+    weights = [w for _n, w in pairs]
+    return rng.choices(names, weights=weights, k=1)[0]
+
+
+def _build_target_pool(
+    num_nodes: int, spec: LoadSpec, rng: Random
+) -> List[Tuple[int, ...]]:
+    """Overlapping target sets around a shared core (clamped to graph)."""
+    size = min(spec.target_size, max(num_nodes, 1))
+    core_size = int(size * spec.target_overlap)
+    population = list(range(num_nodes))
+    core = rng.sample(population, min(core_size, num_nodes))
+    pool: List[Tuple[int, ...]] = []
+    for _ in range(max(spec.target_pool, 1)):
+        extra = [n for n in rng.sample(population, min(size, num_nodes))
+                 if n not in core]
+        members = (core + extra)[:size]
+        pool.append(tuple(sorted(members)))
+    return pool
+
+
+def synthesize_queries(
+    graph,
+    spec: LoadSpec,
+    count: Optional[int] = None,
+    ops: Optional[Sequence[Tuple[str, str]]] = None,
+) -> List[QuerySpec]:
+    """Deterministic query sequence for ``graph`` under ``spec``.
+
+    ``ops`` (optional) pins the ``(op, qos_class)`` sequence — used by
+    event-log replay — while tags/targets/seeds are still synthesized;
+    otherwise both are drawn from the configured mixes.
+    """
+    rng = Random(spec.seed)
+    count = count if count is not None else spec.queries_per_rate
+    tags = sorted(graph.tags)
+    if not tags:
+        raise ConfigurationError("graph has no tags to synthesize against")
+    tag_weights = _zipf_weights(len(tags), spec.zipf_s)
+    pool = _build_target_pool(graph.num_nodes, spec, rng)
+    pool_weights = _zipf_weights(len(pool), spec.zipf_s)
+    deadline = None
+    if spec.interactive_deadline_factor is not None:
+        deadline = spec.interactive_deadline_factor * spec.slo_p95_ms / 1000.0
+
+    queries: List[QuerySpec] = []
+    for index in range(count):
+        if ops is not None:
+            op, qos_class = ops[index % len(ops)]
+        else:
+            op = _weighted_choice(rng, spec.op_mix)
+            qos_class = _weighted_choice(rng, spec.class_mix)
+        targets = rng.choices(pool, weights=pool_weights, k=1)[0]
+        n_tags = min(spec.tags_per_query, len(tags))
+        drawn: List[str] = []
+        while len(drawn) < n_tags:
+            tag = rng.choices(tags, weights=tag_weights, k=1)[0]
+            if tag not in drawn:
+                drawn.append(tag)
+        query_seed = rng.randrange(spec.seed_pool)
+        query_deadline = deadline if qos_class == "interactive" else None
+        if op == "find_seeds":
+            args = (
+                ("targets", targets), ("tags", tuple(drawn)),
+                ("k", spec.k), ("engine", "trs"), ("seed", query_seed),
+            )
+        elif op == "find_tags":
+            seeds = tuple(sorted(rng.sample(
+                range(graph.num_nodes), min(spec.k, graph.num_nodes)
+            )))
+            args = (
+                ("seeds", seeds), ("targets", targets), ("r", spec.r),
+                ("seed", query_seed),
+            )
+        elif op == "joint":
+            args = (
+                ("targets", targets), ("k", spec.k), ("r", spec.r),
+                ("seed", query_seed),
+            )
+        else:  # spread
+            seeds = tuple(sorted(rng.sample(
+                range(graph.num_nodes), min(spec.k, graph.num_nodes)
+            )))
+            args = (
+                ("seeds", seeds), ("targets", targets),
+                ("tags", tuple(drawn)),
+                ("num_samples", spec.spread_samples), ("seed", query_seed),
+            )
+        queries.append(QuerySpec(
+            op=op, qos_class=qos_class, args=args, deadline=query_deadline,
+        ))
+    return queries
+
+
+def replay_ops_from_events(path) -> List[Tuple[str, str]]:
+    """``(op, qos_class)`` sequence from an ``--events-out`` JSONL file.
+
+    Reads ``query.admitted`` events (op + class are recorded there);
+    unknown classes fall back to ``interactive``. Raises if the file
+    holds no admitted queries — replaying nothing is a user error.
+    """
+    ops: List[Tuple[str, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from a killed server
+            if event.get("kind") != "query.admitted":
+                continue
+            attrs = event.get("attrs", {})
+            op = attrs.get("op")
+            if op not in ("find_seeds", "find_tags", "joint", "spread"):
+                continue
+            qos_class = attrs.get("qos_class", "interactive")
+            if qos_class not in QUERY_CLASSES:
+                qos_class = "interactive"
+            ops.append((op, qos_class))
+    if not ops:
+        raise ConfigurationError(
+            f"no query.admitted events found in {path!r}; nothing to replay"
+        )
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Driving the server
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RateResult:
+    """Outcome accounting for one swept rate (one fresh server)."""
+
+    rate: float
+    issued: int = 0
+    done: int = 0
+    degraded: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    latencies_ms: Dict[str, List[float]] = field(default_factory=dict)
+    degraded_tiers: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def p95_ms(self, qos_class: str) -> Optional[float]:
+        values = sorted(self.latencies_ms.get(qos_class, ()))
+        if not values:
+            return None
+        return values[min(int(0.95 * len(values)), len(values) - 1)]
+
+    def class_count(self, qos_class: str, outcomes: Dict[str, str]) -> int:
+        return sum(1 for c in outcomes.values() if c == qos_class)
+
+    def as_row(self) -> Dict[str, Any]:
+        accounted = (
+            self.done + self.degraded + self.rejected_total + self.errors
+        )
+        row: Dict[str, Any] = {
+            "rate_qps": self.rate,
+            "issued": self.issued,
+            "done": self.done,
+            "degraded": self.degraded,
+            "rejected": dict(sorted(self.rejected.items())),
+            "rejected_total": self.rejected_total,
+            "errors": self.errors,
+            "accounted": accounted,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "achieved_qps": round(
+                self.issued / self.elapsed_s, 3
+            ) if self.elapsed_s > 0 else None,
+            "degraded_tiers": dict(sorted(self.degraded_tiers.items())),
+        }
+        for name in QUERY_CLASSES:
+            p95 = self.p95_ms(name)
+            row[f"p95_ms.{name}"] = (
+                round(p95, 3) if p95 is not None else None
+            )
+        return row
+
+
+def _submit_spec(server, query: QuerySpec):
+    submit = getattr(server, {
+        "find_seeds": "submit_find_seeds",
+        "find_tags": "submit_find_tags",
+        "joint": "submit_jointly_select",
+        "spread": "submit_estimate_spread",
+    }[query.op])
+    return submit(
+        qos_class=query.qos_class, deadline=query.deadline,
+        **query.kwargs(),
+    )
+
+
+def _classify(result: RateResult, query: QuerySpec, outcome) -> None:
+    """Fold one terminal outcome into the accounting (exactly one bin)."""
+    if isinstance(outcome, QueryRejectedError):
+        result.rejected[outcome.code] = (
+            result.rejected.get(outcome.code, 0) + 1
+        )
+    elif isinstance(outcome, BaseException):
+        result.errors += 1
+    elif outcome.tier != "full":
+        result.degraded += 1
+        result.degraded_tiers[outcome.tier] = (
+            result.degraded_tiers.get(outcome.tier, 0) + 1
+        )
+    else:
+        result.done += 1
+
+
+def run_rate(
+    server,
+    queries: Sequence[QuerySpec],
+    rate: float,
+    open_loop: bool = True,
+    concurrency: int = 8,
+) -> RateResult:
+    """Issue ``queries`` against ``server`` at ``rate`` qps; account all.
+
+    Open loop: arrivals follow the fixed schedule ``i / rate``
+    regardless of completions (the honest overload measurement — a
+    slow server does *not* slow the offered load). Closed loop:
+    ``concurrency`` synchronous clients issue back to back as fast as
+    responses return (throughput-oriented; offered load adapts).
+
+    Latency is client-observed (submit → future resolution), so it
+    includes queue wait — that is what an SLO is about.
+    """
+    result = RateResult(rate=rate)
+    outcomes_lock = threading.Lock()
+
+    def finish(query: QuerySpec, issued_at: float, outcome) -> None:
+        elapsed_ms = (time.monotonic() - issued_at) * 1000.0
+        with outcomes_lock:
+            _classify(result, query, outcome)
+            if not isinstance(outcome, BaseException):
+                result.latencies_ms.setdefault(
+                    query.qos_class, []
+                ).append(elapsed_ms)
+
+    start = time.monotonic()
+    if open_loop:
+        pending = []
+        for index, query in enumerate(queries):
+            scheduled = start + index / rate
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            issued_at = time.monotonic()
+            result.issued += 1
+            try:
+                future = _submit_spec(server, query)
+            except BaseException as exc:
+                finish(query, issued_at, exc)
+            else:
+                pending.append((query, issued_at, future))
+        for query, issued_at, future in pending:
+            try:
+                response = future.result()
+            except BaseException as exc:
+                finish(query, issued_at, exc)
+            else:
+                finish(query, issued_at, response)
+    else:
+        iterator = iter(list(queries))
+        iter_lock = threading.Lock()
+
+        def client() -> None:
+            while True:
+                with iter_lock:
+                    query = next(iterator, None)
+                    if query is None:
+                        return
+                    result.issued += 1
+                issued_at = time.monotonic()
+                try:
+                    response = _submit_spec(server, query).result()
+                except BaseException as exc:
+                    finish(query, issued_at, exc)
+                else:
+                    finish(query, issued_at, response)
+
+        threads = [
+            threading.Thread(target=client, daemon=True)
+            for _ in range(max(concurrency, 1))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    result.elapsed_s = time.monotonic() - start
+    return result
+
+
+def capacity_report(
+    make_server: Callable[[], Any],
+    graph,
+    spec: LoadSpec,
+    replay_ops: Optional[Sequence[Tuple[str, str]]] = None,
+    warm_queries: int = 4,
+) -> Dict[str, Any]:
+    """Sweep ``spec.rates`` and produce the ``BENCH_load.json`` document.
+
+    Each rate gets a **fresh server** from ``make_server`` (clean
+    queues, cache, predictor — sweep points must not contaminate each
+    other) plus a short synchronous warm pass (first ``warm_queries``
+    distinct queries) so the latency predictor has samples and the
+    asset cache isn't pathologically cold — steady-state behavior is
+    what capacity means.
+
+    The verdict per rate: interactive p95 within ``slo_p95_ms`` *and*
+    at most 5% of interactive queries rejected. ``max_sustainable_qps``
+    is the highest swept rate passing both.
+    """
+    queries = synthesize_queries(
+        graph, spec, count=spec.queries_per_rate, ops=replay_ops
+    )
+    interactive_issued = sum(
+        1 for q in queries if q.qos_class == "interactive"
+    )
+    rows: List[Dict[str, Any]] = []
+    max_ok: Optional[float] = None
+    for rate in spec.rates:
+        server = make_server()
+        try:
+            for query in queries[:warm_queries]:
+                try:
+                    _submit_spec(server, query).result()
+                except ReproError:
+                    pass  # a warm failure is the measured run's problem
+            result = run_rate(
+                server, queries, rate,
+                open_loop=spec.open_loop, concurrency=spec.concurrency,
+            )
+        finally:
+            server.close()
+        row = result.as_row()
+        interactive_p95 = row["p95_ms.interactive"]
+        # Per-code rejection counts don't record class, but interactive
+        # *completions* are known exactly — everything else issued in
+        # that class was rejected or errored, and both count against it.
+        interactive_done = len(result.latencies_ms.get("interactive", ()))
+        interactive_rejected = max(interactive_issued - interactive_done, 0)
+        reject_frac = (
+            interactive_rejected / interactive_issued
+            if interactive_issued else 0.0
+        )
+        slo_ok = (
+            (interactive_p95 is None or interactive_p95 <= spec.slo_p95_ms)
+            and reject_frac <= 0.05
+        )
+        row["interactive_rejected"] = interactive_rejected
+        row["interactive_reject_frac"] = round(reject_frac, 4)
+        row["slo_ok"] = bool(slo_ok)
+        rows.append(row)
+        if slo_ok:
+            max_ok = rate if max_ok is None else max(max_ok, rate)
+    return {
+        "schema": LOAD_SCHEMA,
+        "seed": spec.seed,
+        "slo_p95_ms": spec.slo_p95_ms,
+        "open_loop": spec.open_loop,
+        "queries_per_rate": spec.queries_per_rate,
+        "replayed": replay_ops is not None,
+        "max_sustainable_qps": max_ok,
+        "rows": rows,
+    }

@@ -27,6 +27,21 @@ Query responses include ``cache`` (``"miss"``/``"hit"``) and
 ``elapsed_ms``; pass ``"report": true`` in a request to inline the full
 per-query observability report. EOF on the input stream shuts the
 server down cleanly after draining in-flight queries.
+
+QoS surface
+-----------
+Query ops accept ``"class"`` (alias ``"qos_class"``): one of
+``interactive`` (default) / ``batch`` / ``best_effort``. Responses add
+``"class"``, ``"tier"`` (``full`` unless the answer was served
+degraded) and — for non-full tiers — the ``"degraded"`` payload with
+the quantified-error tag (θ used, effective ε, CI width).
+
+Admission-control rejections (overload, unmeetable deadline, shed,
+circuit breaker) are *structured*: ``"error"`` is an object, not a
+string — ``{"ok": false, "type": ..., "error": {"code": "overloaded" |
+"deadline" | "shed" | "breaker_open", "message": ..., "retry_after_ms":
+..., "class": ...}}`` — so clients can implement backoff without
+parsing prose. Every other failure keeps the flat string ``"error"``.
 """
 
 from __future__ import annotations
@@ -35,7 +50,7 @@ import json
 import sys
 from typing import Any, IO
 
-from repro.exceptions import ReproError
+from repro.exceptions import QueryRejectedError, ReproError
 from repro.serve.server import METRICS_SCHEMA, CampaignServer, ServeResponse
 
 __all__ = ["execute_request", "handle_line", "serve_stdio"]
@@ -48,7 +63,11 @@ def _response_fields(response: ServeResponse) -> dict[str, Any]:
     fields: dict[str, Any] = {
         "cache": response.cache,
         "elapsed_ms": round(response.elapsed_seconds * 1000.0, 3),
+        "class": response.qos_class,
+        "tier": response.tier,
     }
+    if response.degraded is not None:
+        fields["degraded"] = response.degraded
     if response.op == "find_seeds":
         fields["seeds"] = [int(s) for s in value.seeds]
         fields["spread"] = float(value.estimated_spread)
@@ -107,6 +126,9 @@ def execute_request(
         )
 
     seed = int(request.get("seed", 0))
+    qos_class = str(
+        request.get("class", request.get("qos_class", "interactive"))
+    )
     deadline = request.get("deadline")
     deadline = float(deadline) if deadline is not None else None
     max_samples = request.get("max_samples")
@@ -127,6 +149,7 @@ def execute_request(
             deadline=deadline,
             max_samples=max_samples,
             max_rr_members=max_rr_members,
+            qos_class=qos_class,
         )
     if op == "find_tags":
         return server.find_tags(
@@ -138,6 +161,7 @@ def execute_request(
             deadline=deadline,
             max_samples=max_samples,
             max_rr_members=max_rr_members,
+            qos_class=qos_class,
         )
     if op == "joint":
         return server.jointly_select(
@@ -148,6 +172,7 @@ def execute_request(
             deadline=deadline,
             max_samples=max_samples,
             max_rr_members=max_rr_members,
+            qos_class=qos_class,
         )
     return server.estimate_spread(
         seeds=request["seeds"],
@@ -158,6 +183,7 @@ def execute_request(
         deadline=deadline,
         max_samples=max_samples,
         max_rr_members=max_rr_members,
+        qos_class=qos_class,
     )
 
 
@@ -182,6 +208,19 @@ def handle_line(server: CampaignServer, line: str) -> dict:
                 response["report"] = result.report
         else:
             response.update(result)
+    except QueryRejectedError as exc:
+        # Admission-control rejections are machine-actionable: clients
+        # implement backoff from code/retry_after_ms, never from prose.
+        response = {
+            "ok": False,
+            "error": {
+                "code": exc.code,
+                "message": str(exc),
+                "retry_after_ms": exc.retry_after_ms,
+                "class": exc.qos_class,
+            },
+            "type": type(exc).__name__,
+        }
     except (ReproError, json.JSONDecodeError, KeyError, ValueError,
             TypeError) as exc:
         response = {

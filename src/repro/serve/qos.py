@@ -1,0 +1,431 @@
+"""QoS machinery for the campaign server (``repro.serve.qos``).
+
+The server's original admission gate was binary: past the pool bound
+every query got a bare overload error. This module provides the pieces
+for *graded* overload behavior:
+
+``QosConfig``
+    All serving-QoS knobs in one frozen bag: class weights, shedding
+    thresholds, the degraded-tier θ/sample factor, deadline-admission
+    and circuit-breaker parameters.
+
+``WeightedClassQueues``
+    Per-class FIFO queues (``interactive`` / ``batch`` /
+    ``best_effort``) drained by *smooth weighted round-robin*: every
+    dequeue adds each non-empty class's weight to its credit, picks the
+    class with the most credit, and charges it the weight total. The
+    schedule is deterministic, proportional to the weights over any
+    window, and starvation-free — a ``best_effort`` query always
+    surfaces within ``sum(weights)/weight(best_effort)`` dequeues.
+
+``LatencyPredictor``
+    Rolling per-op execution-latency windows (bounded deques of recent
+    samples) answering ``p95(op)`` and ``predicted_wait_ms(queued,
+    pool_size)``. This is the admission formula's input: the same
+    rolling-p95 idea the live telemetry exporter computes from
+    differenced histogram buckets, kept server-side so admission works
+    with or without a telemetry endpoint attached.
+
+``CircuitBreaker``
+    Classic three-state breaker (closed → open → half-open) guarding
+    expensive asset builds per asset kind. Opens after
+    ``failure_threshold`` *consecutive* failures, fails fast for
+    ``reset_timeout`` seconds, then lets one probe build through;
+    a probe success closes it, a probe failure re-opens it.
+
+Admission formula (documented contract, see ``docs/serving.md``)::
+
+    wait_ms       = in_system / pool_size * p95_all_ops
+    completion_ms = wait_ms + p95(op)
+    reject iff    completion_ms > deadline_ms   (explicit deadlines only)
+
+The predictor is intentionally conservative-on-cold-start: with no
+recorded samples both p95 terms are 0, so an idle fresh server admits
+everything (deadline enforcement then falls to the cooperative
+``RunBudget`` checks at shard boundaries).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "QUERY_CLASSES",
+    "TIERS",
+    "CircuitBreaker",
+    "LatencyPredictor",
+    "QosConfig",
+    "WeightedClassQueues",
+]
+
+#: Recognized QoS classes, most- to least-latency-sensitive.
+QUERY_CLASSES = ("interactive", "batch", "best_effort")
+
+#: Tiers an admitted query can be served at. ``full`` is the normal
+#: answer; ``approximate`` is the reduced-θ degraded tier;
+#: ``stale`` reuses a resident asset built for different parameters;
+#: ``salvaged`` reuses partial work cancelled out of an earlier build.
+TIERS = ("full", "approximate", "stale", "stale_only", "salvaged")
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Knobs for QoS scheduling, shedding, and circuit breaking.
+
+    Attributes
+    ----------
+    weights:
+        Dequeue weight per class (smooth WRR). Defaults 6/3/1: over any
+        10 dequeues with all classes backlogged, six are interactive,
+        three batch, one best-effort.
+    shed_threshold:
+        Utilization (``in_system / capacity``) at which ``best_effort``
+        queries are downgraded to the reduced-θ approximate tier.
+    stale_threshold:
+        Utilization at which ``best_effort`` queries may only be
+        answered from resident (possibly slightly stale) assets; a
+        query that would need a fresh build is shed instead.
+    degrade_theta_factor:
+        Divisor applied to ``theta_max`` (TRS) / ``num_samples``
+        (spread) for the approximate tier. The served answer is tagged
+        with the θ it actually used and its widened error bound.
+    deadline_admission:
+        Whether explicit per-query deadlines participate in predictive
+        admission (they always drive cooperative cancellation).
+    predictor_window:
+        Latency samples retained per op for the rolling p95.
+    breaker_failure_threshold / breaker_reset_timeout:
+        Consecutive build failures that open an asset kind's breaker,
+        and the open-state cooldown before a half-open probe.
+    min_retry_after_ms:
+        Floor on advertised ``retry_after_ms`` so a cold predictor
+        never tells clients to hammer the server instantly.
+    """
+
+    weights: Tuple[Tuple[str, int], ...] = (
+        ("interactive", 6), ("batch", 3), ("best_effort", 1),
+    )
+    shed_threshold: float = 0.6
+    stale_threshold: float = 0.85
+    degrade_theta_factor: int = 4
+    deadline_admission: bool = True
+    predictor_window: int = 128
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout: float = 5.0
+    min_retry_after_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        classes = tuple(name for name, _w in self.weights)
+        if sorted(classes) != sorted(QUERY_CLASSES):
+            raise ConfigurationError(
+                f"weights must cover exactly {QUERY_CLASSES}, got {classes}"
+            )
+        if any(w <= 0 for _n, w in self.weights):
+            raise ConfigurationError("class weights must be positive")
+        if not 0.0 < self.shed_threshold <= self.stale_threshold <= 1.0:
+            raise ConfigurationError(
+                "require 0 < shed_threshold <= stale_threshold <= 1, got "
+                f"{self.shed_threshold}, {self.stale_threshold}"
+            )
+        if self.degrade_theta_factor < 1:
+            raise ConfigurationError(
+                f"degrade_theta_factor must be >= 1, got "
+                f"{self.degrade_theta_factor}"
+            )
+        if self.predictor_window < 2:
+            raise ConfigurationError(
+                f"predictor_window must be >= 2, got {self.predictor_window}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError(
+                "breaker_failure_threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.breaker_reset_timeout <= 0:
+            raise ConfigurationError(
+                f"breaker_reset_timeout must be positive, got "
+                f"{self.breaker_reset_timeout}"
+            )
+
+    @property
+    def weight_map(self) -> Dict[str, int]:
+        return dict(self.weights)
+
+
+class WeightedClassQueues:
+    """Per-class FIFOs drained by smooth weighted round-robin.
+
+    Not itself thread-safe: the server serializes access under its
+    admission lock (push/pop are O(1) dict-and-deque work, safe to hold
+    a lock across).
+    """
+
+    def __init__(self, weights: Dict[str, int] | None = None) -> None:
+        self._weights = dict(weights or dict(QosConfig().weights))
+        self._queues: Dict[str, Deque[Any]] = {
+            name: deque() for name in self._weights
+        }
+        self._credit: Dict[str, int] = {name: 0 for name in self._weights}
+
+    def push(self, qos_class: str, item: Any) -> None:
+        self._queues[qos_class].append(item)
+
+    def pop(self) -> Optional[Any]:
+        """Dequeue the next item under smooth WRR, or ``None`` if empty.
+
+        Each call adds every *backlogged* class's weight to its credit,
+        picks the highest-credit class (ties broken by descending
+        weight, then name, for determinism), and charges the winner the
+        total active weight. Empty classes keep zero credit, so a class
+        cannot bank priority while idle.
+        """
+        active = [name for name, q in self._queues.items() if q]
+        if not active:
+            return None
+        total = 0
+        for name in active:
+            self._credit[name] += self._weights[name]
+            total += self._weights[name]
+        winner = max(
+            active,
+            key=lambda name: (
+                self._credit[name], self._weights[name], name
+            ),
+        )
+        self._credit[winner] -= total
+        item = self._queues[winner].popleft()
+        if not self._queues[winner]:
+            self._credit[winner] = 0
+        return item
+
+    def drain(self) -> List[Any]:
+        """Remove and return every queued item (for server shutdown)."""
+        drained: List[Any] = []
+        for name, queue in self._queues.items():
+            drained.extend(queue)
+            queue.clear()
+            self._credit[name] = 0
+        return drained
+
+    def depth(self, qos_class: str | None = None) -> int:
+        if qos_class is not None:
+            return len(self._queues[qos_class])
+        return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> Dict[str, int]:
+        return {name: len(q) for name, q in self._queues.items()}
+
+    def __len__(self) -> int:
+        return self.depth()
+
+
+class LatencyPredictor:
+    """Rolling per-op p95 execution latencies for admission decisions.
+
+    Thread-safe. Each op keeps a bounded deque of recent execution
+    times (milliseconds, queue wait excluded); ``p95`` is computed by
+    sorting the window — at the default window of 128 samples that is
+    microseconds, far below the cost of the queries being admitted.
+    """
+
+    def __init__(self, window: int = 128) -> None:
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        self._window = int(window)
+        self._samples: "OrderedDict[str, Deque[float]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def observe(self, op: str, elapsed_ms: float) -> None:
+        """Record one completed execution of ``op``."""
+        with self._lock:
+            bucket = self._samples.get(op)
+            if bucket is None:
+                bucket = deque(maxlen=self._window)
+                self._samples[op] = bucket
+            bucket.append(float(elapsed_ms))
+
+    @staticmethod
+    def _p95(values: List[float]) -> float:
+        if not values:
+            return 0.0
+        values = sorted(values)
+        index = min(int(0.95 * len(values)), len(values) - 1)
+        return values[index]
+
+    def p95(self, op: str) -> float:
+        """Rolling p95 execution latency of ``op`` in ms (0 when cold)."""
+        with self._lock:
+            bucket = self._samples.get(op)
+            values = list(bucket) if bucket else []
+        return self._p95(values)
+
+    def p95_overall(self) -> float:
+        """Rolling p95 across every op's window (0 when cold)."""
+        with self._lock:
+            values = [v for bucket in self._samples.values() for v in bucket]
+        return self._p95(values)
+
+    def predicted_wait_ms(self, in_system: int, pool_size: int) -> float:
+        """Predicted queue wait for a query arriving *now*.
+
+        ``in_system`` queries each cost ~p95 of the overall op mix and
+        drain ``pool_size`` at a time::
+
+            wait_ms = in_system / pool_size * p95_all_ops
+        """
+        if in_system <= 0:
+            return 0.0
+        return in_system / max(pool_size, 1) * self.p95_overall()
+
+    def predicted_completion_ms(
+        self, op: str, in_system: int, pool_size: int
+    ) -> float:
+        """Predicted wait plus predicted execution for one ``op``."""
+        return self.predicted_wait_ms(in_system, pool_size) + self.p95(op)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-op ``{count, p95_ms}`` view (for reports and tests)."""
+        with self._lock:
+            items = [(op, list(bucket)) for op, bucket in
+                     self._samples.items()]
+        return {
+            op: {"count": float(len(vals)), "p95_ms": self._p95(vals)}
+            for op, vals in items
+        }
+
+
+@dataclass
+class _BreakerState:
+    state: str = "closed"  # closed | open | half_open
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    probe_inflight: bool = False
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker for one asset kind.
+
+    Thread-safe; all transitions are reported through the optional
+    ``on_transition(kind, old_state, new_state)`` callback (the server
+    turns these into ``serve.breaker.*`` metrics and ``breaker.open`` /
+    ``breaker.close`` events). The callback runs outside the breaker
+    lock.
+
+    Protocol: call :meth:`allow` before a build (False → fail fast),
+    then exactly one of :meth:`record_success` / :meth:`record_failure`
+    for each allowed build.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        on_transition=None,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ConfigurationError(
+                f"reset_timeout must be positive, got {reset_timeout}"
+            )
+        self.kind = kind
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._on_transition = on_transition
+        self._clock = clock
+        self._state = _BreakerState()
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state.state
+
+    def _transition(self, new_state: str) -> Optional[Tuple[str, str]]:
+        old = self._state.state
+        if old == new_state:
+            return None
+        self._state.state = new_state
+        return (old, new_state)
+
+    def _notify(self, moved: Optional[Tuple[str, str]]) -> None:
+        if moved is not None and self._on_transition is not None:
+            self._on_transition(self.kind, moved[0], moved[1])
+
+    def allow(self) -> bool:
+        """Whether a build may proceed right now."""
+        moved = None
+        with self._lock:
+            st = self._state
+            if st.state == "closed":
+                return True
+            if st.state == "open":
+                if self._clock() - st.opened_at < self.reset_timeout:
+                    return False
+                moved = self._transition("half_open")
+                st.probe_inflight = True
+            elif st.state == "half_open":
+                if st.probe_inflight:
+                    return False
+                st.probe_inflight = True
+        self._notify(moved)
+        return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            st = self._state
+            st.consecutive_failures = 0
+            st.probe_inflight = False
+            moved = self._transition("closed")
+        self._notify(moved)
+
+    def release_probe(self) -> None:
+        """Abandon an allowed build without judging the breaker.
+
+        For outcomes that say nothing about build-infra health — a
+        cooperative budget cancellation, a rejection raised inside the
+        build — the slot taken by :meth:`allow` must be returned
+        without counting a success or failure, or a half-open breaker
+        would wait forever for a probe verdict that never comes.
+        """
+        with self._lock:
+            self._state.probe_inflight = False
+
+    def record_failure(self) -> None:
+        moved = None
+        with self._lock:
+            st = self._state
+            st.consecutive_failures += 1
+            st.probe_inflight = False
+            if (
+                st.state == "half_open"
+                or st.consecutive_failures >= self.failure_threshold
+            ):
+                moved = self._transition("open")
+                st.opened_at = self._clock()
+        self._notify(moved)
+
+    def retry_after_ms(self) -> float:
+        """Remaining cooldown before the next probe (ms, >= 0)."""
+        with self._lock:
+            st = self._state
+            if st.state != "open":
+                return 0.0
+            remaining = self.reset_timeout - (self._clock() - st.opened_at)
+        return max(remaining, 0.0) * 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(kind={self.kind!r}, state={self.state!r}, "
+            f"threshold={self.failure_threshold})"
+        )

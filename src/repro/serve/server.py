@@ -4,10 +4,24 @@ One server owns one :class:`~repro.graphs.TagGraph` and turns the
 batch library into a multi-query service:
 
 * Queries (`find_seeds` / `find_tags` / `jointly_select` /
-  `estimate_spread`) run on a **bounded thread pool** behind a bounded
-  admission queue; overload is rejected cleanly with
+  `estimate_spread`) run on a **bounded thread pool** behind per-class
+  admission queues (``interactive`` / ``batch`` / ``best_effort``,
+  drained by smooth weighted round-robin — see
+  :mod:`repro.serve.qos`); overload is rejected cleanly with
   :class:`~repro.exceptions.ServerOverloadedError` instead of queueing
-  without bound.
+  without bound, and every rejection carries a machine-readable
+  ``code`` / ``retry_after_ms`` / ``qos_class`` triple.
+* **Graded overload behavior** instead of a binary gate: explicit
+  per-query deadlines are checked *predictively* at admission (rolling
+  per-op p95s → predicted completion; doomed queries are rejected up
+  front) and *cooperatively* during execution (the deadline rides the
+  PR 2 :class:`~repro.engine.RunBudget` to shard boundaries; partial
+  work is salvaged into the cache). Under pressure ``best_effort``
+  queries are downgraded to a reduced-θ ``approximate`` tier — a
+  *cheaper answer with quantified error* (the response is tagged with
+  the θ it used and its widened ε) — then to resident-cache-only
+  service, and only then shed. Per-asset-kind circuit breakers stop
+  repeated build failures from burning the pool.
 * Expensive shareable artifacts — targeted RR sketches (the sampling
   half of TRS), warm query results, per-tag possible-world indexes, and
   tag-aggregation arrays — are built **once** (single-flight) and
@@ -34,16 +48,26 @@ differential test suite asserts this for seeds, tags, spreads, *and*
 work counters: a cache hit merges the asset's build-time metrics into
 the query's observation, so served reports always account for the work
 embodied in the answer, not just the work done by this query.
+
+Degraded tiers are the one *deliberate* departure: an ``approximate``
+answer is bit-identical to a direct call *with the degraded sketch
+config* (the reduced-θ config participates in the cache key via its
+digest, so full and approximate assets never collide), a ``stale``
+answer reuses a resident asset built for different parameters, and a
+``salvaged`` answer reuses partial work a budget cancellation left
+behind. Every non-full tier is tagged on the response (``tier`` +
+``degraded`` payload) — degraded answers are never silent.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from collections.abc import Sequence
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Callable
 
 from repro import obs
@@ -52,7 +76,12 @@ from repro.core.problem import JointQuery
 from repro.diffusion.monte_carlo import estimate_spread
 from repro.engine.runtime import RunBudget, RunTelemetry
 from repro.exceptions import (
+    BudgetExceededError,
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineRejectedError,
+    QueryRejectedError,
+    QueryShedError,
     ServerClosedError,
     ServerOverloadedError,
 )
@@ -63,11 +92,19 @@ from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.seeds.api import ENGINES, SeedSelection, find_seeds
 from repro.serve.cache import AssetCache
+from repro.serve.chaos import InjectedChaosError, ServeFaultPlan
 from repro.serve.keys import (
     AssetKey,
     canonical_tags,
     config_digest,
     targets_digest,
+)
+from repro.serve.qos import (
+    QUERY_CLASSES,
+    CircuitBreaker,
+    LatencyPredictor,
+    QosConfig,
+    WeightedClassQueues,
 )
 from repro.sketch.trs import trs_build_sketch, trs_select_from_sketch
 from repro.tags.api import METHODS, find_tags
@@ -80,9 +117,15 @@ __all__ = ["CampaignServer", "ServeResponse", "METRICS_SCHEMA"]
 #: --metrics-out``, protocol ``metrics`` responses). ``/2`` adds
 #: histogram quantiles (p50/p95/p99), the per-op latency family
 #: ``serve.op.latency_ms.*``, the ``serve.inflight`` /
-#: ``serve.uptime_seconds`` gauges, and ``serve.errors*`` counters —
-#: see ``docs/serving.md`` for the full ``/1`` → ``/2`` diff.
-METRICS_SCHEMA = "repro.serve.metrics/2"
+#: ``serve.uptime_seconds`` gauges, and ``serve.errors*`` counters.
+#: ``/3`` is additive again: QoS families (``serve.queries.<class>``,
+#: ``serve.queue.depth.<class>`` gauges, ``serve.queue.wait_ms``
+#: histogram, ``serve.utilization`` gauge), graded-overload counters
+#: (``serve.rejected.<code>``, ``serve.degraded(+.<tier>)``,
+#: ``serve.cancelled``, ``serve.salvaged``), circuit-breaker counters
+#: (``serve.breaker.<state>``, ``serve.breaker.fastfail``), and cache
+#: ``puts``/``stale_hits`` — see ``docs/serving.md`` for the diff.
+METRICS_SCHEMA = "repro.serve.metrics/3"
 
 
 @dataclass(frozen=True)
@@ -110,6 +153,17 @@ class ServeResponse:
         under the ``serve.query`` root). Work counters here are
         bit-identical to a direct library call's — cache hits merge the
         asset's build-time counters in.
+    qos_class:
+        The admission class this query ran under.
+    tier:
+        ``"full"`` for the normal bit-exact answer; ``"approximate"``
+        (reduced-θ degraded build), ``"stale"`` (resident asset built
+        for different parameters), or ``"salvaged"`` (partial work left
+        by a budget cancellation) when load shedding downgraded it.
+    degraded:
+        ``None`` for full answers; otherwise the quantified-error tag
+        (θ used vs. full, effective ε, CI width — see
+        ``docs/serving.md`` for the approximate-tier contract).
     """
 
     op: str
@@ -117,6 +171,9 @@ class ServeResponse:
     cache: str
     elapsed_seconds: float
     report: dict | None = None
+    qos_class: str = "interactive"
+    tier: str = "full"
+    degraded: dict | None = None
 
     @property
     def seeds(self) -> tuple[int, ...] | None:
@@ -148,6 +205,21 @@ def _approx_nbytes(value: Any) -> int:
     return max(256, len(repr(value)))
 
 
+@dataclass
+class _QueryItem:
+    """One admitted query waiting in (or dispatched from) a class queue."""
+
+    qid: str
+    op: str
+    runner: Callable
+    future: Future
+    qos_class: str
+    tier: str
+    deadline_s: float | None
+    enqueued_at: float
+    queue_wait_s: float = 0.0
+
+
 class CampaignServer:
     """Thread-safe multi-query facade over one graph.
 
@@ -177,8 +249,10 @@ class CampaignServer:
         Byte budget for the asset LRU.
     default_deadline / default_max_samples / default_max_rr_members:
         Per-query :class:`~repro.engine.RunBudget` defaults, overridable
-        per call. Deadlines anchor at execution start (queue wait is
-        governed by admission control, not the deadline).
+        per call. An *explicit* per-call ``deadline`` additionally
+        participates in admission control (predictive rejection) and is
+        consumed by queue wait; the server-wide default only bounds
+        execution.
     prob_cache_entries:
         Size of the graph's tag-aggregation memo (0 disables).
     events / event_capacity:
@@ -186,6 +260,16 @@ class CampaignServer:
         configured :class:`~repro.obs.events.EventLog` or let the
         server create a ring of ``event_capacity`` events
         (``0`` disables emission entirely).
+    qos:
+        :class:`~repro.serve.qos.QosConfig` — class weights, shedding
+        thresholds, degraded-tier factor, deadline-admission and
+        circuit-breaker knobs. Defaults apply when omitted.
+    chaos:
+        Optional :class:`~repro.serve.chaos.ServeFaultPlan` injecting
+        deterministic faults at admission/dequeue/build boundaries;
+        its ``engine_plan`` (if any) is installed on ``sampler`` so one
+        seeded scenario exercises worker-level and serve-level faults
+        together.
     """
 
     def __init__(
@@ -202,6 +286,8 @@ class CampaignServer:
         prob_cache_entries: int = 64,
         events: EventLog | None = None,
         event_capacity: int = 1024,
+        qos: QosConfig | None = None,
+        chaos: ServeFaultPlan | None = None,
     ) -> None:
         if pool_size <= 0:
             raise ConfigurationError(
@@ -220,6 +306,15 @@ class CampaignServer:
         if prob_cache_entries:
             graph.enable_probability_cache(prob_cache_entries)
 
+        self._qos = qos if qos is not None else QosConfig()
+        self._chaos = chaos
+        if (
+            chaos is not None
+            and chaos.engine_plan is not None
+            and sampler is not None
+        ):
+            sampler.fault_plan = chaos.engine_plan
+
         self._metrics = MetricsRegistry()
         self._metrics_lock = threading.Lock()
         # Pre-register the core serving metrics so a /metrics scrape of
@@ -227,13 +322,18 @@ class CampaignServer:
         # need the t=0 sample to compute rates over the first window).
         for name in (
             "serve.queries", "serve.rejected", "serve.errors",
+            "serve.degraded", "serve.cancelled", "serve.salvaged",
             "serve.cache.hits", "serve.cache.misses", "serve.cache.builds",
             "serve.cache.evictions", "serve.cache.singleflight_joins",
         ):
             self._metrics.counter(name)
         self._metrics.histogram("serve.query.latency_ms")
+        self._metrics.histogram("serve.queue.wait_ms")
         self._metrics.set_gauge("serve.queue.depth", 0)
         self._metrics.set_gauge("serve.inflight", 0)
+        self._metrics.set_gauge("serve.utilization", 0.0)
+        for name in QUERY_CLASSES:
+            self._metrics.set_gauge(f"serve.queue.depth.{name}", 0)
         self._cache = AssetCache(
             max_bytes=cache_bytes, on_event=self._on_cache_event
         )
@@ -244,7 +344,12 @@ class CampaignServer:
         self._capacity = pool_size + queue_capacity
         self._in_system = 0
         self._executing = 0
+        self._dispatched = 0
         self._admission_lock = threading.Lock()
+        self._queues = WeightedClassQueues(self._qos.weight_map)
+        self._predictor = LatencyPredictor(self._qos.predictor_window)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
         self._index_manager: IndexManager | None = None
         self._warm_theta_c: int | None = None
         self._closed = False
@@ -273,6 +378,11 @@ class CampaignServer:
         return self._config
 
     @property
+    def qos(self) -> QosConfig:
+        """The QoS configuration (weights, thresholds, breaker knobs)."""
+        return self._qos
+
+    @property
     def index_manager(self) -> IndexManager | None:
         """The frozen shared possible-world index, when warmed."""
         return self._index_manager
@@ -296,25 +406,60 @@ class CampaignServer:
         # query's cache activity.
         stats = self._cache.stats()
         uptime = self.uptime_seconds
+        utilization = self._utilization()
         with self._metrics_lock:
             self._metrics.set_gauge("serve.cache.bytes", stats.bytes)
             self._metrics.set_gauge("serve.cache.entries", stats.entries)
             self._metrics.set_gauge("serve.uptime_seconds", uptime)
+            self._metrics.set_gauge("serve.utilization", utilization)
             return self._metrics.as_dict()
 
+    def breaker_states(self) -> dict[str, str]:
+        """Current circuit-breaker state per asset kind."""
+        with self._breaker_lock:
+            breakers = dict(self._breakers)
+        return {kind: breaker.state for kind, breaker in breakers.items()}
+
+    def predictor_snapshot(self) -> dict:
+        """Rolling per-op latency windows feeding deadline admission."""
+        return self._predictor.snapshot()
+
     def health(self) -> dict:
-        """Admission/queue/closed state (the ``/healthz`` document)."""
+        """Admission/queue/closed state (the ``/healthz`` document).
+
+        ``status`` is ``"degraded"`` (still healthy — HTTP 200) while
+        the server is shedding (utilization at or past the QoS
+        ``shed_threshold``) or any asset kind's circuit breaker is not
+        closed; ``"closed"`` once :meth:`close` ran.
+        """
         with self._admission_lock:
             closed = self._closed
             in_system = self._in_system
             executing = self._executing
+            depths = self._queues.depths()
+        breakers = self.breaker_states()
+        utilization = in_system / self._capacity if self._capacity else 0.0
+        shedding = utilization >= self._qos.shed_threshold
+        breaker_open = any(state != "closed" for state in breakers.values())
+        degraded = not closed and (shedding or breaker_open)
+        if closed:
+            status = "closed"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "closed" if closed else "ok",
+            "status": status,
             "closed": closed,
+            "degraded": degraded,
+            "shedding": shedding,
             "in_flight": executing,
             "queued": max(in_system - executing, 0),
+            "queue_depths": depths,
             "capacity": self._capacity,
             "pool_size": self._pool_size,
+            "utilization": round(utilization, 4),
+            "breakers": breakers,
             "uptime_seconds": self.uptime_seconds,
         }
 
@@ -347,16 +492,72 @@ class CampaignServer:
         # exactly this reason).
         self._record(f"serve.cache.{name}", amount)
 
+    def _utilization(self) -> float:
+        # Racy single-int read; good enough for gauges and shed errors.
+        return self._in_system / self._capacity if self._capacity else 0.0
+
+    def _retry_after_ms(self) -> float:
+        """Advertised retry delay: roughly one pool drain of the backlog."""
+        predicted = self._predictor.predicted_wait_ms(1, self._pool_size)
+        return max(predicted, self._qos.min_retry_after_ms)
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+    def _breaker(self, kind: str) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(kind)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    kind,
+                    failure_threshold=self._qos.breaker_failure_threshold,
+                    reset_timeout=self._qos.breaker_reset_timeout,
+                    on_transition=self._on_breaker_transition,
+                )
+                self._breakers[kind] = breaker
+            return breaker
+
+    def _on_breaker_transition(self, kind: str, old: str, new: str) -> None:
+        self._record(f"serve.breaker.{new}")
+        verb = {
+            "open": "breaker.open",
+            "closed": "breaker.close",
+            "half_open": "breaker.half_open",
+        }[new]
+        self._emit(verb, asset=kind, previous=old)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Finish in-flight queries and stop accepting new ones."""
+        """Finish in-flight queries and stop accepting new ones.
+
+        Queued-but-undispatched queries are drained and rejected with
+        :class:`ServerClosedError`; every admitted query therefore ends
+        in exactly one of done / rejected, never silently dropped.
+        """
         # Flip the flag under the admission lock so no query can pass
-        # _admit's closed check after we start shutting the pool down.
+        # the closed check after we start shutting the pool down.
         with self._admission_lock:
+            already = self._closed
             self._closed = True
-        self._executor.shutdown(wait=True)
+            drained = self._queues.drain()
+            self._in_system -= len(drained)
+            self._set_gauge("serve.queue.depth", self._in_system)
+            self._sync_class_depths_locked()
+        for item in drained:
+            self._emit(
+                "query.rejected", trace_id=item.qid, op=item.op,
+                reason="ServerClosedError", qos_class=item.qos_class,
+            )
+            try:
+                item.future.set_exception(
+                    ServerClosedError("campaign server is closed")
+                )
+            except InvalidStateError:  # pragma: no cover - client cancel
+                pass
+        if not already:
+            self._executor.shutdown(wait=True)
         # In-flight queries have drained; push their final lifecycle
         # events to any attached sink. The log itself stays open so
         # post-close rejections are still recorded (and the ring stays
@@ -423,64 +624,245 @@ class CampaignServer:
         return len(requests)
 
     # ------------------------------------------------------------------
-    # Admission + execution
+    # Admission + dispatch
     # ------------------------------------------------------------------
-    def _admit(self) -> None:
+    def _sync_class_depths_locked(self) -> None:
+        for name, depth in self._queues.depths().items():
+            self._set_gauge(f"serve.queue.depth.{name}", depth)
+
+    def _submit(
+        self,
+        op: str,
+        runner: Callable,
+        qos_class: str = "interactive",
+        deadline: float | None = None,
+    ) -> "Future[ServeResponse]":
+        if qos_class not in QUERY_CLASSES:
+            raise ConfigurationError(
+                f"unknown qos_class {qos_class!r}; expected one of "
+                f"{QUERY_CLASSES}"
+            )
+        qid = f"q-{next(self._query_seq):06d}"
+        if self._chaos is not None:
+            try:
+                self._chaos.at_admission()
+            except InjectedChaosError:
+                self._record("serve.chaos.admission")
+                self._emit(
+                    "chaos.injected", trace_id=qid, op=op, site="admission"
+                )
+                raise
+            deadline = self._chaos.skew_deadline(deadline)
+
+        rejection: QueryRejectedError | None = None
+        tier = "full"
+        item: _QueryItem | None = None
+        dequeue_rejects: list = []
+        closed = False
         with self._admission_lock:
             if self._closed:
-                raise ServerClosedError("campaign server is closed")
-            if self._in_system >= self._capacity:
-                self._record("serve.rejected")
-                raise ServerOverloadedError(self._capacity)
-            self._in_system += 1
-            self._set_gauge("serve.queue.depth", self._in_system)
+                closed = True
+            elif self._in_system >= self._capacity:
+                rejection = ServerOverloadedError(
+                    self._capacity,
+                    retry_after_ms=self._retry_after_ms(),
+                    qos_class=qos_class,
+                )
+            elif deadline is not None and self._qos.deadline_admission:
+                predicted = self._predictor.predicted_completion_ms(
+                    op, self._in_system, self._pool_size
+                )
+                if predicted > deadline * 1000.0:
+                    rejection = DeadlineRejectedError(
+                        deadline, predicted,
+                        retry_after_ms=self._retry_after_ms(),
+                        qos_class=qos_class, phase="admission",
+                    )
+            if not closed and rejection is None:
+                utilization = (self._in_system + 1) / self._capacity
+                if qos_class == "best_effort":
+                    if utilization >= self._qos.stale_threshold:
+                        tier = "stale_only"
+                    elif utilization >= self._qos.shed_threshold:
+                        tier = "approximate"
+                self._in_system += 1
+                self._set_gauge("serve.queue.depth", self._in_system)
+                item = _QueryItem(
+                    qid=qid, op=op, runner=runner, future=Future(),
+                    qos_class=qos_class, tier=tier, deadline_s=deadline,
+                    enqueued_at=time.monotonic(),
+                )
+                self._queues.push(qos_class, item)
+                dequeue_rejects = self._pump_locked()
 
-    def _release(self, _future: Future) -> None:
-        with self._admission_lock:
-            self._in_system -= 1
-            self._set_gauge("serve.queue.depth", self._in_system)
-
-    def _submit(self, op: str, runner: Callable) -> "Future[ServeResponse]":
-        qid = f"q-{next(self._query_seq):06d}"
-        try:
-            self._admit()
-        except (ServerClosedError, ServerOverloadedError) as exc:
+        if closed:
             self._emit(
                 "query.rejected", trace_id=qid, op=op,
-                reason=type(exc).__name__,
+                reason="ServerClosedError", qos_class=qos_class,
             )
-            raise
-        self._emit("query.admitted", trace_id=qid, op=op)
-        try:
-            future = self._executor.submit(self._run_query, op, runner, qid)
-        except RuntimeError as exc:
-            # close() can win the race between _admit and submit; the
-            # shut-down executor's RuntimeError then means "closed".
-            self._release(None)
-            if self._closed:
-                self._emit(
-                    "query.rejected", trace_id=qid, op=op,
-                    reason="ServerClosedError",
-                )
-                raise ServerClosedError(
-                    "campaign server is closed"
-                ) from exc
-            raise
-        except BaseException:
-            self._release(None)
-            raise
+            raise ServerClosedError("campaign server is closed")
+        if rejection is not None:
+            self._record("serve.rejected")
+            self._record(f"serve.rejected.{rejection.code}")
+            self._emit(
+                "query.rejected", trace_id=qid, op=op, code=rejection.code,
+                qos_class=qos_class, phase="admission",
+                retry_after_ms=rejection.retry_after_ms,
+            )
+            raise rejection
+        self._emit(
+            "query.admitted", trace_id=qid, op=op, qos_class=qos_class,
+            tier=tier,
+        )
+        if tier != "full":
+            self._record("serve.degraded.admitted")
+            self._emit(
+                "query.degraded", trace_id=qid, op=op, tier=tier,
+                qos_class=qos_class,
+            )
         self._emit("query.queued", trace_id=qid, op=op)
-        future.add_done_callback(self._release)
-        return future
+        self._finalize_rejections(dequeue_rejects)
+        return item.future
 
-    def _run_query(
-        self, op: str, runner: Callable, qid: str
-    ) -> ServeResponse:
+    def _pump_locked(self) -> list:
+        """Dispatch queued items while worker slots are free.
+
+        Caller holds the admission lock. Items that die at the dequeue
+        boundary (expired deadline, injected chaos, executor shut down
+        by a racing close) are *not* finalized here — their
+        ``(item, error)`` pairs are returned so the caller can set
+        future exceptions outside the lock (done-callbacks run in the
+        setting thread and must not run under the admission lock).
+        """
+        rejected: list = []
+        while not self._closed and self._dispatched < self._pool_size:
+            item = self._queues.pop()
+            if item is None:
+                break
+            waited = time.monotonic() - item.enqueued_at
+            error: BaseException | None = None
+            if self._chaos is not None:
+                try:
+                    self._chaos.at_dequeue()
+                except InjectedChaosError as exc:
+                    error = exc
+            if (
+                error is None
+                and item.deadline_s is not None
+                and waited >= item.deadline_s
+            ):
+                error = DeadlineRejectedError(
+                    item.deadline_s, waited * 1000.0,
+                    retry_after_ms=self._retry_after_ms(),
+                    qos_class=item.qos_class, phase="queue",
+                )
+            if error is not None:
+                self._in_system -= 1
+                self._set_gauge("serve.queue.depth", self._in_system)
+                rejected.append((item, error))
+                continue
+            item.queue_wait_s = waited
+            self._dispatched += 1
+            try:
+                self._executor.submit(self._execute_item, item)
+            except RuntimeError:
+                # close() can win the race between the closed check and
+                # submit; the shut-down executor then means "closed".
+                self._dispatched -= 1
+                self._in_system -= 1
+                self._set_gauge("serve.queue.depth", self._in_system)
+                rejected.append(
+                    (item, ServerClosedError("campaign server is closed"))
+                )
+                break
+        self._sync_class_depths_locked()
+        return rejected
+
+    def _finalize_rejections(self, rejected: list) -> None:
+        """Deliver dequeue-boundary failures (outside the admission lock)."""
+        for item, error in rejected:
+            if isinstance(error, QueryRejectedError):
+                self._record("serve.rejected")
+                self._record(f"serve.rejected.{error.code}")
+                self._emit(
+                    "query.rejected", trace_id=item.qid, op=item.op,
+                    code=error.code, qos_class=item.qos_class, phase="queue",
+                )
+            elif isinstance(error, ServerClosedError):
+                self._emit(
+                    "query.rejected", trace_id=item.qid, op=item.op,
+                    reason="ServerClosedError", qos_class=item.qos_class,
+                )
+            else:
+                self._record("serve.errors")
+                self._record(f"serve.errors.{type(error).__name__}")
+                if isinstance(error, InjectedChaosError):
+                    self._record("serve.chaos.dequeue")
+                    self._emit(
+                        "chaos.injected", trace_id=item.qid, op=item.op,
+                        site="dequeue",
+                    )
+                self._emit(
+                    "query.done", trace_id=item.qid, op=item.op, ok=False,
+                    error=type(error).__name__,
+                )
+            try:
+                item.future.set_exception(error)
+            except InvalidStateError:  # pragma: no cover - client cancel
+                pass
+
+    def _execute_item(self, item: _QueryItem) -> None:
+        response: ServeResponse | None = None
+        failure: BaseException | None = None
+        started = item.future.set_running_or_notify_cancel()
+        if started:
+            try:
+                response = self._run_query(item)
+            except BaseException as exc:
+                failure = exc
+        # Release this query's slot (and pump the queues) BEFORE
+        # delivering the result: a client that wakes from .result() and
+        # immediately resubmits must see the freed capacity.
+        with self._admission_lock:
+            self._dispatched -= 1
+            self._in_system -= 1
+            self._set_gauge("serve.queue.depth", self._in_system)
+            rejected = self._pump_locked()
+        if started:
+            try:
+                if failure is not None:
+                    item.future.set_exception(failure)
+                else:
+                    item.future.set_result(response)
+            except InvalidStateError:  # pragma: no cover - client cancel
+                pass
+        self._finalize_rejections(rejected)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_query(self, item: _QueryItem) -> ServeResponse:
+        op, runner, qid = item.op, item.runner, item.qid
         with self._admission_lock:
             self._executing += 1
             self._set_gauge("serve.inflight", self._executing)
-        self._query_local.qid = qid
+        local = self._query_local
+        local.qid = qid
+        local.qos_class = item.qos_class
+        local.tier = item.tier
+        local.degrade = None
+        local.deadline_remaining = None
+        if item.deadline_s is not None:
+            # The deadline covers queue wait + execution: hand the
+            # remainder to the RunBudget so shard-boundary checks
+            # cancel cooperatively (floor keeps the budget valid).
+            local.deadline_remaining = max(
+                item.deadline_s - item.queue_wait_s, 1e-3
+            )
+        self._observe_hist("serve.queue.wait_ms", item.queue_wait_s * 1000.0)
         timer = Timer()
+        final_tier = item.tier
+        degrade_info = None
         try:
             with timer, obs.observe() as ob:
                 # Stamp the query id on the tracer so spans, Chrome
@@ -489,6 +871,28 @@ class CampaignServer:
                 with obs.span("serve.query", op=op, trace_id=qid):
                     value, cache_mode = runner(ob)
                 report = ob.report()
+            final_tier = getattr(local, "tier", None) or "full"
+            degrade_info = getattr(local, "degrade", None)
+        except QueryRejectedError as exc:
+            # Clean in-execution rejections (shed ladder exhausted,
+            # breaker fast-fail) — counted as rejections, not errors.
+            self._record("serve.rejected")
+            self._record(f"serve.rejected.{exc.code}")
+            verb = "query.shed" if exc.code == "shed" else "query.rejected"
+            self._emit(
+                verb, trace_id=qid, op=op, code=exc.code,
+                qos_class=item.qos_class, phase="execute",
+            )
+            raise
+        except BudgetExceededError as exc:
+            # Cooperative cancellation at a shard boundary; any partial
+            # was already salvaged into the cache at the build site.
+            self._record("serve.cancelled")
+            self._emit(
+                "query.cancelled", trace_id=qid, op=op, reason=exc.reason,
+                qos_class=item.qos_class, salvaged=exc.partial is not None,
+            )
+            raise
         except BaseException as exc:
             self._record("serve.errors")
             self._record(f"serve.errors.{type(exc).__name__}")
@@ -498,17 +902,26 @@ class CampaignServer:
             )
             raise
         finally:
-            self._query_local.qid = None
+            local.qid = None
+            local.qos_class = None
+            local.tier = None
+            local.degrade = None
+            local.deadline_remaining = None
             with self._admission_lock:
                 self._executing -= 1
                 self._set_gauge("serve.inflight", self._executing)
         elapsed_ms = timer.elapsed * 1000.0
         self._record("serve.queries")
+        self._record(f"serve.queries.{item.qos_class}")
+        if final_tier != "full":
+            self._record("serve.degraded")
+            self._record(f"serve.degraded.{final_tier}")
         self._observe_hist("serve.query.latency_ms", elapsed_ms)
         self._observe_hist(f"serve.op.latency_ms.{op}", elapsed_ms)
+        self._predictor.observe(op, elapsed_ms)
         self._emit(
             "query.done", trace_id=qid, op=op, ok=True, cache=cache_mode,
-            elapsed_ms=round(elapsed_ms, 3),
+            tier=final_tier, elapsed_ms=round(elapsed_ms, 3),
         )
         return ServeResponse(
             op=op,
@@ -516,6 +929,9 @@ class CampaignServer:
             cache=cache_mode,
             elapsed_seconds=timer.elapsed,
             report=report,
+            qos_class=item.qos_class,
+            tier=final_tier,
+            degraded=degrade_info,
         )
 
     def _budget(
@@ -527,6 +943,13 @@ class CampaignServer:
         deadline = (
             deadline if deadline is not None else self._default_deadline
         )
+        # An explicit per-query deadline is consumed by queue wait: the
+        # execution budget is whatever remains after dequeue.
+        remaining = getattr(self._query_local, "deadline_remaining", None)
+        if remaining is not None:
+            deadline = remaining if deadline is None else min(
+                deadline, remaining
+            )
         max_samples = (
             max_samples
             if max_samples is not None
@@ -556,6 +979,62 @@ class CampaignServer:
             return None
         return RunTelemetry(registry=ob.metrics).as_dict()
 
+    # ------------------------------------------------------------------
+    # Degraded tiers
+    # ------------------------------------------------------------------
+    def _current_tier(self) -> str:
+        return getattr(self._query_local, "tier", None) or "full"
+
+    def _current_class(self) -> str:
+        return getattr(self._query_local, "qos_class", None) or "interactive"
+
+    def _sketch_config(self):
+        """The sketch config for this query's tier.
+
+        ``approximate``-tier queries run with ``theta_max`` divided by
+        the QoS ``degrade_theta_factor`` (floored at ``theta_min``);
+        the reduced config's digest flows into the asset key, so
+        degraded and full sketches are distinct cache entries and a
+        degraded answer can never be served as a full one (or vice
+        versa).
+        """
+        cfg = self._config.sketch
+        if self._current_tier() != "approximate":
+            return cfg
+        factor = self._qos.degrade_theta_factor
+        return dc_replace(
+            cfg, theta_max=max(cfg.theta_min, cfg.theta_max // factor)
+        )
+
+    def _note_sketch_degrade(self, sketch, cfg) -> None:
+        """Tag this query with its approximate-tier error contract.
+
+        Theorem 5's slack scales as ``ε ∝ 1/sqrt(θ)``: running with
+        ``θ_used`` instead of the full config's ``θ_full`` cap widens
+        the effective slack to ``ε · sqrt(θ_full / θ_used)``.
+        """
+        full = self._config.sketch
+        theta_used = max(int(getattr(sketch, "theta", 0)), 1)
+        eps_eff = full.epsilon * math.sqrt(full.theta_max / theta_used)
+        self._query_local.degrade = {
+            "kind": "reduced_theta",
+            "theta": theta_used,
+            "theta_max": cfg.theta_max,
+            "theta_max_full": full.theta_max,
+            "epsilon": full.epsilon,
+            "epsilon_eff": round(max(eps_eff, full.epsilon), 6),
+        }
+
+    def _shed(self) -> QueryShedError:
+        return QueryShedError(
+            self._utilization(),
+            retry_after_ms=self._retry_after_ms(),
+            qos_class=self._current_class(),
+        )
+
+    # ------------------------------------------------------------------
+    # Asset fetch/build
+    # ------------------------------------------------------------------
     def _get_asset(self, ob, key: AssetKey, build: Callable):
         """Fetch-or-build through the cache with lifecycle telemetry.
 
@@ -565,21 +1044,66 @@ class CampaignServer:
         non-builders merge the asset's build-time metrics into this
         query's observation so warm answers carry the same work
         counters as cold ones.
+
+        The build path is additionally guarded by the asset kind's
+        circuit breaker (resident hits and single-flight joins are
+        *not* — an open breaker refuses fresh builds only) and by the
+        chaos plan's build site; a :class:`BudgetExceededError` from a
+        cancelled build salvages its partial into the cache under
+        ``<kind>_partial`` before propagating.
         """
         qid = getattr(self._query_local, "qid", None)
+        breaker = self._breaker(key.kind)
 
         def building():
+            if not breaker.allow():
+                self._record("serve.breaker.fastfail")
+                raise CircuitOpenError(
+                    key.kind,
+                    retry_after_ms=max(
+                        breaker.retry_after_ms(),
+                        self._qos.min_retry_after_ms,
+                    ),
+                    qos_class=self._current_class(),
+                )
             self._emit(
                 "query.build.start", trace_id=qid, asset=key.kind
             )
             try:
+                if self._chaos is not None:
+                    self._chaos.before_build(key.kind)
                 built = build()
-            except BaseException as exc:
+            except BudgetExceededError as exc:
+                # A cooperative cancellation is not a build-infra
+                # failure: don't trip the breaker, do keep the work.
+                breaker.release_probe()
+                self._emit(
+                    "query.build.done", trace_id=qid, asset=key.kind,
+                    ok=False, error="BudgetExceededError",
+                )
+                self._salvage(qid, key, exc)
+                raise
+            except QueryRejectedError as exc:
+                breaker.release_probe()
                 self._emit(
                     "query.build.done", trace_id=qid, asset=key.kind,
                     ok=False, error=type(exc).__name__,
                 )
                 raise
+            except BaseException as exc:
+                breaker.record_failure()
+                if isinstance(exc, InjectedChaosError):
+                    self._record("serve.chaos.build")
+                    self._emit(
+                        "chaos.injected", trace_id=qid, site="build",
+                        asset=key.kind,
+                    )
+                self._emit(
+                    "query.build.done", trace_id=qid, asset=key.kind,
+                    ok=False, error=type(exc).__name__,
+                )
+                raise
+            breaker.record_success()
             self._emit(
                 "query.build.done", trace_id=qid, asset=key.kind, ok=True
             )
@@ -588,8 +1112,50 @@ class CampaignServer:
         asset, built_here = self._cache.get_or_build(key, building)
         if not built_here:
             self._emit("query.cache.hit", trace_id=qid, asset=key.kind)
-            ob.metrics.merge(asset.metrics)
+            if asset.metrics is not None:
+                ob.metrics.merge(asset.metrics)
         return asset, built_here
+
+    def _salvage(self, qid, key: AssetKey, exc: BudgetExceededError) -> None:
+        """Keep a cancelled build's partial result for degraded service.
+
+        Stored under ``<kind>_partial`` with the *same* digest/tags/
+        params, so the partial can never shadow the full asset; the
+        ``stale_only`` ladder rung picks it up (tier ``"salvaged"``).
+        """
+        partial = exc.partial
+        if partial is None:
+            return
+        pkey = AssetKey(
+            kind=f"{key.kind}_partial",
+            targets_digest=key.targets_digest,
+            tags=key.tags,
+            params=key.params,
+        )
+        self._cache.put(pkey, partial, _approx_nbytes(partial))
+        self._record("serve.salvaged")
+        self._emit(
+            "query.build.salvaged", trace_id=qid, asset=pkey.kind,
+            reason=exc.reason,
+        )
+
+    def _resident_or_shed(self, ob, key: AssetKey):
+        """Resident-exact asset, or a clean shed (``stale_only`` tier).
+
+        For ``result``-kind assets only an exact key match is a valid
+        answer (params-mismatched results answer a *different*
+        question), so the stale ladder rung reduces to resident-or-shed.
+        """
+        asset = self._cache.get(key)
+        if asset is None:
+            raise self._shed()
+        qid = getattr(self._query_local, "qid", None)
+        self._emit("query.cache.hit", trace_id=qid, asset=key.kind)
+        if asset.metrics is not None:
+            ob.metrics.merge(asset.metrics)
+        # A resident exact hit IS the full answer — don't mislabel it.
+        self._query_local.tier = "full"
+        return asset
 
     # ------------------------------------------------------------------
     # Queries — sync facade
@@ -624,6 +1190,7 @@ class CampaignServer:
         deadline: float | None = None,
         max_samples: int | None = None,
         max_rr_members: int | None = None,
+        qos_class: str = "interactive",
     ) -> "Future[ServeResponse]":
         """Queue a seed-selection query; the future yields a response.
 
@@ -632,7 +1199,10 @@ class CampaignServer:
         engines reuse whole results. ``seed`` pins the query's RNG —
         the served answer is bit-identical to
         ``repro.find_seeds(graph, targets, canonical_tags(tags), k,
-        engine=..., rng=seed)``.
+        engine=..., rng=seed)``. ``qos_class`` selects the admission
+        class (``best_effort`` queries may be served degraded under
+        load); an explicit ``deadline`` participates in predictive
+        admission and cooperative cancellation.
         """
         engine = engine or self._config.seed_engine
         if engine not in ENGINES:
@@ -654,25 +1224,31 @@ class CampaignServer:
                 num_samples, budget,
             )
 
-        return self._submit("find_seeds", runner)
+        return self._submit(
+            "find_seeds", runner, qos_class=qos_class, deadline=deadline
+        )
 
     def _seeds_via_sketch(
         self, ob, targets, tdigest, tags_c, k, seed, budget
     ) -> tuple[SeedSelection, str]:
         """TRS path: cache the expensive sampling half, re-cover per query."""
+        tier = self._current_tier()
+        cfg = self._sketch_config()
         key = AssetKey(
             kind="trs_sketch",
             targets_digest=tdigest,
             tags=tags_c,
-            params=(k, seed, config_digest(self._config.sketch)),
+            params=(k, seed, config_digest(cfg)),
         )
+        if tier == "stale_only":
+            return self._seeds_from_resident(ob, key, tdigest, tags_c, k)
 
         def build():
             with obs.observe() as build_ob:
                 view = self._view(registry=build_ob.metrics)
                 sketch = trs_build_sketch(
                     self._graph, targets, tags_c, k,
-                    config=self._config.sketch, rng=ensure_rng(seed),
+                    config=cfg, rng=ensure_rng(seed),
                     engine=view, budget=budget,
                 )
             return sketch, sketch.nbytes, build_ob.metrics
@@ -688,29 +1264,105 @@ class CampaignServer:
             elapsed_seconds=result.elapsed_seconds,
             telemetry=self._runtime_dict(ob),
         )
+        if tier == "approximate":
+            self._note_sketch_degrade(asset.value, cfg)
         return selection, ("miss" if built_here else "hit")
+
+    def _seeds_from_resident(
+        self, ob, key: AssetKey, tdigest, tags_c, k
+    ) -> tuple[SeedSelection, str]:
+        """``stale_only`` ladder rung for the TRS path.
+
+        Preference order: the exact resident sketch (a *full* answer),
+        any resident sketch for the same ``(targets, tags)`` built
+        under different params (tier ``"stale"``), a salvaged partial
+        from a cancelled build (tier ``"salvaged"``); otherwise shed.
+        """
+        qid = getattr(self._query_local, "qid", None)
+        asset = self._cache.get(key)
+        if asset is not None:
+            self._emit("query.cache.hit", trace_id=qid, asset=key.kind)
+            if asset.metrics is not None:
+                ob.metrics.merge(asset.metrics)
+            self._query_local.tier = "full"
+            result = trs_select_from_sketch(self._graph, asset.value, k)
+            selection = SeedSelection(
+                seeds=result.seeds,
+                estimated_spread=result.estimated_spread,
+                engine="trs",
+                elapsed_seconds=result.elapsed_seconds,
+                telemetry=self._runtime_dict(ob),
+            )
+            return selection, "hit"
+        stale = self._cache.find_stale("trs_sketch", tdigest, tags_c)
+        if stale is not None:
+            self._emit(
+                "query.cache.stale_hit", trace_id=qid, asset="trs_sketch"
+            )
+            if stale.metrics is not None:
+                ob.metrics.merge(stale.metrics)
+            self._query_local.tier = "stale"
+            self._query_local.degrade = {
+                "kind": "stale_asset",
+                "asset_params": repr(getattr(stale.key, "params", None)),
+                "theta": int(getattr(stale.value, "theta", 0)),
+            }
+            result = trs_select_from_sketch(self._graph, stale.value, k)
+            selection = SeedSelection(
+                seeds=result.seeds,
+                estimated_spread=result.estimated_spread,
+                engine="trs",
+                elapsed_seconds=result.elapsed_seconds,
+                telemetry=self._runtime_dict(ob),
+            )
+            return selection, "hit"
+        salvaged = self._cache.find_stale("trs_sketch_partial", tdigest, tags_c)
+        if salvaged is not None and getattr(salvaged.value, "seeds", None):
+            self._emit(
+                "query.cache.stale_hit", trace_id=qid,
+                asset="trs_sketch_partial",
+            )
+            self._query_local.tier = "salvaged"
+            partial = salvaged.value
+            self._query_local.degrade = {
+                "kind": "salvaged_partial",
+                "theta": int(getattr(partial, "theta", 0)),
+            }
+            selection = SeedSelection(
+                seeds=tuple(partial.seeds),
+                estimated_spread=float(partial.estimated_spread),
+                engine="trs",
+                elapsed_seconds=0.0,
+                telemetry=self._runtime_dict(ob),
+            )
+            return selection, "hit"
+        raise self._shed()
 
     def _seeds_via_result(
         self, ob, targets, tdigest, tags_c, k, engine, seed, num_samples,
         budget,
     ) -> tuple[SeedSelection, str]:
         """Non-TRS engines: cache the whole (deterministic) result."""
+        cfg = self._sketch_config()
         key = AssetKey(
             kind="result",
             targets_digest=tdigest,
             tags=tags_c,
             params=(
                 "find_seeds", engine, k, seed, num_samples,
-                config_digest(self._config.sketch),
+                config_digest(cfg),
             ),
         )
+        if self._current_tier() == "stale_only":
+            asset = self._resident_or_shed(ob, key)
+            return asset.value, "hit"
 
         def build():
             with obs.observe() as build_ob:
                 view = self._view(registry=build_ob.metrics)
                 selection = find_seeds(
                     self._graph, targets, tags_c, k,
-                    engine=engine, config=self._config.sketch,
+                    engine=engine, config=cfg,
                     manager=self._manager_for(engine, tags_c),
                     num_samples=num_samples, rng=ensure_rng(seed),
                     sampler=view, budget=budget,
@@ -718,6 +1370,13 @@ class CampaignServer:
             return selection, _approx_nbytes(selection), build_ob.metrics
 
         asset, built_here = self._get_asset(ob, key, build)
+        if cfg is not self._config.sketch:
+            self._query_local.degrade = {
+                "kind": "reduced_theta",
+                "theta_max": cfg.theta_max,
+                "theta_max_full": self._config.sketch.theta_max,
+                "epsilon": self._config.sketch.epsilon,
+            }
         return asset.value, ("miss" if built_here else "hit")
 
     def _manager_for(
@@ -747,8 +1406,14 @@ class CampaignServer:
         deadline: float | None = None,
         max_samples: int | None = None,
         max_rr_members: int | None = None,
+        qos_class: str = "interactive",
     ) -> "Future[ServeResponse]":
-        """Queue a tag-selection query (seed set canonicalized)."""
+        """Queue a tag-selection query (seed set canonicalized).
+
+        Tag finding has no principled reduced-θ form, so the
+        ``approximate`` tier passes it through at full fidelity; the
+        ``stale_only`` rung still applies (resident-exact or shed).
+        """
         method = method or self._config.tag_method
         if method not in METHODS:
             raise ConfigurationError(
@@ -768,6 +1433,10 @@ class CampaignServer:
         )
 
         def runner(ob):
+            if self._current_tier() == "stale_only":
+                asset = self._resident_or_shed(ob, key)
+                return asset.value, "hit"
+
             def build():
                 with obs.observe() as build_ob:
                     selection = find_tags(
@@ -779,12 +1448,12 @@ class CampaignServer:
                     selection, _approx_nbytes(selection), build_ob.metrics
                 )
 
-            asset, built_here = self._cache.get_or_build(key, build)
-            if not built_here:
-                ob.metrics.merge(asset.metrics)
+            asset, built_here = self._get_asset(ob, key, build)
             return asset.value, ("miss" if built_here else "hit")
 
-        return self._submit("find_tags", runner)
+        return self._submit(
+            "find_tags", runner, qos_class=qos_class, deadline=deadline
+        )
 
     def submit_jointly_select(
         self,
@@ -795,36 +1464,59 @@ class CampaignServer:
         deadline: float | None = None,
         max_samples: int | None = None,
         max_rr_members: int | None = None,
+        qos_class: str = "interactive",
     ) -> "Future[ServeResponse]":
-        """Queue a full joint (Algorithm 2) query."""
+        """Queue a full joint (Algorithm 2) query.
+
+        Under the ``approximate`` tier the joint run uses the reduced-θ
+        sketch config (tagged on the response); the degraded config's
+        digest keys the cache entry, so full and approximate joint
+        results never collide.
+        """
         tdigest = targets_digest(targets, self._graph.num_nodes)
         targets = tuple(int(t) for t in targets)
-        key = AssetKey(
-            kind="result",
-            targets_digest=tdigest,
-            tags=(),
-            params=("joint", k, r, seed, config_digest(self._config)),
-        )
 
         def runner(ob):
             budget = self._budget(deadline, max_samples, max_rr_members)
+            cfg_sketch = self._sketch_config()
+            joint_config = (
+                self._config
+                if cfg_sketch is self._config.sketch
+                else dc_replace(self._config, sketch=cfg_sketch)
+            )
+            key = AssetKey(
+                kind="result",
+                targets_digest=tdigest,
+                tags=(),
+                params=("joint", k, r, seed, config_digest(joint_config)),
+            )
+            if self._current_tier() == "stale_only":
+                asset = self._resident_or_shed(ob, key)
+                return asset.value, "hit"
 
             def build():
                 with obs.observe() as build_ob:
                     view = self._view(registry=build_ob.metrics)
                     result = jointly_select(
                         self._graph, JointQuery(targets, k=k, r=r),
-                        self._config, rng=ensure_rng(seed), sampler=view,
+                        joint_config, rng=ensure_rng(seed), sampler=view,
                         budget=budget,
                     )
                 return result, _approx_nbytes(result), build_ob.metrics
 
-            asset, built_here = self._cache.get_or_build(key, build)
-            if not built_here:
-                ob.metrics.merge(asset.metrics)
+            asset, built_here = self._get_asset(ob, key, build)
+            if joint_config is not self._config:
+                self._query_local.degrade = {
+                    "kind": "reduced_theta",
+                    "theta_max": cfg_sketch.theta_max,
+                    "theta_max_full": self._config.sketch.theta_max,
+                    "epsilon": self._config.sketch.epsilon,
+                }
             return asset.value, ("miss" if built_here else "hit")
 
-        return self._submit("joint", runner)
+        return self._submit(
+            "joint", runner, qos_class=qos_class, deadline=deadline
+        )
 
     def submit_estimate_spread(
         self,
@@ -836,25 +1528,40 @@ class CampaignServer:
         deadline: float | None = None,
         max_samples: int | None = None,
         max_rr_members: int | None = None,
+        qos_class: str = "interactive",
     ) -> "Future[ServeResponse]":
-        """Queue an MC spread estimate (seeds and tags canonicalized)."""
+        """Queue an MC spread estimate (seeds and tags canonicalized).
+
+        Under the ``approximate`` tier the sample count is divided by
+        the QoS degrade factor and the response is tagged with a
+        Hoeffding 95% half-width for the reduced estimate.
+        """
         tags_c = canonical_tags(tags)
         seeds_c = tuple(sorted({int(s) for s in seeds}))
-        samples = (
+        samples_full = (
             num_samples if num_samples is not None
             else self._config.eval_samples
         )
         tdigest = targets_digest(targets, self._graph.num_nodes)
         targets = tuple(int(t) for t in targets)
-        key = AssetKey(
-            kind="result",
-            targets_digest=tdigest,
-            tags=tags_c,
-            params=("spread", seeds_c, samples, seed),
-        )
+        num_targets = len(set(targets))
 
         def runner(ob):
             budget = self._budget(deadline, max_samples, max_rr_members)
+            samples = samples_full
+            if self._current_tier() == "approximate":
+                samples = max(
+                    16, samples_full // self._qos.degrade_theta_factor
+                )
+            key = AssetKey(
+                kind="result",
+                targets_digest=tdigest,
+                tags=tags_c,
+                params=("spread", seeds_c, samples, seed),
+            )
+            if self._current_tier() == "stale_only":
+                asset = self._resident_or_shed(ob, key)
+                return asset.value, "hit"
 
             def build():
                 with obs.observe() as build_ob:
@@ -866,12 +1573,24 @@ class CampaignServer:
                     )
                 return float(value), 64, build_ob.metrics
 
-            asset, built_here = self._cache.get_or_build(key, build)
-            if not built_here:
-                ob.metrics.merge(asset.metrics)
+            asset, built_here = self._get_asset(ob, key, build)
+            if samples != samples_full:
+                # Hoeffding: spread ∈ [0, |T|], so the 95% half-width
+                # of an n-sample mean is |T|·sqrt(ln(2/0.05) / (2n)).
+                half_width = num_targets * math.sqrt(
+                    math.log(2.0 / 0.05) / (2.0 * samples)
+                )
+                self._query_local.degrade = {
+                    "kind": "reduced_samples",
+                    "num_samples": samples,
+                    "num_samples_full": samples_full,
+                    "ci_width": round(2.0 * half_width, 6),
+                }
             return asset.value, ("miss" if built_here else "hit")
 
-        return self._submit("spread", runner)
+        return self._submit(
+            "spread", runner, qos_class=qos_class, deadline=deadline
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stats = self._cache.stats()

@@ -239,6 +239,91 @@ class TestEventLog:
             EventLog(capacity=-1)
 
 
+class TestSinkHardening:
+    """Disk failures are dropped-and-counted; rotation bounds disk use."""
+
+    class _BrokenSink:
+        """A file-like whose writes fail like a full disk."""
+
+        def __init__(self, fail_after: int = 0) -> None:
+            self.fail_after = fail_after
+            self.writes = 0
+
+        def write(self, line: str) -> int:
+            self.writes += 1
+            if self.writes > self.fail_after:
+                raise OSError(28, "No space left on device")
+            return len(line)
+
+        def flush(self) -> None:
+            raise OSError(28, "No space left on device")
+
+    def test_enospc_drops_and_counts_never_raises(self):
+        sink = self._BrokenSink(fail_after=1)
+        log = EventLog(capacity=4)
+        log.attach_sink(sink)
+        log.emit("query.admitted", trace_id="q-1")  # lands
+        for i in range(3):  # all dropped by the "full disk"
+            log.emit("query.done", trace_id=f"q-{i}")
+        assert log.sink_errors == 3
+        # The ring kept every event the sink lost.
+        assert len(log.snapshot()) == 4
+        assert log.payload()["sink_errors"] == 3
+
+    def test_flush_and_close_failures_counted(self):
+        log = EventLog(capacity=2)
+        log.attach_sink(self._BrokenSink(fail_after=10))
+        log.flush()
+        assert log.sink_errors == 1
+        log.close()
+        assert log.sink_errors == 2
+
+    def test_rotation_keeps_bounded_generations(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=0)
+        log.open_sink(path, max_bytes=200, backups=2)
+        for i in range(40):
+            log.emit("query.done", trace_id=f"q-{i:03d}", ok=True)
+        log.close()
+        produced = sorted(p.name for p in tmp_path.iterdir())
+        # Active file + at most `backups` rotated generations.
+        assert produced == [
+            "events.jsonl", "events.jsonl.1", "events.jsonl.2",
+        ]
+        # No generation exceeds the threshold by more than one line.
+        for name in produced:
+            assert (tmp_path / name).stat().st_size <= 200 + 120
+        # Nothing was lost to rotation itself and order is preserved:
+        # the newest generation holds the latest events.
+        assert log.sink_errors == 0
+        last = (tmp_path / "events.jsonl").read_text(
+            encoding="utf-8"
+        ).splitlines()
+        assert json.loads(last[-1])["trace_id"] == "q-039"
+        older = (tmp_path / "events.jsonl.1").read_text(
+            encoding="utf-8"
+        ).splitlines()
+        assert (json.loads(older[-1])["seq"]
+                < json.loads(last[0])["seq"])
+
+    def test_rotation_with_zero_backups_truncates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=0)
+        log.open_sink(path, max_bytes=150, backups=0)
+        for i in range(30):
+            log.emit("e", n=i)
+        log.close()
+        assert [p.name for p in tmp_path.iterdir()] == ["events.jsonl"]
+        assert path.stat().st_size <= 150 + 80
+
+    def test_open_sink_validation(self, tmp_path):
+        log = EventLog(capacity=0)
+        with pytest.raises(ValueError):
+            log.open_sink(tmp_path / "e.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            log.open_sink(tmp_path / "e.jsonl", backups=-1)
+
+
 # ---------------------------------------------------------------------------
 # OpenMetrics render + parse
 # ---------------------------------------------------------------------------
@@ -737,7 +822,7 @@ class TestServerTelemetrySurface:
             server.find_seeds(FIG9_TARGETS, ("c5", "c4"), 2, seed=0)
             metrics = server.metrics()
             health = server.health()
-        assert METRICS_SCHEMA == "repro.serve.metrics/2"
+        assert METRICS_SCHEMA == "repro.serve.metrics/3"
         op_hist = metrics["histograms"]["serve.op.latency_ms.find_seeds"]
         assert op_hist["count"] == 2
         assert op_hist["p50"] <= op_hist["p95"] <= op_hist["p99"]
@@ -758,11 +843,12 @@ class TestServerTelemetrySurface:
                 )
             metrics = server.metrics()
             events = server.events.snapshot()
-        assert metrics["counters"]["serve.errors"] == 1
-        assert metrics["counters"]["serve.errors.BudgetExceededError"] == 1
-        done = [e for e in events if e["kind"] == "query.done"]
-        assert done and done[-1]["attrs"]["ok"] is False
-        assert done[-1]["attrs"]["error"] == "BudgetExceededError"
+        # A budget trip is a cooperative *cancellation*, not an error:
+        # it lands in serve.cancelled and emits query.cancelled.
+        assert metrics["counters"]["serve.cancelled"] == 1
+        assert metrics["counters"]["serve.errors"] == 0
+        cancelled = [e for e in events if e["kind"] == "query.cancelled"]
+        assert cancelled and cancelled[-1]["attrs"]["reason"] == "max_samples"
 
     def test_protocol_admin_ops(self, fig9_graph):
         from repro.serve import execute_request
@@ -944,7 +1030,7 @@ class TestServeCLITelemetry:
         ]) == 0
         capsys.readouterr()
         snapshot = json.loads(metrics_path.read_text())
-        assert snapshot["schema"] == "repro.serve.metrics/2"
+        assert snapshot["schema"] == "repro.serve.metrics/3"
         hist = snapshot["metrics"]["histograms"][
             "serve.op.latency_ms.find_seeds"
         ]

@@ -232,6 +232,32 @@ def test_pool_kill_rebuilds_and_matches(query):
     _assert_same(clean, faulted)
 
 
+def test_bitparallel_pool_kill_rebuilds_and_matches(query):
+    """Worker death mid-shard under the bit-parallel kernels.
+
+    The bit-parallel mode ships its CSR to workers through shared
+    memory, so a BrokenProcessPool rebuild has more to get right than
+    the vectorized path: the replacement pool must re-attach the
+    segments, the retried shard must replay its SeedSequence stream
+    into identical packed worlds, and closing the engine must leave
+    zero shared-memory segments behind.
+    """
+    from repro.engine.shared_csr import active_tokens
+
+    clean = _clean(query, mode="bitparallel")
+    plan = FaultPlan().kill_shard(3)
+    with SamplingEngine(
+        mode="bitparallel", shard_size=8, workers=2,
+        retry_policy=FAST, fault_plan=plan,
+    ) as engine:
+        faulted = _rr(engine, query)
+        assert engine.telemetry.pool_rebuilds >= 1
+    _assert_same(clean, faulted)
+    assert active_tokens() == frozenset(), (
+        "shared-memory CSR segments leaked across the pool rebuild"
+    )
+
+
 def test_poisoned_pool_degrades_to_serial(query):
     clean = _clean(query)
     plan = FaultPlan().poison_pool_after(0, times=10)

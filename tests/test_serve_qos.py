@@ -1,0 +1,587 @@
+"""QoS suite: weighted scheduling, graded shedding, deadlines, breakers.
+
+Covers the serving layer's overload contract:
+
+* **Smooth WRR** — per-class dequeue order is deterministic,
+  proportional to the configured weights over any window, and
+  starvation-free for ``best_effort``.
+* **Degradation ladder** — under load ``best_effort`` queries are
+  served at a reduced-θ ``approximate`` tier (tagged with the θ used
+  and the widened ε bound), then from resident assets only (``full`` /
+  ``stale`` / ``salvaged``), then shed with a structured, retryable
+  error. ``interactive`` queries are never silently degraded.
+* **Deadline admission** — explicit deadlines are checked predictively
+  against rolling p95s at the front door and again at dequeue time
+  (queue expiry), with ``phase`` identifying which gate fired.
+* **Circuit breaker** — consecutive build failures open a per-asset-
+  kind breaker that fails fast with ``retry_after_ms``; probes close
+  it again; budget cancellations are breaker-neutral.
+* **Structured rejections** — the line protocol maps every
+  :class:`QueryRejectedError` to a machine-readable error object.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.core.joint import JointConfig
+from repro.exceptions import (
+    BudgetExceededError,
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineRejectedError,
+    QueryRejectedError,
+    QueryShedError,
+)
+from repro.serve import CampaignServer, QosConfig, WeightedClassQueues
+from repro.serve.chaos import ServeFaultPlan
+from repro.serve.protocol import handle_line
+from repro.serve.qos import CircuitBreaker, LatencyPredictor
+from repro.sketch.theta import SketchConfig
+from tests.conftest import FIG9_TARGETS
+
+WAIT = 120.0
+
+FAST_SKETCH = SketchConfig(theta_max=2_000, pilot_samples=50)
+
+#: Utilization thresholds low enough that a single query on an idle
+#: server already sits in the corresponding ladder rung.
+DEGRADE_ALWAYS = QosConfig(shed_threshold=1e-6, stale_threshold=0.99)
+STALE_ALWAYS = QosConfig(shed_threshold=1e-6, stale_threshold=1e-6)
+
+
+def _server(graph, **kwargs):
+    kwargs.setdefault("config", JointConfig(sketch=FAST_SKETCH))
+    kwargs.setdefault("pool_size", 4)
+    return CampaignServer(graph, **kwargs)
+
+
+class TestWeightedClassQueues:
+    def test_proportional_over_full_cycle(self):
+        q = WeightedClassQueues({"interactive": 6, "batch": 3,
+                                 "best_effort": 1})
+        for cls in ("interactive", "batch", "best_effort"):
+            for i in range(20):
+                q.push(cls, (cls, i))
+        drained = [q.pop()[0] for _ in range(10)]
+        assert Counter(drained) == {
+            "interactive": 6, "batch": 3, "best_effort": 1,
+        }
+
+    def test_fifo_within_class(self):
+        q = WeightedClassQueues()
+        for i in range(5):
+            q.push("interactive", i)
+        order = [q.pop() for _ in range(5)]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_best_effort_not_starved(self):
+        """A lone best_effort query surfaces within one weight cycle."""
+        q = WeightedClassQueues({"interactive": 6, "batch": 3,
+                                 "best_effort": 1})
+        q.push("best_effort", "lone")
+        for i in range(100):
+            q.push("interactive", i)
+        popped = [q.pop() for _ in range(10)]
+        assert "lone" in popped
+
+    def test_idle_class_banks_no_credit(self):
+        """A class empty for many cycles gets no catch-up burst."""
+        q = WeightedClassQueues({"interactive": 6, "batch": 3,
+                                 "best_effort": 1})
+        for i in range(30):
+            q.push("interactive", i)
+        for _ in range(30):
+            q.pop()
+        # best_effort was idle throughout; now both are backlogged.
+        for i in range(10):
+            q.push("interactive", ("i", i))
+            q.push("best_effort", ("b", i))
+        first_seven = [q.pop()[0] for _ in range(7)]
+        # 6:1 split resumes immediately — no best_effort burst.
+        assert Counter(first_seven) == {"i": 6, "b": 1}
+
+    def test_pop_empty_returns_none_and_drain(self):
+        q = WeightedClassQueues()
+        assert q.pop() is None
+        q.push("batch", 1)
+        q.push("interactive", 2)
+        assert q.depth() == 2 == len(q)
+        assert q.depths()["batch"] == 1
+        assert sorted(q.drain()) == [1, 2]
+        assert q.depth() == 0
+        assert q.pop() is None
+
+
+class TestLatencyPredictor:
+    def test_cold_predictor_admits_everything(self):
+        p = LatencyPredictor()
+        assert p.p95("find_seeds") == 0.0
+        assert p.p95_overall() == 0.0
+        assert p.predicted_completion_ms("find_seeds", 10, 4) == 0.0
+
+    def test_p95_and_window_bound(self):
+        p = LatencyPredictor(window=8)
+        for ms in range(100):  # only the last 8 samples survive
+            p.observe("op", float(ms))
+        snap = p.snapshot()["op"]
+        assert snap["count"] == 8
+        assert snap["p95_ms"] == pytest.approx(99.0)
+        assert p.p95("op") == pytest.approx(99.0)
+
+    def test_predicted_completion_formula(self):
+        p = LatencyPredictor()
+        for _ in range(10):
+            p.observe("slow", 100.0)
+        # wait = in_system / pool * p95_overall; completion adds p95(op)
+        assert p.predicted_wait_ms(8, 4) == pytest.approx(200.0)
+        assert p.predicted_completion_ms("slow", 8, 4) == pytest.approx(
+            300.0
+        )
+        assert p.predicted_wait_ms(0, 4) == 0.0
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyPredictor(window=1)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = [0.0]
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout", 5.0)
+        breaker = CircuitBreaker(
+            "trs_sketch", clock=lambda: clock[0], **kwargs
+        )
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _clock = self._breaker()
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"  # 2 < threshold
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after_ms() > 0
+
+    def test_success_resets_failure_streak(self):
+        breaker, _clock = self._breaker()
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        breaker.allow()
+        breaker.record_success()
+        breaker.allow()
+        breaker.record_failure()  # streak restarted: 1 of 3
+        assert breaker.state == "closed"
+
+    def test_half_open_single_probe_then_close(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        clock[0] = 6.0  # past reset_timeout
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.retry_after_ms() == 0.0
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_release_probe_is_breaker_neutral(self):
+        """A cancelled probe frees the slot without a verdict."""
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.allow()
+        breaker.release_probe()  # e.g. BudgetExceededError in the build
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # next probe may proceed immediately
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_transition_callback_sequence(self):
+        seen = []
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            "k", failure_threshold=1, reset_timeout=1.0,
+            on_transition=lambda kind, old, new: seen.append((old, new)),
+            clock=lambda: clock[0],
+        )
+        breaker.allow()
+        breaker.record_failure()
+        clock[0] = 2.0
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            ("closed", "open"), ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("k", failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("k", reset_timeout=0.0)
+
+
+class TestQosConfigValidation:
+    def test_defaults_are_valid(self):
+        cfg = QosConfig()
+        assert cfg.weight_map == {
+            "interactive": 6, "batch": 3, "best_effort": 1,
+        }
+
+    @pytest.mark.parametrize("kwargs", [
+        {"weights": (("interactive", 6), ("batch", 3))},  # missing class
+        {"weights": (("interactive", 6), ("batch", 3), ("bulk", 1))},
+        {"weights": (("interactive", 0), ("batch", 3), ("best_effort", 1))},
+        {"shed_threshold": 0.0},
+        {"shed_threshold": 0.9, "stale_threshold": 0.5},  # inverted
+        {"stale_threshold": 1.5},
+        {"degrade_theta_factor": 0},
+        {"predictor_window": 1},
+        {"breaker_failure_threshold": 0},
+        {"breaker_reset_timeout": 0.0},
+    ])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QosConfig(**kwargs)
+
+
+class TestDegradationLadder:
+    def test_unknown_class_rejected_synchronously(self, fig9_graph):
+        with _server(fig9_graph) as server:
+            with pytest.raises(ConfigurationError):
+                server.submit_find_seeds(
+                    FIG9_TARGETS, ("c5",), 1, engine="trs",
+                    qos_class="bulk",
+                )
+
+    def test_best_effort_served_approximate_under_load(self, fig9_graph):
+        with _server(fig9_graph, qos=DEGRADE_ALWAYS) as server:
+            resp = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+                qos_class="best_effort",
+            ).result(timeout=WAIT)
+        assert resp.tier == "approximate"
+        assert resp.qos_class == "best_effort"
+        info = resp.degraded
+        assert info["kind"] == "reduced_theta"
+        # θ budget divided by the degrade factor, floored at theta_min.
+        assert info["theta_max"] == max(
+            FAST_SKETCH.theta_min,
+            FAST_SKETCH.theta_max // DEGRADE_ALWAYS.degrade_theta_factor,
+        )
+        assert info["theta_max_full"] == FAST_SKETCH.theta_max
+        assert info["theta"] <= info["theta_max"]
+        # ε widens as 1/sqrt(θ): the degraded bound is never tighter.
+        assert info["epsilon_eff"] >= info["epsilon"]
+        metrics = server.metrics()["counters"]
+        assert metrics["serve.degraded"] == 1
+        assert metrics["serve.degraded.approximate"] == 1
+
+    def test_result_engine_approximate_tagged_and_keyed(self, fig9_graph):
+        """Non-TRS engines honour the approximate tier too.
+
+        The default engine routes through the whole-result cache path;
+        a degraded answer there must carry the reduced-θ tag and key
+        the cache with the reduced config, never colliding with the
+        full-tier entry for the same query.
+        """
+        with _server(fig9_graph, qos=DEGRADE_ALWAYS) as server:
+            degraded = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="lltrs", seed=0,
+                qos_class="best_effort",
+            ).result(timeout=WAIT)
+            full = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="lltrs", seed=0,
+                qos_class="interactive",
+            ).result(timeout=WAIT)
+            stats = server.cache_stats()
+        assert degraded.tier == "approximate"
+        info = degraded.degraded
+        assert info["kind"] == "reduced_theta"
+        assert info["theta_max"] == max(
+            FAST_SKETCH.theta_min,
+            FAST_SKETCH.theta_max // DEGRADE_ALWAYS.degrade_theta_factor,
+        )
+        assert info["theta_max_full"] == FAST_SKETCH.theta_max
+        assert full.tier == "full"
+        assert full.degraded is None
+        # Distinct cache entries: the interactive query built fresh
+        # rather than being served the reduced-θ result.
+        assert stats.builds == 2
+
+    def test_interactive_never_degraded(self, fig9_graph):
+        """The ladder applies to best_effort only."""
+        with _server(fig9_graph, qos=STALE_ALWAYS) as server:
+            resp = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+                qos_class="interactive",
+            ).result(timeout=WAIT)
+        assert resp.tier == "full"
+        assert resp.degraded is None
+
+    def test_stale_only_exact_resident_hit_is_full(self, fig9_graph):
+        with _server(fig9_graph, qos=STALE_ALWAYS) as server:
+            warm = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+            ).result(timeout=WAIT)
+            resp = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+                qos_class="best_effort",
+            ).result(timeout=WAIT)
+        # The resident asset answers exactly: no degradation to report.
+        assert resp.tier == "full"
+        assert resp.degraded is None
+        assert resp.value.seeds == warm.value.seeds
+        assert resp.value.estimated_spread == warm.value.estimated_spread
+
+    def test_stale_only_mismatched_params_served_stale(self, fig9_graph):
+        with _server(fig9_graph, qos=STALE_ALWAYS) as server:
+            server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+            ).result(timeout=WAIT)
+            # Same targets/tags, different RNG seed: the exact key
+            # misses but the resident sketch still covers the targets.
+            resp = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=7,
+                qos_class="best_effort",
+            ).result(timeout=WAIT)
+            stats = server.cache_stats()
+            events = server.events.snapshot()
+        assert resp.tier == "stale"
+        assert resp.degraded["kind"] == "stale_asset"
+        assert resp.degraded["theta"] > 0
+        assert stats.builds == 1  # no fresh build for the stale answer
+        assert stats.stale_hits == 1
+        assert any(e["kind"] == "query.cache.stale_hit" for e in events)
+
+    def test_stale_only_cold_cache_sheds(self, fig9_graph):
+        with _server(fig9_graph, qos=STALE_ALWAYS) as server:
+            future = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+                qos_class="best_effort",
+            )
+            with pytest.raises(QueryShedError) as err:
+                future.result(timeout=WAIT)
+            metrics = server.metrics()["counters"]
+            events = server.events.snapshot()
+        assert err.value.code == "shed"
+        assert err.value.qos_class == "best_effort"
+        assert err.value.retry_after_ms >= STALE_ALWAYS.min_retry_after_ms
+        assert metrics["serve.rejected.shed"] == 1
+        assert any(e["kind"] == "query.shed" for e in events)
+        # Shedding leaves no residue: the same query, retried, builds.
+        with _server(fig9_graph, qos=STALE_ALWAYS) as server:
+            ok = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+            ).result(timeout=WAIT)
+        assert ok.value.seeds
+
+
+class TestDeadlines:
+    def test_predictive_admission_rejects_unmeetable(self, fig9_graph):
+        with _server(fig9_graph) as server:
+            # Teach the predictor this op takes ~60s.
+            for _ in range(10):
+                server._predictor.observe("find_seeds", 60_000.0)
+            with pytest.raises(DeadlineRejectedError) as err:
+                server.submit_find_seeds(
+                    FIG9_TARGETS, ("c5",), 1, engine="trs",
+                    deadline=0.5,
+                )
+            metrics = server.metrics()["counters"]
+        assert err.value.phase == "admission"
+        assert err.value.predicted_ms >= 60_000.0
+        assert err.value.retry_after_ms > 0
+        assert metrics["serve.rejected.deadline"] == 1
+        # Accounting: the rejected query never entered the system.
+        assert server.health()["queued"] == 0
+
+    def test_cold_predictor_admits_tight_deadline(self, fig9_graph):
+        with _server(fig9_graph) as server:
+            resp = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5",), 1, engine="trs", deadline=30.0,
+            ).result(timeout=WAIT)
+        assert resp.value.seeds
+
+    def test_deadline_expires_in_queue(self, fig9_graph):
+        """A query whose deadline elapses while queued is rejected at
+        dequeue time with ``phase == "queue"``, not executed."""
+        slow = ServeFaultPlan(
+            seed=1, build_slow_rate=1.0, build_slow_seconds=0.3,
+        )
+        with _server(fig9_graph, pool_size=1, chaos=slow) as server:
+            blocker = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5",), 1, engine="trs", seed=0,
+            )
+            doomed = server.submit_find_seeds(
+                FIG9_TARGETS, ("c2", "c3"), 1, engine="trs", seed=0,
+                deadline=0.05,
+            )
+            assert blocker.result(timeout=WAIT).value.seeds
+            with pytest.raises(DeadlineRejectedError) as err:
+                doomed.result(timeout=WAIT)
+        assert err.value.phase == "queue"
+        assert err.value.retry_after_ms > 0
+
+
+class TestSalvage:
+    def test_cancelled_build_salvages_partial(self, fig9_graph):
+        """A budget-cancelled build deposits its partial for reuse."""
+        with _server(fig9_graph) as server:
+            with pytest.raises(BudgetExceededError):
+                server.submit_find_seeds(
+                    FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+                    max_samples=60,  # pilot passes; main sampling trips
+                ).result(timeout=WAIT)
+            metrics = server.metrics()["counters"]
+            stats = server.cache_stats()
+            events = server.events.snapshot()
+            # The partial now answers a resident-only best_effort query
+            # at the salvaged tier.
+            resp = server.submit_find_seeds(
+                FIG9_TARGETS, ("c5", "c4"), 2, engine="trs", seed=0,
+                qos_class="best_effort",
+            ).result(timeout=WAIT)
+        assert metrics["serve.cancelled"] == 1
+        assert metrics["serve.salvaged"] == 1
+        assert metrics.get("serve.errors", 0) == 0
+        assert stats.puts == 1  # the partial entered via direct put
+        assert any(e["kind"] == "query.build.salvaged" for e in events)
+        if resp.tier == "salvaged":
+            assert resp.degraded["kind"] == "salvaged_partial"
+            assert resp.value.seeds
+        else:
+            # Under a permissive QoS config the retry simply rebuilt.
+            assert resp.tier == "full"
+
+
+class TestBreakerIntegration:
+    def test_build_failures_open_breaker_and_fail_fast(self, fig9_graph):
+        chaos = ServeFaultPlan(seed=0, build_error_rate=1.0)
+        tag_sets = [("c1",), ("c2",), ("c3",), ("c4",)]
+        with _server(fig9_graph, chaos=chaos) as server:
+            for tags in tag_sets[:3]:
+                with pytest.raises(Exception) as err:
+                    server.submit_find_seeds(
+                        FIG9_TARGETS, tags, 1, engine="trs",
+                    ).result(timeout=WAIT)
+                assert type(err.value).__name__ == "InjectedChaosError"
+            assert server.breaker_states()["trs_sketch"] == "open"
+            health = server.health()
+            with pytest.raises(CircuitOpenError) as err:
+                server.submit_find_seeds(
+                    FIG9_TARGETS, tag_sets[3], 1, engine="trs",
+                ).result(timeout=WAIT)
+            metrics = server.metrics()["counters"]
+        assert health["status"] == "degraded"
+        assert health["degraded"] is True
+        assert err.value.code == "breaker_open"
+        assert err.value.retry_after_ms >= QosConfig().min_retry_after_ms
+        assert metrics["serve.breaker.fastfail"] == 1
+        assert metrics["serve.rejected.breaker_open"] == 1
+        assert metrics["serve.breaker.open"] == 1
+
+    def test_health_ok_when_idle(self, fig9_graph):
+        with _server(fig9_graph) as server:
+            health = server.health()
+        assert health["status"] == "ok"
+        assert health["degraded"] is False
+        assert health["shedding"] is False
+        assert health["breakers"] == {}
+
+
+class TestProtocolStructuredErrors:
+    def test_deadline_rejection_is_machine_readable(self, fig9_graph):
+        with _server(fig9_graph) as server:
+            for _ in range(10):
+                server._predictor.observe("find_seeds", 60_000.0)
+            reply = handle_line(server, json.dumps({
+                "op": "find_seeds",
+                "targets": list(FIG9_TARGETS),
+                "tags": ["c5"],
+                "k": 1,
+                "engine": "trs",
+                "deadline": 0.5,
+                "class": "interactive",
+            }))
+        assert reply["ok"] is False
+        error = reply["error"]
+        assert error["code"] == "deadline"
+        assert error["class"] == "interactive"
+        assert error["retry_after_ms"] > 0
+        assert reply["type"] == "DeadlineRejectedError"
+
+    def test_shed_rejection_is_machine_readable(self, fig9_graph):
+        with _server(fig9_graph, qos=STALE_ALWAYS) as server:
+            reply = handle_line(server, json.dumps({
+                "op": "find_seeds",
+                "targets": list(FIG9_TARGETS),
+                "tags": ["c5"],
+                "k": 1,
+                "engine": "trs",
+                "class": "best_effort",
+            }))
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "shed"
+        assert reply["error"]["class"] == "best_effort"
+        assert reply["error"]["retry_after_ms"] > 0
+
+    def test_success_reply_carries_class_and_tier(self, fig9_graph):
+        with _server(fig9_graph, qos=DEGRADE_ALWAYS) as server:
+            reply = handle_line(server, json.dumps({
+                "op": "find_seeds",
+                "targets": list(FIG9_TARGETS),
+                "tags": ["c5", "c4"],
+                "k": 2,
+                "engine": "trs",
+                "class": "best_effort",
+            }))
+        assert reply["ok"] is True
+        assert reply["class"] == "best_effort"
+        assert reply["tier"] == "approximate"
+        assert reply["degraded"]["kind"] == "reduced_theta"
+
+    def test_non_rejection_errors_stay_flat(self, fig9_graph):
+        with _server(fig9_graph) as server:
+            reply = handle_line(server, json.dumps({
+                "op": "find_seeds",
+                "targets": [999],  # out of range → InvalidQueryError
+                "tags": ["c5"],
+                "k": 1,
+            }))
+        assert reply["ok"] is False
+        assert isinstance(reply["error"], str)
+
+
+def test_every_rejection_is_a_query_rejected_error():
+    """The structured-rejection contract: one base class, stable codes."""
+    assert issubclass(DeadlineRejectedError, QueryRejectedError)
+    assert issubclass(QueryShedError, QueryRejectedError)
+    assert issubclass(CircuitOpenError, QueryRejectedError)
+    shed = QueryShedError(0.9, retry_after_ms=50.0,
+                          qos_class="best_effort")
+    assert shed.code == "shed"
+    assert shed.retry_after_ms == 50.0
