@@ -16,6 +16,10 @@ cascade simulation) on a ladder of synthetic configs, four ways each:
   in-process path — ``parallel_fell_back`` says when that happened,
   and the gated configs are sized so it must stay ``false``.
 
+A fifth measurement times **incremental sketch repair** against a cold
+rebuild after a sparse edit batch (see ``docs/mutability.md``); its
+speedup is reported as ``incremental_repair_speedup`` and gated.
+
 Timings use interleaved min-of-repeats: each repeat cycles through all
 four variants back-to-back, and the minimum per variant is reported.
 On noisy shared boxes this is far more stable than timing each variant
@@ -48,7 +52,8 @@ from repro import obs
 from repro.datasets import bfs_targets, twitter, yelp
 from repro.diffusion import simulate_cascade
 from repro.engine import SamplingEngine, shared_csr
-from repro.sketch import reverse_reachable_set
+from repro.graphs.mutable import MutableTagGraph, TagSet
+from repro.sketch import build_repairable_sketch, reverse_reachable_set
 
 #: (label, factory, scale) — ordered smallest to largest; the *last*
 #: entry is the one the --min-speedup gate checks.
@@ -199,6 +204,95 @@ def bench_config(
     return result
 
 
+def bench_repair(
+    label: str,
+    factory,
+    scale: float,
+    theta: int,
+    repeats: int,
+    num_edits: int = 8,
+) -> dict:
+    """Incremental sketch repair vs cold rebuild on a sparse edit batch.
+
+    Builds a θ-set repairable sketch, applies a small probability-update
+    batch (far under 10% of edges dirty — the regime the repair path
+    exists for), and times ``repair`` against ``cold_rebuild`` with the
+    same interleaved min-of-repeats discipline as the kernel legs. The
+    two are bit-identical by contract; the benchmark re-checks that and
+    records it, so the gate can refuse a "fast" repair that diverged.
+    """
+    data = factory(scale=scale)
+    graph = data.graph
+    targets = np.asarray(bfs_targets(graph, 60), dtype=np.int64)
+    tags = list(graph.tags[:5])
+    probs = graph.edge_probabilities(tags)
+    sketch = build_repairable_sketch(graph, targets, probs, theta, seed=0)
+
+    # A realistic sparse batch: perturb tag probabilities on edges of
+    # *median* touch count among those whose destination appears in at
+    # least one stored RR set. Zero-touch edits make repair a no-op
+    # (an unmeasurable "speedup"); hub edits dirty everything and
+    # degrade repair to rebuild-equivalent work. The median is the
+    # sparse case the gate advertises.
+    tag0 = tags[0]
+    edge_ids, tag_probs = graph.tag_edges(tag0)
+    candidates = edge_ids[:512]
+    touch_costs = np.asarray([
+        sketch.dirty_set_ids(np.asarray([graph.dst[e]])).size
+        for e in candidates
+    ])
+    touched = np.flatnonzero(touch_costs > 0)
+    if touched.size < num_edits:
+        raise RuntimeError(
+            f"only {touched.size} of {candidates.size} candidate edges "
+            "touch any RR set — graph too small for the repair benchmark"
+        )
+    order = touched[np.argsort(touch_costs[touched], kind="stable")]
+    mid = max(0, order.size // 2 - num_edits // 2)
+    chosen = [int(candidates[i]) for i in order[mid:mid + num_edits]]
+    prob_of = {int(e): float(p) for e, p in zip(edge_ids, tag_probs)}
+
+    mutable = MutableTagGraph(graph)
+    mutable.apply([
+        TagSet(edge_id=e, tag=tag0, prob=max(0.01, prob_of[e] * 0.5))
+        for e in chosen
+    ])
+    snap = mutable.snapshot()
+    new_probs = snap.edge_probabilities(tags)
+    dirty_edges = mutable.dirty_edges(0)
+
+    repaired, stats = sketch.repair(snap, new_probs, dirty_edges)
+    rebuilt = sketch.cold_rebuild(snap, new_probs)
+    bit_identical = bool(
+        repaired.theta == rebuilt.theta
+        and np.array_equal(repaired.rr.indptr, rebuilt.rr.indptr)
+        and np.array_equal(repaired.rr.members, rebuilt.rr.members)
+    )
+
+    times = _interleaved_min(
+        {
+            "repair": lambda: sketch.repair(snap, new_probs, dirty_edges),
+            "cold_rebuild": lambda: sketch.cold_rebuild(snap, new_probs),
+        },
+        repeats,
+    )
+    return {
+        "config": label,
+        "theta": theta,
+        "edits": len(chosen),
+        "dirty_edges": int(dirty_edges.size),
+        "dirty_edge_fraction": round(
+            dirty_edges.size / graph.num_edges, 4
+        ),
+        "dirty_sets": int(stats["dirty_sets"]),
+        "dirty_set_fraction": round(stats["dirty_sets"] / theta, 4),
+        "repair_s": times["repair"],
+        "cold_rebuild_s": times["cold_rebuild"],
+        "speedup": round(times["cold_rebuild"] / times["repair"], 2),
+        "bit_identical": bit_identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -250,6 +344,14 @@ def main(argv=None) -> int:
                     parallel_threshold=args.parallel_threshold,
                 )
             )
+        gated_label, gated_factory, gated_scale = configs[-1]
+        print(
+            f"benchmarking incremental repair ({gated_label}) ...",
+            flush=True,
+        )
+        repair = bench_repair(
+            gated_label, gated_factory, gated_scale, theta, repeats
+        )
     if args.metrics_out:
         Path(args.metrics_out).write_text(
             json.dumps(observation.report(), indent=2) + "\n",
@@ -266,6 +368,8 @@ def main(argv=None) -> int:
         "rr_bitparallel_geomean_speedup": round(
             math.exp(sum(map(math.log, rr_speedups)) / len(rr_speedups)), 2
         ),
+        "incremental_repair": repair,
+        "incremental_repair_speedup": repair["speedup"],
         "results": results,
     }
     out_path = Path(args.output)
@@ -297,6 +401,14 @@ def main(argv=None) -> int:
     print(
         "rr bit-parallel geomean speedup: "
         f"{report['rr_bitparallel_geomean_speedup']:.2f}x"
+    )
+    print(
+        f"incremental repair ({repair['config']}): "
+        f"{repair['speedup']:.2f}x over cold rebuild — "
+        f"{repair['dirty_sets']}/{repair['theta']} sets dirty from "
+        f"{repair['edits']} edits "
+        f"({repair['dirty_edge_fraction']:.2%} of edges), "
+        f"bit_identical={repair['bit_identical']}"
     )
     print(f"\nwrote {out_path}")
 

@@ -28,7 +28,12 @@ For ``bench_engine.py`` artifacts, asserts that
 * no shared-memory segments leaked (``leaked_segments`` empty) after
   the pooled engines closed;
 * the bit-parallel kernels beat the vectorized ones on every config
-  and section (they exist to be the fastest tier).
+  and section (they exist to be the fastest tier);
+* the incremental-repair measurement ran in the sparse regime (<10%
+  of edges dirty), stayed bit-identical to its cold rebuild, and its
+  ``incremental_repair_speedup`` meets the floor (default 3x —
+  patching a handful of dirty RR sets has to actually beat resampling
+  all θ of them).
 
 For ``repro loadgen`` artifacts (``BENCH_load.json``), asserts that
 
@@ -109,12 +114,45 @@ def check_serve(payload: dict, min_speedup: float) -> list[str]:
     return failures
 
 
-def check_engine(payload: dict, min_bit_speedup: float) -> list[str]:
+def check_engine(
+    payload: dict,
+    min_bit_speedup: float,
+    min_repair_speedup: float = 3.0,
+) -> list[str]:
     """Return a list of failure messages (empty = all gates pass)."""
     failures: list[str] = []
     results = payload.get("results") or []
     if not results:
         return ["no results in benchmark payload"]
+
+    repair = payload.get("incremental_repair")
+    if repair is None:
+        failures.append("missing incremental_repair section")
+    else:
+        if not repair.get("bit_identical", False):
+            failures.append(
+                "incremental repair diverged from its cold rebuild — "
+                "speed is meaningless if the bits are wrong"
+            )
+        if not repair.get("dirty_sets", 0) > 0:
+            failures.append(
+                "repair benchmark dirtied zero RR sets — the timed "
+                "'repair' was the no-op fast path, not a measurement"
+            )
+        frac = repair.get("dirty_edge_fraction", 1.0)
+        if not frac < 0.10:
+            failures.append(
+                f"repair benchmark dirtied {frac:.1%} of edges — the "
+                "<10% sparse-edit regime was not measured"
+            )
+        speedup = payload.get(
+            "incremental_repair_speedup", repair.get("speedup", 0.0)
+        )
+        if speedup < min_repair_speedup:
+            failures.append(
+                f"incremental repair speedup {speedup:.1f}x < required "
+                f"{min_repair_speedup:.1f}x over cold rebuild"
+            )
 
     gated = results[-1]
     speedup = gated.get("rr", {}).get("bitparallel_speedup", 0.0)
@@ -224,12 +262,19 @@ def main(argv: list[str] | None = None) -> int:
         help="engine artifacts: bit-parallel RR speedup floor for the "
              "gated config (default 32.0)",
     )
+    parser.add_argument(
+        "--min-repair-speedup", type=float, default=3.0,
+        help="engine artifacts: incremental-repair-over-cold-rebuild "
+             "floor in the sparse-edit regime (default 3.0)",
+    )
     args = parser.parse_args(argv)
 
     payload = json.loads(Path(args.bench_file).read_text(encoding="utf-8"))
     kind = detect_kind(payload) if args.kind == "auto" else args.kind
     if kind == "engine":
-        failures = check_engine(payload, args.min_bit_speedup)
+        failures = check_engine(
+            payload, args.min_bit_speedup, args.min_repair_speedup
+        )
     elif kind == "load":
         failures = check_load(payload, args.max_error_frac)
     else:
@@ -255,7 +300,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{gated['rr']['bitparallel_speedup']:.1f}x >= "
             f"{args.min_bit_speedup:.1f}x; geomean "
             f"{payload.get('rr_bitparallel_geomean_speedup', 0):.1f}x; "
-            "pool fan-out exercised, no leaked segments"
+            "pool fan-out exercised, no leaked segments; "
+            "incremental repair "
+            f"{payload.get('incremental_repair_speedup', 0):.1f}x >= "
+            f"{args.min_repair_speedup:.1f}x (bit-identical)"
         )
     else:
         print(

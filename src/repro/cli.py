@@ -405,6 +405,22 @@ def build_parser() -> argparse.ArgumentParser:
             "resident cache only, else shed (default 0.85)"
         ),
     )
+    serve.add_argument(
+        "--mutable", action="store_true",
+        help=(
+            "serve a versioned mutable graph: accept apply_edits "
+            "requests, repair cached RR sketches incrementally, and "
+            "tag every reply with its graph epoch"
+        ),
+    )
+    serve.add_argument(
+        "--repair-mode", choices=("scalar", "bitparallel"),
+        default="scalar",
+        help=(
+            "RR-sampling kernel for repairable sketches under "
+            "--mutable (default scalar)"
+        ),
+    )
 
     def add_chaos(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -739,6 +755,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_max_samples=args.max_samples,
         qos=_make_qos(args),
         chaos=_make_chaos(args),
+        mutable=args.mutable,
+        repair_mode=args.repair_mode,
     )
     if args.events_out is not None:
         server.events.open_sink(

@@ -426,6 +426,31 @@ class SamplingEngine:
         for _ref, shared in entries:
             shared.unlink()
 
+    def release_graph(self, graph: TagGraph) -> bool:
+        """Unlink the shared-CSR publication of ``graph``, if any.
+
+        An epoch write path may call this after swapping in a new
+        snapshot, once it can prove no in-flight operation still
+        samples the old graph; otherwise the superseded snapshot's
+        segment lingers until garbage collection runs its weakref
+        cleanup. Callers that cannot prove quiescence (the serve
+        layer, whose queries pin snapshots for their whole lifetime)
+        should simply drop their references and let the weakref path
+        reclaim the segment.
+        Returns whether a segment was found (and unlinked).
+        """
+        with self._shared_lock:
+            entry = self._shared_graphs.pop(id(graph), None)
+        if entry is None:
+            return False
+        entry[1].unlink()
+        return True
+
+    def published_graph_count(self) -> int:
+        """Number of live shared-CSR publications (epoch republish probe)."""
+        with self._shared_lock:
+            return len(self._shared_graphs)
+
     def _graph_ref(self, graph):
         """The transport form of ``graph`` for one sampling operation.
 

@@ -154,6 +154,81 @@ class RRCollection(Sequence):
         return np.bincount(self._members, minlength=self._num_nodes)
 
     # ------------------------------------------------------------------
+    # Incremental repair support (touch traces)
+    # ------------------------------------------------------------------
+    def dirty_set_ids(self, nodes: np.ndarray) -> np.ndarray:
+        """Ids of sets whose membership intersects ``nodes`` (ascending).
+
+        The flat membership *is* each set's reverse-BFS touch trace: a
+        reverse-reachable sample examines edge ``(u, v)``'s coin exactly
+        when member ``v`` is dequeued, so after an edit the affected
+        sets are precisely those containing a dirty edge's destination.
+        Answered from the cached inverted index in
+        O(|nodes| + |matching entries|).
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        nodes = nodes[(nodes >= 0) & (nodes < self._num_nodes)]
+        if not nodes.size:
+            return np.empty(0, dtype=np.int64)
+        indptr, set_ids = self.inverted()
+        starts = indptr[nodes]
+        counts = indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        if not total:
+            return np.empty(0, dtype=np.int64)
+        # Gather set_ids[starts[i] : starts[i]+counts[i]] for all i.
+        offsets = np.zeros(nodes.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        positions = np.arange(total, dtype=np.int64)
+        positions += np.repeat(starts - offsets, counts)
+        return np.unique(set_ids[positions])
+
+    def replaced(
+        self, set_ids: np.ndarray, new_sets: Sequence[np.ndarray]
+    ) -> "RRCollection":
+        """Return a collection with sets ``set_ids`` swapped for ``new_sets``.
+
+        ``set_ids`` must be strictly ascending and ``new_sets`` parallel
+        to it; every other set keeps its position and membership. The
+        receiver is left untouched (copy-on-write — in-flight readers of
+        the old collection never observe the splice).
+        """
+        set_ids = np.asarray(set_ids, dtype=np.int64)
+        if len(new_sets) != set_ids.size:
+            raise InvalidQueryError(
+                f"{set_ids.size} set ids but {len(new_sets)} replacements"
+            )
+        if not set_ids.size:
+            return self
+        if set_ids.size > 1 and not (np.diff(set_ids) > 0).all():
+            raise InvalidQueryError("set_ids must be strictly ascending")
+        if set_ids[0] < 0 or set_ids[-1] >= self.num_sets:
+            raise InvalidQueryError(
+                f"set ids outside [0, {self.num_sets})"
+            )
+        counts = np.diff(self._indptr).copy()
+        replacements = [np.asarray(s, dtype=np.int64) for s in new_sets]
+        counts[set_ids] = [r.size for r in replacements]
+        indptr = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # Alternate bulk slices of untouched runs with the new arrays:
+        # O(sets touched) pieces, each a contiguous view of the source.
+        pieces: list[np.ndarray] = []
+        cursor = 0  # old-member offset of the next untouched run
+        for sid, new in zip(set_ids.tolist(), replacements):
+            lo, hi = self._indptr[sid], self._indptr[sid + 1]
+            if cursor < lo:
+                pieces.append(self._members[cursor:lo])
+            pieces.append(new)
+            cursor = hi
+        if cursor < self._members.size:
+            pieces.append(self._members[cursor:])
+        members = (
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        )
+        return RRCollection(members, indptr, self._num_nodes)
+
+    # ------------------------------------------------------------------
     # Sequence protocol — list[np.ndarray] compatibility
     # ------------------------------------------------------------------
     def __len__(self) -> int:

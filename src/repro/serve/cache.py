@@ -158,6 +158,15 @@ class AssetCache:
                 self._bump("hits")
             return asset
 
+    def peek(self, key: object) -> Optional[CachedAsset]:
+        """Counter-free lookup: no LRU touch, no ``hits`` bump.
+
+        For maintenance passes (epoch migration) that must inspect
+        resident assets without perturbing hit rates or recency.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def get_or_build(
         self,
         key: object,
@@ -264,6 +273,7 @@ class AssetCache:
         kind: str,
         targets_digest: object,
         tags: object | None = None,
+        epoch: object | None = None,
     ) -> Optional[CachedAsset]:
         """Most-recently-used resident asset matching ``(kind, digest)``.
 
@@ -274,6 +284,13 @@ class AssetCache:
         freshest candidate wins; a match is LRU-touched and counted as
         a ``stale_hit`` (never a ``hit``). Returns ``None`` when
         nothing matches — the caller decides whether that means shed.
+
+        ``epoch``, when given, additionally requires the key's graph
+        epoch to match exactly. "Stale" here means *parameter*-stale
+        (an older θ, a different seed), never *graph*-stale: an asset
+        computed against a pre-edit graph must not answer a post-edit
+        query, not even as a degraded tier — its members may reference
+        edges that no longer exist.
         """
         with self._lock:
             for key in reversed(self._entries):
@@ -282,6 +299,8 @@ class AssetCache:
                 if getattr(key, "targets_digest", None) != targets_digest:
                     continue
                 if tags is not None and getattr(key, "tags", None) != tags:
+                    continue
+                if epoch is not None and getattr(key, "epoch", 0) != epoch:
                     continue
                 self._entries.move_to_end(key)
                 self._bump("stale_hits")
@@ -307,6 +326,52 @@ class AssetCache:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def keys_snapshot(self) -> list[object]:
+        """Resident keys, LRU-first (a copy — safe to iterate and mutate).
+
+        Used by epoch migration: the server enumerates resident assets
+        after an edit batch and decides per key whether to promote
+        (rekey to the new epoch), repair, or drop it.
+        """
+        with self._lock:
+            return list(self._entries)
+
+    def rekey(
+        self,
+        old_key: object,
+        new_key: object,
+        value: Any = None,
+        nbytes: int | None = None,
+    ) -> bool:
+        """Move a resident entry to a new key, preserving LRU position.
+
+        Optionally swaps the payload too (``value`` non-None, with its
+        new ``nbytes``) — used when an incremental repair produced a
+        new asset object for the new epoch. No counters are bumped:
+        migration is bookkeeping, not service. Returns ``False`` if
+        ``old_key`` is not resident or ``new_key`` already is (the
+        newer entry wins; the caller drops the old one).
+        """
+        with self._lock:
+            if old_key not in self._entries or new_key in self._entries:
+                return False
+            # Rebuild the OrderedDict in order, swapping the one key, so
+            # the entry keeps its recency (pop+insert would make every
+            # migrated asset look most-recently-used).
+            moved = OrderedDict()
+            for key, asset in self._entries.items():
+                if key == old_key:
+                    asset.key = new_key
+                    if value is not None:
+                        asset.value = value
+                        if nbytes is not None:
+                            asset.nbytes = int(nbytes)
+                    moved[new_key] = asset
+                else:
+                    moved[key] = asset
+            self._entries = moved
+            return True
+
     def invalidate(self, key: object) -> bool:
         """Drop one entry (if resident). Returns whether it was there."""
         with self._lock:

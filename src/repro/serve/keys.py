@@ -26,6 +26,14 @@ of:
     seed)``, so two queries agree on the cached sketch *iff* they agree
     on ``(targets_digest, tags, params)`` — the property suite checks
     both directions.
+``epoch``
+    Graph epoch the asset was computed against. Immutable graphs stay
+    at epoch 0 forever, so the field is invisible to them; a mutable
+    graph bumps its epoch on every applied edit batch, and assets
+    whose touch trace intersected the edit are *not* migrated to the
+    new epoch — their keys keep the old epoch and can never satisfy a
+    newer query (including the degraded ``find_stale`` tier, which
+    filters on epoch).
 """
 
 from __future__ import annotations
@@ -74,10 +82,12 @@ class AssetKey(NamedTuple):
     targets_digest: str
     tags: tuple[str, ...]
     params: tuple
+    epoch: int = 0
 
     def describe(self) -> str:
         """Short human-readable form for logs and metrics labels."""
         return (
             f"{self.kind}[targets={self.targets_digest[:8]}, "
-            f"tags={','.join(self.tags)}, params={self.params!r}]"
+            f"tags={','.join(self.tags)}, params={self.params!r}, "
+            f"epoch={self.epoch}]"
         )

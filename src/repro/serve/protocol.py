@@ -17,6 +17,10 @@ Request shapes
 ``{"op": "spread", "seeds": [...], "targets": [...], "tags": [...],
    "num_samples": 200, "seed": 0}``
 ``{"op": "warm_index", "tags": [...], "theta_c": 64, "seed": 0}``
+``{"op": "apply_edits", "edits": [{"op": "tag_set", "edge_id": 3,
+   "tag": "a", "prob": 0.4}, ...], "repair": true}``
+   (mutable servers only; replies are epoch-tagged — ``epoch`` /
+   ``previous_epoch`` / dirty sizes / per-disposition asset counts)
 ``{"op": "metrics"}`` / ``{"op": "health"}`` / ``{"op": "ping"}``
 ``{"op": "events", "limit": 50}``
    (the most recent query-lifecycle events, schema
@@ -65,6 +69,7 @@ def _response_fields(response: ServeResponse) -> dict[str, Any]:
         "elapsed_ms": round(response.elapsed_seconds * 1000.0, 3),
         "class": response.qos_class,
         "tier": response.tier,
+        "epoch": response.epoch,
     }
     if response.degraded is not None:
         fields["degraded"] = response.degraded
@@ -119,10 +124,21 @@ def execute_request(
             seed=int(request.get("seed", 0)),
         )
         return {"warmed_tags": built}
+    if op == "apply_edits":
+        edits = request.get("edits")
+        if not isinstance(edits, list):
+            raise ReproError("apply_edits requires an \"edits\" list")
+        summary = server.apply_edits(
+            edits, repair=bool(request.get("repair", True))
+        )
+        summary["elapsed_ms"] = round(
+            summary.pop("elapsed_seconds") * 1000.0, 3
+        )
+        return summary
     if op not in _QUERY_OPS:
         raise ReproError(
             f"unknown op {op!r}; expected one of "
-            f"{_QUERY_OPS + ('warm_index', 'metrics', 'health', 'events', 'ping')}"
+            f"{_QUERY_OPS + ('warm_index', 'apply_edits', 'metrics', 'health', 'events', 'ping')}"
         )
 
     seed = int(request.get("seed", 0))

@@ -80,11 +80,13 @@ from repro.exceptions import (
     CircuitOpenError,
     ConfigurationError,
     DeadlineRejectedError,
+    InvalidQueryError,
     QueryRejectedError,
     QueryShedError,
     ServerClosedError,
     ServerOverloadedError,
 )
+from repro.graphs.mutable import GraphEdit, MutableTagGraph, edit_from_dict
 from repro.graphs.tag_graph import TagGraph
 from repro.index.lazy import IndexManager
 from repro.index.possible_world_index import theta_c as compute_theta_c
@@ -106,6 +108,11 @@ from repro.serve.qos import (
     QosConfig,
     WeightedClassQueues,
 )
+from repro.sketch.incremental import (
+    REPAIR_MODES,
+    RepairableSketch,
+    trs_build_repairable_sketch,
+)
 from repro.sketch.trs import trs_build_sketch, trs_select_from_sketch
 from repro.tags.api import METHODS, find_tags
 from repro.utils.rng import ensure_rng
@@ -124,8 +131,13 @@ __all__ = ["CampaignServer", "ServeResponse", "METRICS_SCHEMA"]
 #: (``serve.rejected.<code>``, ``serve.degraded(+.<tier>)``,
 #: ``serve.cancelled``, ``serve.salvaged``), circuit-breaker counters
 #: (``serve.breaker.<state>``, ``serve.breaker.fastfail``), and cache
-#: ``puts``/``stale_hits`` — see ``docs/serving.md`` for the diff.
-METRICS_SCHEMA = "repro.serve.metrics/3"
+#: ``puts``/``stale_hits``. ``/4`` adds the mutable-graph families:
+#: the ``serve.epoch`` gauge, edit counters (``serve.edits.applied``,
+#: ``serve.edits.count``, ``serve.edits.dirty_edges``) and asset-
+#: migration counters (``serve.repair.promoted`` / ``.repaired`` /
+#: ``.dropped`` / ``.resampled_sets``) — see ``docs/serving.md`` and
+#: ``docs/mutability.md`` for the diff.
+METRICS_SCHEMA = "repro.serve.metrics/4"
 
 
 @dataclass(frozen=True)
@@ -164,6 +176,11 @@ class ServeResponse:
         ``None`` for full answers; otherwise the quantified-error tag
         (θ used vs. full, effective ε, CI width — see
         ``docs/serving.md`` for the approximate-tier contract).
+    epoch:
+        Graph epoch this answer was computed against. Always ``0`` for
+        an immutable server; on a mutable one the epoch is pinned at
+        query start, so a concurrent :meth:`CampaignServer.apply_edits`
+        never tears a single answer across two graph versions.
     """
 
     op: str
@@ -174,6 +191,7 @@ class ServeResponse:
     qos_class: str = "interactive"
     tier: str = "full"
     degraded: dict | None = None
+    epoch: int = 0
 
     @property
     def seeds(self) -> tuple[int, ...] | None:
@@ -270,6 +288,15 @@ class CampaignServer:
         its ``engine_plan`` (if any) is installed on ``sampler`` so one
         seeded scenario exercises worker-level and serve-level faults
         together.
+    mutable:
+        When true (or when ``graph`` already is a
+        :class:`~repro.graphs.MutableTagGraph`), the server serves
+        versioned snapshots and accepts :meth:`apply_edits`; TRS
+        sketches are built on the repairable sampler so edits patch
+        them incrementally instead of invalidating them.
+    repair_mode:
+        Kernel for repairable sketch builds on a mutable server:
+        ``"scalar"`` (default) or ``"bitparallel"``.
     """
 
     def __init__(
@@ -288,6 +315,8 @@ class CampaignServer:
         event_capacity: int = 1024,
         qos: QosConfig | None = None,
         chaos: ServeFaultPlan | None = None,
+        mutable: bool = False,
+        repair_mode: str = "scalar",
     ) -> None:
         if pool_size <= 0:
             raise ConfigurationError(
@@ -297,14 +326,36 @@ class CampaignServer:
             raise ConfigurationError(
                 f"queue_capacity must be >= 0, got {queue_capacity}"
             )
-        self._graph = graph
+        # A mutable server wraps the graph in a versioned edit layer
+        # and serves immutable per-epoch snapshots; apply_edits() swaps
+        # the (snapshot, epoch) pair atomically while in-flight queries
+        # stay pinned to the epoch they started under.
+        self._mutable: MutableTagGraph | None = None
+        if isinstance(graph, MutableTagGraph):
+            self._mutable = graph
+        elif mutable:
+            self._mutable = MutableTagGraph(graph)
+        if self._mutable is not None:
+            served = self._mutable.snapshot()
+            epoch0 = self._mutable.epoch
+        else:
+            served, epoch0 = graph, 0
+        if repair_mode not in REPAIR_MODES:
+            raise ConfigurationError(
+                f"repair_mode must be one of {REPAIR_MODES}, "
+                f"got {repair_mode!r}"
+            )
+        self._graph_state: tuple[TagGraph, int] = (served, epoch0)
+        self._edit_lock = threading.Lock()
+        self._repair_mode = repair_mode
         self._config = config
         self._sampler = sampler
         self._default_deadline = default_deadline
         self._default_max_samples = default_max_samples
         self._default_max_rr_members = default_max_rr_members
+        self._prob_cache_entries = prob_cache_entries
         if prob_cache_entries:
-            graph.enable_probability_cache(prob_cache_entries)
+            served.enable_probability_cache(prob_cache_entries)
 
         self._qos = qos if qos is not None else QosConfig()
         self._chaos = chaos
@@ -325,8 +376,13 @@ class CampaignServer:
             "serve.degraded", "serve.cancelled", "serve.salvaged",
             "serve.cache.hits", "serve.cache.misses", "serve.cache.builds",
             "serve.cache.evictions", "serve.cache.singleflight_joins",
+            "serve.edits.applied", "serve.edits.count",
+            "serve.edits.dirty_edges", "serve.repair.promoted",
+            "serve.repair.repaired", "serve.repair.dropped",
+            "serve.repair.resampled_sets",
         ):
             self._metrics.counter(name)
+        self._metrics.set_gauge("serve.epoch", epoch0)
         self._metrics.histogram("serve.query.latency_ms")
         self._metrics.histogram("serve.queue.wait_ms")
         self._metrics.set_gauge("serve.queue.depth", 0)
@@ -368,9 +424,39 @@ class CampaignServer:
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def _graph(self) -> TagGraph:
+        """The graph snapshot for the *calling context*.
+
+        On a query worker thread this is the snapshot pinned at query
+        start (:meth:`_run_query` stores the ``(graph, epoch)`` pair in
+        the query's thread-local), so a single query never observes two
+        graph versions even if :meth:`apply_edits` lands mid-execution.
+        Everywhere else it is the current epoch's snapshot. Reading the
+        tuple is a single attribute load — atomic under the GIL, so no
+        lock and no torn ``(graph, epoch)`` pairs.
+        """
+        state = getattr(self._query_local, "graph_state", None)
+        return (state or self._graph_state)[0]
+
+    def _query_epoch(self) -> int:
+        """Epoch paired with :attr:`_graph` for the calling context."""
+        state = getattr(self._query_local, "graph_state", None)
+        return (state or self._graph_state)[1]
+
+    @property
     def graph(self) -> TagGraph:
-        """The served graph."""
+        """The served graph (current-epoch snapshot)."""
         return self._graph
+
+    @property
+    def epoch(self) -> int:
+        """Current graph epoch (``0`` forever on an immutable server)."""
+        return self._graph_state[1]
+
+    @property
+    def mutable_graph(self) -> MutableTagGraph | None:
+        """The versioned edit layer, or ``None`` if immutable."""
+        return self._mutable
 
     @property
     def config(self) -> JointConfig:
@@ -407,11 +493,13 @@ class CampaignServer:
         stats = self._cache.stats()
         uptime = self.uptime_seconds
         utilization = self._utilization()
+        epoch = self._graph_state[1]
         with self._metrics_lock:
             self._metrics.set_gauge("serve.cache.bytes", stats.bytes)
             self._metrics.set_gauge("serve.cache.entries", stats.entries)
             self._metrics.set_gauge("serve.uptime_seconds", uptime)
             self._metrics.set_gauge("serve.utilization", utilization)
+            self._metrics.set_gauge("serve.epoch", epoch)
             return self._metrics.as_dict()
 
     def breaker_states(self) -> dict[str, str]:
@@ -461,6 +549,8 @@ class CampaignServer:
             "utilization": round(utilization, 4),
             "breakers": breakers,
             "uptime_seconds": self.uptime_seconds,
+            "epoch": self._graph_state[1],
+            "mutable": self._mutable is not None,
         }
 
     def cache_stats(self):
@@ -622,6 +712,165 @@ class CampaignServer:
         for request in requests:
             execute_request(self, dict(request))
         return len(requests)
+
+    # ------------------------------------------------------------------
+    # Mutation — versioned edits + asset migration
+    # ------------------------------------------------------------------
+    def apply_edits(
+        self, edits: Sequence[GraphEdit | dict], repair: bool = True
+    ) -> dict:
+        """Apply an edit batch and advance the served epoch.
+
+        Requires a mutable server (``mutable=True`` or a
+        :class:`~repro.graphs.MutableTagGraph` at construction). The
+        batch is validated and applied atomically — a bad edit leaves
+        the graph, the epoch, and the cache untouched. On success the
+        server:
+
+        1. materializes the new epoch's snapshot (old-epoch snapshots
+           stay alive exactly as long as in-flight queries pin them —
+           the pooled sampler's shared-memory CSR for a dead snapshot
+           is reclaimed through its weakref finalizer);
+        2. migrates resident cache assets: repairable sketches whose
+           touch trace missed every dirty edge are *promoted* (rekeyed
+           to the new epoch, payload untouched), dirty ones are
+           *repaired* incrementally (``repair=True``) by resampling
+           only their dirtied RR sets, and everything else — whole
+           results, salvaged partials, sketches past their frozen edge
+           capacity — is dropped for a cold rebuild on next use;
+        3. swaps the served ``(graph, epoch)`` pair atomically (a
+           single reference store), so queries pinned to the old epoch
+           finish consistently while new queries see the new epoch.
+
+        Returns a summary dict (new/previous epoch, dirty-set sizes,
+        per-disposition asset counts, elapsed seconds). Accepts either
+        :data:`~repro.graphs.GraphEdit` objects or their wire-format
+        dicts (``{"op": "edge_add", ...}``).
+        """
+        if self._mutable is None:
+            raise ConfigurationError(
+                "server is immutable; construct CampaignServer with "
+                "mutable=True (or a MutableTagGraph) to apply edits"
+            )
+        if self._closed:
+            raise ServerClosedError("campaign server is closed")
+        parsed = [
+            edit_from_dict(e) if isinstance(e, dict) else e for e in edits
+        ]
+        timer = Timer()
+        with self._edit_lock, timer:
+            old_epoch = self._graph_state[1]
+            new_epoch = self._mutable.apply(parsed)
+            new_graph = self._mutable.snapshot()
+            if self._prob_cache_entries:
+                new_graph.enable_probability_cache(self._prob_cache_entries)
+            dirty_edges = self._mutable.dirty_edges(old_epoch)
+            dirty_nodes = self._mutable.dirty_nodes(old_epoch)
+            migration = self._migrate_assets(
+                old_epoch, new_epoch, new_graph, dirty_edges, dirty_nodes,
+                repair,
+            )
+            index_invalidated = False
+            if self._index_manager is not None and dirty_edges.size:
+                # The frozen possible-world index sampled old-epoch
+                # worlds; it has no touch traces, so invalidate it.
+                self._index_manager = None
+                self._warm_theta_c = None
+                index_invalidated = True
+            self._graph_state = (new_graph, new_epoch)
+        self._record("serve.edits.applied")
+        self._record("serve.edits.count", len(parsed))
+        self._record("serve.edits.dirty_edges", int(dirty_edges.size))
+        for name, amount in migration.items():
+            if amount:
+                self._record(f"serve.repair.{name}", amount)
+        self._set_gauge("serve.epoch", new_epoch)
+        self._emit(
+            "edits.applied",
+            epoch=new_epoch,
+            previous_epoch=old_epoch,
+            edits=len(parsed),
+            dirty_edges=int(dirty_edges.size),
+            dirty_nodes=int(dirty_nodes.size),
+            promoted=migration["promoted"],
+            repaired=migration["repaired"],
+            dropped=migration["dropped"],
+            elapsed_ms=round(timer.elapsed * 1000.0, 3),
+        )
+        return {
+            "epoch": new_epoch,
+            "previous_epoch": old_epoch,
+            "edits": len(parsed),
+            "dirty_edges": int(dirty_edges.size),
+            "dirty_nodes": int(dirty_nodes.size),
+            "assets": migration,
+            "index_invalidated": index_invalidated,
+            "elapsed_seconds": timer.elapsed,
+        }
+
+    def _migrate_assets(
+        self, old_epoch, new_epoch, new_graph, dirty_edges, dirty_nodes,
+        repair: bool,
+    ) -> dict[str, int]:
+        """Promote / repair / drop resident assets across an epoch bump.
+
+        Runs under the edit lock. Concurrent queries keep working: old
+        assets are never mutated (repair is copy-on-write) and ``rekey``
+        refuses to clobber, so the worst race outcome is a redundant
+        rebuild, never a wrong answer.
+        """
+        stats = {
+            "promoted": 0, "repaired": 0, "dropped": 0,
+            "resampled_sets": 0,
+        }
+        for key in self._cache.keys_snapshot():
+            if getattr(key, "epoch", 0) != old_epoch:
+                # An epoch no new query can name — free the bytes.
+                if self._cache.invalidate(key):
+                    stats["dropped"] += 1
+                continue
+            asset = self._cache.peek(key)
+            if asset is None:  # pragma: no cover - concurrent eviction
+                continue
+            new_key = key._replace(epoch=new_epoch)
+            value = asset.value
+            if isinstance(value, RepairableSketch):
+                dirty_sets = value.dirty_set_ids(dirty_nodes)
+                if not dirty_sets.size:
+                    # Touch trace missed every dirty edge: the sketch
+                    # is bit-identical at the new epoch. Promote.
+                    if self._cache.rekey(key, new_key):
+                        stats["promoted"] += 1
+                    continue
+                if repair:
+                    try:
+                        edge_probs = new_graph.edge_probabilities(key.tags)
+                        repaired, rstats = value.repair(
+                            new_graph, edge_probs, dirty_edges
+                        )
+                    except InvalidQueryError:
+                        # Past the frozen edge capacity, or the edits
+                        # emptied one of the sketch's tags — either way
+                        # the sketch cannot be patched forward.
+                        repaired = None
+                    if repaired is not None and self._cache.rekey(
+                        key, new_key, value=repaired,
+                        nbytes=repaired.nbytes,
+                    ):
+                        stats["repaired"] += 1
+                        stats["resampled_sets"] += rstats["dirty_sets"]
+                        continue
+                if self._cache.invalidate(key):
+                    stats["dropped"] += 1
+                continue
+            # Whole results, salvaged partials, non-repairable sketches:
+            # no touch trace, so any dirt at all forces a drop.
+            if dirty_nodes.size:
+                if self._cache.invalidate(key):
+                    stats["dropped"] += 1
+            elif self._cache.rekey(key, new_key):
+                stats["promoted"] += 1
+        return stats
 
     # ------------------------------------------------------------------
     # Admission + dispatch
@@ -852,6 +1101,12 @@ class CampaignServer:
         local.tier = item.tier
         local.degrade = None
         local.deadline_remaining = None
+        # Pin this query to the current (graph, epoch) pair: every
+        # self._graph read below resolves through the thread-local, so
+        # a concurrent apply_edits() cannot tear this answer across two
+        # graph versions.
+        local.graph_state = self._graph_state
+        query_epoch = local.graph_state[1]
         if item.deadline_s is not None:
             # The deadline covers queue wait + execution: hand the
             # remainder to the RunBudget so shard-boundary checks
@@ -907,6 +1162,7 @@ class CampaignServer:
             local.tier = None
             local.degrade = None
             local.deadline_remaining = None
+            local.graph_state = None
             with self._admission_lock:
                 self._executing -= 1
                 self._set_gauge("serve.inflight", self._executing)
@@ -922,6 +1178,7 @@ class CampaignServer:
         self._emit(
             "query.done", trace_id=qid, op=op, ok=True, cache=cache_mode,
             tier=final_tier, elapsed_ms=round(elapsed_ms, 3),
+            epoch=query_epoch,
         )
         return ServeResponse(
             op=op,
@@ -932,6 +1189,7 @@ class CampaignServer:
             qos_class=item.qos_class,
             tier=final_tier,
             degraded=degrade_info,
+            epoch=query_epoch,
         )
 
     def _budget(
@@ -1131,6 +1389,7 @@ class CampaignServer:
             targets_digest=key.targets_digest,
             tags=key.tags,
             params=key.params,
+            epoch=key.epoch,
         )
         self._cache.put(pkey, partial, _approx_nbytes(partial))
         self._record("serve.salvaged")
@@ -1239,6 +1498,7 @@ class CampaignServer:
             targets_digest=tdigest,
             tags=tags_c,
             params=(k, seed, config_digest(cfg)),
+            epoch=self._query_epoch(),
         )
         if tier == "stale_only":
             return self._seeds_from_resident(ob, key, tdigest, tags_c, k)
@@ -1246,11 +1506,24 @@ class CampaignServer:
         def build():
             with obs.observe() as build_ob:
                 view = self._view(registry=build_ob.metrics)
-                sketch = trs_build_sketch(
-                    self._graph, targets, tags_c, k,
-                    config=cfg, rng=ensure_rng(seed),
-                    engine=view, budget=budget,
-                )
+                if self._mutable is not None:
+                    # Mutable servers build the *repairable* sampler so
+                    # apply_edits() can patch this asset forward to the
+                    # next epoch instead of dropping it. The repairable
+                    # path replays per-set RNG substreams and does not
+                    # take a RunBudget — mutable mode trades cooperative
+                    # sketch cancellation for incremental repair.
+                    sketch = trs_build_repairable_sketch(
+                        self._graph, targets, tags_c, k,
+                        config=cfg, seed=int(seed),
+                        mode=self._repair_mode, engine=view,
+                    )
+                else:
+                    sketch = trs_build_sketch(
+                        self._graph, targets, tags_c, k,
+                        config=cfg, rng=ensure_rng(seed),
+                        engine=view, budget=budget,
+                    )
             return sketch, sketch.nbytes, build_ob.metrics
 
         # _get_asset accounts a reused asset's build work to this
@@ -1294,7 +1567,9 @@ class CampaignServer:
                 telemetry=self._runtime_dict(ob),
             )
             return selection, "hit"
-        stale = self._cache.find_stale("trs_sketch", tdigest, tags_c)
+        stale = self._cache.find_stale(
+            "trs_sketch", tdigest, tags_c, epoch=key.epoch
+        )
         if stale is not None:
             self._emit(
                 "query.cache.stale_hit", trace_id=qid, asset="trs_sketch"
@@ -1316,7 +1591,9 @@ class CampaignServer:
                 telemetry=self._runtime_dict(ob),
             )
             return selection, "hit"
-        salvaged = self._cache.find_stale("trs_sketch_partial", tdigest, tags_c)
+        salvaged = self._cache.find_stale(
+            "trs_sketch_partial", tdigest, tags_c, epoch=key.epoch
+        )
         if salvaged is not None and getattr(salvaged.value, "seeds", None):
             self._emit(
                 "query.cache.stale_hit", trace_id=qid,
@@ -1352,6 +1629,7 @@ class CampaignServer:
                 "find_seeds", engine, k, seed, num_samples,
                 config_digest(cfg),
             ),
+            epoch=self._query_epoch(),
         )
         if self._current_tier() == "stale_only":
             asset = self._resident_or_shed(ob, key)
@@ -1422,17 +1700,21 @@ class CampaignServer:
         seeds_c = tuple(sorted({int(s) for s in seeds}))
         tdigest = targets_digest(targets, self._graph.num_nodes)
         targets = tuple(int(t) for t in targets)
-        key = AssetKey(
-            kind="result",
-            targets_digest=tdigest,
-            tags=(),
-            params=(
-                "find_tags", method, r, seed, seeds_c,
-                config_digest(self._config.tag_config),
-            ),
-        )
 
         def runner(ob):
+            # The key is built on the worker, not at submit time: the
+            # epoch it embeds must be the one the query is pinned to
+            # (an edit can land between submit and dispatch).
+            key = AssetKey(
+                kind="result",
+                targets_digest=tdigest,
+                tags=(),
+                params=(
+                    "find_tags", method, r, seed, seeds_c,
+                    config_digest(self._config.tag_config),
+                ),
+                epoch=self._query_epoch(),
+            )
             if self._current_tier() == "stale_only":
                 asset = self._resident_or_shed(ob, key)
                 return asset.value, "hit"
@@ -1489,6 +1771,7 @@ class CampaignServer:
                 targets_digest=tdigest,
                 tags=(),
                 params=("joint", k, r, seed, config_digest(joint_config)),
+                epoch=self._query_epoch(),
             )
             if self._current_tier() == "stale_only":
                 asset = self._resident_or_shed(ob, key)
@@ -1558,6 +1841,7 @@ class CampaignServer:
                 targets_digest=tdigest,
                 tags=tags_c,
                 params=("spread", seeds_c, samples, seed),
+                epoch=self._query_epoch(),
             )
             if self._current_tier() == "stale_only":
                 asset = self._resident_or_shed(ob, key)
@@ -1596,6 +1880,7 @@ class CampaignServer:
         stats = self._cache.stats()
         return (
             f"CampaignServer(graph={self._graph!r}, "
+            f"epoch={self._graph_state[1]}, "
             f"cache=[{stats.entries} entries, {stats.bytes} bytes], "
             f"in_system={self._in_system}/{self._capacity})"
         )

@@ -8,6 +8,13 @@ preserving the ``(1 - 1/e - ε)`` guarantee (Theorem 5).
 
 from repro.sketch.coverage import CoverageResult, greedy_max_coverage
 from repro.sketch.imm import IMMResult, imm_select_seeds
+from repro.sketch.incremental import (
+    REPAIR_MODES,
+    RepairableSketch,
+    SketchCapacityError,
+    build_repairable_sketch,
+    trs_build_repairable_sketch,
+)
 from repro.sketch.rr_sets import (
     rr_set_from_edge_mask,
     reverse_reachable_set,
@@ -26,17 +33,22 @@ from repro.sketch.trs import (
 __all__ = [
     "CoverageResult",
     "IMMResult",
+    "REPAIR_MODES",
+    "RepairableSketch",
+    "SketchCapacityError",
     "SketchConfig",
-    "imm_select_seeds",
     "TRSResult",
     "TRSSketch",
+    "build_repairable_sketch",
     "compute_theta",
     "estimate_opt_t",
     "greedy_max_coverage",
+    "imm_select_seeds",
     "reverse_reachable_set",
     "rr_set_from_edge_mask",
     "sample_rr_sets",
     "sample_rr_sets_validated",
+    "trs_build_repairable_sketch",
     "trs_build_sketch",
     "trs_select_from_sketch",
     "trs_select_seeds",

@@ -1,0 +1,463 @@
+"""Incremental RR-sketch repair for mutable graphs.
+
+A :class:`RepairableSketch` is an RR-set sketch built so that after a
+graph edit only the *affected* sets need resampling, with the repaired
+sketch **bit-identical** to a cold rebuild from the edited graph with
+the same seed. Two properties make this possible:
+
+1.  **Touch traces.** An RR sample examines edge ``(u, v)``'s coin only
+    while dequeuing member ``v`` (scalar path) or while ``v`` is in the
+    reverse frontier of the sample's world (bit-parallel path). Either
+    way, an edit to edge ``e`` can change a set's membership only if
+    ``dst(e)`` was a member *before* the edit — so the flat member
+    storage of :class:`~repro.engine.RRCollection` doubles as the touch
+    trace, and :meth:`RRCollection.dirty_set_ids` answers "which sets
+    does this edit dirty?" from the inverted index. Note membership in
+    the *old* set is also necessary for growth: an edit can only add
+    reachability through ``dst(e)``, which requires ``dst(e)`` to have
+    been reachable already.
+
+2.  **Per-set random streams.** The pooled engine's scalar shards feed
+    one sequential generator through all of a shard's samples, so
+    resampling set ``i`` alone would shift every later set's coins. The
+    repairable builder instead derives one child ``SeedSequence`` per
+    set (spawned from the shard's sequence, *after* drawing the shard's
+    roots) and keeps the spawned children on the sketch: a repaired set
+    replays exactly its own stream. The bit-parallel path is already
+    per-world counter-based — each sample's coins are a pure function
+    of ``(edge id, world, key)`` — with one caveat: the coin counter
+    strides by the edge count, so the builder freezes an
+    ``edge_capacity >= m`` at build time and hashes against *that*
+    stride. Edge additions within capacity leave every existing coin
+    untouched; growing past capacity forces a cold rebuild
+    (:class:`SketchCapacityError`).
+
+Repair is copy-on-write: :meth:`RepairableSketch.repair` returns a new
+sketch (sharing shard records and clean storage), so in-flight readers
+of the old sketch never observe a splice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.engine.bitworld import (
+    bit_rr_members,
+    coin_thresholds,
+    live_csr,
+    rr_world_of_sample,
+    world_edge_mask,
+)
+from repro.engine.parallel import (
+    DEFAULT_BITPARALLEL_SHARD_SIZE,
+    DEFAULT_SHARD_SIZE,
+    _shard_counts,
+)
+from repro.engine.rr_storage import RRCollection
+from repro.exceptions import InvalidQueryError
+from repro.graphs.tag_graph import TagGraph
+from repro.sketch.rr_sets import _reverse_reachable_set_into
+from repro.sketch.theta import SketchConfig, compute_theta, estimate_opt_t
+from repro.utils.validation import as_target_array
+
+__all__ = [
+    "REPAIR_MODES",
+    "RepairableSketch",
+    "SketchCapacityError",
+    "build_repairable_sketch",
+    "trs_build_repairable_sketch",
+]
+
+REPAIR_MODES = ("scalar", "bitparallel")
+
+#: Sub-stream tag separating the TRS pilot's RNG from the build streams,
+#: so θ estimation never perturbs (or is perturbed by) sampling coins.
+_PILOT_STREAM = 0x70696C
+_KEY_MAX = np.iinfo(np.int64).max
+
+
+class SketchCapacityError(InvalidQueryError):
+    """Edits grew the graph past the sketch's frozen edge capacity.
+
+    The bit-parallel coin counter strides by ``edge_capacity``; once the
+    edited graph has more edges than that, existing coins can no longer
+    be reproduced and the sketch must be rebuilt cold.
+    """
+
+
+@dataclass(frozen=True)
+class _Shard:
+    """One build shard: its sample range and replay material."""
+
+    start: int  # global id of the shard's first sample
+    count: int
+    roots: np.ndarray  # per-sample RR roots, shard order
+    child_seeds: tuple[np.random.SeedSequence, ...] | None = None  # scalar
+    key: int | None = None  # bit-parallel world key
+
+
+@dataclass(frozen=True)
+class RepairableSketch:
+    """RR sketch that can be patched in place of resampled wholesale.
+
+    Duck-compatible with :class:`~repro.sketch.TRSSketch` (``rr_sets``,
+    ``theta``, ``opt_t_estimate``, ``num_targets``, ``nbytes``), so
+    :func:`~repro.sketch.trs_select_from_sketch` consumes one unchanged.
+    """
+
+    rr: RRCollection
+    theta: int
+    mode: str
+    seed: int
+    shard_size: int
+    edge_capacity: int  # bit-parallel coin stride; 0 on the scalar path
+    target_arr: np.ndarray
+    shards: tuple[_Shard, ...]
+    num_targets: int
+    opt_t_estimate: float | None = None
+
+    # -- TRSSketch-compatible surface --------------------------------
+    @property
+    def rr_sets(self) -> RRCollection:
+        return self.rr
+
+    @property
+    def nbytes(self) -> int:
+        shard_bytes = sum(s.roots.nbytes for s in self.shards)
+        return int(
+            self.rr.members.nbytes + self.rr.indptr.nbytes + shard_bytes
+        )
+
+    # -- repair ------------------------------------------------------
+    def dirty_set_ids(self, dirty_nodes: np.ndarray) -> np.ndarray:
+        """Sets whose touch trace intersects ``dirty_nodes``."""
+        return self.rr.dirty_set_ids(dirty_nodes)
+
+    def repair(
+        self,
+        graph: TagGraph,
+        edge_probs: np.ndarray,
+        dirty_edges: np.ndarray,
+    ) -> tuple["RepairableSketch", dict[str, int]]:
+        """Resample only the sets dirtied by ``dirty_edges``.
+
+        ``graph``/``edge_probs`` are the *post-edit* snapshot and its
+        edge probabilities for the sketch's tag set. Returns a new
+        sketch plus repair stats; the receiver is unmodified. The result
+        is bit-identical to :meth:`cold_rebuild` on the same snapshot.
+        """
+        if edge_probs.shape != (graph.num_edges,):
+            raise InvalidQueryError(
+                f"edge_probs must have length m={graph.num_edges}, "
+                f"got shape {edge_probs.shape}"
+            )
+        if self.mode == "bitparallel" and graph.num_edges > self.edge_capacity:
+            raise SketchCapacityError(
+                f"graph has {graph.num_edges} edges, past the sketch's "
+                f"frozen capacity {self.edge_capacity} — rebuild cold"
+            )
+        dirty_edges = np.unique(np.asarray(dirty_edges, dtype=np.int64))
+        stats = {
+            "dirty_edges": int(dirty_edges.size),
+            "dirty_nodes": 0,
+            "dirty_sets": 0,
+            "total_sets": int(self.theta),
+            "resampled_members": 0,
+        }
+        if not dirty_edges.size:
+            return self, stats
+        if dirty_edges[0] < 0 or dirty_edges[-1] >= graph.num_edges:
+            raise InvalidQueryError(
+                f"dirty edge ids outside [0, {graph.num_edges})"
+            )
+        dirty_nodes = np.unique(graph.dst[dirty_edges])
+        stats["dirty_nodes"] = int(dirty_nodes.size)
+        set_ids = self.rr.dirty_set_ids(dirty_nodes)
+        stats["dirty_sets"] = int(set_ids.size)
+        if not set_ids.size:
+            return self, stats
+
+        if self.mode == "scalar":
+            new_sets = self._resample_scalar(graph, edge_probs, set_ids)
+        else:
+            new_sets = self._resample_bitparallel(graph, edge_probs, set_ids)
+        stats["resampled_members"] = int(sum(s.size for s in new_sets))
+        return replace(self, rr=self.rr.replaced(set_ids, new_sets)), stats
+
+    def _resample_scalar(
+        self, graph: TagGraph, edge_probs: np.ndarray, set_ids: np.ndarray
+    ) -> list[np.ndarray]:
+        starts = np.array([s.start for s in self.shards], dtype=np.int64)
+        visited = np.zeros(graph.num_nodes, dtype=bool)
+        sets: list[np.ndarray] = []
+        for sid in set_ids.tolist():
+            shard = self.shards[
+                int(np.searchsorted(starts, sid, side="right")) - 1
+            ]
+            local = sid - shard.start
+            rng = np.random.default_rng(shard.child_seeds[local])
+            sets.append(
+                _reverse_reachable_set_into(
+                    graph, int(shard.roots[local]), edge_probs, rng, visited
+                )
+            )
+        return sets
+
+    def _resample_bitparallel(
+        self, graph: TagGraph, edge_probs: np.ndarray, set_ids: np.ndarray
+    ) -> list[np.ndarray]:
+        thr_pad = np.zeros(self.edge_capacity, dtype=np.uint64)
+        thr_pad[: graph.num_edges] = coin_thresholds(edge_probs)
+        starts = np.array([s.start for s in self.shards], dtype=np.int64)
+        owner = np.searchsorted(starts, set_ids, side="right") - 1
+        sets: list[np.ndarray] = []
+        for shard_idx in np.unique(owner).tolist():
+            shard = self.shards[shard_idx]
+            for sid in set_ids[owner == shard_idx].tolist():
+                local = sid - shard.start
+                block, lane = rr_world_of_sample(
+                    shard.roots, local, graph.num_nodes
+                )
+                mask = world_edge_mask(
+                    self.edge_capacity, thr_pad, shard.key, block, lane
+                )[: graph.num_edges]
+                sets.append(
+                    _replay_fixed_world(
+                        graph, int(shard.roots[local]), mask
+                    )
+                )
+        return sets
+
+    def cold_rebuild(
+        self, graph: TagGraph, edge_probs: np.ndarray
+    ) -> "RepairableSketch":
+        """Rebuild from scratch with the stored seed and geometry.
+
+        θ is *not* re-derived — the repairable contract is that repair
+        and rebuild agree bit-for-bit, which requires identical shard
+        geometry. Callers wanting a re-sized sketch build a fresh one.
+        """
+        return build_repairable_sketch(
+            graph,
+            self.target_arr,
+            edge_probs,
+            self.theta,
+            seed=self.seed,
+            mode=self.mode,
+            shard_size=self.shard_size,
+            edge_capacity=self.edge_capacity or None,
+            num_targets=self.num_targets,
+            opt_t_estimate=self.opt_t_estimate,
+        )
+
+
+def build_repairable_sketch(
+    graph: TagGraph,
+    targets: Sequence[int] | np.ndarray,
+    edge_probs: np.ndarray,
+    theta: int,
+    *,
+    seed: int,
+    mode: str = "scalar",
+    shard_size: int | None = None,
+    edge_capacity: int | None = None,
+    num_targets: int | None = None,
+    opt_t_estimate: float | None = None,
+) -> RepairableSketch:
+    """Sample θ targeted RR sets with per-set repairable randomness.
+
+    ``seed`` must be an integer (not a live generator): the sketch
+    stores it so a cold rebuild can replay the exact stream tree.
+    ``edge_capacity`` (bit-parallel only) freezes the coin-counter
+    stride; it defaults to ``m`` plus 25% headroom (min 64 edges) so
+    moderate edge-addition churn repairs in place.
+    """
+    if mode not in REPAIR_MODES:
+        raise InvalidQueryError(
+            f"mode must be one of {REPAIR_MODES}, got {mode!r}"
+        )
+    if theta <= 0:
+        raise InvalidQueryError(f"theta must be positive, got {theta}")
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="build_repairable_sketch"
+    )
+    if edge_probs.shape != (graph.num_edges,):
+        raise InvalidQueryError(
+            f"edge_probs must have length m={graph.num_edges}, "
+            f"got shape {edge_probs.shape}"
+        )
+    if mode == "bitparallel":
+        if edge_capacity is None:
+            edge_capacity = graph.num_edges + max(64, graph.num_edges // 4)
+        if edge_capacity < graph.num_edges:
+            raise InvalidQueryError(
+                f"edge_capacity {edge_capacity} below current edge count "
+                f"{graph.num_edges}"
+            )
+    else:
+        edge_capacity = 0
+    if shard_size is None:
+        shard_size = (
+            DEFAULT_BITPARALLEL_SHARD_SIZE
+            if mode == "bitparallel"
+            else DEFAULT_SHARD_SIZE
+        )
+
+    master = np.random.default_rng(int(seed))
+    counts = _shard_counts(int(theta), int(shard_size))
+    streams = master.bit_generator.seed_seq.spawn(len(counts))
+
+    shards: list[_Shard] = []
+    collections: list[RRCollection] = []
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    thr53 = coin_thresholds(edge_probs) if mode == "bitparallel" else None
+    if mode == "bitparallel":
+        rev_indptr, rev_edges = graph.reverse_csr()
+        live_indptr, live_edges = live_csr(rev_indptr, rev_edges, edge_probs)
+    start = 0
+    for count, stream in zip(counts, streams):
+        shard_rng = np.random.default_rng(stream)
+        roots = shard_rng.choice(target_arr, size=count)
+        if mode == "scalar":
+            child_seeds = tuple(stream.spawn(count))
+            sets = [
+                _reverse_reachable_set_into(
+                    graph,
+                    int(roots[i]),
+                    edge_probs,
+                    np.random.default_rng(child_seeds[i]),
+                    visited,
+                )
+                for i in range(count)
+            ]
+            collections.append(RRCollection.from_sets(sets, graph.num_nodes))
+            shards.append(
+                _Shard(start, count, roots, child_seeds=child_seeds)
+            )
+        else:
+            key = int(shard_rng.integers(_KEY_MAX, dtype=np.int64))
+            members, indptr = bit_rr_members(
+                graph.num_nodes,
+                edge_capacity,
+                live_indptr,
+                live_edges,
+                graph.src,
+                roots,
+                thr53,
+                key,
+            )
+            collections.append(
+                RRCollection(members, indptr, graph.num_nodes)
+            )
+            shards.append(_Shard(start, count, roots, key=key))
+        start += count
+
+    rr = (
+        RRCollection.concat(collections)
+        if len(collections) != 1
+        else collections[0]
+    )
+    if not collections:
+        rr = RRCollection.from_sets([], graph.num_nodes)
+    return RepairableSketch(
+        rr=rr,
+        theta=int(theta),
+        mode=mode,
+        seed=int(seed),
+        shard_size=int(shard_size),
+        edge_capacity=int(edge_capacity),
+        target_arr=target_arr,
+        shards=tuple(shards),
+        num_targets=(
+            int(num_targets) if num_targets is not None else target_arr.size
+        ),
+        opt_t_estimate=opt_t_estimate,
+    )
+
+
+def trs_build_repairable_sketch(
+    graph: TagGraph,
+    targets: Sequence[int] | np.ndarray,
+    tags: Sequence[str],
+    k: int,
+    *,
+    seed: int,
+    config: SketchConfig = SketchConfig(),
+    mode: str = "scalar",
+    shard_size: int | None = None,
+    edge_capacity: int | None = None,
+    engine=None,
+) -> RepairableSketch:
+    """TRS pipeline (pilot → θ → sample) on the repairable sampler.
+
+    θ is derived once, at initial build; subsequent repairs keep it (the
+    statistical gates tolerate the drift for sparse edits — see
+    ``docs/mutability.md``). The pilot runs on a dedicated sub-stream of
+    ``seed`` so its RNG consumption cannot shift the build coins.
+    """
+    edge_probs = graph.edge_probabilities(tags)
+    pilot_rng = np.random.default_rng([int(seed), _PILOT_STREAM])
+    opt_t = estimate_opt_t(
+        graph, targets, edge_probs, k, config, pilot_rng, engine=engine
+    )
+    target_arr = as_target_array(
+        targets, graph.num_nodes, context="trs_build_repairable_sketch"
+    )
+    theta = compute_theta(
+        graph.num_nodes, k, int(target_arr.size), opt_t, config
+    )
+    return build_repairable_sketch(
+        graph,
+        target_arr,
+        edge_probs,
+        theta,
+        seed=seed,
+        mode=mode,
+        shard_size=shard_size,
+        edge_capacity=edge_capacity,
+        opt_t_estimate=opt_t,
+    )
+
+
+def _replay_fixed_world(
+    graph: TagGraph, root: int, edge_mask: np.ndarray
+) -> np.ndarray:
+    """Level-synchronous reverse BFS over a fixed world, kernel order.
+
+    :func:`bit_rr_members` emits each sample's members root-first, then
+    per BFS level the newly-reached nodes in ascending node id (a
+    consequence of its packed ``(block, node, lane)`` canonical sort).
+    Queue-order BFS (:func:`~repro.sketch.rr_sets.rr_set_from_edge_mask`)
+    visits the same members but interleaves levels differently, so the
+    repair path replays level-by-level with a sorted frontier to stay
+    bit-identical.
+    """
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    visited[root] = True
+    members = [np.array([root], dtype=np.int64)]
+    frontier = members[0]
+    rev_indptr, rev_edges = graph.reverse_csr()
+    src = graph.src
+    while frontier.size:
+        edge_start = rev_indptr[frontier]
+        degrees = rev_indptr[frontier + 1] - edge_start
+        total = int(degrees.sum())
+        if total == 0:
+            break
+        offsets = np.zeros(frontier.size, dtype=np.int64)
+        np.cumsum(degrees[:-1], out=offsets[1:])
+        positions = np.arange(total, dtype=np.int64)
+        positions += np.repeat(edge_start - offsets, degrees)
+        eids = rev_edges[positions]
+        eids = eids[edge_mask[eids]]
+        parents = np.unique(src[eids])  # unique() sorts — kernel order
+        parents = parents[~visited[parents]]
+        if parents.size == 0:
+            break
+        visited[parents] = True
+        members.append(parents)
+        frontier = parents
+    return np.concatenate(members)

@@ -215,7 +215,7 @@ class TestServeCommand:
         assert by_id[3]["ok"] and isinstance(by_id[3]["spread"], float)
         assert by_id[4]["metrics"]["counters"]["serve.queries"] == 3
         snapshot = json.loads(metrics_path.read_text())
-        assert snapshot["schema"] == "repro.serve.metrics/3"
+        assert snapshot["schema"] == "repro.serve.metrics/4"
         assert snapshot["cache"]["builds"] >= 2
 
     def test_warm_file_prebuilds_assets(

@@ -1,0 +1,295 @@
+"""Property-based epoch safety for the versioned serving layer.
+
+The dangerous failure mode of a mutable graph behind an asset cache is
+*temporal aliasing*: a query at epoch ``e'`` being answered from an
+asset computed at an earlier epoch ``e`` whose touch trace the edits
+dirtied. The exact-key path is safe by construction (``epoch`` is a
+key component), so these properties concentrate on the places where
+keys are matched *loosely*: the degraded ``stale`` tier's
+parameter-insensitive :meth:`AssetCache.find_stale` scan and the
+``salvaged``-partial rung — both of which, before this PR's epoch
+filter, would happily have crossed epochs.
+
+Hypothesis drives randomized cache populations and seeded edit storms;
+every property is checked against the real server execution path, not
+a mock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.joint import JointConfig
+from repro.exceptions import QueryShedError
+from repro.serve.cache import AssetCache
+from repro.serve.keys import AssetKey
+from repro.serve.qos import QosConfig
+from repro.serve.server import CampaignServer
+from repro.sketch import (
+    SketchConfig,
+    trs_build_repairable_sketch,
+    trs_select_from_sketch,
+)
+
+from tests.test_mutable_differential import TAGS, EditStorm, make_graph
+
+WAIT = 60.0
+
+#: best_effort queries always land on the resident-cache-only rung.
+STALE_ALWAYS = QosConfig(shed_threshold=1e-6, stale_threshold=1e-6)
+
+SMALL_SKETCH = SketchConfig(theta_min=64, theta_max=256, pilot_samples=60)
+
+KINDS = ("trs_sketch", "trs_sketch_partial", "result")
+DIGESTS = ("d-one", "d-two")
+
+
+class TestCacheEpochFiltering:
+    """AssetCache-level properties (no server, microsecond-fast)."""
+
+    @given(
+        population=st.lists(
+            st.tuples(
+                st.sampled_from(KINDS),
+                st.sampled_from(DIGESTS),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=4),
+            ),
+            max_size=16,
+        ),
+        kind=st.sampled_from(KINDS),
+        digest=st.sampled_from(DIGESTS),
+        query_epoch=st.integers(min_value=0, max_value=3),
+    )
+    def test_find_stale_never_crosses_epochs(
+        self, population, kind, digest, query_epoch
+    ):
+        cache = AssetCache(max_bytes=1 << 20)
+        for pkind, pdigest, epoch, param in population:
+            key = AssetKey(pkind, pdigest, ("a",), (param,), epoch)
+            cache.put(key, f"{pkind}@{epoch}/{param}", 64)
+        hit = cache.find_stale(kind, digest, ("a",), epoch=query_epoch)
+        if hit is not None:
+            assert hit.key.kind == kind
+            assert hit.key.targets_digest == digest
+            assert hit.key.epoch == query_epoch
+        else:
+            # None only when genuinely nothing matches at that epoch.
+            assert not any(
+                k == kind and d == digest and e == query_epoch
+                for k, d, e, _ in population
+            )
+
+    @given(
+        epoch_a=st.integers(min_value=0, max_value=10),
+        epoch_b=st.integers(min_value=0, max_value=10),
+    )
+    def test_epoch_is_a_key_component(self, epoch_a, epoch_b):
+        base = ("trs_sketch", "digest", ("a",), (1, 2))
+        ka = AssetKey(*base, epoch=epoch_a)
+        kb = AssetKey(*base, epoch=epoch_b)
+        assert (ka == kb) == (epoch_a == epoch_b)
+        if epoch_a != epoch_b:
+            cache = AssetCache(max_bytes=1 << 20)
+            cache.put(ka, "old", 8)
+            assert cache.peek(kb) is None
+
+    def test_default_epoch_keeps_immutable_keys_stable(self):
+        """4-field construction (pre-epoch call sites) still works."""
+        key = AssetKey("result", "d", (), ("spread",))
+        assert key.epoch == 0
+        assert key == AssetKey("result", "d", (), ("spread",), epoch=0)
+
+    @given(epochs=st.lists(st.integers(0, 5), min_size=2, max_size=8))
+    def test_rekey_migrates_without_counter_noise(self, epochs):
+        cache = AssetCache(max_bytes=1 << 20)
+        keys = [
+            AssetKey("trs_sketch", f"d{i}", (), (), e)
+            for i, e in enumerate(epochs)
+        ]
+        for key in keys:
+            cache.put(key, "v", 32)
+        before = cache.stats()
+        for key in keys:
+            assert cache.rekey(key, key._replace(epoch=key.epoch + 1))
+        after = cache.stats()
+        assert after.hits == before.hits
+        assert after.stale_hits == before.stale_hits
+        assert after.entries == before.entries
+        for key in keys:
+            assert cache.peek(key) is None
+            assert cache.peek(key._replace(epoch=key.epoch + 1)) is not None
+
+
+class TestServerEpochSafety:
+    """End-to-end properties through the real query path."""
+
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        batch_size=st.integers(min_value=1, max_value=6),
+        repair=st.booleans(),
+    )
+    def test_edits_migrate_every_resident_key(
+        self, seed, batch_size, repair
+    ):
+        """After apply_edits, no resident key names a stale epoch, and
+        the post-edit answer equals a cold library call at that epoch."""
+        rng = np.random.default_rng(seed)
+        graph = make_graph(rng, n=40, m=160)
+        server = CampaignServer(
+            graph,
+            config=JointConfig(sketch=SMALL_SKETCH),
+            mutable=True,
+            pool_size=2,
+        )
+        try:
+            targets = list(range(0, graph.num_nodes, 2))
+            warm = server.find_seeds(
+                targets, list(TAGS), 3, engine="trs", seed=7
+            )
+            assert warm.epoch == 0
+            storm = EditStorm(graph, rng)
+            edits = storm.batch(batch_size)
+            if not edits:
+                return
+            summary = server.apply_edits(edits, repair=repair)
+            assert summary["epoch"] == 1
+            assert summary["previous_epoch"] == 0
+            disposed = summary["assets"]
+            assert (
+                disposed["promoted"] + disposed["repaired"]
+                + disposed["dropped"] >= 1
+            )
+            for key in server._cache.keys_snapshot():
+                assert key.epoch == 1
+            post = server.find_seeds(
+                targets, list(TAGS), 3, engine="trs", seed=7
+            )
+            assert post.epoch == 1
+            snap = server.mutable_graph.snapshot()
+            cold = trs_build_repairable_sketch(
+                snap, targets, TAGS, 3, seed=7,
+                config=SMALL_SKETCH, mode="scalar",
+            )
+            expected = trs_select_from_sketch(snap, cold, 3)
+            assert post.seeds == expected.seeds
+        finally:
+            server.close()
+
+    def test_stale_tier_refuses_pre_edit_sketch(self):
+        """The regression this PR guards against: a leaked old-epoch
+        sketch must shed the stale-tier query, never answer it."""
+        rng = np.random.default_rng(91)
+        graph = make_graph(rng, n=40, m=160)
+        server = CampaignServer(
+            graph,
+            config=JointConfig(sketch=SMALL_SKETCH),
+            mutable=True,
+            qos=STALE_ALWAYS,
+            pool_size=2,
+        )
+        try:
+            targets = list(range(0, graph.num_nodes, 2))
+            snap0 = server.mutable_graph.snapshot()
+            old_sketch = trs_build_repairable_sketch(
+                snap0, targets, TAGS, 3, seed=0,
+                config=SMALL_SKETCH, mode="scalar",
+            )
+            storm = EditStorm(graph, rng)
+            server.apply_edits(storm.batch(4), repair=False)
+            assert server.epoch == 1
+            # Plant the pre-edit sketch as a leaked epoch-0 resident —
+            # exactly what a missing epoch filter would happily serve.
+            from repro.serve.keys import canonical_tags, targets_digest
+
+            tdigest = targets_digest(targets, graph.num_nodes)
+            tags_c = canonical_tags(TAGS)
+            leaked = AssetKey(
+                "trs_sketch", tdigest, tags_c, (3, 99, "other-params"),
+                epoch=0,
+            )
+            server._cache.put(leaked, old_sketch, old_sketch.nbytes)
+            future = server.submit_find_seeds(
+                targets, list(TAGS), 3, engine="trs", seed=5,
+                qos_class="best_effort",
+            )
+            with pytest.raises(QueryShedError):
+                future.result(timeout=WAIT)
+        finally:
+            server.close()
+
+    def test_stale_tier_serves_matching_epoch(self):
+        """Same-epoch param-mismatched sketches still serve ``stale``."""
+        rng = np.random.default_rng(92)
+        graph = make_graph(rng, n=40, m=160)
+        server = CampaignServer(
+            graph,
+            config=JointConfig(sketch=SMALL_SKETCH),
+            mutable=True,
+            qos=STALE_ALWAYS,
+            pool_size=2,
+        )
+        try:
+            targets = list(range(0, graph.num_nodes, 2))
+            storm = EditStorm(graph, rng)
+            server.apply_edits(storm.batch(3))
+            warm = server.find_seeds(
+                targets, list(TAGS), 3, engine="trs", seed=0,
+                qos_class="interactive",
+            )
+            assert warm.epoch == 1
+            resp = server.find_seeds(
+                targets, list(TAGS), 3, engine="trs", seed=5,
+                qos_class="best_effort",
+            )
+            assert resp.tier == "stale"
+            assert resp.epoch == 1
+        finally:
+            server.close()
+
+    def test_salvaged_tier_refuses_pre_edit_partial(self):
+        """The salvaged rung applies the same epoch filter."""
+        rng = np.random.default_rng(93)
+        graph = make_graph(rng, n=40, m=160)
+        server = CampaignServer(
+            graph,
+            config=JointConfig(sketch=SMALL_SKETCH),
+            mutable=True,
+            qos=STALE_ALWAYS,
+            pool_size=2,
+        )
+        try:
+            from repro.serve.keys import canonical_tags, targets_digest
+
+            targets = list(range(0, graph.num_nodes, 2))
+            storm = EditStorm(graph, rng)
+            server.apply_edits(storm.batch(3), repair=False)
+
+            class FakePartial:
+                seeds = (1, 2, 3)
+                estimated_spread = 4.0
+                theta = 10
+
+            leaked = AssetKey(
+                "trs_sketch_partial",
+                targets_digest(targets, graph.num_nodes),
+                canonical_tags(TAGS),
+                ("whatever",),
+                epoch=0,
+            )
+            server._cache.put(leaked, FakePartial(), 64)
+            future = server.submit_find_seeds(
+                targets, list(TAGS), 3, engine="trs", seed=5,
+                qos_class="best_effort",
+            )
+            with pytest.raises(QueryShedError):
+                future.result(timeout=WAIT)
+        finally:
+            server.close()

@@ -822,7 +822,7 @@ class TestServerTelemetrySurface:
             server.find_seeds(FIG9_TARGETS, ("c5", "c4"), 2, seed=0)
             metrics = server.metrics()
             health = server.health()
-        assert METRICS_SCHEMA == "repro.serve.metrics/3"
+        assert METRICS_SCHEMA == "repro.serve.metrics/4"
         op_hist = metrics["histograms"]["serve.op.latency_ms.find_seeds"]
         assert op_hist["count"] == 2
         assert op_hist["p50"] <= op_hist["p95"] <= op_hist["p99"]
@@ -1030,7 +1030,7 @@ class TestServeCLITelemetry:
         ]) == 0
         capsys.readouterr()
         snapshot = json.loads(metrics_path.read_text())
-        assert snapshot["schema"] == "repro.serve.metrics/3"
+        assert snapshot["schema"] == "repro.serve.metrics/4"
         hist = snapshot["metrics"]["histograms"][
             "serve.op.latency_ms.find_seeds"
         ]

