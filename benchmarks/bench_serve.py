@@ -14,6 +14,16 @@ p50/p95/p99 latency quantiles, and runs a **concurrent duplicate
 burst** against a fresh server — many identical cold queries in
 flight at once — so single-flight joins are actually exercised
 (``singleflight_joins`` must come out positive; exactly one build).
+
+A **sharded scaling leg** then replays one concurrent burst of
+*distinct* cold queries against the multi-process
+:class:`~repro.serve.ShardedCampaignService` at 1/2/4 workers. The
+burst is placement-balanced (seeds are chosen so the consistent-hash
+ring assigns each fleet an equal share — ring *balance* is covered by
+the property tests; this leg isolates compute scaling) and every
+fleet's answers must be bit-identical to the 1-worker fleet's.
+``speedup_4w`` is gated in CI.
+
 Writes ``BENCH_serve.json`` at the repo root and prints a table.
 ``scripts/check_bench.py`` validates the written file in CI. Usage::
 
@@ -169,6 +179,119 @@ def _bench_concurrent(graph, config, targets, tags, k, fanout=8):
     }
 
 
+def _balanced_burst(targets, tags, k, worker_counts, queries):
+    """Distinct cold requests placement-balanced for the *largest* fleet.
+
+    Seeds are filled greedily: a seed is accepted only while its
+    token's placement still has quota under the largest fleet's ring.
+    Only the largest ring is balanced exactly: a W-worker ring's points
+    are a superset of a smaller fleet's, so a token's placement at W
+    workers pins its placement at fewer workers (the hierarchy property
+    of consistent hashing) and exact joint balance across every fleet
+    size is overconstrained. Placement is pure blake2b, so the burst is
+    deterministic; smaller fleets' actual splits are reported in the
+    payload. The gated ``speedup_4w`` leg is the balanced one.
+    """
+    from repro.serve import HashRing, routing_token
+
+    largest = max(worker_counts)
+    ring = HashRing([f"w{i}" for i in range(largest)])
+    quota = {member: queries // largest for member in ring.members}
+    requests = []
+    for seed in range(100_000):
+        request = {
+            "op": "find_seeds", "targets": targets, "tags": tags,
+            "k": k, "seed": seed, "engine": "trs",
+        }
+        placed = ring.place(routing_token(request))
+        if quota[placed] > 0:
+            quota[placed] -= 1
+            requests.append(request)
+            if len(requests) == queries:
+                return requests
+    raise RuntimeError("could not balance the burst on the largest ring")
+
+
+def _bench_sharded(graph, targets, tags, k, worker_counts=(1, 2, 4),
+                   queries=24, build_slow_s=0.35):
+    """Throughput of one distinct-query cold burst at each fleet size.
+
+    Builds are made latency-bound with the deterministic chaos plan
+    (``build_slow_rate=1.0`` sleeps ``build_slow_s`` inside every
+    sketch build) and each worker's ``CampaignServer`` runs a
+    single-thread pool, so one worker serves the burst strictly
+    sequentially and a fleet of N serves its N ring shares
+    concurrently. What scales is therefore the router's concurrent
+    dispatch across worker processes — the serving-layer property this
+    leg gates — independent of how many cores the host happens to have
+    (CPU-bound builds additionally scale with cores; CI boxes often
+    have one). Answers must be bit-identical across fleet sizes.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import ShardedCampaignService, WorkerSpec
+
+    config = JointConfig(
+        sketch=SketchConfig(theta_max=400, pilot_samples=50)
+    )
+    requests = _balanced_burst(targets, tags, k, worker_counts, queries)
+    spec = WorkerSpec(
+        config=config, pool_size=1, queue_capacity=64,
+        chaos={
+            "seed": 1, "build_slow_rate": 1.0,
+            "build_slow_seconds": build_slow_s,
+        },
+    )
+
+    rows = []
+    baseline_wall = None
+    baseline_answers = None
+    for workers in worker_counts:
+        service = ShardedCampaignService(graph, workers=workers, spec=spec)
+        load: dict[str, int] = {}
+        for r in requests:
+            placed = service.worker_for(r)
+            load[placed] = load.get(placed, 0) + 1
+        try:
+            with ThreadPoolExecutor(max_workers=queries) as pool:
+                start = time.perf_counter()
+                futures = [
+                    pool.submit(service.route_request, dict(r))
+                    for r in requests
+                ]
+                responses = [f.result() for f in futures]
+                wall_s = time.perf_counter() - start
+        finally:
+            service.close()
+        assert all(r.get("ok") for r in responses), [
+            r for r in responses if not r.get("ok")
+        ][:1]
+        answers = {
+            req["seed"]: (tuple(resp["seeds"]), resp["spread"])
+            for req, resp in zip(requests, responses)
+        }
+        if baseline_answers is None:
+            baseline_answers = answers
+            baseline_wall = wall_s
+        else:
+            assert answers == baseline_answers, (
+                f"{workers}-worker fleet diverged from 1-worker answers"
+            )
+        rows.append({
+            "workers": workers,
+            "wall_s": round(wall_s, 4),
+            "throughput_qps": round(queries / wall_s, 2),
+            "speedup_vs_1w": round(baseline_wall / wall_s, 2),
+            "ring_load": dict(sorted(load.items())),
+        })
+    return {
+        "queries": queries,
+        "bit_identical_across_fleets": True,
+        "fleets": rows,
+        "speedup_4w": rows[-1]["speedup_vs_1w"],
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true")
@@ -206,10 +329,27 @@ def main() -> int:
             f"{concurrent['latency_ms']['p99']:>8.1f}"
         )
 
+    # Sharded scaling leg on the first (smallest) config's dataset.
+    label, factory, scale, k = configs[0]
+    data = factory(scale=scale, seed=13)
+    graph = data.graph
+    targets = [int(t) for t in bfs_targets(graph, min(60, graph.num_nodes))]
+    tags = list(graph.tags[:3])
+    sharded = _bench_sharded(graph, targets, tags, k)
+    print(f"\nsharded burst ({sharded['queries']} distinct cold queries, "
+          f"{label}):")
+    for row in sharded["fleets"]:
+        print(
+            f"  {row['workers']} worker(s): {row['wall_s']:>7.3f}s  "
+            f"{row['throughput_qps']:>6.1f} q/s  "
+            f"{row['speedup_vs_1w']:>4.1f}x"
+        )
+
     payload = {
         "quick": args.quick,
         "warm_repeats": args.warm_repeats,
         "results": results,
+        "sharded": sharded,
     }
     Path(args.output).write_text(
         json.dumps(payload, indent=1), encoding="utf-8"

@@ -15,7 +15,11 @@ For ``bench_serve.py`` artifacts, asserts that
   exactly one build, at least one ``singleflight_joins``, and every
   duplicate answered (misses + hits == fanout);
 * per-op latency quantiles are present and ordered
-  (p50 <= p95 <= p99) for every recorded op.
+  (p50 <= p95 <= p99) for every recorded op;
+* the sharded scaling leg ran, its answers were bit-identical across
+  fleet sizes, and the 4-worker fleet's throughput on the distinct-
+  query cold burst meets the floor over 1 worker (default 3x —
+  worker processes have to actually buy process-level parallelism).
 
 For ``bench_engine.py`` artifacts, asserts that
 
@@ -60,12 +64,35 @@ import sys
 from pathlib import Path
 
 
-def check_serve(payload: dict, min_speedup: float) -> list[str]:
+def check_serve(
+    payload: dict, min_speedup: float, min_shard_speedup: float = 3.0
+) -> list[str]:
     """Return a list of failure messages (empty = all gates pass)."""
     failures: list[str] = []
     results = payload.get("results") or []
     if not results:
         return ["no results in benchmark payload"]
+
+    sharded = payload.get("sharded")
+    if sharded is None:
+        failures.append("missing sharded scaling section")
+    else:
+        if not sharded.get("bit_identical_across_fleets", False):
+            failures.append(
+                "sharded fleets diverged — multi-worker answers must be "
+                "bit-identical to the 1-worker fleet"
+            )
+        fleets = sharded.get("fleets") or []
+        if not fleets or fleets[-1].get("workers") != 4:
+            failures.append(
+                "sharded leg did not measure a 4-worker fleet"
+            )
+        shard_speedup = sharded.get("speedup_4w", 0.0)
+        if shard_speedup < min_shard_speedup:
+            failures.append(
+                f"sharded 4-worker speedup {shard_speedup:.1f}x < "
+                f"required {min_shard_speedup:.1f}x over 1 worker"
+            )
 
     gated = results[-1]
     speedup = gated.get("warm_over_cold_speedup", 0.0)
@@ -258,6 +285,11 @@ def main(argv: list[str] | None = None) -> int:
              "config (default 5.0)",
     )
     parser.add_argument(
+        "--min-shard-speedup", type=float, default=3.0,
+        help="serve artifacts: 4-worker-over-1-worker throughput floor "
+             "for the sharded cold burst (default 3.0)",
+    )
+    parser.add_argument(
         "--min-bit-speedup", type=float, default=32.0,
         help="engine artifacts: bit-parallel RR speedup floor for the "
              "gated config (default 32.0)",
@@ -278,7 +310,9 @@ def main(argv: list[str] | None = None) -> int:
     elif kind == "load":
         failures = check_load(payload, args.max_error_frac)
     else:
-        failures = check_serve(payload, args.min_speedup)
+        failures = check_serve(
+            payload, args.min_speedup, args.min_shard_speedup
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -306,11 +340,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.min_repair_speedup:.1f}x (bit-identical)"
         )
     else:
+        shard = payload.get("sharded", {})
         print(
             f"check_bench OK: {gated['config']} "
             f"{gated['warm_over_cold_speedup']:.1f}x >= "
             f"{args.min_speedup:.1f}x; "
-            f"singleflight_joins={gated['concurrent']['singleflight_joins']}"
+            f"singleflight_joins={gated['concurrent']['singleflight_joins']}; "
+            f"sharded 4w {shard.get('speedup_4w', 0):.1f}x >= "
+            f"{args.min_shard_speedup:.1f}x"
         )
     return 0
 

@@ -701,21 +701,34 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_kwargs(args: argparse.Namespace):
+    """``ServeFaultPlan`` constructor kwargs from the flags, or None.
+
+    Kept as plain kwargs (not a plan instance) so sharded serving can
+    ship them to worker processes — the plan itself holds a lock and is
+    not picklable.
+    """
+    if getattr(args, "chaos_seed", None) is None:
+        return None
+    return {
+        "seed": args.chaos_seed,
+        "admission_error_rate": args.chaos_admission_rate,
+        "dequeue_error_rate": args.chaos_dequeue_rate,
+        "build_error_rate": args.chaos_build_error_rate,
+        "build_slow_rate": args.chaos_build_slow_rate,
+        "build_slow_seconds": args.chaos_build_slow_seconds,
+        "deadline_skew_s": args.chaos_deadline_skew,
+    }
+
+
 def _make_chaos(args: argparse.Namespace):
     """Build a ``ServeFaultPlan`` from the ``--chaos-*`` flags, or None."""
-    if getattr(args, "chaos_seed", None) is None:
+    kwargs = _chaos_kwargs(args)
+    if kwargs is None:
         return None
     from repro.serve import ServeFaultPlan
 
-    return ServeFaultPlan(
-        seed=args.chaos_seed,
-        admission_error_rate=args.chaos_admission_rate,
-        dequeue_error_rate=args.chaos_dequeue_rate,
-        build_error_rate=args.chaos_build_error_rate,
-        build_slow_rate=args.chaos_build_slow_rate,
-        build_slow_seconds=args.chaos_build_slow_seconds,
-        deadline_skew_s=args.chaos_deadline_skew,
-    )
+    return ServeFaultPlan(**kwargs)
 
 
 def _make_qos(args: argparse.Namespace):
@@ -743,21 +756,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         JointConfig() if args.engine is None
         else JointConfig(seed_engine=args.engine)
     )
-    sampler = _make_sampler(args)
-    server = CampaignServer(
-        graph,
-        config=config,
-        sampler=sampler,
-        pool_size=args.pool_size,
-        queue_capacity=args.queue_capacity,
-        cache_bytes=args.cache_bytes,
-        default_deadline=args.deadline,
-        default_max_samples=args.max_samples,
-        qos=_make_qos(args),
-        chaos=_make_chaos(args),
-        mutable=args.mutable,
-        repair_mode=args.repair_mode,
-    )
+    # ``--workers N`` (N > 1) boots the sharded multi-process service:
+    # N worker processes, each a full CampaignServer on the shared
+    # graph, behind one router speaking the identical wire protocol.
+    # Worker engines run single-process (the fleet IS the parallelism).
+    workers = int(getattr(args, "workers", 1) or 1)
+    sharded = workers > 1
+    sampler = None
+    if sharded:
+        from repro.serve import ShardedCampaignService, WorkerSpec
+
+        spec = WorkerSpec(
+            config=config,
+            engine_mode=getattr(args, "sampler", None),
+            pool_size=args.pool_size,
+            queue_capacity=args.queue_capacity,
+            cache_bytes=args.cache_bytes,
+            default_deadline=args.deadline,
+            default_max_samples=args.max_samples,
+            qos=_make_qos(args),
+            chaos=_chaos_kwargs(args),
+            mutable=args.mutable,
+            repair_mode=args.repair_mode,
+        )
+        server = ShardedCampaignService(graph, workers=workers, spec=spec)
+        print(
+            f"sharded: {workers} worker processes "
+            f"(pids {sorted(server.worker_pids().values())})",
+            file=sys.stderr,
+        )
+    else:
+        sampler = _make_sampler(args)
+        server = CampaignServer(
+            graph,
+            config=config,
+            sampler=sampler,
+            pool_size=args.pool_size,
+            queue_capacity=args.queue_capacity,
+            cache_bytes=args.cache_bytes,
+            default_deadline=args.deadline,
+            default_max_samples=args.max_samples,
+            qos=_make_qos(args),
+            chaos=_make_chaos(args),
+            mutable=args.mutable,
+            repair_mode=args.repair_mode,
+        )
     if args.events_out is not None:
         server.events.open_sink(
             args.events_out,
@@ -787,7 +830,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     None if args.warm_index.strip() == "all"
                     else _parse_tags(args.warm_index)
                 )
-                built = server.warm_index(tags)
+                if sharded:
+                    # Every worker may serve index-backed queries, so
+                    # warming broadcasts rather than affinity-routes.
+                    replies = server.broadcast(
+                        {"op": "warm_index", "tags": tags}
+                    )
+                    built = (
+                        replies[0].get("warmed_tags", []) if replies else []
+                    )
+                else:
+                    built = server.warm_index(tags)
                 print(
                     f"warm-index: froze {len(built)} tag indexes",
                     file=sys.stderr,
@@ -796,7 +849,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 requests = json.loads(
                     Path(args.warm).read_text(encoding="utf-8")
                 )
-                warmed = server.warm(requests)
+                if sharded:
+                    # Affinity-route each warm request: it caches on
+                    # the worker that will serve the repeat query.
+                    from repro.serve import handle_request
+
+                    warmed = sum(
+                        1 for r in requests
+                        if handle_request(server, dict(r)).get("ok")
+                    )
+                else:
+                    warmed = server.warm(requests)
                 stats = server.cache_stats()
                 print(
                     f"warm: executed {warmed} requests "

@@ -65,6 +65,8 @@ from repro.engine.shared_csr import (
     CSRGraphView,
     SharedCSR,
     SharedProbs,
+    SharedTagGraph,
+    TagGraphHandle,
 )
 from repro.engine.rr_storage import RRCollection
 from repro.engine.runtime import (
@@ -93,6 +95,8 @@ __all__ = [
     "SamplingEngine",
     "SharedCSR",
     "SharedProbs",
+    "SharedTagGraph",
+    "TagGraphHandle",
     "batched_cascade_counts",
     "batched_rr_members",
     "bitparallel_cascade_counts",

@@ -707,6 +707,56 @@ class SamplingEngine:
         obs.count("rr.members", int(collection.members.size))
         return collection
 
+    def sample_rr_partition(
+        self,
+        graph: TagGraph,
+        target_arr: np.ndarray,
+        edge_probs: np.ndarray,
+        theta: int,
+        rng: np.random.Generator | int | None,
+        part_index: int,
+        part_count: int,
+    ) -> tuple[RRCollection, int]:
+        """Sample only this participant's slice of the ``theta`` shard plan.
+
+        The determinism contract of :meth:`sample_rr_sets` makes RR
+        sampling partitionable across *processes*, not just pool
+        workers: the shard plan (``_shard_counts``) and the per-shard
+        seed-sequence spawn tree depend only on ``(theta, shard_size,
+        rng)``, and each shard's samples are a pure function of its
+        seed sequence. This method spawns the **full** stream list —
+        keeping the spawn tree identical to a monolithic run — then
+        materializes only the shards with ``index % part_count ==
+        part_index``, round-robin so the ragged tail shard doesn't
+        always land on the same participant.
+
+        The union of all ``part_count`` partitions contains exactly the
+        RR sets a single :meth:`sample_rr_sets` call would have drawn
+        (grouped by shard, which per-set aggregates like coverage
+        counts are invariant to). Returns ``(collection,
+        total_shards)``; shards run in-process — in the sharded
+        campaign service the calling worker process *is* the unit of
+        parallelism.
+        """
+        if part_count < 1 or not 0 <= part_index < part_count:
+            raise ConfigurationError(
+                f"invalid partition {part_index}/{part_count}"
+            )
+        rng = ensure_rng(rng)
+        counts = _shard_counts(theta, self.shard_size)
+        streams = spawn_seed_sequences(rng, len(counts))
+        shards = [
+            _rr_shard(
+                graph, target_arr, edge_probs, counts[i], streams[i],
+                self.mode, self.batch_size,
+            )
+            for i in range(part_index, len(counts), part_count)
+        ]
+        collection = self._collect_rr(shards, graph.num_nodes)
+        obs.count("rr.samples_drawn", len(collection))
+        obs.count("rr.members", int(collection.members.size))
+        return collection, len(counts)
+
     @staticmethod
     def _collect_rr(shards: list, num_nodes: int) -> RRCollection:
         if not shards:

@@ -433,6 +433,91 @@ class SharedProbs:
         self._pack.unlink()
 
 
+@dataclass(frozen=True)
+class TagGraphHandle:
+    """Picklable address of a :class:`SharedTagGraph`.
+
+    Unlike :class:`CSRGraphHandle` (structure only, kernels consume a
+    pre-aggregated probability vector), this handle reconstructs a full
+    :class:`~repro.graphs.tag_graph.TagGraph` — edge endpoints *and* the
+    per-tag conditional probability table — so an attaching process can
+    run tag aggregation, serving, and sketch builds of its own. The
+    shard-service workers attach one of these instead of unpickling a
+    private graph copy apiece.
+    """
+
+    pack: PackHandle
+    num_nodes: int
+    tags: tuple[str, ...]
+
+    def attach(self):
+        """A :class:`TagGraph` over this process's shared mapping.
+
+        The edge-endpoint and tag-table arrays are zero-copy read-only
+        views into the shared segment (``TagGraph.__init__`` keeps
+        int64/float64 inputs as-is); only the CSR index, rebuilt at
+        construction, is private to the attaching process.
+        """
+        from repro.graphs.tag_graph import TagGraph
+
+        views = self.pack.attach()
+        tag_probs = {
+            tag: (views[f"tag.{i}.ids"], views[f"tag.{i}.probs"])
+            for i, tag in enumerate(self.tags)
+        }
+        return TagGraph(self.num_nodes, views["src"], views["dst"],
+                        tag_probs)
+
+
+class SharedTagGraph:
+    """A whole tag graph published once for multi-process serving.
+
+    The owner (the shard router) packs ``src``/``dst`` plus every tag's
+    ``(edge_ids, probs)`` pair into one named segment; each worker
+    process attaches by token and rebuilds a :class:`TagGraph` whose
+    edge arrays alias the shared pages. Creator-owned lifecycle, same
+    as :class:`SharedCSR`: workers never unlink, a SIGKILLed worker
+    leaks nothing, and the owner's ``unlink()`` (or its
+    ``weakref.finalize`` backstop) destroys the one backing store.
+    """
+
+    def __init__(self, graph, spill_dir: str | None = None,
+                 spill_threshold: int | None = None) -> None:
+        arrays: dict[str, np.ndarray] = {
+            "src": graph.src, "dst": graph.dst,
+        }
+        tags = tuple(graph.tags)
+        for i, tag in enumerate(tags):
+            ids, probs = graph.tag_edges(tag)
+            arrays[f"tag.{i}.ids"] = ids
+            arrays[f"tag.{i}.probs"] = probs
+        self._pack = SharedArrayPack(
+            arrays, spill_dir=spill_dir, spill_threshold=spill_threshold
+        )
+        self.handle = TagGraphHandle(
+            self._pack.handle, graph.num_nodes, tags
+        )
+
+    @property
+    def backend(self) -> str:
+        return self._pack.backend
+
+    @property
+    def nbytes(self) -> int:
+        return self._pack.nbytes
+
+    def unlink(self) -> None:
+        """Destroy the backing store (idempotent)."""
+        self._pack.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedTagGraph(backend={self.backend!r}, "
+            f"nbytes={self.nbytes}, num_nodes={self.handle.num_nodes}, "
+            f"num_tags={len(self.handle.tags)})"
+        )
+
+
 def resolve_graph(graph_ref):
     """A usable graph from a task argument: pass-through or attach."""
     if isinstance(graph_ref, CSRGraphHandle):

@@ -235,6 +235,17 @@ class ServerClosedError(ReproError):
     """Raised when a query is submitted to a closed campaign server."""
 
 
+class WorkerDiedError(ReproError):
+    """Raised when a shard worker process died and could not be replaced.
+
+    The shard router retries queries interrupted by a worker death on
+    the respawned worker transparently; this error surfaces only when
+    the respawn budget is exhausted (or the service is shutting down),
+    so seeing it means the fleet is genuinely degraded, not that one
+    process blinked.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be written or restored.
 

@@ -57,6 +57,7 @@ __all__ = [
     "Scrape",
     "TelemetryEndpoint",
     "TelemetryExporter",
+    "merge_metrics_snapshots",
     "parse_listen_address",
     "parse_openmetrics",
     "quantile_from_cumulative",
@@ -101,6 +102,86 @@ def _format_value(value: float) -> str:
     if isinstance(value, float) and not value.is_integer():
         return repr(value)
     return str(int(value))
+
+
+# ---------------------------------------------------------------------------
+# Multi-endpoint aggregation (shard router → one /metrics scrape)
+# ---------------------------------------------------------------------------
+
+#: Gauges that must NOT be summed across workers when snapshots merge.
+#: ``serve.epoch`` is fleet-wide state (all workers pin the same epoch,
+#: so max == the common value and a divergent worker only ever *raises*
+#: the reported epoch, which monitoring catches); uptime is a property
+#: of the service, not additive across processes; utilization is a
+#: ratio, so the fleet figure is the mean.
+_MERGE_GAUGE_MAX = frozenset({"serve.epoch", "serve.uptime_seconds"})
+_MERGE_GAUGE_MEAN = frozenset({"serve.utilization"})
+
+
+def merge_metrics_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-worker ``server.metrics()`` snapshots into one document.
+
+    The shard router scrapes every worker process and answers a single
+    ``/metrics`` exposition for the fleet. Merge semantics follow the
+    instrument kinds: counters add (the exact-work-accounting invariant
+    — fleet totals equal the sum of per-worker totals); histogram
+    ``count``/``sum``/``buckets`` add bucket-wise with ``min``/``max``
+    folded and the p50/p95/p99 estimates recomputed from the merged
+    buckets; gauges add except for the fleet-level exceptions in
+    :data:`_MERGE_GAUGE_MAX` / :data:`_MERGE_GAUGE_MEAN`. The result
+    has the same shape as a single server's snapshot, so
+    :func:`render_openmetrics` (and everything downstream of it)
+    consumes it unchanged.
+    """
+    counters: Dict[str, float] = {}
+    gauge_values: Dict[str, List[float]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snap in snapshots:
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in (snap.get("gauges") or {}).items():
+            gauge_values.setdefault(name, []).append(float(value))
+        for name, hist in (snap.get("histograms") or {}).items():
+            agg = histograms.setdefault(
+                name, {"count": 0, "sum": 0.0, "buckets": {}}
+            )
+            agg["count"] += int(hist.get("count") or 0)
+            agg["sum"] += float(hist.get("sum") or 0.0)
+            for edge, n in (hist.get("buckets") or {}).items():
+                edge = int(edge)  # JSON transport stringifies the keys
+                agg["buckets"][edge] = agg["buckets"].get(edge, 0) + int(n)
+            if hist.get("count"):
+                if "min" in hist:
+                    agg["min"] = min(agg.get("min", hist["min"]),
+                                     hist["min"])
+                if "max" in hist:
+                    agg["max"] = max(agg.get("max", hist["max"]),
+                                     hist["max"])
+
+    gauges = {}
+    for name, values in gauge_values.items():
+        if name in _MERGE_GAUGE_MAX:
+            gauges[name] = max(values)
+        elif name in _MERGE_GAUGE_MEAN:
+            gauges[name] = sum(values) / len(values)
+        else:
+            gauges[name] = sum(values)
+
+    for name, agg in histograms.items():
+        count = agg["count"]
+        agg["mean"] = agg["sum"] / count if count else 0.0
+        if count:
+            for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+                agg[label] = bucket_quantile(
+                    agg["buckets"], count, q,
+                    lo=agg.get("min"), hi=agg.get("max"),
+                )
+        agg["buckets"] = {
+            str(k): v for k, v in sorted(agg["buckets"].items())
+        }
+
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,14 @@ Quick start::
 The ``repro serve`` CLI subcommand exposes the same facade over a
 line-delimited JSON protocol on stdin/stdout
 (:mod:`repro.serve.protocol`).
+
+For multi-process serving, :class:`ShardedCampaignService`
+(:mod:`repro.serve.shard`) fronts N worker processes — each a full
+``CampaignServer`` attached to the shared-memory graph — behind the
+identical wire protocol, with consistent-hash affinity routing
+(:mod:`repro.serve.ring`), scatter/gather greedy coverage, worker
+respawn, and epoch-broadcast edits. ``repro serve --workers N`` boots
+it from the CLI.
 """
 
 from repro.serve.cache import AssetCache, CachedAsset, CacheStats
@@ -43,18 +51,27 @@ from repro.serve.keys import (
     AssetKey,
     canonical_tags,
     config_digest,
+    routing_token,
     targets_digest,
 )
-from repro.serve.protocol import execute_request, handle_line, serve_stdio
+from repro.serve.protocol import (
+    execute_request,
+    handle_line,
+    handle_request,
+    serve_stdio,
+)
 from repro.serve.qos import (
     QUERY_CLASSES,
     TIERS,
     CircuitBreaker,
     LatencyPredictor,
     QosConfig,
+    RouterAdmission,
     WeightedClassQueues,
 )
+from repro.serve.ring import HashRing
 from repro.serve.server import METRICS_SCHEMA, CampaignServer, ServeResponse
+from repro.serve.shard import ShardedCampaignService, WorkerSpec
 
 __all__ = [
     "AssetCache",
@@ -63,19 +80,25 @@ __all__ = [
     "CacheStats",
     "CampaignServer",
     "CircuitBreaker",
+    "HashRing",
     "InjectedChaosError",
     "LatencyPredictor",
     "METRICS_SCHEMA",
     "QUERY_CLASSES",
     "QosConfig",
+    "RouterAdmission",
     "ServeFaultPlan",
     "ServeResponse",
+    "ShardedCampaignService",
     "TIERS",
     "WeightedClassQueues",
+    "WorkerSpec",
     "canonical_tags",
     "config_digest",
+    "routing_token",
     "targets_digest",
     "execute_request",
     "handle_line",
+    "handle_request",
     "serve_stdio",
 ]

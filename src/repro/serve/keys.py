@@ -39,11 +39,18 @@ of:
 from __future__ import annotations
 
 import hashlib
+import json
 from typing import Iterable, NamedTuple, Sequence
 
 from repro.utils.validation import as_target_array
 
-__all__ = ["AssetKey", "canonical_tags", "config_digest", "targets_digest"]
+__all__ = [
+    "AssetKey",
+    "canonical_tags",
+    "config_digest",
+    "routing_token",
+    "targets_digest",
+]
 
 
 def targets_digest(targets: Iterable[int], num_nodes: int) -> str:
@@ -73,6 +80,44 @@ def canonical_tags(tags: Sequence[str]) -> tuple[str, ...]:
 def config_digest(config: object) -> str:
     """Digest of a (frozen, repr-stable) configuration object."""
     return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+#: Request fields that participate in routing. Everything that selects
+#: the *asset* a query consumes is included; per-call execution knobs
+#: (deadline, QoS class, budget caps, report flag) are not — the same
+#: campaign asked politely or urgently must land on the same worker.
+_ROUTING_FIELDS = (
+    "targets", "tags", "seeds", "k", "r", "seed", "engine", "method",
+    "num_samples", "theta_c",
+)
+
+
+def routing_token(request: dict) -> str:
+    """Stable placement key for one wire-protocol request.
+
+    A pure function of the request's asset-identifying fields with the
+    same canonicalization the :class:`AssetKey` scheme applies (tag
+    sets sorted/deduplicated, node-id sets sorted/deduplicated), so two
+    requests that would share a cached asset always share a routing
+    token — and therefore a worker — while unrelated campaigns spread
+    across the ring. Malformed values are kept verbatim: they still
+    route deterministically and fail validation on the worker.
+    """
+    parts: dict = {"op": str(request.get("op", ""))}
+    for field in _ROUTING_FIELDS:
+        if field not in request:
+            continue
+        value = request[field]
+        if isinstance(value, (list, tuple)):
+            if field in ("targets", "seeds"):
+                try:
+                    value = sorted({int(v) for v in value})
+                except (TypeError, ValueError):
+                    value = list(value)
+            elif field == "tags":
+                value = list(canonical_tags([str(t) for t in value]))
+        parts[field] = value
+    return json.dumps(parts, sort_keys=True, default=str)
 
 
 class AssetKey(NamedTuple):

@@ -57,7 +57,7 @@ from typing import Any, IO
 from repro.exceptions import QueryRejectedError, ReproError
 from repro.serve.server import METRICS_SCHEMA, CampaignServer, ServeResponse
 
-__all__ = ["execute_request", "handle_line", "serve_stdio"]
+__all__ = ["execute_request", "handle_line", "handle_request", "serve_stdio"]
 
 _QUERY_OPS = ("find_seeds", "find_tags", "joint", "spread")
 
@@ -101,7 +101,17 @@ def execute_request(
     for administrative ops (``metrics``/``ping``/``warm_index``).
     Raises on invalid requests — :func:`handle_line` turns that into an
     error response.
+
+    ``server`` may also be a shard router (anything exposing
+    ``route_request``): the whole decoded request is then handed to the
+    router verbatim, which dispatches it to a worker process (or
+    broadcasts it) and returns the finished wire response dict — so
+    ``serve_stdio`` speaks the identical protocol whether it fronts one
+    in-process :class:`CampaignServer` or a sharded fleet.
     """
+    route = getattr(server, "route_request", None)
+    if route is not None:
+        return route(request)
     op = request.get("op")
     if op == "ping":
         return {"pong": True}
@@ -210,9 +220,27 @@ def handle_line(server: CampaignServer, line: str) -> dict:
     and overload rejections — becomes a well-formed error response; the
     protocol loop never dies on a bad request.
     """
-    request_id = None
     try:
         request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {
+            "ok": False,
+            "error": str(exc) or repr(exc),
+            "type": type(exc).__name__,
+        }
+    return handle_request(server, request)
+
+
+def handle_request(server: CampaignServer, request: object) -> dict:
+    """Run one decoded request and shape the full response dict.
+
+    The dict-level core of :func:`handle_line`, shared by the stdio
+    loop and the shard workers (whose requests arrive over a pipe
+    already decoded). Same guarantee: every failure becomes a
+    well-formed error response.
+    """
+    request_id = None
+    try:
         if not isinstance(request, dict):
             raise ReproError("request must be a JSON object")
         request_id = request.get("id")

@@ -61,6 +61,7 @@ __all__ = [
     "CircuitBreaker",
     "LatencyPredictor",
     "QosConfig",
+    "RouterAdmission",
     "WeightedClassQueues",
 ]
 
@@ -298,6 +299,95 @@ class LatencyPredictor:
             op: {"count": float(len(vals)), "p95_ms": self._p95(vals)}
             for op, vals in items
         }
+
+
+class RouterAdmission:
+    """Front-door admission gate for the sharded campaign service.
+
+    The shard router sits in front of N worker processes, each running
+    its own :class:`~repro.serve.CampaignServer` with the full graded
+    QoS machinery (weighted class queues, deadline admission, degraded
+    tiers). The router therefore needs only a *global* backpressure
+    bound: cap total dispatched-and-unfinished queries at roughly the
+    fleet's aggregate capacity so a traffic spike turns into clean,
+    machine-actionable :class:`~repro.exceptions.ServerOverloadedError`
+    rejections at the front door instead of unbounded pipe backlogs
+    behind it. Per-worker shedding, class weighting, and degradation
+    still happen where the queues live — on the workers.
+
+    Thread-safe; rejections are side-effect free (the failed admit
+    touches nothing but its own counters).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        min_retry_after_ms: float = 25.0,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"router admission capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._min_retry_after_ms = float(min_retry_after_ms)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._per_class: Dict[str, int] = {
+            name: 0 for name in QUERY_CLASSES
+        }
+        self._admitted = 0
+        self._rejected = 0
+        self._peak = 0
+
+    def admit(self, qos_class: str = "interactive") -> None:
+        """Take one in-flight slot or raise ``ServerOverloadedError``.
+
+        Pair every successful call with exactly one :meth:`release`.
+        """
+        from repro.exceptions import ServerOverloadedError
+
+        qos_class = qos_class if qos_class in self._per_class else (
+            QUERY_CLASSES[0]
+        )
+        with self._lock:
+            if self._in_flight >= self.capacity:
+                self._rejected += 1
+                raise ServerOverloadedError(
+                    capacity=self.capacity,
+                    retry_after_ms=self._min_retry_after_ms,
+                    qos_class=qos_class,
+                )
+            self._in_flight += 1
+            self._admitted += 1
+            self._per_class[qos_class] += 1
+            self._peak = max(self._peak, self._in_flight)
+
+    def release(self, qos_class: str = "interactive") -> None:
+        qos_class = qos_class if qos_class in self._per_class else (
+            QUERY_CLASSES[0]
+        )
+        with self._lock:
+            self._in_flight = max(self._in_flight - 1, 0)
+            self._per_class[qos_class] = max(
+                self._per_class[qos_class] - 1, 0
+            )
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for the router's ``/metrics`` aggregation."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self._peak,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "per_class": dict(self._per_class),
+            }
 
 
 @dataclass

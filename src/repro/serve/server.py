@@ -454,6 +454,17 @@ class CampaignServer:
         return self._graph_state[1]
 
     @property
+    def graph_state(self) -> tuple[TagGraph, int]:
+        """Atomic ``(graph, epoch)`` snapshot currently being served.
+
+        The pair is replaced wholesale by :meth:`apply_edits`, so a
+        caller that needs a consistent graph/epoch view (the shard
+        workers' scatter/gather coverage path) reads this once instead
+        of racing :attr:`graph` against :attr:`epoch`.
+        """
+        return self._graph_state
+
+    @property
     def mutable_graph(self) -> MutableTagGraph | None:
         """The versioned edit layer, or ``None`` if immutable."""
         return self._mutable

@@ -218,9 +218,11 @@ class TestInterleavedDeterminism:
 
 class TestAdmissionControl:
     def test_overload_rejected_cleanly(self, fig9_graph):
+        started = threading.Event()
         release = threading.Event()
 
         def blocking_runner(_ob):
+            started.set()
             assert release.wait(timeout=WAIT)
             return None, "none"
 
@@ -228,6 +230,10 @@ class TestAdmissionControl:
             fig9_graph, pool_size=1, queue_capacity=1
         ) as server:
             first = server._submit("block", blocking_runner)
+            # Wait for the runner to *execute* (not merely sit queued)
+            # so the occupancy the later asserts see — one executing,
+            # one queued, third rejected — is scheduling-independent.
+            assert started.wait(timeout=WAIT)
             second = server._submit("block", blocking_runner)
             with pytest.raises(ServerOverloadedError) as excinfo:
                 server._submit("block", blocking_runner)
@@ -245,9 +251,11 @@ class TestAdmissionControl:
 
     def test_rejected_query_leaves_no_state(self, fig9_graph):
         """A rejected submit must not occupy a slot or touch the cache."""
+        started = threading.Event()
         release = threading.Event()
 
         def blocking_runner(_ob):
+            started.set()
             assert release.wait(timeout=WAIT)
             return None, "none"
 
@@ -255,6 +263,9 @@ class TestAdmissionControl:
             fig9_graph, pool_size=1, queue_capacity=0
         ) as server:
             blocker = server._submit("block", blocking_runner)
+            # The blocker must hold the single pool slot before the
+            # rejection loop — queued-vs-executing must not matter.
+            assert started.wait(timeout=WAIT)
             for _ in range(5):
                 with pytest.raises(ServerOverloadedError):
                     server.submit_find_seeds(

@@ -1,0 +1,207 @@
+"""Property tests for consistent-hash placement (`ring.py` + `keys.py`).
+
+The sharded service's cache-affinity story rests on three properties,
+checked here with Hypothesis over randomized member sets and key
+populations:
+
+* **Determinism** — placement is a pure function of (members,
+  replicas, key): independently built rings agree on every key, and
+  membership-churn round trips restore the original placement exactly.
+* **Minimal disruption** — removing a member remaps *only* that
+  member's keys (everyone else's placement is untouched), adding a
+  member moves keys only *onto* the new member, and the moved fraction
+  concentrates around ``1/N``.
+* **Affinity stability** — :func:`routing_token` is invariant under
+  everything that doesn't change the asset a query consumes (target
+  permutation/duplication, tag order, QoS/deadline/report knobs), and
+  sensitive to everything that does (k, seed, engine, targets).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.serve.keys import routing_token
+from repro.serve.ring import HashRing
+
+import pytest
+
+MEMBERS = st.lists(
+    st.sampled_from([f"w{i}" for i in range(12)]),
+    min_size=1, max_size=8, unique=True,
+)
+KEYS = st.lists(st.text(min_size=1, max_size=24), min_size=1, max_size=80)
+
+
+def _placements(ring: HashRing, keys) -> dict:
+    return {key: ring.place(key) for key in keys}
+
+
+class TestDeterminism:
+    @given(members=MEMBERS, keys=KEYS)
+    def test_independent_rings_agree(self, members, keys):
+        a = HashRing(members)
+        b = HashRing(reversed(members))  # insertion order is irrelevant
+        assert _placements(a, keys) == _placements(b, keys)
+
+    @given(members=MEMBERS, keys=KEYS, data=st.data())
+    def test_churn_round_trip_restores_placement(self, members, keys, data):
+        ring = HashRing(members)
+        before = _placements(ring, keys)
+        member = data.draw(st.sampled_from(members))
+        ring.remove(member)
+        ring.add(member)
+        assert _placements(ring, keys) == before
+
+    @given(members=MEMBERS, keys=KEYS)
+    def test_placement_lands_on_a_member(self, members, keys):
+        ring = HashRing(members)
+        for key in keys:
+            assert ring.place(key) in ring.members
+
+    def test_empty_ring_refuses_placement(self):
+        with pytest.raises(ConfigurationError):
+            HashRing().place("anything")
+
+    @given(members=MEMBERS, keys=KEYS)
+    def test_preference_head_is_place(self, members, keys):
+        ring = HashRing(members)
+        for key in keys:
+            pref = ring.preference(key, count=len(members))
+            assert pref[0] == ring.place(key)
+            # Distinct failover members, all real.
+            assert len(set(pref)) == len(pref)
+            assert set(pref) <= ring.members
+
+
+class TestMinimalDisruption:
+    @given(members=MEMBERS, keys=KEYS, data=st.data())
+    def test_removal_remaps_only_the_removed_members_keys(
+        self, members, keys, data
+    ):
+        if len(members) < 2:
+            return
+        ring = HashRing(members)
+        before = _placements(ring, keys)
+        victim = data.draw(st.sampled_from(members))
+        ring.remove(victim)
+        after = _placements(ring, keys)
+        for key in keys:
+            if before[key] == victim:
+                assert after[key] != victim
+            else:
+                # Keys owned by surviving members must not move at all.
+                assert after[key] == before[key]
+
+    @given(members=MEMBERS, keys=KEYS, data=st.data())
+    def test_addition_moves_keys_only_onto_the_new_member(
+        self, members, keys, data
+    ):
+        ring = HashRing(members)
+        before = _placements(ring, keys)
+        newcomer = data.draw(
+            st.sampled_from([f"n{i}" for i in range(4)])
+        )
+        ring.add(newcomer)
+        after = _placements(ring, keys)
+        for key in keys:
+            if after[key] != before[key]:
+                assert after[key] == newcomer
+
+    @settings(max_examples=10, deadline=None)
+    @given(workers=st.integers(min_value=2, max_value=8))
+    def test_remapped_fraction_is_about_one_over_n(self, workers):
+        """With V=128 virtual points the moved share concentrates
+        around 1/N; allow generous slack (≤ 2/N) rather than asserting
+        the expectation exactly."""
+        members = [f"w{i}" for i in range(workers)]
+        keys = [f"key-{i}" for i in range(3000)]
+        ring = HashRing(members)
+        before = _placements(ring, keys)
+        ring.add("extra")
+        after = _placements(ring, keys)
+        moved = sum(1 for k in keys if after[k] != before[k])
+        fraction = moved / len(keys)
+        # Growing N -> N+1 should move ~1/(N+1) of keys.
+        assert fraction <= 2.0 / (workers + 1)
+        assert fraction > 0.0
+
+    def test_load_is_roughly_balanced(self):
+        members = [f"w{i}" for i in range(4)]
+        ring = HashRing(members)
+        keys = [f"campaign-{i}" for i in range(4000)]
+        loads = {m: 0 for m in members}
+        for key in keys:
+            loads[ring.place(key)] += 1
+        mean = len(keys) / len(members)
+        for member, load in loads.items():
+            assert 0.5 * mean <= load <= 1.6 * mean, (member, loads)
+
+
+NODE_IDS = st.lists(
+    st.integers(min_value=0, max_value=99), min_size=1, max_size=12
+)
+TAGS = st.lists(
+    st.sampled_from(["a", "b", "c", "music", "food"]),
+    min_size=0, max_size=4,
+)
+
+
+class TestRoutingTokenAffinity:
+    @given(targets=NODE_IDS, tags=TAGS, data=st.data())
+    def test_invariant_under_request_noise(self, targets, tags, data):
+        """Permuting targets/tags, duplicating targets, and toggling
+        per-call knobs must not move the campaign to another worker."""
+        base = {
+            "op": "find_seeds", "targets": targets, "tags": tags,
+            "k": 3, "seed": 7, "engine": "trs",
+        }
+        token = routing_token(base)
+
+        shuffled = dict(base)
+        shuffled["targets"] = data.draw(st.permutations(targets))
+        shuffled["tags"] = data.draw(st.permutations(tags))
+        shuffled["targets"] = list(shuffled["targets"]) + [targets[0]]
+        assert routing_token(shuffled) == token
+
+        knobbed = dict(
+            base, deadline=0.25, qos_class="batch", report=True,
+            max_samples=10, id="req-42",
+        )
+        assert routing_token(knobbed) == token
+
+    @given(targets=NODE_IDS, tags=TAGS)
+    def test_sensitive_to_asset_identity(self, targets, tags):
+        base = {
+            "op": "find_seeds", "targets": targets, "tags": tags,
+            "k": 3, "seed": 7, "engine": "trs",
+        }
+        token = routing_token(base)
+        assert routing_token(dict(base, k=4)) != token
+        assert routing_token(dict(base, seed=8)) != token
+        assert routing_token(dict(base, engine="imm")) != token
+        assert routing_token(dict(base, op="spread")) != token
+        grown = dict(base, targets=list(targets) + [100])
+        assert routing_token(grown) != token
+
+    @given(targets=NODE_IDS, tags=TAGS, members=MEMBERS)
+    def test_equivalent_requests_share_a_worker(self, targets, tags, members):
+        """End to end: the ring places all noise-variants of one
+        campaign on the same worker."""
+        ring = HashRing(members)
+        base = {
+            "op": "find_seeds", "targets": targets, "tags": tags,
+            "k": 2, "seed": 1, "engine": "trs",
+        }
+        noisy = {
+            "op": "find_seeds",
+            "targets": list(reversed(targets)) + list(targets),
+            "tags": list(reversed(tags)),
+            "k": 2, "seed": 1, "engine": "trs",
+            "deadline": 1.0, "class": "interactive", "report": True,
+        }
+        assert ring.place(routing_token(base)) == ring.place(
+            routing_token(noisy)
+        )
