@@ -284,11 +284,53 @@ def _bench_sharded(graph, targets, tags, k, worker_counts=(1, 2, 4),
             "speedup_vs_1w": round(baseline_wall / wall_s, 2),
             "ring_load": dict(sorted(load.items())),
         })
+
+    # Tracing-overhead leg: the same burst, same largest fleet, with
+    # distributed tracing on. The burst is latency-bound (every build
+    # sleeps ``build_slow_s``), so span collection + shipping must
+    # disappear into the builds — the gated overhead budget is 5%.
+    largest = max(worker_counts)
+    service = ShardedCampaignService(
+        graph, workers=largest, spec=spec, tracing=True
+    )
+    try:
+        with ThreadPoolExecutor(max_workers=queries) as pool:
+            start = time.perf_counter()
+            futures = [
+                pool.submit(service.route_request, dict(r))
+                for r in requests
+            ]
+            responses = [f.result() for f in futures]
+            traced_wall = time.perf_counter() - start
+        trace_events = len(service.chrome_trace())
+    finally:
+        service.close()
+    assert all(r.get("ok") for r in responses), [
+        r for r in responses if not r.get("ok")
+    ][:1]
+    traced_answers = {
+        req["seed"]: (tuple(resp["seeds"]), resp["spread"])
+        for req, resp in zip(requests, responses)
+    }
+    assert traced_answers == baseline_answers, (
+        "tracing perturbed the answers"
+    )
+    base_wall = rows[-1]["wall_s"]
+    overhead = max(0.0, traced_wall / base_wall - 1.0)
+    traced = {
+        "workers": largest,
+        "wall_s": round(traced_wall, 4),
+        "throughput_qps": round(queries / traced_wall, 2),
+        "trace_events": trace_events,
+        "overhead_frac": round(overhead, 4),
+    }
     return {
         "queries": queries,
         "bit_identical_across_fleets": True,
         "fleets": rows,
         "speedup_4w": rows[-1]["speedup_vs_1w"],
+        "traced": traced,
+        "trace_overhead_frac": traced["overhead_frac"],
     }
 
 
@@ -344,6 +386,14 @@ def main() -> int:
             f"{row['throughput_qps']:>6.1f} q/s  "
             f"{row['speedup_vs_1w']:>4.1f}x"
         )
+    traced = sharded["traced"]
+    print(
+        f"  {traced['workers']} worker(s) traced: "
+        f"{traced['wall_s']:>7.3f}s  "
+        f"{traced['throughput_qps']:>6.1f} q/s  "
+        f"({traced['trace_events']} trace events, "
+        f"{traced['overhead_frac'] * 100:.1f}% overhead)"
+    )
 
     payload = {
         "quick": args.quick,

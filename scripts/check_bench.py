@@ -65,7 +65,8 @@ from pathlib import Path
 
 
 def check_serve(
-    payload: dict, min_speedup: float, min_shard_speedup: float = 3.0
+    payload: dict, min_speedup: float, min_shard_speedup: float = 3.0,
+    max_trace_overhead: float = 0.05,
 ) -> list[str]:
     """Return a list of failure messages (empty = all gates pass)."""
     failures: list[str] = []
@@ -93,6 +94,25 @@ def check_serve(
                 f"sharded 4-worker speedup {shard_speedup:.1f}x < "
                 f"required {min_shard_speedup:.1f}x over 1 worker"
             )
+        traced = sharded.get("traced")
+        if traced is None:
+            failures.append("missing traced sharded leg")
+        else:
+            overhead = sharded.get(
+                "trace_overhead_frac", traced.get("overhead_frac")
+            )
+            if overhead is None:
+                failures.append("traced leg reports no overhead fraction")
+            elif overhead > max_trace_overhead:
+                failures.append(
+                    f"distributed-tracing overhead {overhead * 100:.1f}% "
+                    f"> allowed {max_trace_overhead * 100:.1f}% on the "
+                    f"{traced.get('workers')}-worker burst"
+                )
+            if not traced.get("trace_events"):
+                failures.append(
+                    "traced leg collected no stitched trace events"
+                )
 
     gated = results[-1]
     speedup = gated.get("warm_over_cold_speedup", 0.0)
@@ -290,6 +310,12 @@ def main(argv: list[str] | None = None) -> int:
              "for the sharded cold burst (default 3.0)",
     )
     parser.add_argument(
+        "--max-trace-overhead", type=float, default=0.05,
+        help="serve artifacts: allowed throughput overhead fraction of "
+             "the traced sharded burst over the untraced one "
+             "(default 0.05 = 5%%)",
+    )
+    parser.add_argument(
         "--min-bit-speedup", type=float, default=32.0,
         help="engine artifacts: bit-parallel RR speedup floor for the "
              "gated config (default 32.0)",
@@ -311,7 +337,8 @@ def main(argv: list[str] | None = None) -> int:
         failures = check_load(payload, args.max_error_frac)
     else:
         failures = check_serve(
-            payload, args.min_speedup, args.min_shard_speedup
+            payload, args.min_speedup, args.min_shard_speedup,
+            args.max_trace_overhead,
         )
     if failures:
         for failure in failures:
@@ -347,7 +374,9 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.min_speedup:.1f}x; "
             f"singleflight_joins={gated['concurrent']['singleflight_joins']}; "
             f"sharded 4w {shard.get('speedup_4w', 0):.1f}x >= "
-            f"{args.min_shard_speedup:.1f}x"
+            f"{args.min_shard_speedup:.1f}x; tracing overhead "
+            f"{shard.get('trace_overhead_frac', 0) * 100:.1f}% <= "
+            f"{args.max_trace_overhead * 100:.1f}%"
         )
     return 0
 

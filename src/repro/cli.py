@@ -23,11 +23,15 @@ Subcommands
     assets from a JSON request array before serving; ``--warm-index``
     builds and freezes a shared possible-world index at startup.
     ``--listen HOST:PORT`` embeds a live telemetry endpoint
-    (``/metrics`` in OpenMetrics text, ``/healthz``, ``/events``);
-    ``--events-out PATH`` mirrors the query-lifecycle event log
-    (JSONL, schema ``repro.obs.events/1``) to a file, flushed even on
-    SIGTERM/Ctrl-C, with optional size-based rotation
-    (``--events-max-bytes`` / ``--events-backups``). QoS/overload knobs
+    (``/metrics`` in OpenMetrics text, ``/healthz``, ``/events``,
+    ``/trace``, ``/debug/slow``); ``--events-out PATH`` mirrors the
+    query-lifecycle event log (JSONL, schema ``repro.obs.events/2``)
+    to a file, flushed even on SIGTERM/Ctrl-C, with optional
+    size-based rotation (``--events-max-bytes`` / ``--events-backups``;
+    with ``--workers N`` the causally merged fleet stream is written at
+    shutdown instead). ``--trace PATH`` enables distributed tracing and
+    writes the stitched Chrome trace at shutdown; ``--flight-slow-ms``
+    tunes the slow-query flight recorder. QoS/overload knobs
     (``--shed-threshold`` / ``--stale-threshold``) and the seeded
     chaos harness (``--chaos-*``) are wired straight into the server.
 ``loadgen``
@@ -43,7 +47,14 @@ Subcommands
     Live single-screen dashboard for a ``--listen`` endpoint: scrapes
     ``/metrics`` + ``/healthz`` every ``--interval`` seconds and
     renders qps, cache hit ratio, per-op p50/p95/p99 latency, cache
-    bytes/evictions, in-flight/queued, and uptime.
+    bytes/evictions, in-flight/queued, and uptime. Against a sharded
+    fleet it adds a per-worker table (qps, in-flight, respawns, epoch)
+    plus the unreachable-scrape counter.
+``flightrec``
+    Dump the slow-query flight recorder of a ``--listen`` endpoint
+    (``/debug/slow``): recent rejected / cancelled / deadline-missed /
+    slow queries, each with its QoS decisions and — when tracing is
+    on — the stitched trace of the offending query.
 
 All subcommands accept ``--seed`` for deterministic replays. Node lists
 are comma-separated; target files contain one node id per line.
@@ -354,15 +365,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--listen", default=None, metavar="HOST:PORT",
         help=(
             "embed a live telemetry HTTP endpoint serving /metrics "
-            "(OpenMetrics text), /healthz, and /events; port 0 picks a "
-            "free port (the resolved URL is printed to stderr)"
+            "(OpenMetrics text), /healthz, /events, /trace, and "
+            "/debug/slow; port 0 picks a free port (the resolved URL "
+            "is printed to stderr)"
         ),
     )
     serve.add_argument(
         "--events-out", default=None, metavar="PATH",
         help=(
             "mirror query-lifecycle events to PATH as JSONL (schema "
-            "repro.obs.events/1), flushed even on SIGTERM/Ctrl-C"
+            "repro.obs.events/2), flushed even on SIGTERM/Ctrl-C; with "
+            "--workers N the causally merged fleet stream is written "
+            "once at shutdown instead of streaming"
         ),
     )
     serve.add_argument(
@@ -403,6 +417,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "utilization past which best_effort queries are served from "
             "resident cache only, else shed (default 0.85)"
+        ),
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "enable distributed tracing and write the Chrome "
+            "trace-event JSON of every served query to PATH at "
+            "shutdown (with --workers N: the fleet-stitched trace, "
+            "worker spans clock-aligned under the router's); also "
+            "served live at the --listen /trace route"
+        ),
+    )
+    serve.add_argument(
+        "--flight-slow-ms", type=float, default=None, metavar="MS",
+        help=(
+            "flight-record successful queries slower than MS ms "
+            "(rejections, cancellations and deadline misses are always "
+            "recorded; inspect via /debug/slow or 'repro flightrec')"
         ),
     )
     serve.add_argument(
@@ -535,6 +567,23 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--once", action="store_true",
         help="render a single frame and exit (same as --iterations 1)",
+    )
+
+    flightrec = sub.add_parser(
+        "flightrec",
+        help="dump the slow-query flight recorder of a serve --listen "
+             "endpoint",
+    )
+    flightrec.add_argument(
+        "url", help="telemetry endpoint base URL (http://HOST:PORT)"
+    )
+    flightrec.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the most recent N flight records (default: all)",
+    )
+    flightrec.add_argument(
+        "--json", action="store_true",
+        help="print the raw repro.obs.flight/1 JSON document",
     )
 
     report = sub.add_parser(
@@ -735,7 +784,8 @@ def _make_qos(args: argparse.Namespace):
     """Build a non-default ``QosConfig`` from flags, or None."""
     shed = getattr(args, "shed_threshold", None)
     stale = getattr(args, "stale_threshold", None)
-    if shed is None and stale is None:
+    flight_slow = getattr(args, "flight_slow_ms", None)
+    if shed is None and stale is None and flight_slow is None:
         return None
     from repro.serve import QosConfig
 
@@ -745,6 +795,7 @@ def _make_qos(args: argparse.Namespace):
         stale_threshold=(
             stale if stale is not None else defaults.stale_threshold
         ),
+        flight_slow_ms=flight_slow,
     )
 
 
@@ -779,7 +830,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mutable=args.mutable,
             repair_mode=args.repair_mode,
         )
-        server = ShardedCampaignService(graph, workers=workers, spec=spec)
+        server = ShardedCampaignService(
+            graph, workers=workers, spec=spec,
+            tracing=args.trace is not None,
+        )
         print(
             f"sharded: {workers} worker processes "
             f"(pids {sorted(server.worker_pids().values())})",
@@ -800,8 +854,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             chaos=_make_chaos(args),
             mutable=args.mutable,
             repair_mode=args.repair_mode,
+            tracing=args.trace is not None,
         )
-    if args.events_out is not None:
+    if args.events_out is not None and not sharded:
         server.events.open_sink(
             args.events_out,
             max_bytes=args.events_max_bytes,
@@ -870,13 +925,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             if telemetry is not None:
                 telemetry.close()
+            # The stitched trace and the merged fleet event stream both
+            # round-trip to the workers, so they must be captured while
+            # the fleet is still up — before close().
+            trace_events = None
+            if args.trace is not None:
+                try:
+                    trace_events = server.chrome_trace()
+                except Exception as exc:  # pragma: no cover - teardown race
+                    print(f"trace drain failed: {exc}", file=sys.stderr)
+                    trace_events = []
+            merged_events = None
+            if sharded and args.events_out is not None:
+                try:
+                    merged_events = server.events_payload()
+                except Exception as exc:  # pragma: no cover - teardown race
+                    print(f"event merge failed: {exc}", file=sys.stderr)
             server.close()
+            if trace_events is not None:
+                Path(args.trace).write_text(
+                    json.dumps(trace_events, indent=2), encoding="utf-8"
+                )
+                print(
+                    f"wrote {len(trace_events)} trace events to "
+                    f"{args.trace}",
+                    file=sys.stderr,
+                )
+            if merged_events is not None:
+                with Path(args.events_out).open(
+                    "w", encoding="utf-8"
+                ) as fh:
+                    for record in merged_events.get("events", []):
+                        fh.write(json.dumps(record) + "\n")
+                print(
+                    f"wrote {len(merged_events.get('events', []))} merged "
+                    f"fleet events to {args.events_out}",
+                    file=sys.stderr,
+                )
             # close() flushed the event sink; closing the log also
             # releases a --events-out file so even the SIGTERM path
             # leaves a complete JSONL behind.
             events_total = server.events.total
             server.events.close()
-            if args.events_out is not None:
+            if args.events_out is not None and not sharded:
                 print(
                     f"wrote {events_total} events to {args.events_out}",
                     file=sys.stderr,
@@ -1006,6 +1097,53 @@ def _cmd_top(args: argparse.Namespace) -> int:
         time.sleep(args.interval)
 
 
+def _cmd_flightrec(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    base = args.url if "://" in args.url else f"http://{args.url}"
+    url = base.rstrip("/") + "/debug/slow"
+    if args.limit is not None:
+        url += f"?limit={int(args.limit)}"
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"repro flightrec: cannot fetch {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    records = payload.get("records") or []
+    slow_ms = payload.get("slow_ms")
+    print(
+        f"flight recorder: {len(records)} shown / "
+        f"{payload.get('total', len(records))} recorded "
+        f"(capacity {payload.get('capacity')}, slow_ms "
+        f"{slow_ms if slow_ms is not None else '-'})"
+    )
+    for record in records:
+        bits = [
+            f"{str(record.get('reason') or '?'):<13}",
+            f"op={record.get('op')}",
+            f"class={record.get('qos_class') or record.get('class')}",
+        ]
+        for key, fmt in (("elapsed_ms", "elapsed={:.1f}ms"),
+                         ("deadline_ms", "deadline={:.1f}ms")):
+            value = record.get(key)
+            if isinstance(value, (int, float)):
+                bits.append(fmt.format(value))
+        if record.get("code"):
+            bits.append(f"code={record['code']}")
+        if record.get("trace_id"):
+            bits.append(f"trace={record['trace_id']}")
+        spans = record.get("trace")
+        if isinstance(spans, list) and spans:
+            bits.append(f"spans={len(spans)}")
+        print("  " + "  ".join(bits))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     report = json.loads(Path(args.report_file).read_text(encoding="utf-8"))
     sys.stdout.write(obs.render_report(report))
@@ -1030,6 +1168,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "top": _cmd_top,
+    "flightrec": _cmd_flightrec,
 }
 
 
@@ -1098,8 +1237,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     profile = bool(getattr(args, "profile", False))
     if args.command == "serve":
         # The server observes each query in its own worker-thread scope
-        # and writes its own ``--metrics-out`` snapshot; a main-thread
-        # scope would see nothing and clobber that file.
+        # and writes its own ``--metrics-out`` snapshot and ``--trace``
+        # dump (for serve, --trace means distributed tracing, collected
+        # per query and — sharded — stitched across worker processes);
+        # a main-thread scope would see nothing and clobber those files.
         trace_path = metrics_path = None
         profile = False
     observing = bool(trace_path or metrics_path or profile)

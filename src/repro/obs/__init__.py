@@ -95,6 +95,17 @@ __all__ = [
     "start_live_telemetry",
     "render_openmetrics",
     "parse_openmetrics",
+    # distributed-tracing names, likewise lazy (repro.obs.distributed):
+    "TraceContext",
+    "TraceCollector",
+    "FlightRecorder",
+    "merge_event_payloads",
+    "span_bundle_from_tracer",
+    "new_span_id",
+    "TRACE_CONTEXT_KEY",
+    "SPAN_BUNDLE_KEY",
+    "TRACE_SCHEMA",
+    "FLIGHT_SCHEMA",
 ]
 
 #: Names forwarded to :mod:`repro.obs.live` on first access (PEP 562).
@@ -109,12 +120,32 @@ _LIVE_EXPORTS = frozenset(
     }
 )
 
+#: Names forwarded to :mod:`repro.obs.distributed` on first access.
+_DISTRIBUTED_EXPORTS = frozenset(
+    {
+        "TraceContext",
+        "TraceCollector",
+        "FlightRecorder",
+        "merge_event_payloads",
+        "span_bundle_from_tracer",
+        "new_span_id",
+        "TRACE_CONTEXT_KEY",
+        "SPAN_BUNDLE_KEY",
+        "TRACE_SCHEMA",
+        "FLIGHT_SCHEMA",
+    }
+)
+
 
 def __getattr__(name: str) -> Any:
     if name in _LIVE_EXPORTS:
         from repro.obs import live
 
         return getattr(live, name)
+    if name in _DISTRIBUTED_EXPORTS:
+        from repro.obs import distributed
+
+        return getattr(distributed, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -1,4 +1,4 @@
-"""Structured query-lifecycle event log (schema ``repro.obs.events/1``).
+"""Structured query-lifecycle event log (schema ``repro.obs.events/2``).
 
 Metrics answer "how much / how fast"; events answer "what happened,
 in what order, to which query". The serving layer emits one event per
@@ -36,6 +36,14 @@ Emitting an event reads the wall clock but never touches an
 observation scope, RNG, or algorithm state — the serving layer's
 bit-identity invariant (results and work counters identical with
 telemetry on or off) is preserved by construction.
+
+Schema ``/2`` (fleet merge): when the shard router aggregates worker
+event streams (:func:`repro.obs.distributed.merge_event_payloads`),
+each merged record additionally carries a top-level ``worker`` source
+label and the fleet ``epoch``. Records emitted by a single process are
+unchanged — ``/2`` is purely additive; consumers of ``/1`` only need to
+tolerate the two new optional fields (see ``docs/observability.md``
+for the migration note).
 """
 
 from __future__ import annotations
@@ -50,7 +58,7 @@ from typing import IO, Any, Dict, List, Optional
 
 __all__ = ["EVENTS_SCHEMA", "Event", "EventLog"]
 
-EVENTS_SCHEMA = "repro.obs.events/1"
+EVENTS_SCHEMA = "repro.obs.events/2"
 
 
 @dataclass(frozen=True)

@@ -22,8 +22,13 @@ continuously, with three cooperating pieces:
       -window gauges;
     * ``GET /healthz``  — JSON admission/queue/closed state (HTTP 503
       once the server is closed);
-    * ``GET /events``   — the bounded ring of recent query-lifecycle
-      events (schema ``repro.obs.events/1``).
+    * ``GET /events``   — recent query-lifecycle events (schema
+      ``repro.obs.events/2``; against a shard router this is the
+      causally merged fleet stream);
+    * ``GET /trace``    — the stitched Chrome-trace document
+      (``repro.obs.trace/1``; ``enabled: false`` when tracing is off);
+    * ``GET /debug/slow`` — the slow-query flight-recorder ring
+      (``repro.obs.flight/1``).
 
 ``start_live_telemetry``
     Convenience wiring for ``repro serve --listen HOST:PORT``: starts
@@ -48,6 +53,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.distributed import FLIGHT_SCHEMA, empty_trace_payload
 from repro.obs.events import EVENTS_SCHEMA, EventLog
 from repro.obs.metrics import bucket_quantile
 
@@ -74,6 +80,29 @@ OPENMETRICS_CONTENT_TYPE = (
 #: ``op`` label (``serve.op.latency_ms.find_seeds`` →
 #: ``repro_serve_op_latency_ms{op="find_seeds"}``).
 _OP_LATENCY_PREFIX = "serve.op.latency_ms."
+
+#: ``worker.<id>.<field>`` names (injected post-merge by the shard
+#: router) become one family per field with a ``worker`` label
+#: (``worker.w0.queries`` → ``repro_worker_queries{worker="w0"}``), so
+#: per-worker series never sum away in the fleet exposition.
+_WORKER_METRIC_RE = re.compile(r"^worker\.([^.]+)\.([A-Za-z0-9_.]+)$")
+
+
+def _split_worker_series(
+    values: Optional[Dict[str, Any]],
+) -> Tuple[Dict[str, Any], Dict[str, List[Tuple[str, Any]]]]:
+    """Partition ``worker.<id>.<field>`` names into labeled families."""
+    plain: Dict[str, Any] = {}
+    families: Dict[str, List[Tuple[str, Any]]] = {}
+    for name, value in (values or {}).items():
+        match = _WORKER_METRIC_RE.match(name)
+        if match:
+            families.setdefault(match.group(2), []).append(
+                (match.group(1), value)
+            )
+        else:
+            plain[name] = value
+    return plain, families
 
 
 def _metric_name(name: str) -> str:
@@ -132,24 +161,42 @@ def merge_metrics_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     has the same shape as a single server's snapshot, so
     :func:`render_openmetrics` (and everything downstream of it)
     consumes it unchanged.
+
+    Hardened against partial scrapes: a worker that died mid-scrape
+    yields ``None`` (or a malformed fragment) instead of a snapshot —
+    non-dict snapshots and non-numeric values are skipped rather than
+    raising, so the fleet exposition degrades to the reachable workers
+    (the router counts the gap in ``router.workers.unreachable``).
     """
     counters: Dict[str, float] = {}
     gauge_values: Dict[str, List[float]] = {}
     histograms: Dict[str, Dict[str, Any]] = {}
     for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
         for name, value in (snap.get("counters") or {}).items():
+            if not isinstance(value, (int, float)):
+                continue
             counters[name] = counters.get(name, 0) + value
         for name, value in (snap.get("gauges") or {}).items():
+            if not isinstance(value, (int, float)):
+                continue
             gauge_values.setdefault(name, []).append(float(value))
         for name, hist in (snap.get("histograms") or {}).items():
+            if not isinstance(hist, dict):
+                continue
             agg = histograms.setdefault(
                 name, {"count": 0, "sum": 0.0, "buckets": {}}
             )
             agg["count"] += int(hist.get("count") or 0)
             agg["sum"] += float(hist.get("sum") or 0.0)
             for edge, n in (hist.get("buckets") or {}).items():
-                edge = int(edge)  # JSON transport stringifies the keys
-                agg["buckets"][edge] = agg["buckets"].get(edge, 0) + int(n)
+                try:
+                    edge = int(edge)  # JSON transport stringifies keys
+                    n = int(n)
+                except (TypeError, ValueError):
+                    continue
+                agg["buckets"][edge] = agg["buckets"].get(edge, 0) + n
             if hist.get("count"):
                 if "min" in hist:
                     agg["min"] = min(agg.get("min", hist["min"]),
@@ -202,19 +249,44 @@ def render_openmetrics(
     """
     lines: List[str] = []
 
-    for name in sorted(metrics.get("counters") or {}):
-        value = metrics["counters"][name]
+    counters, worker_counters = _split_worker_series(
+        metrics.get("counters")
+    )
+    gauges, worker_gauges = _split_worker_series(metrics.get("gauges"))
+
+    for name in sorted(counters):
+        value = counters[name]
         metric = _metric_name(name)
         lines.append(f"# HELP {metric} Counter {name}.")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric}_total {_format_value(value)}")
 
-    for name in sorted(metrics.get("gauges") or {}):
-        value = metrics["gauges"][name]
+    for field_name in sorted(worker_counters):
+        metric = _metric_name(f"worker.{field_name}")
+        lines.append(
+            f"# HELP {metric} Per-worker counter worker.<id>.{field_name}."
+        )
+        lines.append(f"# TYPE {metric} counter")
+        for worker_id, value in sorted(worker_counters[field_name]):
+            labels = _format_labels({"worker": worker_id})
+            lines.append(f"{metric}_total{labels} {_format_value(value)}")
+
+    for name in sorted(gauges):
+        value = gauges[name]
         metric = _metric_name(name)
         lines.append(f"# HELP {metric} Gauge {name}.")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(float(value))}")
+
+    for field_name in sorted(worker_gauges):
+        metric = _metric_name(f"worker.{field_name}")
+        lines.append(
+            f"# HELP {metric} Per-worker gauge worker.<id>.{field_name}."
+        )
+        lines.append(f"# TYPE {metric} gauge")
+        for worker_id, value in sorted(worker_gauges[field_name]):
+            labels = _format_labels({"worker": worker_id})
+            lines.append(f"{metric}{labels} {_format_value(float(value))}")
 
     # Group histograms into families: the per-op latency histograms
     # share one family with an ``op`` label; everything else is its own
@@ -658,6 +730,28 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                     "application/json",
                     (json.dumps(payload) + "\n").encode("utf-8"),
                 )
+            elif parsed.path == "/trace":
+                query = urllib.parse.parse_qs(parsed.query)
+                trace_id = (
+                    query["trace_id"][0] if "trace_id" in query else None
+                )
+                payload = endpoint.trace_payload(trace_id)
+                self._respond(
+                    200,
+                    "application/json",
+                    (json.dumps(payload) + "\n").encode("utf-8"),
+                )
+            elif parsed.path == "/debug/slow":
+                query = urllib.parse.parse_qs(parsed.query)
+                limit = (
+                    int(query["limit"][0]) if "limit" in query else None
+                )
+                payload = endpoint.flight_payload(limit)
+                self._respond(
+                    200,
+                    "application/json",
+                    (json.dumps(payload) + "\n").encode("utf-8"),
+                )
             else:
                 self._respond(404, "text/plain", b"not found\n")
         except BrokenPipeError:  # pragma: no cover - client went away
@@ -671,7 +765,8 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
 
 
 class TelemetryEndpoint:
-    """Embedded HTTP endpoint: ``/metrics``, ``/healthz``, ``/events``.
+    """Embedded HTTP endpoint: ``/metrics``, ``/healthz``, ``/events``,
+    ``/trace``, ``/debug/slow``.
 
     Binds immediately (so ``port=0`` resolves to a real port before
     :meth:`start`), serves on a daemon thread with one thread per
@@ -750,6 +845,12 @@ class TelemetryEndpoint:
         return health
 
     def events_payload(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        if self._events is None:
+            # A shard router serves the causally merged fleet stream;
+            # an explicit ring (``events=``) always wins.
+            merged = getattr(self._server, "events_payload", None)
+            if callable(merged):
+                return merged(limit)
         events = self._events
         if events is None:
             events = getattr(self._server, "events", None)
@@ -762,6 +863,26 @@ class TelemetryEndpoint:
                 "events": [],
             }
         return events.payload(limit)
+
+    def trace_payload(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """The ``/trace`` document (``enabled: false`` if untraced)."""
+        fn = getattr(self._server, "trace_payload", None)
+        if callable(fn):
+            return fn(trace_id)
+        return empty_trace_payload()
+
+    def flight_payload(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/debug/slow`` document (empty if no recorder)."""
+        recorder = getattr(self._server, "flightrec", None)
+        if recorder is not None:
+            return recorder.payload(limit)
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "capacity": 0,
+            "slow_ms": None,
+            "total": 0,
+            "records": [],
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -870,6 +991,12 @@ def render_dashboard(
     the delta against the previous scrape, then to the lifetime
     average. Per-op quantiles prefer the windowed gauges, falling back
     to the lifetime histogram buckets.
+
+    When the scrape exposes per-worker families (a shard router's
+    ``repro_worker_*{worker="..."}`` series), a per-worker table is
+    rendered — queries, qps (delta against the previous scrape),
+    in-flight, respawns, and epoch — plus the cumulative count of
+    workers that were unreachable mid-scrape.
     """
     lines: List[str] = []
     uptime = scrape.value("repro_serve_uptime_seconds")
@@ -943,5 +1070,42 @@ def render_dashboard(
                 f"{_fmt_ms(quantiles['p50']):>9} "
                 f"{_fmt_ms(quantiles['p95']):>9} "
                 f"{_fmt_ms(quantiles['p99']):>9}"
+            )
+
+    workers = scrape.label_values("repro_worker_queries_total", "worker")
+    if workers:
+        lines.append("")
+        lines.append(
+            f"{'worker':<8} {'queries':>8} {'qps':>8} {'inflight':>9} "
+            f"{'respawns':>9} {'epoch':>6}"
+        )
+        for worker_id in sorted(workers):
+            w_queries = scrape.value(
+                "repro_worker_queries_total", worker=worker_id
+            ) or 0.0
+            w_qps = "-"
+            if previous is not None and dt:
+                prev = previous.value(
+                    "repro_worker_queries_total", worker=worker_id
+                )
+                if prev is not None:
+                    w_qps = f"{max(w_queries - prev, 0.0) / dt:.2f}"
+            inflight = scrape.value(
+                "repro_worker_inflight", worker=worker_id
+            ) or 0.0
+            respawns = scrape.value(
+                "repro_worker_respawns", worker=worker_id
+            ) or 0.0
+            epoch = scrape.value(
+                "repro_worker_epoch", worker=worker_id
+            ) or 0.0
+            lines.append(
+                f"{worker_id:<8} {int(w_queries):>8} {w_qps:>8} "
+                f"{int(inflight):>9} {int(respawns):>9} {int(epoch):>6}"
+            )
+        unreachable = scrape.counter("repro_router_workers_unreachable")
+        if unreachable:
+            lines.append(
+                f"unreachable worker scrapes: {int(unreachable)}"
             )
     return "\n".join(lines) + "\n"

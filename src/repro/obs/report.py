@@ -9,8 +9,15 @@ to result objects as ``.report``, and pretty-printed by
       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
       "trace": [ {name, duration_seconds, attrs?, children?}, ... ],
       "phases": [ {name, seconds, percent}, ... ],
-      "trace_id": "q-000042"          # optional correlation id
+      "trace_id": "q-000042",         # optional correlation id
+      "parent_span_id": "3f2-a1"      # optional distributed parent link
     }
+
+Both trailing fields are optional and additive — the schema string is
+unchanged. ``parent_span_id`` appears only on reports produced while
+serving a *distributed* query (a shard worker executing under a router
+``TraceContext``): it names the router-side span the report's trace
+roots graft under in the stitched fleet trace.
 
 ``phases`` is derived from the trace: the top-level spans, flattened
 into a table with their share of the total traced time — the "where
@@ -54,6 +61,11 @@ def build_report(observation) -> Dict[str, Any]:
     # report be matched to the same query's live event-log entries.
     if observation.tracer.trace_id is not None:
         report["trace_id"] = observation.tracer.trace_id
+    # Distributed queries additionally record the router span their
+    # trace grafts under (see repro.obs.distributed).
+    parent_span_id = getattr(observation.tracer, "parent_span_id", None)
+    if parent_span_id is not None:
+        report["parent_span_id"] = parent_span_id
     return report
 
 

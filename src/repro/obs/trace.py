@@ -107,8 +107,21 @@ class Tracer:
     def __init__(self, trace_id: Optional[str] = None) -> None:
         self.roots: List[Span] = []
         self.trace_id = trace_id
+        #: Cross-process parent link (``repro.obs.distributed``): the id
+        #: of the remote span — usually the shard router's
+        #: ``serve.query`` — this tracer's roots graft under when the
+        #: fleet trace is stitched. ``None`` for purely local traces.
+        self.parent_span_id: Optional[str] = None
         self._stack: List[Span] = []
         self._origin = time.perf_counter()
+
+    @property
+    def origin(self) -> float:
+        """This tracer's clock origin (``time.perf_counter`` at
+        creation). Span starts are relative to it; shipping it with a
+        span bundle lets a remote collector re-base the spans onto its
+        own clock via the handshake offset."""
+        return self._origin
 
     # -- span lifecycle --------------------------------------------------
 
@@ -171,29 +184,8 @@ class Tracer:
 
     def to_chrome_events(self) -> List[Dict[str, Any]]:
         """Flatten to Chrome trace-event ``X`` (complete) events."""
-        events: List[Dict[str, Any]] = []
-
-        def walk(span: Span) -> None:
-            args = dict(span.attrs)
-            if self.trace_id is not None:
-                args.setdefault("trace_id", self.trace_id)
-            events.append(
-                {
-                    "name": span.name,
-                    "ph": "X",
-                    "ts": span.start * 1e6,
-                    "dur": (span.duration or 0.0) * 1e6,
-                    "pid": 0,
-                    "tid": 0,
-                    "args": args,
-                }
-            )
-            for child in span.children:
-                walk(child)
-
-        for root in self.roots:
-            walk(root)
-        return events
+        return chrome_events_from_dicts(self.as_dicts(),
+                                        trace_id=self.trace_id)
 
     def find(self, name: str) -> List[Span]:
         """All finished spans with ``name``, depth-first."""
@@ -212,28 +204,55 @@ class Tracer:
 
 def chrome_events_from_dicts(
     trace_dicts: List[Dict[str, Any]],
+    *,
+    trace_id: Optional[str] = None,
+    pid: int = 0,
+    tid: int = 0,
+    ts_offset_seconds: float = 0.0,
+    parent_span_id: Optional[str] = None,
+    id_factory: Optional[Callable[[], str]] = None,
 ) -> List[Dict[str, Any]]:
     """Convert exported span dicts (a report's ``trace``) to Chrome
     trace events — the offline counterpart of
     :meth:`Tracer.to_chrome_events`, used by ``repro report`` to turn a
-    saved report back into a flamegraph-loadable file."""
+    saved report back into a flamegraph-loadable file.
+
+    The keyword options serve the fleet-trace stitcher
+    (:mod:`repro.obs.distributed`): ``pid``/``tid`` stamp the source
+    process, ``ts_offset_seconds`` re-bases span starts onto the
+    collector's clock (clamped at zero so clock-alignment error cannot
+    produce negative timestamps), ``trace_id`` is stamped into every
+    event's ``args``, and — when ``id_factory`` is given — every event
+    gains a ``span_id`` with structural ``parent_span_id`` links,
+    rooted at the cross-process ``parent_span_id``.
+    """
     events: List[Dict[str, Any]] = []
 
-    def walk(entry: Dict[str, Any]) -> None:
+    def walk(entry: Dict[str, Any], parent_id: Optional[str]) -> None:
+        args = dict(entry.get("attrs") or {})
+        if trace_id is not None:
+            args.setdefault("trace_id", trace_id)
+        span_id = None
+        if id_factory is not None:
+            span_id = args.get("span_id") or id_factory()
+            args["span_id"] = span_id
+            if parent_id is not None:
+                args.setdefault("parent_span_id", parent_id)
+        start = (entry.get("start_seconds") or 0.0) + ts_offset_seconds
         events.append(
             {
                 "name": entry["name"],
                 "ph": "X",
-                "ts": (entry.get("start_seconds") or 0.0) * 1e6,
-                "dur": (entry.get("duration_seconds") or 0.0) * 1e6,
-                "pid": 0,
-                "tid": 0,
-                "args": dict(entry.get("attrs") or {}),
+                "ts": max(start, 0.0) * 1e6,
+                "dur": max(entry.get("duration_seconds") or 0.0, 0.0) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
             }
         )
         for child in entry.get("children") or []:
-            walk(child)
+            walk(child, span_id)
 
     for root in trace_dicts:
-        walk(root)
+        walk(root, parent_span_id)
     return events

@@ -24,8 +24,17 @@ Request shapes
 ``{"op": "metrics"}`` / ``{"op": "health"}`` / ``{"op": "ping"}``
 ``{"op": "events", "limit": 50}``
    (the most recent query-lifecycle events, schema
-   ``repro.obs.events/1`` — the same document the live telemetry
-   endpoint serves at ``/events``)
+   ``repro.obs.events/2`` — the same document the live telemetry
+   endpoint serves at ``/events``; against a shard router this is the
+   causally merged fleet stream, each record labeled with its source
+   ``worker`` and the fleet ``epoch``)
+
+Distributed tracing: a request may carry a compact trace context under
+the private ``"_trace"`` key (``{"trace_id": ..., "parent_span_id":
+...}``, see :mod:`repro.obs.distributed`). It is stripped before op
+dispatch — validation and responses are byte-identical with or without
+it — and staged on the server so the executing query's spans root under
+the propagating router's ``serve.query`` span.
 
 Query responses include ``cache`` (``"miss"``/``"hit"``) and
 ``elapsed_ms``; pass ``"report": true`` in a request to inline the full
@@ -55,6 +64,7 @@ import sys
 from typing import Any, IO
 
 from repro.exceptions import QueryRejectedError, ReproError
+from repro.obs.distributed import TraceContext
 from repro.serve.server import METRICS_SCHEMA, CampaignServer, ServeResponse
 
 __all__ = ["execute_request", "handle_line", "handle_request", "serve_stdio"]
@@ -112,7 +122,18 @@ def execute_request(
     route = getattr(server, "route_request", None)
     if route is not None:
         return route(request)
+    # Strip any propagated trace context BEFORE op dispatch so every
+    # validation / unknown-op path behaves byte-identically with or
+    # without tracing; stage it on the server (thread-local) so the
+    # query submitted below roots its spans under the remote parent.
+    trace_ctx = TraceContext.pop_from(request)
     op = request.get("op")
+    if trace_ctx is not None and op in _QUERY_OPS:
+        # Stage only for query ops — an admin op must not leave a
+        # stale context behind for the thread's next query.
+        stage = getattr(server, "stage_trace_context", None)
+        if stage is not None:
+            stage(trace_ctx)
     if op == "ping":
         return {"pong": True}
     if op == "metrics":

@@ -107,6 +107,14 @@ class QosConfig:
     min_retry_after_ms:
         Floor on advertised ``retry_after_ms`` so a cold predictor
         never tells clients to hammer the server instantly.
+    flight_slow_ms / flight_capacity:
+        Slow-query flight-recorder policy
+        (:class:`repro.obs.distributed.FlightRecorder`): queries slower
+        than ``flight_slow_ms`` milliseconds earn a flight record even
+        when they succeed; rejections, cooperative cancellations, and
+        deadline misses are always recorded. ``None`` (the default)
+        records only failures/misses. ``flight_capacity`` bounds the
+        retained ring served at ``/debug/slow``.
     """
 
     weights: Tuple[Tuple[str, int], ...] = (
@@ -120,6 +128,8 @@ class QosConfig:
     breaker_failure_threshold: int = 3
     breaker_reset_timeout: float = 5.0
     min_retry_after_ms: float = 25.0
+    flight_slow_ms: Optional[float] = None
+    flight_capacity: int = 64
 
     def __post_init__(self) -> None:
         classes = tuple(name for name, _w in self.weights)
@@ -152,6 +162,14 @@ class QosConfig:
             raise ConfigurationError(
                 f"breaker_reset_timeout must be positive, got "
                 f"{self.breaker_reset_timeout}"
+            )
+        if self.flight_slow_ms is not None and self.flight_slow_ms < 0:
+            raise ConfigurationError(
+                f"flight_slow_ms must be >= 0, got {self.flight_slow_ms}"
+            )
+        if self.flight_capacity < 1:
+            raise ConfigurationError(
+                f"flight_capacity must be >= 1, got {self.flight_capacity}"
             )
 
     @property

@@ -65,6 +65,7 @@ import itertools
 import math
 import threading
 import time
+from collections import deque
 from collections.abc import Sequence
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace as dc_replace
@@ -90,6 +91,12 @@ from repro.graphs.mutable import GraphEdit, MutableTagGraph, edit_from_dict
 from repro.graphs.tag_graph import TagGraph
 from repro.index.lazy import IndexManager
 from repro.index.possible_world_index import theta_c as compute_theta_c
+from repro.obs.distributed import (
+    FlightRecorder,
+    TraceCollector,
+    empty_trace_payload,
+    span_bundle_from_tracer,
+)
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.seeds.api import ENGINES, SeedSelection, find_seeds
@@ -236,6 +243,10 @@ class _QueryItem:
     deadline_s: float | None
     enqueued_at: float
     queue_wait_s: float = 0.0
+    #: Inbound distributed-trace context (``repro.obs.distributed``):
+    #: set when a shard router propagated a TraceContext with this
+    #: query; the executing thread roots its spans under it.
+    trace: Any = None
 
 
 class CampaignServer:
@@ -297,6 +308,14 @@ class CampaignServer:
     repair_mode:
         Kernel for repairable sketch builds on a mutable server:
         ``"scalar"`` (default) or ``"bitparallel"``.
+    tracing:
+        When true the server keeps a
+        :class:`~repro.obs.distributed.TraceCollector` and deposits
+        every query's completed spans into it, so ``/trace`` and
+        ``repro serve --trace`` can export Chrome traces without a
+        shard router. Off by default — tracing must never cost a
+        hot-path cycle when unused, and answers/work counters are
+        bit-identical either way.
     """
 
     def __init__(
@@ -317,6 +336,7 @@ class CampaignServer:
         chaos: ServeFaultPlan | None = None,
         mutable: bool = False,
         repair_mode: str = "scalar",
+        tracing: bool = False,
     ) -> None:
         if pool_size <= 0:
             raise ConfigurationError(
@@ -419,6 +439,21 @@ class CampaignServer:
         )
         self._query_seq = itertools.count(1)
         self._query_local = threading.local()
+        # Distributed tracing (repro.obs.distributed). The staged
+        # context hands an inbound TraceContext from the protocol layer
+        # (request thread) to _submit on the same thread; the export
+        # ring buffers finished span bundles for a shard worker loop to
+        # piggy-back on replies. The flight recorder is always on — a
+        # qualifying record is one lock-append.
+        self._staged_trace = threading.local()
+        self._span_lock = threading.Lock()
+        self._span_exports: deque = deque(maxlen=256)
+        self._trace_collector = (
+            TraceCollector(label="server") if tracing else None
+        )
+        self.flightrec = FlightRecorder(
+            self._qos.flight_capacity, slow_ms=self._qos.flight_slow_ms
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -884,6 +919,51 @@ class CampaignServer:
         return stats
 
     # ------------------------------------------------------------------
+    # Distributed tracing (repro.obs.distributed)
+    # ------------------------------------------------------------------
+    def stage_trace_context(self, context) -> None:
+        """Stage an inbound :class:`TraceContext` for the next submit.
+
+        Called by the protocol layer on the request thread immediately
+        before dispatching a query op; :meth:`_submit` (same thread)
+        claims it and attaches it to the query item. Thread-local, so
+        concurrent connections cannot cross-contaminate contexts.
+        """
+        self._staged_trace.ctx = context
+
+    def _claim_trace_context(self):
+        context = getattr(self._staged_trace, "ctx", None)
+        if context is not None:
+            self._staged_trace.ctx = None
+        return context
+
+    def export_span_bundle(self, bundle: dict) -> None:
+        """Buffer a finished span bundle for shipping (bounded ring)."""
+        with self._span_lock:
+            self._span_exports.append(bundle)
+
+    def drain_span_exports(self) -> list:
+        """Remove and return every buffered span bundle."""
+        with self._span_lock:
+            if not self._span_exports:
+                return []
+            bundles = list(self._span_exports)
+            self._span_exports.clear()
+        return bundles
+
+    def chrome_trace(self, trace_id: str | None = None) -> list:
+        """Stitched Chrome trace events (empty when ``tracing`` off)."""
+        if self._trace_collector is None:
+            return []
+        return self._trace_collector.chrome_trace(trace_id)
+
+    def trace_payload(self, trace_id: str | None = None) -> dict:
+        """The ``/trace`` debug document for this server."""
+        if self._trace_collector is None:
+            return empty_trace_payload()
+        return self._trace_collector.payload(trace_id)
+
+    # ------------------------------------------------------------------
     # Admission + dispatch
     # ------------------------------------------------------------------
     def _sync_class_depths_locked(self) -> None:
@@ -903,6 +983,8 @@ class CampaignServer:
                 f"{QUERY_CLASSES}"
             )
         qid = f"q-{next(self._query_seq):06d}"
+        trace_ctx = self._claim_trace_context()
+        trace_id = trace_ctx.trace_id if trace_ctx is not None else qid
         if self._chaos is not None:
             try:
                 self._chaos.at_admission()
@@ -950,7 +1032,7 @@ class CampaignServer:
                 item = _QueryItem(
                     qid=qid, op=op, runner=runner, future=Future(),
                     qos_class=qos_class, tier=tier, deadline_s=deadline,
-                    enqueued_at=time.monotonic(),
+                    enqueued_at=time.monotonic(), trace=trace_ctx,
                 )
                 self._queues.push(qos_class, item)
                 dequeue_rejects = self._pump_locked()
@@ -967,6 +1049,11 @@ class CampaignServer:
             self._emit(
                 "query.rejected", trace_id=qid, op=op, code=rejection.code,
                 qos_class=qos_class, phase="admission",
+                retry_after_ms=rejection.retry_after_ms,
+            )
+            self.flightrec.record(
+                reason="rejected", op=op, trace_id=trace_id, qid=qid,
+                code=rejection.code, qos_class=qos_class, phase="admission",
                 retry_after_ms=rejection.retry_after_ms,
             )
             raise rejection
@@ -1046,6 +1133,14 @@ class CampaignServer:
                 self._record(f"serve.rejected.{error.code}")
                 self._emit(
                     "query.rejected", trace_id=item.qid, op=item.op,
+                    code=error.code, qos_class=item.qos_class, phase="queue",
+                )
+                self.flightrec.record(
+                    reason="rejected", op=item.op, qid=item.qid,
+                    trace_id=(
+                        item.trace.trace_id if item.trace is not None
+                        else item.qid
+                    ),
                     code=error.code, qos_class=item.qos_class, phase="queue",
                 )
             elif isinstance(error, ServerClosedError):
@@ -1129,12 +1224,20 @@ class CampaignServer:
         timer = Timer()
         final_tier = item.tier
         degrade_info = None
+        # Distributed queries run under the router's trace: the
+        # propagated trace_id replaces the local qid on spans/events,
+        # and the parent link lets the stitcher graft this worker's
+        # roots under the router's serve.query span.
+        trace_ctx = item.trace
+        trace_id = trace_ctx.trace_id if trace_ctx is not None else qid
         try:
             with timer, obs.observe() as ob:
                 # Stamp the query id on the tracer so spans, Chrome
                 # trace events, and lifecycle events all correlate.
-                ob.tracer.trace_id = qid
-                with obs.span("serve.query", op=op, trace_id=qid):
+                ob.tracer.trace_id = trace_id
+                if trace_ctx is not None:
+                    ob.tracer.parent_span_id = trace_ctx.parent_span_id
+                with obs.span("serve.query", op=op, trace_id=trace_id):
                     value, cache_mode = runner(ob)
                 report = ob.report()
             final_tier = getattr(local, "tier", None) or "full"
@@ -1149,6 +1252,10 @@ class CampaignServer:
                 verb, trace_id=qid, op=op, code=exc.code,
                 qos_class=item.qos_class, phase="execute",
             )
+            self.flightrec.record(
+                reason="rejected", op=op, trace_id=trace_id, qid=qid,
+                code=exc.code, qos_class=item.qos_class, phase="execute",
+            )
             raise
         except BudgetExceededError as exc:
             # Cooperative cancellation at a shard boundary; any partial
@@ -1157,6 +1264,11 @@ class CampaignServer:
             self._emit(
                 "query.cancelled", trace_id=qid, op=op, reason=exc.reason,
                 qos_class=item.qos_class, salvaged=exc.partial is not None,
+            )
+            self.flightrec.record(
+                reason="cancelled", op=op, trace_id=trace_id, qid=qid,
+                cancel_reason=exc.reason, qos_class=item.qos_class,
+                salvaged=exc.partial is not None,
             )
             raise
         except BaseException as exc:
@@ -1186,6 +1298,45 @@ class CampaignServer:
         self._observe_hist("serve.query.latency_ms", elapsed_ms)
         self._observe_hist(f"serve.op.latency_ms.{op}", elapsed_ms)
         self._predictor.observe(op, elapsed_ms)
+        # Ship / store the finished spans. Both paths are post-answer
+        # bookkeeping: they cannot influence the value, counters, or
+        # even timing recorded above.
+        if trace_ctx is not None:
+            self.export_span_bundle(
+                span_bundle_from_tracer(
+                    ob.tracer,
+                    parent_span_id=trace_ctx.parent_span_id,
+                    report={"phases": report.get("phases") or []},
+                )
+            )
+        elif self._trace_collector is not None:
+            self._trace_collector.add_bundle(
+                span_bundle_from_tracer(ob.tracer),
+                pid=self._trace_collector.pid,
+            )
+        deadline_ms = (
+            item.deadline_s * 1000.0 if item.deadline_s is not None else None
+        )
+        if self.flightrec.should_record(
+            elapsed_ms=elapsed_ms, deadline_ms=deadline_ms
+        ):
+            missed = deadline_ms is not None and elapsed_ms > deadline_ms
+            self.flightrec.record(
+                reason="deadline_miss" if missed else "slow",
+                op=op, trace_id=trace_id, qid=qid,
+                elapsed_ms=round(elapsed_ms, 3), deadline_ms=deadline_ms,
+                qos_class=item.qos_class, tier=final_tier,
+                decisions={
+                    "qos_class": item.qos_class,
+                    "tier": final_tier,
+                    "degraded": degrade_info,
+                    "queue_wait_ms": round(item.queue_wait_s * 1000.0, 3),
+                    "cache": cache_mode,
+                    "epoch": query_epoch,
+                },
+                phases=report.get("phases"),
+                trace=report.get("trace"),
+            )
         self._emit(
             "query.done", trace_id=qid, op=op, ok=True, cache=cache_mode,
             tier=final_tier, elapsed_ms=round(elapsed_ms, 3),

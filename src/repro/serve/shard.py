@@ -58,6 +58,23 @@ take the read side), appends the batch to the journal *before*
 broadcasting, then requires every worker to report the same new epoch.
 Pipes are FIFO, so every query dispatched after the broadcast observes
 the new epoch on every worker.
+
+Fleet observability
+-------------------
+With ``tracing=True`` the router owns one
+:class:`~repro.obs.distributed.TraceCollector`: every routed query
+opens a router-clock ``serve.query`` span whose
+:class:`~repro.obs.distributed.TraceContext` rides the pipe message
+(and, for scatter, every ``_shard.build``/``_shard.pick``); workers
+ship their finished span bundles back piggy-backed on replies, where
+the receive loop strips them *before* the caller's future resolves —
+wire responses are byte-identical with tracing on or off, and the
+flight recorder can attach the already-complete stitched trace. Worker
+clocks are aligned per spawn handshake (each ready message carries the
+worker's ``perf_counter``), so one Chrome trace covers the whole fleet
+with non-negative durations. ``/events`` serves the causally merged
+fleet stream (schema ``repro.obs.events/2``) and ``/debug/slow`` the
+router's :class:`~repro.obs.distributed.FlightRecorder` ring.
 """
 
 from __future__ import annotations
@@ -80,6 +97,15 @@ from repro.exceptions import (
     ReproError,
     ServerClosedError,
     WorkerDiedError,
+)
+from repro.obs.distributed import (
+    SPAN_BUNDLE_KEY,
+    TRACE_CONTEXT_KEY,
+    FlightRecorder,
+    TraceCollector,
+    TraceContext,
+    empty_trace_payload,
+    merge_event_payloads,
 )
 from repro.serve.keys import routing_token
 from repro.serve.qos import RouterAdmission
@@ -310,6 +336,10 @@ def _worker_main(conn, worker_id: str, graph_payload, spec: WorkerSpec):
             "worker": worker_id,
             "pid": os.getpid(),
             "endpoint": getattr(endpoint, "url", None),
+            # Clock-alignment handshake: the router subtracts this from
+            # its own perf_counter at receipt to map shipped span
+            # timestamps onto the router clock (repro.obs.distributed).
+            "clock": time.perf_counter(),
         })
     except BaseException as exc:  # report the construction failure, then die
         try:
@@ -337,6 +367,8 @@ def _worker_main(conn, worker_id: str, graph_payload, spec: WorkerSpec):
 
 
 def _serve_conn(conn, server, sampler, spec: WorkerSpec) -> None:
+    from repro import obs
+    from repro.obs.distributed import span_bundle_from_tracer
     from repro.serve.protocol import handle_request
 
     scatter = _ScatterSessions(server, sampler)
@@ -344,17 +376,45 @@ def _serve_conn(conn, server, sampler, spec: WorkerSpec) -> None:
     stop = threading.Event()
 
     def reply(rid, payload: dict) -> None:
+        # Piggy-back any span bundles finished since the last reply;
+        # the router strips the key before the caller's future resolves,
+        # so the client-visible response is unchanged. Empty unless the
+        # router propagated a trace context (zero overhead when off).
+        spans = server.drain_span_exports()
+        if spans:
+            payload = {**payload, SPAN_BUNDLE_KEY: spans}
         with send_lock:
             try:
                 conn.send({"_rid": rid, **payload})
             except (OSError, BrokenPipeError, ValueError):
                 stop.set()
 
+    def handle_shard_op(op: str, request: dict) -> dict:
+        trace_ctx = TraceContext.pop_from(request)
+        if op == "_shard.spans":
+            # Explicit drain: the reply itself carries the buffered
+            # bundles, bounding the export queue during long builds.
+            return {"ok": True}
+        if trace_ctx is None:
+            return scatter.handle(op, request)
+        # Observe the scatter phase so its spans join the stitched
+        # fleet trace. Observability never perturbs results (PR 3
+        # contract), so the payload is bit-identical either way.
+        with obs.observe() as ob:
+            ob.tracer.trace_id = trace_ctx.trace_id
+            ob.tracer.parent_span_id = trace_ctx.parent_span_id
+            with obs.span(op.lstrip("_")):
+                payload = scatter.handle(op, request)
+        server.export_span_bundle(span_bundle_from_tracer(
+            ob.tracer, parent_span_id=trace_ctx.parent_span_id,
+        ))
+        return payload
+
     def handle(rid, request: dict) -> None:
         op = request.get("op")
         try:
             if isinstance(op, str) and op.startswith("_shard."):
-                payload = scatter.handle(op, request)
+                payload = handle_shard_op(op, request)
             else:
                 payload = handle_request(server, request)
         except BaseException as exc:  # a request must never kill the loop
@@ -412,6 +472,10 @@ class _Worker:
         self.outstanding: Dict[int, _Pending] = {}
         self.respawns = 0
         self.dead = False  # permanently failed, removed from the ring
+        #: router_perf_counter - worker_perf_counter at the spawn
+        #: handshake; re-measured on every respawn. Maps shipped span
+        #: timestamps onto the router clock when stitching traces.
+        self.clock_offset = 0.0
 
     @property
     def alive(self) -> bool:
@@ -445,6 +509,15 @@ class ShardedCampaignService:
     admission_capacity:
         Router-level in-flight cap; defaults to the fleet's aggregate
         ``pool_size + queue_capacity``.
+    tracing:
+        Enable fleet-wide distributed tracing: every routed query gets
+        a router ``serve.query`` span, workers ship their span bundles
+        back, and :meth:`chrome_trace` / the ``trace`` op serve one
+        stitched Chrome trace. Off by default — when off, no trace
+        context is injected and workers never open observations.
+    trace_capacity:
+        Bound on retained traces in the router collector (oldest
+        evicted first).
     """
 
     def __init__(
@@ -457,6 +530,8 @@ class ShardedCampaignService:
         admission_capacity: Optional[int] = None,
         ring_replicas: int = 128,
         share_graph: bool = True,
+        tracing: bool = False,
+        trace_capacity: int = 256,
     ) -> None:
         from repro.obs.events import EventLog
 
@@ -485,6 +560,19 @@ class ShardedCampaignService:
         self._respawn_count = 0
         self._scatter_queries = 0
         self._scatter_restarts = 0
+        self._unreachable = 0  # workers that died mid-scrape (cumulative)
+
+        # Fleet tracing + slow-query flight recorder (see module docs).
+        self._trace = (
+            TraceCollector(int(trace_capacity), label="router")
+            if tracing else None
+        )
+        self._trace_seq = itertools.count(1)
+        qos_cfg = spec.qos
+        self.flightrec = FlightRecorder(
+            int(getattr(qos_cfg, "flight_capacity", None) or 64),
+            slow_ms=getattr(qos_cfg, "flight_slow_ms", None),
+        )
 
         # Reader/writer gate: queries read, apply_edits writes.
         self._gate = threading.Condition()
@@ -542,6 +630,10 @@ class ShardedCampaignService:
         process.start()
         child.close()
         ready = parent.recv()  # blocks until the worker built its server
+        # Clock alignment: sampled immediately after recv so the offset
+        # over-counts by at most the one-way pipe latency — a positive
+        # bias, so stitched worker spans never predate their dispatch.
+        router_clock = time.perf_counter()
         if not ready.get("ok"):
             parent.close()
             process.join(timeout=5.0)
@@ -565,6 +657,11 @@ class ShardedCampaignService:
         worker.conn = parent
         worker.pid = ready.get("pid")
         worker.endpoint = ready.get("endpoint")
+        worker_clock = ready.get("clock")
+        worker.clock_offset = (
+            router_clock - float(worker_clock)
+            if isinstance(worker_clock, (int, float)) else 0.0
+        )
         thread = threading.Thread(
             target=self._receive_loop,
             args=(worker, parent),
@@ -586,6 +683,19 @@ class ShardedCampaignService:
             if not isinstance(msg, dict):
                 continue
             rid = msg.pop("_rid", None)
+            # Strip piggy-backed span bundles unconditionally (wire
+            # responses stay identical tracing on or off) and ingest
+            # them BEFORE the future resolves, so a flight record cut
+            # on response completion sees the full stitched trace.
+            bundles = msg.pop(SPAN_BUNDLE_KEY, None)
+            if bundles and self._trace is not None:
+                for bundle in bundles:
+                    self._trace.add_bundle(
+                        bundle,
+                        offset_seconds=worker.clock_offset,
+                        worker=worker.id,
+                        pid=worker.pid,
+                    )
             with worker.lock:
                 pending = worker.outstanding.pop(rid, None)
             if pending is not None:
@@ -724,7 +834,15 @@ class ShardedCampaignService:
             return {"ok": True, "health": self.health()}
         if op == "events":
             limit = request.get("limit")
-            return {"ok": True, **self.events.payload(
+            return {"ok": True, **self.events_payload(
+                int(limit) if limit is not None else None
+            )}
+        if op == "trace":
+            return {"ok": True,
+                    **self.trace_payload(request.get("trace_id"))}
+        if op == "flightrec":
+            limit = request.get("limit")
+            return {"ok": True, **self.flightrec.payload(
                 int(limit) if limit is not None else None
             )}
         if op == "apply_edits":
@@ -740,25 +858,137 @@ class ShardedCampaignService:
             return self._dispatch_affinity(request)
         raise ReproError(
             f"unknown op {op!r}; expected one of "
-            f"{_QUERY_OPS + ('warm_index', 'apply_edits', 'metrics', 'health', 'events', 'ping')}"
+            f"{_QUERY_OPS + ('warm_index', 'apply_edits', 'metrics', 'health', 'events', 'trace', 'flightrec', 'ping')}"
+        )
+
+    # -- tracing + flight-recorder plumbing -----------------------------
+
+    def _begin_trace(self, op, **attrs) -> Optional[dict]:
+        """Open the router-clock ``serve.query`` span (None when off)."""
+        if self._trace is None:
+            return None
+        trace_id = f"t-{next(self._trace_seq):06d}"
+        return self._trace.begin(
+            "serve.query", trace_id=trace_id, op=op, **attrs
+        )
+
+    @staticmethod
+    def _with_trace_context(request: dict, record: Optional[dict]) -> dict:
+        """Copy ``request`` with the propagation context injected.
+
+        Called AFTER :func:`routing_token` so placement never sees the
+        private key (the token only reads identity fields anyway).
+        """
+        if record is None:
+            return request
+        ctx = TraceContext(record["trace_id"], record["span_id"])
+        return {**request, TRACE_CONTEXT_KEY: ctx.as_dict()}
+
+    def _flight_rejection(self, exc, op, qos, record, started) -> None:
+        """Flight-record a router-level admission rejection."""
+        if record is not None:
+            self._trace.finish(record, error=exc.code)
+        self.flightrec.record(
+            reason="rejected",
+            op=op,
+            qos_class=qos,
+            phase="admission",
+            code=exc.code,
+            retry_after_ms=exc.retry_after_ms,
+            elapsed_ms=round((time.monotonic() - started) * 1000.0, 3),
+            trace_id=record["trace_id"] if record is not None else None,
+        )
+
+    def _finish_query(self, record, response, op, qos, request,
+                      started) -> None:
+        """Close the router span and flight-record qualifying queries."""
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        ok = bool(response.get("ok"))
+        if record is not None:
+            self._trace.finish(
+                record, ok=ok,
+                cache=response.get("cache"), tier=response.get("tier"),
+            )
+        error = response.get("error")
+        kind = str(response.get("type") or "")
+        # Only admission/budget failures are flight-worthy; a plain
+        # validation error is the client's bug, not a serving incident.
+        failed = not ok and (
+            isinstance(error, dict) or kind == "BudgetExceededError"
+        )
+        deadline = request.get("deadline")
+        deadline_ms = (
+            float(deadline) * 1000.0 if deadline is not None else None
+        )
+        if not self.flightrec.should_record(
+            elapsed_ms=elapsed_ms, deadline_ms=deadline_ms, failed=failed
+        ):
+            return
+        if failed:
+            reason = (
+                "cancelled" if kind == "BudgetExceededError" else "rejected"
+            )
+        elif deadline_ms is not None and elapsed_ms > deadline_ms:
+            reason = "deadline_miss"
+        else:
+            reason = "slow"
+        decisions = None
+        if ok:
+            decisions = {
+                "class": response.get("class"),
+                "tier": response.get("tier"),
+                "cache": response.get("cache"),
+                "epoch": response.get("epoch"),
+                "degraded": response.get("degraded") is not None,
+            }
+        # The stitched trace is already complete: worker bundles ride
+        # the same reply and are ingested before the future resolves.
+        trace = (
+            self._trace.chrome_trace(record["trace_id"])
+            if record is not None else None
+        )
+        self.flightrec.record(
+            reason=reason,
+            op=op,
+            qos_class=qos,
+            elapsed_ms=round(elapsed_ms, 3),
+            deadline_ms=deadline_ms,
+            code=error.get("code") if isinstance(error, dict) else None,
+            error=error if isinstance(error, str) else None,
+            tier=response.get("tier"),
+            decisions=decisions,
+            trace_id=record["trace_id"] if record is not None else None,
+            trace=trace,
         )
 
     def _dispatch_affinity(self, request: dict) -> dict:
+        op = request.get("op")
         qos = str(request.get("class", request.get("qos_class",
                                                    "interactive")))
-        self._admission.admit(qos)
+        started = time.monotonic()
+        record = self._begin_trace(op, **{"class": qos})
+        try:
+            self._admission.admit(qos)
+        except QueryRejectedError as exc:
+            self._flight_rejection(exc, op, qos, record, started)
+            raise
         try:
             self._enter_query()
             try:
                 token = routing_token(request)
+                payload = self._with_trace_context(request, record)
                 while True:
                     worker = self._place(token)
-                    future = self._call(worker, request, retryable=True)
+                    future = self._call(worker, payload, retryable=True)
                     try:
-                        return future.result()
+                        response = future.result()
                     except WorkerDiedError:
                         # The worker left the ring; re-place on survivors.
                         continue
+                    self._finish_query(
+                        record, response, op, qos, request, started
+                    )
+                    return response
             finally:
                 self._exit_query()
         finally:
@@ -786,7 +1016,14 @@ class ShardedCampaignService:
             raise InvalidQueryError(
                 "scatter coverage supports engine='trs' only"
             )
-        self._admission.admit(qos)
+        started = time.monotonic()
+        record = self._begin_trace("find_seeds", scatter=True,
+                                   **{"class": qos})
+        try:
+            self._admission.admit(qos)
+        except QueryRejectedError as exc:
+            self._flight_rejection(exc, "find_seeds", qos, record, started)
+            raise
         try:
             self._enter_query()
             try:
@@ -795,7 +1032,9 @@ class ShardedCampaignService:
                 attempts = 0
                 while True:
                     try:
-                        return self._scatter_once(request, qos)
+                        response = self._scatter_once(
+                            request, qos, trace=record
+                        )
                     except WorkerDiedError:
                         attempts += 1
                         if attempts > 2:
@@ -805,12 +1044,19 @@ class ShardedCampaignService:
                         # Deterministic pipeline: a clean restart over
                         # the surviving fleet gives the same answer.
                         continue
+                    self._finish_query(
+                        record, response, "find_seeds", qos, request,
+                        started,
+                    )
+                    return response
             finally:
                 self._exit_query()
         finally:
             self._admission.release(qos)
 
-    def _scatter_once(self, request: dict, qos: str) -> dict:
+    def _scatter_once(
+        self, request: dict, qos: str, trace: Optional[dict] = None
+    ) -> dict:
         started = time.monotonic()
         live = self._live_workers()
         if not live:
@@ -820,6 +1066,13 @@ class ShardedCampaignService:
         sid = f"scatter-{next(self._sids)}"
         part_count = len(live)
         k = int(request["k"])
+        # Propagation context for the scatter phases: every build/pick
+        # runs under the router's serve.query span, so the stitched
+        # trace shows one query fanning across all worker pids.
+        ctx = (
+            TraceContext(trace["trace_id"], trace["span_id"]).as_dict()
+            if trace is not None else None
+        )
         base = {
             "op": "_shard.build",
             "sid": sid,
@@ -830,6 +1083,8 @@ class ShardedCampaignService:
             "part_count": part_count,
             "expect_epoch": self._epoch,
         }
+        if ctx is not None:
+            base[TRACE_CONTEXT_KEY] = ctx
         futures = [
             self._call(w, {**base, "part_index": i}, retryable=False)
             for i, w in enumerate(live)
@@ -867,11 +1122,11 @@ class ShardedCampaignService:
                 seeds.append(best)
                 marginals.append(gain)
                 used[best] = True
+                pick = {"op": "_shard.pick", "sid": sid, "node": best}
+                if ctx is not None:
+                    pick[TRACE_CONTEXT_KEY] = ctx
                 picks = [
-                    self._call(
-                        w, {"op": "_shard.pick", "sid": sid, "node": best},
-                        retryable=False,
-                    )
+                    self._call(w, dict(pick), retryable=False)
                     for w in live
                 ]
                 responses = self._gather(picks, "scatter pick")
@@ -1021,6 +1276,7 @@ class ShardedCampaignService:
                 "router.respawns": self._respawn_count,
                 "router.scatter_queries": self._scatter_queries,
                 "router.scatter_restarts": self._scatter_restarts,
+                "router.workers.unreachable": self._unreachable,
             }
         admission = self._admission.snapshot()
         counters["router.admitted"] = admission["admitted"]
@@ -1042,31 +1298,133 @@ class ShardedCampaignService:
             (w, self._call(w, {"op": "metrics"}, retryable=True))
             for w in self._live_workers()
         ]
-        snapshots = [self._router_snapshot()]
+        snapshots: List[dict] = []
         cache: Dict[str, Any] = {}
-        per_worker = {}
+        per_worker: Dict[str, Dict[str, Any]] = {}
+        unreachable = 0
+        for worker, future in futures:
+            info: Dict[str, Any] = {
+                "pid": worker.pid,
+                "endpoint": worker.endpoint,
+                "respawns": worker.respawns,
+            }
+            try:
+                response = future.result()
+            except (WorkerDiedError, ServerClosedError) as exc:
+                # A worker dying mid-scrape is a labeled gap in the
+                # response, never a KeyError or a silently missing row.
+                info["unreachable"] = True
+                info["error"] = type(exc).__name__
+                per_worker[worker.id] = info
+                unreachable += 1
+                continue
+            if not response.get("ok"):
+                info["unreachable"] = True
+                info["error"] = str(response.get("error"))
+                per_worker[worker.id] = info
+                unreachable += 1
+                continue
+            metrics = response.get("metrics") or {}
+            snapshots.append(metrics)
+            counters = metrics.get("counters") or {}
+            gauges = metrics.get("gauges") or {}
+            info["queries"] = int(counters.get("serve.queries") or 0)
+            info["inflight"] = float(gauges.get("serve.inflight") or 0.0)
+            info["epoch"] = int(gauges.get("serve.epoch") or 0)
+            per_worker[worker.id] = info
+            for key, value in (response.get("cache") or {}).items():
+                if isinstance(value, (int, float)):
+                    cache[key] = cache.get(key, 0) + value
+        if unreachable:
+            with self._stats_lock:
+                self._unreachable += unreachable
+        # Router snapshot is taken AFTER the scrape so the unreachable
+        # counter reflects this very scrape's gaps.
+        snapshots.insert(0, self._router_snapshot())
+        merged = merge_metrics_snapshots(snapshots)
+        # Per-worker families are injected post-merge so they never sum
+        # across workers; rendered as labeled OpenMetrics series and the
+        # per-worker rows of `repro top`.
+        for worker_id, info in per_worker.items():
+            if info.get("unreachable"):
+                continue
+            merged["counters"][f"worker.{worker_id}.queries"] = (
+                info["queries"]
+            )
+            merged["gauges"][f"worker.{worker_id}.inflight"] = (
+                info["inflight"]
+            )
+            merged["gauges"][f"worker.{worker_id}.respawns"] = float(
+                info["respawns"]
+            )
+            merged["gauges"][f"worker.{worker_id}.epoch"] = float(
+                info["epoch"]
+            )
+        return {
+            "ok": True,
+            "schema": METRICS_SCHEMA,
+            "metrics": merged,
+            "cache": cache,
+            "workers": per_worker,
+        }
+
+    def events_payload(self, limit: Optional[int] = None) -> dict:
+        """Causally merged fleet event stream (``repro.obs.events/2``).
+
+        Scrapes every live worker's event ring plus the router's own
+        and merges them into one ordered stream; a worker that dies
+        mid-scrape becomes a labeled gap in ``sources``.
+        """
+        futures = [
+            (w, self._call(w, {"op": "events"}, retryable=True))
+            for w in self._live_workers()
+        ]
+        payloads: Dict[str, Any] = {"router": self.events.payload(None)}
         for worker, future in futures:
             try:
                 response = future.result()
             except (WorkerDiedError, ServerClosedError):
+                payloads[worker.id] = None
                 continue
-            if not response.get("ok"):
+            payloads[worker.id] = response if response.get("ok") else None
+        return merge_event_payloads(
+            payloads, epoch=self._epoch, limit=limit
+        )
+
+    def _drain_worker_spans(self) -> None:
+        """Pull buffered span bundles out of every live worker.
+
+        The ``_shard.spans`` reply carries the bundles piggy-backed, so
+        by the time each future resolves the receive loop has already
+        ingested them into the collector.
+        """
+        futures = [
+            (w, self._call(w, {"op": "_shard.spans"}, retryable=False))
+            for w in self._live_workers()
+        ]
+        for _worker, future in futures:
+            try:
+                future.result()
+            except (WorkerDiedError, ServerClosedError):
                 continue
-            snapshots.append(response["metrics"])
-            per_worker[worker.id] = {
-                "pid": worker.pid,
-                "endpoint": worker.endpoint,
-            }
-            for key, value in (response.get("cache") or {}).items():
-                if isinstance(value, (int, float)):
-                    cache[key] = cache.get(key, 0) + value
-        return {
-            "ok": True,
-            "schema": METRICS_SCHEMA,
-            "metrics": merge_metrics_snapshots(snapshots),
-            "cache": cache,
-            "workers": per_worker,
-        }
+
+    def chrome_trace(self, trace_id: Optional[str] = None) -> List[dict]:
+        """One stitched fleet Chrome trace (empty when tracing is off)."""
+        if self._trace is None:
+            return []
+        self._drain_worker_spans()
+        return self._trace.chrome_trace(trace_id)
+
+    def trace_payload(self, trace_id: Optional[str] = None) -> dict:
+        """The ``/trace`` debug document for the fleet."""
+        if self._trace is None:
+            return empty_trace_payload()
+        self._drain_worker_spans()
+        return self._trace.payload(trace_id)
+
+    def flight_payload(self, limit: Optional[int] = None) -> dict:
+        """The ``/debug/slow`` document (always available)."""
+        return self.flightrec.payload(limit)
 
     def metrics(self) -> dict:
         """Aggregated fleet metrics (one merged snapshot)."""
@@ -1084,6 +1442,7 @@ class ShardedCampaignService:
                 "pid": w.pid,
                 "respawns": w.respawns,
                 "endpoint": w.endpoint,
+                "clock_offset_ms": round(w.clock_offset * 1000.0, 3),
             }
             for w in self._workers.values()
         }
@@ -1099,6 +1458,7 @@ class ShardedCampaignService:
         return {
             "status": status,
             "epoch": self._epoch,
+            "tracing": self._trace is not None,
             "workers": workers,
             "admission": self._admission.snapshot(),
             "ring": {
